@@ -1,0 +1,139 @@
+//===- bench_solvers.cpp - SAT / MaxSAT micro-benchmarks (A2) ------------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+// google-benchmark microbenchmarks for the solver substrate: CDCL on
+// random 3-SAT around the phase transition and on pigeonhole instances,
+// and Fu-Malik vs. linear-search partial MaxSAT on localization-shaped
+// instances (hard program constraints + soft unit selectors).
+//
+//===----------------------------------------------------------------------===//
+
+#include "maxsat/MaxSat.h"
+#include "sat/Solver.h"
+#include "support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+using namespace bugassist;
+
+namespace {
+
+std::vector<Clause> random3Sat(Rng &R, int Vars, int Clauses) {
+  std::vector<Clause> Cs;
+  for (int I = 0; I < Clauses; ++I) {
+    Clause C;
+    std::set<Var> Used;
+    while (C.size() < 3) {
+      Var V = static_cast<Var>(R.below(static_cast<uint64_t>(Vars)));
+      if (!Used.insert(V).second)
+        continue;
+      C.push_back(mkLit(V, R.chance(1, 2)));
+    }
+    Cs.push_back(std::move(C));
+  }
+  return Cs;
+}
+
+/// Localization-shaped MaxSAT: a chain of "statements" y_{i+1} = f(y_i)
+/// modeled as selector-guarded equivalences, with contradictory hard
+/// endpoints; the optimum disables exactly one selector.
+MaxSatInstance selectorChain(int Length) {
+  MaxSatInstance Inst;
+  // y_0 .. y_Length, selectors s_1 .. s_Length
+  Inst.NumVars = (Length + 1) + Length;
+  auto Y = [](int I) { return mkLit(I); };
+  auto Sel = [Length](int I) { return mkLit(Length + I); };
+  Inst.Hard.push_back({Y(0)});        // y_0
+  Inst.Hard.push_back({~Y(Length)});  // ~y_Length: contradiction
+  for (int I = 1; I <= Length; ++I) {
+    // s_i -> (y_{i-1} <-> y_i)
+    Inst.Hard.push_back({~Sel(I), ~Y(I - 1), Y(I)});
+    Inst.Hard.push_back({~Sel(I), Y(I - 1), ~Y(I)});
+    Inst.Soft.push_back({{Sel(I)}, 1});
+  }
+  return Inst;
+}
+
+void BM_Sat_PhaseTransition(benchmark::State &State) {
+  int Vars = static_cast<int>(State.range(0));
+  int Clauses = static_cast<int>(Vars * 4.26);
+  uint64_t Seed = 1;
+  for (auto _ : State) {
+    Rng R(Seed++);
+    auto Cs = random3Sat(R, Vars, Clauses);
+    Solver S;
+    S.ensureVars(Vars);
+    bool Ok = true;
+    for (const Clause &C : Cs)
+      Ok = Ok && S.addClause(C);
+    LBool Res = Ok ? S.solve() : LBool::False;
+    benchmark::DoNotOptimize(Res);
+  }
+}
+BENCHMARK(BM_Sat_PhaseTransition)->Arg(50)->Arg(75)->Arg(100)->Arg(125);
+
+void BM_Sat_Pigeonhole(benchmark::State &State) {
+  int Holes = static_cast<int>(State.range(0));
+  int Pigeons = Holes + 1;
+  for (auto _ : State) {
+    Solver S;
+    S.ensureVars(Pigeons * Holes);
+    auto VarOf = [Holes](int P, int H) { return P * Holes + H; };
+    for (int P = 0; P < Pigeons; ++P) {
+      Clause C;
+      for (int H = 0; H < Holes; ++H)
+        C.push_back(mkLit(VarOf(P, H)));
+      S.addClause(C);
+    }
+    for (int H = 0; H < Holes; ++H)
+      for (int P1 = 0; P1 < Pigeons; ++P1)
+        for (int P2 = P1 + 1; P2 < Pigeons; ++P2)
+          S.addClause({~mkLit(VarOf(P1, H)), ~mkLit(VarOf(P2, H))});
+    LBool Res = S.solve();
+    benchmark::DoNotOptimize(Res);
+  }
+}
+BENCHMARK(BM_Sat_Pigeonhole)->Arg(5)->Arg(6)->Arg(7);
+
+void BM_MaxSat_FuMalik_SelectorChain(benchmark::State &State) {
+  MaxSatInstance Inst = selectorChain(static_cast<int>(State.range(0)));
+  for (auto _ : State) {
+    MaxSatResult R = solveFuMalik(Inst);
+    benchmark::DoNotOptimize(R.Cost);
+  }
+}
+BENCHMARK(BM_MaxSat_FuMalik_SelectorChain)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_MaxSat_Linear_SelectorChain(benchmark::State &State) {
+  MaxSatInstance Inst = selectorChain(static_cast<int>(State.range(0)));
+  for (auto _ : State) {
+    MaxSatResult R = solveLinear(Inst);
+    benchmark::DoNotOptimize(R.Cost);
+  }
+}
+BENCHMARK(BM_MaxSat_Linear_SelectorChain)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_MaxSat_Weighted_Random(benchmark::State &State) {
+  // Random weighted soft units over a small hard core.
+  int N = static_cast<int>(State.range(0));
+  Rng R(99);
+  MaxSatInstance Inst;
+  Inst.NumVars = N;
+  for (int I = 0; I + 1 < N; I += 2)
+    Inst.Hard.push_back({mkLit(I), mkLit(I + 1)});
+  for (int I = 0; I < N; ++I)
+    Inst.Soft.push_back(
+        {{mkLit(I, R.chance(1, 2))}, static_cast<uint64_t>(R.range(1, 8))});
+  for (auto _ : State) {
+    MaxSatResult Res = solveLinear(Inst);
+    benchmark::DoNotOptimize(Res.Cost);
+  }
+}
+BENCHMARK(BM_MaxSat_Weighted_Random)->Arg(40)->Arg(80);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+//===- Unroller.h - Mini-C to guarded SSA -----------------------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic execution of the whole program into the guarded-SSA trace IR:
+/// functions are inlined (recursion bounded by MaxInlineDepth), loops are
+/// unwound MaxLoopUnwind times with an unwinding assumption at the bound,
+/// and branches are compiled into phi definitions -- the trace-formula
+/// construction of the paper's Section 3.2, engineered the way CBMC does it.
+///
+/// When \p ConcreteInputs is supplied, a shadow concrete execution runs
+/// alongside (concolic style, cf. the paper's Related Work discussion) and
+/// every determined definition is annotated with its runtime value; the
+/// encoder uses those annotations to concretize trusted functions
+/// (Section 6.2's "C" trace reduction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_BMC_UNROLLER_H
+#define BUGASSIST_BMC_UNROLLER_H
+
+#include "bmc/Trace.h"
+#include "interp/Interpreter.h"
+#include "lang/Ast.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+namespace bugassist {
+
+struct UnrollOptions {
+  /// Loop unwinding bound (the paper's eta).
+  int MaxLoopUnwind = 16;
+  /// Per-loop overrides, keyed by the `while` statement's source line
+  /// (CBMC's --unwindset). Missing entries fall back to MaxLoopUnwind.
+  std::map<uint32_t, int> LoopUnwindByLine;
+  /// Recursion inlining bound (print_tokens used 8 in the paper).
+  int MaxInlineDepth = 8;
+  /// Bit width of int; must match the interpreter's when comparing.
+  int BitWidth = 16;
+  /// Generate bounds obligations for array accesses (the implicit
+  /// assertions of the paper's Program 1).
+  bool CheckArrayBounds = true;
+  /// Functions whose constraints are hard (never blamed) and eligible for
+  /// concretization, cf. Section 6.3's library-function treatment.
+  std::set<std::string> TrustedFunctions;
+  /// Source lines whose constraints are hard (never blamed); used for test
+  /// harness code such as input-copy statements, which the paper's CBMC
+  /// setup pins as part of [[test]].
+  std::set<uint32_t> HardLines;
+  /// When set, runs the shadow concrete execution seeded with this input.
+  std::optional<InputVector> ConcreteInputs;
+};
+
+/// Unrolls \p Prog starting at \p Entry. \p Prog must have passed Sema.
+/// \returns the trace IR; never fails for well-typed programs (resource
+/// bounds are enforced through unwinding/inlining assumptions).
+UnrolledProgram unrollProgram(const Program &Prog, const std::string &Entry,
+                              const UnrollOptions &Opts = {});
+
+} // namespace bugassist
+
+#endif // BUGASSIST_BMC_UNROLLER_H

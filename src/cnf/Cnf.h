@@ -1,0 +1,111 @@
+//===- Cnf.h - Grouped CNF formulas -----------------------------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CnfFormula is the exchange format between the BMC encoder and the
+/// (Max)SAT solvers. It supports the paper's *clause grouping* scheme
+/// (Section 3.4): clauses born from the same program statement share a
+/// ClauseGroup whose selector variable lambda is disjoined (negated) into
+/// each of them, so a single soft unit clause (lambda) enables or disables
+/// the whole statement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_CNF_CNF_H
+#define BUGASSIST_CNF_CNF_H
+
+#include "cnf/Lit.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bugassist {
+
+/// Identifies one clause group (one program statement / source line).
+using GroupId = int32_t;
+
+constexpr GroupId NoGroup = -1;
+
+/// Metadata for a clause group: its selector variable, the source line it
+/// maps back to, an optional label, and the soft weight used by the
+/// weighted loop-diagnosis extension (paper Eq. 3).
+struct ClauseGroup {
+  GroupId Id = NoGroup;
+  Var Selector = NullVar;
+  uint32_t Line = 0;
+  std::string Label;
+  uint64_t Weight = 1;
+  /// Loop-unwinding index this group's clauses came from (0 = not in a
+  /// loop / first unwinding); used for per-iteration diagnosis.
+  uint32_t Unwinding = 0;
+};
+
+/// A CNF formula with hard clauses, grouped soft selectors, and fresh
+/// variable management.
+///
+/// Invariants:
+///  * every literal in every clause refers to a variable < numVars();
+///  * group selectors are ordinary variables of this formula;
+///  * hard clauses added through addGroupedClause carry the group's
+///    (~selector) guard literal.
+class CnfFormula {
+public:
+  /// Allocates a fresh variable.
+  Var newVar() { return NumVars++; }
+
+  /// Allocates \p N fresh variables and returns the first.
+  Var newVars(unsigned N) {
+    Var First = NumVars;
+    NumVars += N;
+    return First;
+  }
+
+  int numVars() const { return NumVars; }
+  size_t numClauses() const { return Hard.size(); }
+  size_t numGroups() const { return Groups.size(); }
+
+  /// Adds a hard (always enforced) clause.
+  void addClause(Clause C);
+  void addClause(Lit A) { addClause(Clause{A}); }
+  void addClause(Lit A, Lit B) { addClause(Clause{A, B}); }
+  void addClause(Lit A, Lit B, Lit C) { addClause(Clause{A, B, C}); }
+
+  /// Creates a new clause group with a fresh selector variable.
+  GroupId newGroup(uint32_t Line, std::string Label = "", uint64_t Weight = 1,
+                   uint32_t Unwinding = 0);
+
+  /// Adds a clause guarded by \p Group's selector: the stored clause is
+  /// (~selector \/ C). Asserting the selector enforces C; unasserting it
+  /// "removes the statement" (paper Section 3.4).
+  void addGroupedClause(GroupId Group, Clause C);
+
+  const ClauseGroup &group(GroupId Id) const { return Groups[Id]; }
+  ClauseGroup &group(GroupId Id) { return Groups[Id]; }
+  const std::vector<ClauseGroup> &groups() const { return Groups; }
+  const std::vector<Clause> &hardClauses() const { return Hard; }
+
+  /// \returns the selector literal (positive) of \p Group; the soft unit
+  /// clauses of the paper's TF2 are exactly these.
+  Lit selectorLit(GroupId Group) const {
+    return mkLit(Groups[Group].Selector);
+  }
+
+  /// Looks up the group owning \p Selector, or NoGroup.
+  GroupId groupOfSelector(Var Selector) const;
+
+  /// Total number of literal occurrences across hard clauses.
+  size_t literalCount() const;
+
+private:
+  Var NumVars = 0;
+  std::vector<Clause> Hard;
+  std::vector<ClauseGroup> Groups;
+};
+
+} // namespace bugassist
+
+#endif // BUGASSIST_CNF_CNF_H

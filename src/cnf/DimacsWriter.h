@@ -1,0 +1,35 @@
+//===- DimacsWriter.h - DIMACS / WCNF serialization -------------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes CnfFormula instances to the standard DIMACS CNF format and to
+/// the (weighted) partial MaxSAT WCNF format, so instances can be cross-
+/// checked against external solvers. The WCNF writer emits the paper's
+/// encoding directly: TF1 clauses (grouped, selector-guarded) are hard; the
+/// unit selector clauses of TF2 are soft with their group weights.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_CNF_DIMACSWRITER_H
+#define BUGASSIST_CNF_DIMACSWRITER_H
+
+#include "cnf/Cnf.h"
+
+#include <string>
+
+namespace bugassist {
+
+/// Renders \p F as a DIMACS "p cnf" instance (hard clauses only).
+std::string writeDimacs(const CnfFormula &F);
+
+/// Renders \p F as a classic "p wcnf" instance: every hard clause gets the
+/// top weight, every group's selector becomes a soft unit clause with the
+/// group's weight. Top = 1 + sum of soft weights.
+std::string writeWcnf(const CnfFormula &F);
+
+} // namespace bugassist
+
+#endif // BUGASSIST_CNF_DIMACSWRITER_H

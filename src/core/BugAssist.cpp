@@ -1,0 +1,137 @@
+//===- BugAssist.cpp - Error localization via MaxSAT -----------------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BugAssist.h"
+
+#include "bmc/Encoder.h"
+#include "sat/Solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace bugassist;
+
+LocalizationReport bugassist::enumerateCoMSSes(MaxSatInstance Inst,
+                                               const CnfFormula &F,
+                                               const LocalizeOptions &Opts) {
+  LocalizationReport Report;
+  assert(Inst.Soft.size() == F.numGroups() &&
+         "soft clauses must mirror clause groups");
+
+  std::set<uint32_t> AllLines;
+
+  // Algorithm 1, lines 7-14.
+  while (Report.Diagnoses.size() < Opts.MaxDiagnoses) {
+    MaxSatResult R = Opts.Weighted ? solveLinear(Inst, Opts.ConflictBudget)
+                                   : solveFuMalik(Inst, Opts.ConflictBudget);
+    Report.SatCalls += R.SatCalls;
+    if (R.Status == MaxSatStatus::HardUnsat) {
+      Report.Exhausted = true; // "No more suspects"
+      break;
+    }
+    if (R.Status != MaxSatStatus::Optimum)
+      break; // budget exhausted
+    if (R.FalsifiedSoft.empty()) {
+      // The formula is satisfiable without removing anything: the test is
+      // not failing under this spec.
+      Report.Exhausted = true;
+      break;
+    }
+
+    // CoMSS -> diagnosis. Soft index == group id (the instance never
+    // drops soft clauses; see below).
+    Diagnosis D;
+    D.Cost = R.Cost;
+    Clause Blocking; // beta = (lambda_1 \/ ... \/ lambda_k), hard
+    for (size_t SoftIdx : R.FalsifiedSoft) {
+      const ClauseGroup &CG = F.group(static_cast<GroupId>(SoftIdx));
+      D.Lines.push_back(CG.Line);
+      D.Unwindings.push_back(CG.Unwinding);
+      AllLines.insert(CG.Line);
+      Blocking.push_back(mkLit(CG.Selector));
+    }
+    // Sort lines (with parallel unwindings) for stable output.
+    std::vector<size_t> Order(D.Lines.size());
+    for (size_t I = 0; I < Order.size(); ++I)
+      Order[I] = I;
+    std::sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+      return std::make_pair(D.Lines[A], D.Unwindings[A]) <
+             std::make_pair(D.Lines[B], D.Unwindings[B]);
+    });
+    Diagnosis Sorted;
+    Sorted.Cost = D.Cost;
+    for (size_t I : Order) {
+      Sorted.Lines.push_back(D.Lines[I]);
+      Sorted.Unwindings.push_back(D.Unwindings[I]);
+    }
+    Report.Diagnoses.push_back(std::move(Sorted));
+
+    // Phi_H := Phi_H + beta (Algorithm 1, line 14). Deviation from the
+    // paper's "Phi_S := Phi_S \ beta": the selectors STAY soft. Removing
+    // them would let later rounds disable those statements at zero cost,
+    // silently bundling earlier diagnoses into new "CoMSSes" that look
+    // smaller than they are. Keeping them soft preserves the paper's
+    // intent ("other combinations of these locations are still allowed")
+    // with honest costs; the hard beta still bans the reported CoMSS and
+    // all of its supersets.
+    Inst.Hard.push_back(std::move(Blocking));
+  }
+
+  Report.AllLines.assign(AllLines.begin(), AllLines.end());
+  return Report;
+}
+
+LocalizationReport bugassist::localizeFault(const TraceFormula &TF,
+                                            const InputVector &FailingTest,
+                                            const Spec &S,
+                                            const LocalizeOptions &Opts) {
+  // Phi_H, Phi_S (Algorithm 1, lines 5-6). Soft clause i is the unit
+  // selector of clause group i, so CoMSS indexes map straight to groups.
+  return enumerateCoMSSes(TF.localizationInstance(FailingTest, S),
+                          TF.encoded().Formula, Opts);
+}
+
+bool bugassist::isValidCorrection(const TraceFormula &TF,
+                                  const InputVector &FailingTest,
+                                  const Spec &S,
+                                  const std::vector<uint32_t> &Lines,
+                                  uint64_t ConflictBudget) {
+  MaxSatInstance Inst = TF.localizationInstance(FailingTest, S);
+  const CnfFormula &F = TF.encoded().Formula;
+  Solver Solve;
+  Solve.ensureVars(Inst.NumVars);
+  for (const Clause &C : Inst.Hard)
+    if (!Solve.addClause(C))
+      return false;
+  bool Ok = true;
+  for (const ClauseGroup &G : F.groups()) {
+    bool Off = std::find(Lines.begin(), Lines.end(), G.Line) != Lines.end();
+    Ok = Ok && Solve.addClause({mkLit(G.Selector, /*Negated=*/Off)});
+  }
+  if (!Ok)
+    return false;
+  if (ConflictBudget)
+    Solve.setConflictBudget(ConflictBudget);
+  return Solve.solve() == LBool::True;
+}
+
+BugAssistDriver::BugAssistDriver(const Program &Prog, std::string Entry,
+                                 UnrollOptions UOpts, EncodeOptions EOpts)
+    : UP(unrollProgram(Prog, Entry, UOpts)),
+      TF((EOpts.BitWidth = UOpts.BitWidth, encodeProgram(UP, EOpts))) {}
+
+std::optional<InputVector>
+BugAssistDriver::findCounterexample(const Spec &S, uint64_t ConflictBudget) {
+  bool Decided = false;
+  return TF.findCounterexample(S, Decided, ConflictBudget);
+}
+
+LocalizationReport BugAssistDriver::localize(const InputVector &FailingTest,
+                                             const Spec &S,
+                                             const LocalizeOptions &Opts) const {
+  return localizeFault(TF, FailingTest, S, Opts);
+}

@@ -1,0 +1,122 @@
+//===- BugAssist.h - Error localization via MaxSAT --------------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Algorithm 1 and the surrounding driver: given a program, a
+/// failing test, and a specification, enumerate minimal sets of source
+/// lines (CoMSSes of the partial MaxSAT instance) whose replacement can
+/// make the failure infeasible.
+///
+/// Typical use:
+/// \code
+///   BugAssistDriver Driver(Prog, "main");
+///   auto Failing = Driver.findCounterexample(Spec{});      // Section 4.1
+///   auto Report = Driver.localize(*Failing, Spec{});       // Algorithm 1
+///   for (const Diagnosis &D : Report.Diagnoses)
+///     ... D.Lines ...
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_CORE_BUGASSIST_H
+#define BUGASSIST_CORE_BUGASSIST_H
+
+#include "bmc/TraceFormula.h"
+#include "bmc/Unroller.h"
+#include "interp/Interpreter.h"
+#include "lang/Ast.h"
+#include "maxsat/MaxSat.h"
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace bugassist {
+
+/// One CoMSS mapped back to source: a minimal set of lines such that
+/// simultaneously changing all of them can eliminate the failure.
+struct Diagnosis {
+  /// Source lines (sorted, unique).
+  std::vector<uint32_t> Lines;
+  /// Loop unwinding indexes per group when per-iteration grouping is on
+  /// (parallel to Lines; 0 = not iteration-specific).
+  std::vector<uint32_t> Unwindings;
+  /// Total soft weight of the CoMSS.
+  uint64_t Cost = 0;
+};
+
+/// Result of running Algorithm 1 to exhaustion (or to MaxDiagnoses).
+struct LocalizationReport {
+  std::vector<Diagnosis> Diagnoses;
+  /// Union of all reported lines, sorted -- the paper's "potential bug
+  /// locations" used for the SizeReduc% metric of Table 1.
+  std::vector<uint32_t> AllLines;
+  /// True when enumeration stopped because the hard part became UNSAT
+  /// ("No more suspects") rather than hitting MaxDiagnoses.
+  bool Exhausted = false;
+  uint64_t SatCalls = 0;
+};
+
+struct LocalizeOptions {
+  /// Stop after this many CoMSSes (the paper iterates interactively).
+  size_t MaxDiagnoses = 16;
+  /// Use the weighted linear-search solver instead of Fu-Malik.
+  bool Weighted = false;
+  /// Per-SAT-call conflict budget (0 = unlimited).
+  uint64_t ConflictBudget = 0;
+};
+
+/// Algorithm 1's enumeration loop on a prebuilt instance whose soft
+/// clauses mirror \p F's clause groups (soft index == group id).
+LocalizationReport enumerateCoMSSes(MaxSatInstance Inst, const CnfFormula &F,
+                                    const LocalizeOptions &Opts = {});
+
+/// Algorithm 1 on a prebuilt trace formula: enumerates CoMSSes of
+/// (Phi_H, Phi_S), blocking each one with a hard clause (lambda_1 \/ ... \/
+/// lambda_k) and removing its selectors from the soft set.
+LocalizationReport localizeFault(const TraceFormula &TF,
+                                 const InputVector &FailingTest,
+                                 const Spec &S,
+                                 const LocalizeOptions &Opts = {});
+
+/// Decision procedure behind the paper's definition of a fix location:
+/// \returns true iff replacing exactly the statements on \p Lines can make
+/// the failing execution satisfy the spec (i.e., the trace formula with
+/// those groups' selectors off and all others on is satisfiable). One SAT
+/// call; deterministic, unlike enumeration order. \p ConflictBudget
+/// bounds the call (0 = unlimited); exhaustion counts as "not valid".
+bool isValidCorrection(const TraceFormula &TF, const InputVector &FailingTest,
+                       const Spec &S, const std::vector<uint32_t> &Lines,
+                       uint64_t ConflictBudget = 0);
+
+/// End-to-end driver owning the unroll + encode pipeline for one program.
+class BugAssistDriver {
+public:
+  /// \p Prog must have passed Sema and outlive the driver.
+  BugAssistDriver(const Program &Prog, std::string Entry,
+                  UnrollOptions UOpts = {}, EncodeOptions EOpts = {});
+
+  const TraceFormula &formula() const { return TF; }
+  const UnrolledProgram &unrolled() const { return UP; }
+
+  /// Bounded model checking for a failing input (Section 4.1). \returns
+  /// std::nullopt when no violation exists within bounds (or on budget).
+  std::optional<InputVector> findCounterexample(const Spec &S,
+                                                uint64_t ConflictBudget = 0);
+
+  /// Algorithm 1 for one failing test.
+  LocalizationReport localize(const InputVector &FailingTest, const Spec &S,
+                              const LocalizeOptions &Opts = {}) const;
+
+private:
+  UnrolledProgram UP;
+  TraceFormula TF;
+};
+
+} // namespace bugassist
+
+#endif // BUGASSIST_CORE_BUGASSIST_H

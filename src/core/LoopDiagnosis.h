@@ -1,0 +1,56 @@
+//===- LoopDiagnosis.h - Faulty loop-iteration diagnosis --------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 5.2: localize with one selector per (statement, unwinding) and
+/// soft weights alpha + eta - kappa (Eq. 3), so the weighted MaxSAT solver
+/// pinpoints which loop iteration's constraints must change to remove the
+/// failure. Used by the Program 3 (squareroot) experiment of Section 6.4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_CORE_LOOPDIAGNOSIS_H
+#define BUGASSIST_CORE_LOOPDIAGNOSIS_H
+
+#include "core/BugAssist.h"
+
+namespace bugassist {
+
+/// One (line, iteration) suspect from the weighted localization.
+struct IterationSuspect {
+  uint32_t Line = 0;
+  uint32_t Iteration = 0; ///< unwinding index kappa (1-based; 0 = no loop)
+};
+
+struct LoopDiagnosisResult {
+  /// Suspects of the first (optimal) CoMSS, in report order.
+  std::vector<IterationSuspect> First;
+  /// All suspects across enumerated CoMSSes.
+  std::vector<IterationSuspect> All;
+  LocalizationReport Report;
+};
+
+struct LoopDiagnosisOptions {
+  UnrollOptions Unroll;
+  /// alpha of Eq. 3.
+  uint64_t BaseWeight = 1;
+  LocalizeOptions Localize;
+  /// Restrict the diagnosis to loop iterations: every non-loop statement
+  /// is pinned enabled, so the CoMSSes answer exactly "which iteration's
+  /// constraints must change" (the Section 6.4 question).
+  bool RestrictToLoopGroups = false;
+};
+
+/// Runs the weighted per-iteration localization on \p FailingTest.
+LoopDiagnosisResult diagnoseLoopFault(const Program &Prog,
+                                      const std::string &Entry,
+                                      const InputVector &FailingTest,
+                                      const Spec &S,
+                                      LoopDiagnosisOptions Opts = {});
+
+} // namespace bugassist
+
+#endif // BUGASSIST_CORE_LOOPDIAGNOSIS_H

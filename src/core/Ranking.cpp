@@ -1,0 +1,50 @@
+//===- Ranking.cpp - Multi-run suspect ranking -----------------------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Ranking.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace bugassist;
+
+RankingReport bugassist::rankSuspects(const TraceFormula &TF,
+                                      const std::vector<InputVector> &FailingTests,
+                                      const Spec &BaseSpec,
+                                      const std::vector<int64_t> *GoldenPerTest,
+                                      const LocalizeOptions &Opts) {
+  RankingReport Report;
+  Report.Runs = FailingTests.size();
+  std::map<uint32_t, size_t> Hits;
+
+  for (size_t I = 0; I < FailingTests.size(); ++I) {
+    Spec S = BaseSpec;
+    if (GoldenPerTest)
+      S.GoldenReturn = (*GoldenPerTest)[I];
+    LocalizationReport R = localizeFault(TF, FailingTests[I], S, Opts);
+    Report.SatCalls += R.SatCalls;
+    for (uint32_t Line : R.AllLines)
+      ++Hits[Line];
+  }
+
+  for (const auto &[Line, Count] : Hits) {
+    RankedLine RL;
+    RL.Line = Line;
+    RL.Hits = Count;
+    RL.Frequency = Report.Runs == 0
+                       ? 0.0
+                       : static_cast<double>(Count) /
+                             static_cast<double>(Report.Runs);
+    Report.Ranked.push_back(RL);
+  }
+  std::sort(Report.Ranked.begin(), Report.Ranked.end(),
+            [](const RankedLine &A, const RankedLine &B) {
+              if (A.Hits != B.Hits)
+                return A.Hits > B.Hits;
+              return A.Line < B.Line;
+            });
+  return Report;
+}

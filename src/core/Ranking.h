@@ -1,0 +1,50 @@
+//===- Ranking.h - Multi-run suspect ranking --------------------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 4.3: run the localization over multiple failing tests and rank
+/// suspect lines by how often they are reported. Lines reported in more
+/// than half the runs were the paper's reliability criterion for versions
+/// (like TCAS v12/v28/v35) where single runs are noisy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_CORE_RANKING_H
+#define BUGASSIST_CORE_RANKING_H
+
+#include "core/BugAssist.h"
+
+#include <vector>
+
+namespace bugassist {
+
+/// One line with its report frequency across runs.
+struct RankedLine {
+  uint32_t Line = 0;
+  /// Number of failing-test runs whose report includes the line.
+  size_t Hits = 0;
+  /// Hits / number of runs.
+  double Frequency = 0.0;
+};
+
+/// Aggregated multi-test localization.
+struct RankingReport {
+  std::vector<RankedLine> Ranked; ///< descending by Hits, then by line
+  size_t Runs = 0;
+  uint64_t SatCalls = 0;
+};
+
+/// Runs localizeFault once per failing test (each test gets its own golden
+/// return when \p GoldenPerTest is supplied) and ranks lines by frequency.
+RankingReport rankSuspects(const TraceFormula &TF,
+                           const std::vector<InputVector> &FailingTests,
+                           const Spec &BaseSpec,
+                           const std::vector<int64_t> *GoldenPerTest = nullptr,
+                           const LocalizeOptions &Opts = {});
+
+} // namespace bugassist
+
+#endif // BUGASSIST_CORE_RANKING_H

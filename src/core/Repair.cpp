@@ -1,0 +1,298 @@
+//===- Repair.cpp - Automated repair suggestions -----------------------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Repair.h"
+
+#include "lang/AstPrinter.h"
+#include "lang/Sema.h"
+
+#include <functional>
+#include <set>
+
+using namespace bugassist;
+
+namespace {
+
+/// Preorder walk over every expression in the program, with a running
+/// ordinal that is stable across clones (the mutator's addressing scheme).
+void forEachExpr(Program &P, const std::function<void(Expr *, size_t)> &Fn) {
+  size_t Ordinal = 0;
+  std::function<void(Expr *)> VisitExpr = [&](Expr *E) {
+    if (!E)
+      return;
+    Fn(E, Ordinal++);
+    switch (E->kind()) {
+    case Expr::ArrayIndexKind:
+      VisitExpr(cast<ArrayIndex>(E)->base());
+      VisitExpr(cast<ArrayIndex>(E)->index());
+      break;
+    case Expr::UnaryKind:
+      VisitExpr(cast<UnaryExpr>(E)->operand());
+      break;
+    case Expr::BinaryKind:
+      VisitExpr(cast<BinaryExpr>(E)->lhs());
+      VisitExpr(cast<BinaryExpr>(E)->rhs());
+      break;
+    case Expr::ConditionalKind:
+      VisitExpr(cast<ConditionalExpr>(E)->cond());
+      VisitExpr(cast<ConditionalExpr>(E)->thenExpr());
+      VisitExpr(cast<ConditionalExpr>(E)->elseExpr());
+      break;
+    case Expr::CallKind:
+      for (const auto &A : cast<CallExpr>(E)->args())
+        VisitExpr(A.get());
+      break;
+    default:
+      break;
+    }
+  };
+  std::function<void(Stmt *)> VisitStmt = [&](Stmt *S) {
+    if (!S)
+      return;
+    switch (S->kind()) {
+    case Stmt::BlockStmtKind:
+      for (const auto &Sub : cast<BlockStmt>(S)->stmts())
+        VisitStmt(Sub.get());
+      break;
+    case Stmt::DeclStmtKind:
+      VisitExpr(cast<DeclStmt>(S)->decl()->init());
+      break;
+    case Stmt::AssignStmtKind:
+      VisitExpr(cast<AssignStmt>(S)->index());
+      VisitExpr(cast<AssignStmt>(S)->value());
+      break;
+    case Stmt::IfStmtKind:
+      VisitExpr(cast<IfStmt>(S)->cond());
+      VisitStmt(cast<IfStmt>(S)->thenStmt());
+      VisitStmt(cast<IfStmt>(S)->elseStmt());
+      break;
+    case Stmt::WhileStmtKind:
+      VisitExpr(cast<WhileStmt>(S)->cond());
+      VisitStmt(cast<WhileStmt>(S)->body());
+      break;
+    case Stmt::ReturnStmtKind:
+      VisitExpr(cast<ReturnStmt>(S)->value());
+      break;
+    case Stmt::AssertStmtKind:
+      VisitExpr(cast<AssertStmt>(S)->cond());
+      break;
+    case Stmt::AssumeStmtKind:
+      VisitExpr(cast<AssumeStmt>(S)->cond());
+      break;
+    case Stmt::ExprStmtKind:
+      VisitExpr(cast<ExprStmt>(S)->expr());
+      break;
+    }
+  };
+  for (const auto &G : P.globals())
+    VisitExpr(G->init());
+  for (const auto &F : P.functions())
+    VisitStmt(F->body());
+}
+
+/// One candidate mutation, addressed by expression ordinal.
+struct Mutation {
+  size_t Ordinal = 0;
+  uint32_t Line = 0;
+  bool IsConstant = false; ///< else operator swap
+  int64_t NewConstant = 0;
+  BinaryOp NewOp = BinaryOp::Add;
+  std::string Description;
+};
+
+std::vector<BinaryOp> nearMissOps(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Lt:
+    return {BinaryOp::Le, BinaryOp::Gt, BinaryOp::Ge};
+  case BinaryOp::Le:
+    return {BinaryOp::Lt, BinaryOp::Ge, BinaryOp::Gt};
+  case BinaryOp::Gt:
+    return {BinaryOp::Ge, BinaryOp::Lt, BinaryOp::Le};
+  case BinaryOp::Ge:
+    return {BinaryOp::Gt, BinaryOp::Le, BinaryOp::Lt};
+  case BinaryOp::Eq:
+    return {BinaryOp::Ne};
+  case BinaryOp::Ne:
+    return {BinaryOp::Eq};
+  case BinaryOp::Add:
+    return {BinaryOp::Sub};
+  case BinaryOp::Sub:
+    return {BinaryOp::Add};
+  case BinaryOp::Mul:
+    return {BinaryOp::Div};
+  case BinaryOp::Div:
+    return {BinaryOp::Mul};
+  case BinaryOp::LogAnd:
+    return {BinaryOp::LogOr};
+  case BinaryOp::LogOr:
+    return {BinaryOp::LogAnd};
+  default:
+    return {};
+  }
+}
+
+void planMutationsOnLine(Program &P, uint32_t Line, const RepairOptions &Opts,
+                         std::vector<Mutation> &Plan) {
+  forEachExpr(P, [&](Expr *E, size_t Ordinal) {
+    if (E->loc().Line != Line)
+      return;
+    if (Opts.OffByOne) {
+      if (auto *IL = dyn_cast<IntLiteral>(E)) {
+        for (int64_t Delta : {+1, -1}) {
+          Mutation M;
+          M.Ordinal = Ordinal;
+          M.Line = E->loc().Line;
+          M.IsConstant = true;
+          M.NewConstant = IL->value() + Delta;
+          M.Description = "constant " + std::to_string(IL->value()) +
+                          " -> " + std::to_string(M.NewConstant);
+          Plan.push_back(std::move(M));
+        }
+      }
+    }
+    if (Opts.OperatorSwap) {
+      if (auto *BE = dyn_cast<BinaryExpr>(E)) {
+        for (BinaryOp NewOp : nearMissOps(BE->op())) {
+          Mutation M;
+          M.Ordinal = Ordinal;
+          M.Line = E->loc().Line;
+          M.NewOp = NewOp;
+          M.Description = std::string("'") + binaryOpSpelling(BE->op()) +
+                          "' -> '" + binaryOpSpelling(NewOp) + "'";
+          Plan.push_back(std::move(M));
+        }
+      }
+    }
+  });
+}
+
+/// Collects the mutations to try, visiting candidate lines in diagnosis
+/// order (Algorithm 2 iterates over BugLoc in the order CoMSSes were
+/// reported, so the most likely fix location is mutated first).
+std::vector<Mutation> planMutations(Program &P,
+                                    const std::vector<uint32_t> &OrderedLines,
+                                    const RepairOptions &Opts) {
+  std::vector<Mutation> Plan;
+  for (uint32_t Line : OrderedLines)
+    planMutationsOnLine(P, Line, Opts, Plan);
+  return Plan;
+}
+
+/// Applies \p M to a clone of \p P; returns nullptr if the mutant fails
+/// Sema (e.g. a swap created a type error).
+std::unique_ptr<Program> applyMutation(const Program &P, const Mutation &M) {
+  auto Clone = cloneProgram(P);
+  bool Applied = false;
+  forEachExpr(*Clone, [&](Expr *E, size_t Ordinal) {
+    if (Ordinal != M.Ordinal)
+      return;
+    if (M.IsConstant) {
+      if (auto *IL = dyn_cast<IntLiteral>(E)) {
+        IL->setValue(M.NewConstant);
+        Applied = true;
+      }
+    } else if (auto *BE = dyn_cast<BinaryExpr>(E)) {
+      BE->setOp(M.NewOp);
+      Applied = true;
+    }
+  });
+  if (!Applied)
+    return nullptr;
+  DiagEngine Diags;
+  if (!analyzeProgram(*Clone, Diags))
+    return nullptr;
+  return Clone;
+}
+
+} // namespace
+
+RepairResult bugassist::repairProgram(const Program &Prog,
+                                      const std::string &Entry,
+                                      const std::vector<InputVector> &FailingTests,
+                                      const Spec &S,
+                                      const std::vector<int64_t> *GoldenPerTest,
+                                      const RepairOptions &Opts) {
+  RepairResult Result;
+
+  // Step 1 (Algorithm 2, line 1): localize unless lines were given. Keep
+  // the lines in diagnosis order -- the first CoMSS is the most likely fix
+  // location and is mutated first.
+  std::vector<uint32_t> Lines = Opts.CandidateLines;
+  if (Lines.empty() && !FailingTests.empty()) {
+    BugAssistDriver Driver(Prog, Entry, Opts.Unroll);
+    Spec S0 = S;
+    if (GoldenPerTest)
+      S0.GoldenReturn = (*GoldenPerTest)[0];
+    LocalizationReport R =
+        Driver.localize(FailingTests[0], S0, Opts.Localize);
+    std::set<uint32_t> Seen;
+    for (const Diagnosis &D : R.Diagnoses)
+      for (uint32_t L : D.Lines)
+        if (Seen.insert(L).second)
+          Lines.push_back(L);
+  }
+  Result.SuspectLines = Lines;
+
+  // Step 2: plan and screen mutations.
+  std::vector<Mutation> Plan =
+      planMutations(const_cast<Program &>(Prog), Lines, Opts);
+
+  ExecOptions IOpts;
+  IOpts.BitWidth = Opts.Unroll.BitWidth;
+  IOpts.CheckArrayBounds = Opts.Unroll.CheckArrayBounds;
+  IOpts.CheckDivByZero = false; // encoder-aligned
+
+  for (const Mutation &M : Plan) {
+    if (Result.CandidatesTried >= Opts.MaxCandidates)
+      break;
+    ++Result.CandidatesTried;
+    std::unique_ptr<Program> Mutant = applyMutation(Prog, M);
+    if (!Mutant)
+      continue;
+
+    // Screen: every failing test must now satisfy the spec concretely.
+    Interpreter Interp(*Mutant, IOpts);
+    bool AllPass = true;
+    for (size_t T = 0; T < FailingTests.size() && AllPass; ++T) {
+      ExecResult R = Interp.run(Entry, FailingTests[T]);
+      if (R.Status != ExecStatus::Ok) {
+        AllPass = false;
+        break;
+      }
+      if (GoldenPerTest && R.ReturnValue != (*GoldenPerTest)[T])
+        AllPass = false;
+      else if (!GoldenPerTest && S.GoldenReturn &&
+               R.ReturnValue != *S.GoldenReturn)
+        AllPass = false;
+    }
+    if (!AllPass)
+      continue;
+
+    // Verify: bounded model checking must find no violation (Algorithm 2,
+    // lines 6-9). With per-test goldens the global spec is obligations
+    // only; the goldens were already screened above.
+    Spec VerifySpec = S;
+    if (GoldenPerTest)
+      VerifySpec.GoldenReturn = std::nullopt;
+    if (VerifySpec.CheckObligations || VerifySpec.GoldenReturn) {
+      UnrolledProgram UP = unrollProgram(*Mutant, Entry, Opts.Unroll);
+      EncodeOptions EO;
+      EO.BitWidth = Opts.Unroll.BitWidth;
+      TraceFormula TF(encodeProgram(UP, EO));
+      bool Decided = false;
+      auto Cex = TF.findCounterexample(VerifySpec, Decided, Opts.VerifyBudget);
+      if (Cex.has_value() || !Decided)
+        continue;
+    }
+
+    Result.Found = true;
+    Result.Suggestion.Line = M.Line;
+    Result.Suggestion.Description = M.Description;
+    Result.Suggestion.FixedProgram = std::move(Mutant);
+    return Result;
+  }
+  return Result;
+}

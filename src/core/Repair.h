@@ -1,0 +1,74 @@
+//===- Repair.h - Automated repair suggestions ------------------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 5.1 / Algorithm 2: after localization narrows the fault to a few
+/// lines, mutate those lines with common-error fixes and keep any mutant
+/// whose failure disappears:
+///  * off-by-one: every constant kappa on a suspect line tried as kappa+1
+///    and kappa-1 (the paper's headline repair, Section 6.3);
+///  * operator replacement: comparison / arithmetic operator swapped for a
+///    near miss (< vs <=, + vs -, ...), the "operator errors" extension the
+///    paper sketches in Section 2.
+///
+/// A candidate is accepted when (a) every supplied failing test now passes
+/// in the interpreter and (b) bounded model checking finds no new violation
+/// within the encoding bounds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_CORE_REPAIR_H
+#define BUGASSIST_CORE_REPAIR_H
+
+#include "core/BugAssist.h"
+
+#include <memory>
+#include <string>
+
+namespace bugassist {
+
+/// What kinds of mutations to attempt.
+struct RepairOptions {
+  bool OffByOne = true;
+  bool OperatorSwap = true;
+  /// Lines to mutate; when empty, localization runs first and its report
+  /// supplies the lines.
+  std::vector<uint32_t> CandidateLines;
+  LocalizeOptions Localize;
+  UnrollOptions Unroll;
+  /// Conflict budget for the BMC re-verification of each candidate.
+  uint64_t VerifyBudget = 200000;
+  /// Max candidate mutants to try.
+  size_t MaxCandidates = 256;
+};
+
+/// One accepted repair.
+struct RepairSuggestion {
+  uint32_t Line = 0;
+  std::string Description; ///< e.g. "constant 15 -> 14" or "'<' -> '<='"
+  std::unique_ptr<Program> FixedProgram;
+};
+
+struct RepairResult {
+  bool Found = false;
+  RepairSuggestion Suggestion;
+  size_t CandidatesTried = 0;
+  /// Lines localization proposed (useful when no repair validated).
+  std::vector<uint32_t> SuspectLines;
+};
+
+/// Algorithm 2 generalized to off-by-one and operator mutations.
+/// \p FailingTests drive both localization and candidate screening; the
+/// spec's GoldenReturn (if any) applies per test via \p GoldenPerTest.
+RepairResult repairProgram(const Program &Prog, const std::string &Entry,
+                           const std::vector<InputVector> &FailingTests,
+                           const Spec &S,
+                           const std::vector<int64_t> *GoldenPerTest = nullptr,
+                           const RepairOptions &Opts = {});
+
+} // namespace bugassist
+
+#endif // BUGASSIST_CORE_REPAIR_H

@@ -1,0 +1,449 @@
+//===- Interpreter.cpp - Concrete mini-C execution -----------------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include <cassert>
+
+using namespace bugassist;
+
+int64_t bugassist::wrapToWidth(int64_t V, int BitWidth) {
+  assert(BitWidth >= 1 && BitWidth <= 64 && "unsupported width");
+  if (BitWidth == 64)
+    return V;
+  uint64_t Mask = (1ull << BitWidth) - 1;
+  uint64_t U = static_cast<uint64_t>(V) & Mask;
+  uint64_t SignBit = 1ull << (BitWidth - 1);
+  if (U & SignBit)
+    U |= ~Mask; // sign extend
+  return static_cast<int64_t>(U);
+}
+
+int64_t bugassist::evalUnaryOp(UnaryOp Op, int64_t V, int BitWidth) {
+  switch (Op) {
+  case UnaryOp::Neg:
+    return wrapToWidth(-V, BitWidth);
+  case UnaryOp::BitNot:
+    return wrapToWidth(~V, BitWidth);
+  case UnaryOp::LogNot:
+    return V == 0 ? 1 : 0;
+  }
+  return 0;
+}
+
+int64_t bugassist::evalBinaryOp(BinaryOp Op, int64_t Lhs, int64_t Rhs,
+                                int BitWidth, bool &DivByZero) {
+  DivByZero = false;
+  switch (Op) {
+  case BinaryOp::Add:
+    return wrapToWidth(Lhs + Rhs, BitWidth);
+  case BinaryOp::Sub:
+    return wrapToWidth(Lhs - Rhs, BitWidth);
+  case BinaryOp::Mul:
+    // Multiply in unsigned 64-bit to avoid UB, then wrap.
+    return wrapToWidth(static_cast<int64_t>(static_cast<uint64_t>(Lhs) *
+                                            static_cast<uint64_t>(Rhs)),
+                       BitWidth);
+  case BinaryOp::Div:
+    if (Rhs == 0) {
+      DivByZero = true;
+      return 0;
+    }
+    // INT_MIN / -1 wraps (two's complement), matching the circuit.
+    if (Rhs == -1)
+      return wrapToWidth(-Lhs, BitWidth);
+    return wrapToWidth(Lhs / Rhs, BitWidth);
+  case BinaryOp::Rem:
+    if (Rhs == 0) {
+      DivByZero = true;
+      return 0;
+    }
+    if (Rhs == -1)
+      return 0;
+    return wrapToWidth(Lhs % Rhs, BitWidth);
+  case BinaryOp::Shl:
+    if (Rhs < 0 || Rhs >= BitWidth)
+      return 0;
+    return wrapToWidth(
+        static_cast<int64_t>(static_cast<uint64_t>(Lhs) << Rhs), BitWidth);
+  case BinaryOp::Shr:
+    // Arithmetic shift; out-of-range amounts fill with the sign bit.
+    if (Rhs < 0 || Rhs >= BitWidth)
+      return Lhs < 0 ? -1 : 0;
+    return wrapToWidth(Lhs >> Rhs, BitWidth);
+  case BinaryOp::Lt:
+    return Lhs < Rhs;
+  case BinaryOp::Le:
+    return Lhs <= Rhs;
+  case BinaryOp::Gt:
+    return Lhs > Rhs;
+  case BinaryOp::Ge:
+    return Lhs >= Rhs;
+  case BinaryOp::Eq:
+    return Lhs == Rhs;
+  case BinaryOp::Ne:
+    return Lhs != Rhs;
+  case BinaryOp::BitAnd:
+    return wrapToWidth(Lhs & Rhs, BitWidth);
+  case BinaryOp::BitOr:
+    return wrapToWidth(Lhs | Rhs, BitWidth);
+  case BinaryOp::BitXor:
+    return wrapToWidth(Lhs ^ Rhs, BitWidth);
+  case BinaryOp::LogAnd:
+    return (Lhs != 0 && Rhs != 0) ? 1 : 0;
+  case BinaryOp::LogOr:
+    return (Lhs != 0 || Rhs != 0) ? 1 : 0;
+  }
+  return 0;
+}
+
+namespace {
+
+/// A runtime storage cell: a scalar or an array.
+struct Cell {
+  bool IsArray = false;
+  int64_t Scalar = 0;
+  std::vector<int64_t> Array;
+};
+
+/// Execution engine; one instance per run().
+class Machine {
+public:
+  Machine(const Program &Prog, const ExecOptions &Opts)
+      : Prog(Prog), Opts(Opts) {}
+
+  ExecResult run(const std::string &Entry, const InputVector &Inputs);
+
+private:
+  // Frames map declarations to storage. Array parameters alias the
+  // caller's cell (C semantics), so cells are referenced by pointer.
+  using Frame = std::map<const VarDecl *, Cell *>;
+
+  struct Signal {
+    enum Kind { None, Returned, Halted } K = None;
+  };
+
+  Cell *allocCell() {
+    CellStorage.push_back(std::make_unique<Cell>());
+    return CellStorage.back().get();
+  }
+
+  bool fuel(SourceLoc Loc) {
+    if (++Result.Steps > Opts.MaxSteps) {
+      halt(ExecStatus::StepLimit, Loc);
+      return false;
+    }
+    return true;
+  }
+
+  void halt(ExecStatus St, SourceLoc Loc) {
+    if (Halted)
+      return;
+    Halted = true;
+    Result.Status = St;
+    Result.FailLoc = Loc;
+  }
+
+  Cell *lookup(Frame &F, const VarDecl *D) {
+    auto It = F.find(D);
+    if (It != F.end())
+      return It->second;
+    auto GIt = GlobalCells.find(D);
+    assert(GIt != GlobalCells.end() && "sema guarantees resolution");
+    return GIt->second;
+  }
+
+  int64_t evalExpr(const Expr *E, Frame &F);
+  int64_t callFunction(const FunctionDecl *Fn,
+                       const std::vector<const Expr *> &Args, Frame &Caller,
+                       SourceLoc Loc);
+  Signal execStmt(const Stmt *S, Frame &F, Cell *RetCell);
+
+  const Program &Prog;
+  const ExecOptions &Opts;
+  std::map<const VarDecl *, Cell *> GlobalCells;
+  std::vector<std::unique_ptr<Cell>> CellStorage;
+  ExecResult Result;
+  bool Halted = false;
+  int CallDepth = 0;
+};
+
+int64_t Machine::evalExpr(const Expr *E, Frame &F) {
+  if (Halted || !fuel(E->loc()))
+    return 0;
+  switch (E->kind()) {
+  case Expr::IntLiteralKind:
+    return wrapToWidth(cast<IntLiteral>(E)->value(), Opts.BitWidth);
+  case Expr::BoolLiteralKind:
+    return cast<BoolLiteral>(E)->value() ? 1 : 0;
+  case Expr::VarRefKind: {
+    Cell *C = lookup(F, cast<VarRef>(E)->decl());
+    assert(!C->IsArray && "sema rejects bare array reads");
+    return C->Scalar;
+  }
+  case Expr::ArrayIndexKind: {
+    const auto *A = cast<ArrayIndex>(E);
+    const auto *Base = cast<VarRef>(A->base());
+    Cell *C = lookup(F, Base->decl());
+    int64_t Idx = evalExpr(A->index(), F);
+    if (Halted)
+      return 0;
+    if (Idx < 0 || Idx >= static_cast<int64_t>(C->Array.size())) {
+      if (Opts.CheckArrayBounds)
+        halt(ExecStatus::BoundsFail, A->loc());
+      return 0; // encoder-aligned OOB read value
+    }
+    return C->Array[static_cast<size_t>(Idx)];
+  }
+  case Expr::UnaryKind: {
+    const auto *U = cast<UnaryExpr>(E);
+    int64_t V = evalExpr(U->operand(), F);
+    return Halted ? 0 : evalUnaryOp(U->op(), V, Opts.BitWidth);
+  }
+  case Expr::BinaryKind: {
+    // Mini-C has eager (non-short-circuit) logical operators; see
+    // Interpreter.h.
+    const auto *B = cast<BinaryExpr>(E);
+    int64_t L = evalExpr(B->lhs(), F);
+    int64_t R = evalExpr(B->rhs(), F);
+    if (Halted)
+      return 0;
+    bool DivZero = false;
+    int64_t V = evalBinaryOp(B->op(), L, R, Opts.BitWidth, DivZero);
+    if (DivZero && Opts.CheckDivByZero)
+      halt(ExecStatus::DivByZero, B->loc());
+    return V;
+  }
+  case Expr::ConditionalKind: {
+    // Eager evaluation of both arms (matches the encoder's mux circuit).
+    const auto *C = cast<ConditionalExpr>(E);
+    int64_t Cond = evalExpr(C->cond(), F);
+    int64_t T = evalExpr(C->thenExpr(), F);
+    int64_t El = evalExpr(C->elseExpr(), F);
+    return Halted ? 0 : (Cond != 0 ? T : El);
+  }
+  case Expr::CallKind: {
+    const auto *C = cast<CallExpr>(E);
+    std::vector<const Expr *> Args;
+    for (const auto &A : C->args())
+      Args.push_back(A.get());
+    return callFunction(C->decl(), Args, F, C->loc());
+  }
+  }
+  return 0;
+}
+
+int64_t Machine::callFunction(const FunctionDecl *Fn,
+                              const std::vector<const Expr *> &Args,
+                              Frame &Caller, SourceLoc Loc) {
+  if (Halted)
+    return 0;
+  if (++CallDepth > 4096) {
+    halt(ExecStatus::StepLimit, Loc);
+    --CallDepth;
+    return 0;
+  }
+  Frame Callee;
+  for (size_t I = 0; I < Fn->params().size(); ++I) {
+    const VarDecl *P = Fn->params()[I].get();
+    if (P->type().isArray()) {
+      // By-reference aliasing of the caller's array cell.
+      const auto *VR = cast<VarRef>(Args[I]);
+      Callee[P] = lookup(Caller, VR->decl());
+      continue;
+    }
+    Cell *C = allocCell();
+    C->Scalar = evalExpr(Args[I], Caller);
+    Callee[P] = C;
+  }
+  Cell *RetCell = allocCell();
+  RetCell->Scalar = 0; // functions falling off the end return 0/false
+  if (!Halted)
+    execStmt(Fn->body(), Callee, RetCell);
+  --CallDepth;
+  return Halted ? 0 : RetCell->Scalar;
+}
+
+Machine::Signal Machine::execStmt(const Stmt *S, Frame &F, Cell *RetCell) {
+  if (Halted || !fuel(S->loc()))
+    return {Signal::Halted};
+  switch (S->kind()) {
+  case Stmt::BlockStmtKind: {
+    for (const auto &Sub : cast<BlockStmt>(S)->stmts()) {
+      Signal Sig = execStmt(Sub.get(), F, RetCell);
+      if (Sig.K != Signal::None)
+        return Sig;
+    }
+    return {};
+  }
+  case Stmt::DeclStmtKind: {
+    const VarDecl *D = cast<DeclStmt>(S)->decl();
+    Cell *C = allocCell();
+    if (D->type().isArray()) {
+      C->IsArray = true;
+      C->Array.assign(static_cast<size_t>(D->type().ArraySize), 0);
+    } else if (D->init()) {
+      C->Scalar = evalExpr(D->init(), F);
+    }
+    F[D] = C;
+    return Halted ? Signal{Signal::Halted} : Signal{};
+  }
+  case Stmt::AssignStmtKind: {
+    const auto *A = cast<AssignStmt>(S);
+    Cell *C = lookup(F, A->targetDecl());
+    int64_t V = evalExpr(A->value(), F);
+    if (Halted)
+      return {Signal::Halted};
+    if (A->index()) {
+      int64_t Idx = evalExpr(A->index(), F);
+      if (Halted)
+        return {Signal::Halted};
+      if (Idx < 0 || Idx >= static_cast<int64_t>(C->Array.size())) {
+        if (Opts.CheckArrayBounds) {
+          halt(ExecStatus::BoundsFail, A->loc());
+          return {Signal::Halted};
+        }
+        return {}; // encoder-aligned OOB write: dropped
+      }
+      C->Array[static_cast<size_t>(Idx)] = V;
+      return {};
+    }
+    C->Scalar = V;
+    return {};
+  }
+  case Stmt::IfStmtKind: {
+    const auto *I = cast<IfStmt>(S);
+    int64_t C = evalExpr(I->cond(), F);
+    if (Halted)
+      return {Signal::Halted};
+    if (C != 0)
+      return execStmt(I->thenStmt(), F, RetCell);
+    if (I->elseStmt())
+      return execStmt(I->elseStmt(), F, RetCell);
+    return {};
+  }
+  case Stmt::WhileStmtKind: {
+    const auto *W = cast<WhileStmt>(S);
+    for (;;) {
+      int64_t C = evalExpr(W->cond(), F);
+      if (Halted)
+        return {Signal::Halted};
+      if (C == 0)
+        return {};
+      Signal Sig = execStmt(W->body(), F, RetCell);
+      if (Sig.K != Signal::None)
+        return Sig;
+    }
+  }
+  case Stmt::ReturnStmtKind: {
+    const auto *R = cast<ReturnStmt>(S);
+    if (R->value()) {
+      RetCell->Scalar = evalExpr(R->value(), F);
+      if (Halted)
+        return {Signal::Halted};
+    }
+    return {Signal::Returned};
+  }
+  case Stmt::AssertStmtKind: {
+    const auto *A = cast<AssertStmt>(S);
+    int64_t C = evalExpr(A->cond(), F);
+    if (Halted)
+      return {Signal::Halted};
+    if (C == 0) {
+      halt(ExecStatus::AssertFail, A->loc());
+      return {Signal::Halted};
+    }
+    return {};
+  }
+  case Stmt::AssumeStmtKind: {
+    const auto *A = cast<AssumeStmt>(S);
+    int64_t C = evalExpr(A->cond(), F);
+    if (Halted)
+      return {Signal::Halted};
+    if (C == 0) {
+      halt(ExecStatus::AssumeFail, A->loc());
+      return {Signal::Halted};
+    }
+    return {};
+  }
+  case Stmt::ExprStmtKind: {
+    evalExpr(cast<ExprStmt>(S)->expr(), F);
+    return Halted ? Signal{Signal::Halted} : Signal{};
+  }
+  }
+  return {};
+}
+
+ExecResult Machine::run(const std::string &Entry, const InputVector &Inputs) {
+  Result = ExecResult();
+  Result.Status = ExecStatus::Ok;
+
+  const FunctionDecl *Fn = Prog.findFunction(Entry);
+  if (!Fn || Fn->params().size() != Inputs.size()) {
+    Result.Status = ExecStatus::SetupError;
+    return Result;
+  }
+
+  // Initialize globals.
+  for (const auto &G : Prog.globals()) {
+    Cell *C = allocCell();
+    if (G->type().isArray()) {
+      C->IsArray = true;
+      C->Array.assign(static_cast<size_t>(G->type().ArraySize), 0);
+    } else if (const Expr *Init = G->init()) {
+      if (const auto *IL = dyn_cast<IntLiteral>(Init))
+        C->Scalar = wrapToWidth(IL->value(), Opts.BitWidth);
+      else if (const auto *BL = dyn_cast<BoolLiteral>(Init))
+        C->Scalar = BL->value() ? 1 : 0;
+    }
+    GlobalCells[G.get()] = C;
+  }
+
+  // Bind entry parameters to inputs.
+  Frame Top;
+  for (size_t I = 0; I < Inputs.size(); ++I) {
+    const VarDecl *P = Fn->params()[I].get();
+    Cell *C = allocCell();
+    if (P->type().isArray()) {
+      if (!Inputs[I].IsArray ||
+          Inputs[I].Array.size() !=
+              static_cast<size_t>(P->type().ArraySize)) {
+        Result.Status = ExecStatus::SetupError;
+        return Result;
+      }
+      C->IsArray = true;
+      C->Array = Inputs[I].Array;
+      for (int64_t &V : C->Array)
+        V = wrapToWidth(V, Opts.BitWidth);
+    } else {
+      if (Inputs[I].IsArray) {
+        Result.Status = ExecStatus::SetupError;
+        return Result;
+      }
+      C->Scalar = P->type().isBool() ? (Inputs[I].Scalar != 0)
+                                     : wrapToWidth(Inputs[I].Scalar,
+                                                   Opts.BitWidth);
+    }
+    Top[P] = C;
+  }
+
+  Cell *RetCell = allocCell();
+  execStmt(Fn->body(), Top, RetCell);
+  if (!Halted)
+    Result.ReturnValue = RetCell->Scalar;
+  return Result;
+}
+
+} // namespace
+
+Interpreter::Interpreter(const Program &Prog, ExecOptions Opts)
+    : Prog(Prog), Opts(Opts) {}
+
+ExecResult Interpreter::run(const std::string &Entry,
+                            const InputVector &Inputs) {
+  Machine M(Prog, Opts);
+  return M.run(Entry, Inputs);
+}

@@ -1,0 +1,128 @@
+//===- Interpreter.h - Concrete mini-C execution ----------------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bit-exact concrete interpreter for mini-C. Three roles in the paper's
+/// pipeline:
+///  1. producing *golden outputs* from the correct program version (the
+///     Section 6.1 TCAS methodology);
+///  2. segregating failing test cases from a test pool;
+///  3. the concrete half of concolic trace reduction (Section 6.2 "C"):
+///     shadow values computed here let the encoder replace trusted-function
+///     constraints with constants.
+///
+/// Semantics deliberately mirror the BMC encoder bit for bit: W-bit two's
+/// complement wraparound, C-style truncating division, shifts with
+/// amounts outside [0, W) saturating (0 for shl, sign-fill for arithmetic
+/// shr), out-of-range array reads yielding 0 and writes being dropped
+/// (each guarded by a bounds obligation when checking is on). The encoder
+/// property tests in tests/property_test.cpp enforce this agreement on
+/// random programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_INTERP_INTERPRETER_H
+#define BUGASSIST_INTERP_INTERPRETER_H
+
+#include "lang/Ast.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bugassist {
+
+/// One entry-function argument: a scalar or a whole array.
+struct InputValue {
+  bool IsArray = false;
+  int64_t Scalar = 0;
+  std::vector<int64_t> Array;
+
+  static InputValue scalar(int64_t V) {
+    InputValue I;
+    I.Scalar = V;
+    return I;
+  }
+  static InputValue array(std::vector<int64_t> Vs) {
+    InputValue I;
+    I.IsArray = true;
+    I.Array = std::move(Vs);
+    return I;
+  }
+
+  friend bool operator==(const InputValue &A, const InputValue &B) {
+    return A.IsArray == B.IsArray && A.Scalar == B.Scalar && A.Array == B.Array;
+  }
+};
+
+using InputVector = std::vector<InputValue>;
+
+/// Interpreter configuration. BitWidth must match the encoder's.
+struct ExecOptions {
+  int BitWidth = 32;
+  uint64_t MaxSteps = 1u << 22;
+  /// When true, out-of-range array accesses abort execution with
+  /// BoundsFail (the implicit assertion of the paper's Program 1).
+  bool CheckArrayBounds = true;
+  /// When true, division by zero aborts with DivByZero.
+  bool CheckDivByZero = true;
+};
+
+enum class ExecStatus {
+  Ok,           ///< ran to completion, all assertions held
+  AssertFail,   ///< an assert() was violated
+  BoundsFail,   ///< array index out of range (checking enabled)
+  DivByZero,    ///< division/remainder by zero (checking enabled)
+  AssumeFail,   ///< an assume() failed: execution infeasible, not a bug
+  StepLimit,    ///< ran out of fuel (runaway loop / recursion)
+  SetupError    ///< bad entry function or argument shape
+};
+
+/// Result of one concrete run.
+struct ExecResult {
+  ExecStatus Status = ExecStatus::SetupError;
+  int64_t ReturnValue = 0;
+  SourceLoc FailLoc;
+  uint64_t Steps = 0;
+
+  bool ok() const { return Status == ExecStatus::Ok; }
+  bool failed() const {
+    return Status == ExecStatus::AssertFail ||
+           Status == ExecStatus::BoundsFail || Status == ExecStatus::DivByZero;
+  }
+};
+
+/// Wraps \p V to a signed \p BitWidth-bit value (two's complement).
+int64_t wrapToWidth(int64_t V, int BitWidth);
+
+/// Evaluates a binary op with the encoder-aligned semantics described in
+/// the file comment. \p DivByZero is set when Op is Div/Rem and Rhs == 0
+/// (the result is then 0 and the caller decides whether to trap).
+int64_t evalBinaryOp(BinaryOp Op, int64_t Lhs, int64_t Rhs, int BitWidth,
+                     bool &DivByZero);
+
+/// Evaluates a unary op at \p BitWidth.
+int64_t evalUnaryOp(UnaryOp Op, int64_t V, int BitWidth);
+
+/// Concrete interpreter. Stateless between run() calls: each run
+/// reinitializes globals.
+class Interpreter {
+public:
+  Interpreter(const Program &Prog, ExecOptions Opts = {});
+
+  /// Runs \p Entry on \p Inputs (one InputValue per parameter).
+  ExecResult run(const std::string &Entry, const InputVector &Inputs);
+
+private:
+  const Program &Prog;
+  ExecOptions Opts;
+};
+
+} // namespace bugassist
+
+#endif // BUGASSIST_INTERP_INTERPRETER_H

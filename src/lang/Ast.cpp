@@ -1,0 +1,227 @@
+//===- Ast.cpp - Mini-C abstract syntax --------------------------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Ast.h"
+
+using namespace bugassist;
+
+std::string Type::str() const {
+  switch (Kind) {
+  case Int:
+    return "int";
+  case Bool:
+    return "bool";
+  case Array:
+    return "int[" + std::to_string(ArraySize) + "]";
+  case Void:
+    return "void";
+  }
+  return "?";
+}
+
+const char *bugassist::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Rem:
+    return "%";
+  case BinaryOp::Shl:
+    return "<<";
+  case BinaryOp::Shr:
+    return ">>";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::BitAnd:
+    return "&";
+  case BinaryOp::BitOr:
+    return "|";
+  case BinaryOp::BitXor:
+    return "^";
+  case BinaryOp::LogAnd:
+    return "&&";
+  case BinaryOp::LogOr:
+    return "||";
+  }
+  return "?";
+}
+
+const char *bugassist::unaryOpSpelling(UnaryOp Op) {
+  switch (Op) {
+  case UnaryOp::Neg:
+    return "-";
+  case UnaryOp::LogNot:
+    return "!";
+  case UnaryOp::BitNot:
+    return "~";
+  }
+  return "?";
+}
+
+bool bugassist::isComparisonOp(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge:
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool bugassist::isLogicalOp(BinaryOp Op) {
+  return Op == BinaryOp::LogAnd || Op == BinaryOp::LogOr;
+}
+
+// --- deep copies -------------------------------------------------------------
+//
+// Clones drop Sema results (resolved decls, types); callers re-run Sema on
+// the cloned program. This keeps clone free of cross-AST pointer fixups.
+
+ExprPtr bugassist::cloneExpr(const Expr *E) {
+  if (!E)
+    return nullptr;
+  switch (E->kind()) {
+  case Expr::IntLiteralKind: {
+    const auto *L = cast<IntLiteral>(E);
+    return std::make_unique<IntLiteral>(L->value(), L->loc());
+  }
+  case Expr::BoolLiteralKind: {
+    const auto *L = cast<BoolLiteral>(E);
+    return std::make_unique<BoolLiteral>(L->value(), L->loc());
+  }
+  case Expr::VarRefKind: {
+    const auto *V = cast<VarRef>(E);
+    return std::make_unique<VarRef>(V->name(), V->loc());
+  }
+  case Expr::ArrayIndexKind: {
+    const auto *A = cast<ArrayIndex>(E);
+    return std::make_unique<ArrayIndex>(cloneExpr(A->base()),
+                                        cloneExpr(A->index()), A->loc());
+  }
+  case Expr::UnaryKind: {
+    const auto *U = cast<UnaryExpr>(E);
+    return std::make_unique<UnaryExpr>(U->op(), cloneExpr(U->operand()),
+                                       U->loc());
+  }
+  case Expr::BinaryKind: {
+    const auto *B = cast<BinaryExpr>(E);
+    return std::make_unique<BinaryExpr>(B->op(), cloneExpr(B->lhs()),
+                                        cloneExpr(B->rhs()), B->loc());
+  }
+  case Expr::ConditionalKind: {
+    const auto *C = cast<ConditionalExpr>(E);
+    return std::make_unique<ConditionalExpr>(cloneExpr(C->cond()),
+                                             cloneExpr(C->thenExpr()),
+                                             cloneExpr(C->elseExpr()),
+                                             C->loc());
+  }
+  case Expr::CallKind: {
+    const auto *C = cast<CallExpr>(E);
+    std::vector<ExprPtr> Args;
+    for (const auto &A : C->args())
+      Args.push_back(cloneExpr(A.get()));
+    return std::make_unique<CallExpr>(C->callee(), std::move(Args), C->loc());
+  }
+  }
+  return nullptr;
+}
+
+static std::unique_ptr<VarDecl> cloneVarDecl(const VarDecl *D) {
+  auto New = std::make_unique<VarDecl>(D->name(), D->type(), D->loc());
+  New->setGlobal(D->isGlobal());
+  New->setParam(D->isParam());
+  if (D->init())
+    New->setInit(cloneExpr(D->init()));
+  return New;
+}
+
+StmtPtr bugassist::cloneStmt(const Stmt *S) {
+  if (!S)
+    return nullptr;
+  switch (S->kind()) {
+  case Stmt::DeclStmtKind: {
+    const auto *D = cast<DeclStmt>(S);
+    return std::make_unique<DeclStmt>(cloneVarDecl(D->decl()), D->loc());
+  }
+  case Stmt::AssignStmtKind: {
+    const auto *A = cast<AssignStmt>(S);
+    return std::make_unique<AssignStmt>(A->target(), cloneExpr(A->index()),
+                                        cloneExpr(A->value()), A->loc());
+  }
+  case Stmt::IfStmtKind: {
+    const auto *I = cast<IfStmt>(S);
+    return std::make_unique<IfStmt>(cloneExpr(I->cond()),
+                                    cloneStmt(I->thenStmt()),
+                                    cloneStmt(I->elseStmt()), I->loc());
+  }
+  case Stmt::WhileStmtKind: {
+    const auto *W = cast<WhileStmt>(S);
+    return std::make_unique<WhileStmt>(cloneExpr(W->cond()),
+                                       cloneStmt(W->body()), W->loc());
+  }
+  case Stmt::ReturnStmtKind: {
+    const auto *R = cast<ReturnStmt>(S);
+    return std::make_unique<ReturnStmt>(cloneExpr(R->value()), R->loc());
+  }
+  case Stmt::AssertStmtKind: {
+    const auto *A = cast<AssertStmt>(S);
+    return std::make_unique<AssertStmt>(cloneExpr(A->cond()), A->loc());
+  }
+  case Stmt::AssumeStmtKind: {
+    const auto *A = cast<AssumeStmt>(S);
+    return std::make_unique<AssumeStmt>(cloneExpr(A->cond()), A->loc());
+  }
+  case Stmt::BlockStmtKind: {
+    const auto *B = cast<BlockStmt>(S);
+    std::vector<StmtPtr> Stmts;
+    for (const auto &Sub : B->stmts())
+      Stmts.push_back(cloneStmt(Sub.get()));
+    return std::make_unique<BlockStmt>(std::move(Stmts), B->loc());
+  }
+  case Stmt::ExprStmtKind: {
+    const auto *E = cast<ExprStmt>(S);
+    return std::make_unique<ExprStmt>(cloneExpr(E->expr()), E->loc());
+  }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Program> bugassist::cloneProgram(const Program &P) {
+  auto New = std::make_unique<Program>();
+  for (const auto &G : P.globals())
+    New->globals().push_back(cloneVarDecl(G.get()));
+  for (const auto &F : P.functions()) {
+    auto NF = std::make_unique<FunctionDecl>(F->name(), F->returnType(),
+                                             F->loc());
+    for (const auto &Param : F->params())
+      NF->params().push_back(cloneVarDecl(Param.get()));
+    if (F->body()) {
+      StmtPtr B = cloneStmt(F->body());
+      NF->setBody(std::unique_ptr<BlockStmt>(cast<BlockStmt>(B.release())));
+    }
+    New->functions().push_back(std::move(NF));
+  }
+  return New;
+}

@@ -1,0 +1,513 @@
+//===- Ast.h - Mini-C abstract syntax ---------------------------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The AST for mini-C, the paper's imperative input language (Section 3.1)
+/// with the C subset BugAssist's benchmarks need: fixed-width ints, bools,
+/// fixed-size arrays, functions (including bounded recursion), while loops,
+/// assert/assume, and the full C operator set. Pointers are excluded;
+/// arrays are passed to functions by reference (C semantics) instead.
+///
+/// Nodes carry SourceLocs: the line number is the clause-group key the
+/// localization maps suspects back to.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_LANG_AST_H
+#define BUGASSIST_LANG_AST_H
+
+#include "support/SourceLoc.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bugassist {
+
+/// Value types. Arrays are one-dimensional with a compile-time size.
+struct Type {
+  enum KindTy { Int, Bool, Array, Void } Kind = Void;
+  /// Element count for arrays.
+  int ArraySize = 0;
+
+  static Type intTy() { return {Int, 0}; }
+  static Type boolTy() { return {Bool, 0}; }
+  static Type arrayTy(int N) { return {Array, N}; }
+  static Type voidTy() { return {Void, 0}; }
+
+  bool isInt() const { return Kind == Int; }
+  bool isBool() const { return Kind == Bool; }
+  bool isArray() const { return Kind == Array; }
+  bool isVoid() const { return Kind == Void; }
+  bool isScalar() const { return isInt() || isBool(); }
+
+  friend bool operator==(const Type &A, const Type &B) {
+    return A.Kind == B.Kind && (A.Kind != Array || A.ArraySize == B.ArraySize);
+  }
+  friend bool operator!=(const Type &A, const Type &B) { return !(A == B); }
+
+  std::string str() const;
+};
+
+enum class UnaryOp { Neg, LogNot, BitNot };
+
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Shl,
+  Shr,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  BitAnd,
+  BitOr,
+  BitXor,
+  LogAnd,
+  LogOr
+};
+
+/// \returns the source spelling of \p Op (e.g. "<=").
+const char *binaryOpSpelling(BinaryOp Op);
+const char *unaryOpSpelling(UnaryOp Op);
+bool isComparisonOp(BinaryOp Op);
+bool isLogicalOp(BinaryOp Op);
+
+class VarDecl;
+class FunctionDecl;
+
+// --- expressions -------------------------------------------------------------
+
+class Expr {
+public:
+  enum KindTy {
+    IntLiteralKind,
+    BoolLiteralKind,
+    VarRefKind,
+    ArrayIndexKind,
+    UnaryKind,
+    BinaryKind,
+    ConditionalKind,
+    CallKind
+  };
+
+  virtual ~Expr() = default;
+
+  KindTy kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+  const Type &type() const { return Ty; }
+  void setType(Type T) { Ty = T; }
+
+protected:
+  Expr(KindTy Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+
+private:
+  KindTy Kind;
+  SourceLoc Loc;
+  Type Ty;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+class IntLiteral : public Expr {
+public:
+  IntLiteral(int64_t Value, SourceLoc Loc)
+      : Expr(IntLiteralKind, Loc), Value(Value) {}
+  int64_t value() const { return Value; }
+  void setValue(int64_t V) { Value = V; } // used by the repair mutator
+  static bool classof(const Expr *E) { return E->kind() == IntLiteralKind; }
+
+private:
+  int64_t Value;
+};
+
+class BoolLiteral : public Expr {
+public:
+  BoolLiteral(bool Value, SourceLoc Loc)
+      : Expr(BoolLiteralKind, Loc), Value(Value) {}
+  bool value() const { return Value; }
+  static bool classof(const Expr *E) { return E->kind() == BoolLiteralKind; }
+
+private:
+  bool Value;
+};
+
+class VarRef : public Expr {
+public:
+  VarRef(std::string Name, SourceLoc Loc)
+      : Expr(VarRefKind, Loc), Name(std::move(Name)) {}
+  const std::string &name() const { return Name; }
+  VarDecl *decl() const { return Decl; }
+  void setDecl(VarDecl *D) { Decl = D; }
+  static bool classof(const Expr *E) { return E->kind() == VarRefKind; }
+
+private:
+  std::string Name;
+  VarDecl *Decl = nullptr;
+};
+
+class ArrayIndex : public Expr {
+public:
+  ArrayIndex(ExprPtr Base, ExprPtr Index, SourceLoc Loc)
+      : Expr(ArrayIndexKind, Loc), Base(std::move(Base)),
+        Index(std::move(Index)) {}
+  Expr *base() const { return Base.get(); }
+  Expr *index() const { return Index.get(); }
+  static bool classof(const Expr *E) { return E->kind() == ArrayIndexKind; }
+
+private:
+  ExprPtr Base;
+  ExprPtr Index;
+};
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOp Op, ExprPtr Operand, SourceLoc Loc)
+      : Expr(UnaryKind, Loc), Op(Op), Operand(std::move(Operand)) {}
+  UnaryOp op() const { return Op; }
+  Expr *operand() const { return Operand.get(); }
+  static bool classof(const Expr *E) { return E->kind() == UnaryKind; }
+
+private:
+  UnaryOp Op;
+  ExprPtr Operand;
+};
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOp Op, ExprPtr Lhs, ExprPtr Rhs, SourceLoc Loc)
+      : Expr(BinaryKind, Loc), Op(Op), Lhs(std::move(Lhs)),
+        Rhs(std::move(Rhs)) {}
+  BinaryOp op() const { return Op; }
+  void setOp(BinaryOp O) { Op = O; } // used by the repair mutator
+  Expr *lhs() const { return Lhs.get(); }
+  Expr *rhs() const { return Rhs.get(); }
+  static bool classof(const Expr *E) { return E->kind() == BinaryKind; }
+
+private:
+  BinaryOp Op;
+  ExprPtr Lhs;
+  ExprPtr Rhs;
+};
+
+class ConditionalExpr : public Expr {
+public:
+  ConditionalExpr(ExprPtr Cond, ExprPtr Then, ExprPtr Else, SourceLoc Loc)
+      : Expr(ConditionalKind, Loc), Cond(std::move(Cond)),
+        Then(std::move(Then)), Else(std::move(Else)) {}
+  Expr *cond() const { return Cond.get(); }
+  Expr *thenExpr() const { return Then.get(); }
+  Expr *elseExpr() const { return Else.get(); }
+  static bool classof(const Expr *E) { return E->kind() == ConditionalKind; }
+
+private:
+  ExprPtr Cond;
+  ExprPtr Then;
+  ExprPtr Else;
+};
+
+class CallExpr : public Expr {
+public:
+  CallExpr(std::string Callee, std::vector<ExprPtr> Args, SourceLoc Loc)
+      : Expr(CallKind, Loc), Callee(std::move(Callee)), Args(std::move(Args)) {
+  }
+  const std::string &callee() const { return Callee; }
+  const std::vector<ExprPtr> &args() const { return Args; }
+  FunctionDecl *decl() const { return Decl; }
+  void setDecl(FunctionDecl *D) { Decl = D; }
+  static bool classof(const Expr *E) { return E->kind() == CallKind; }
+
+private:
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+  FunctionDecl *Decl = nullptr;
+};
+
+/// LLVM-style checked/unchecked downcasts over the Kind tag.
+template <typename T> bool isa(const Expr *E) { return T::classof(E); }
+template <typename T> T *cast(Expr *E) {
+  assert(isa<T>(E) && "bad Expr cast");
+  return static_cast<T *>(E);
+}
+template <typename T> const T *cast(const Expr *E) {
+  assert(isa<T>(E) && "bad Expr cast");
+  return static_cast<const T *>(E);
+}
+template <typename T> T *dyn_cast(Expr *E) {
+  return isa<T>(E) ? static_cast<T *>(E) : nullptr;
+}
+template <typename T> const T *dyn_cast(const Expr *E) {
+  return isa<T>(E) ? static_cast<const T *>(E) : nullptr;
+}
+
+// --- declarations ------------------------------------------------------------
+
+/// A variable: global, local, or function parameter.
+class VarDecl {
+public:
+  VarDecl(std::string Name, Type Ty, SourceLoc Loc)
+      : Name(std::move(Name)), Ty(Ty), Loc(Loc) {}
+
+  const std::string &name() const { return Name; }
+  const Type &type() const { return Ty; }
+  SourceLoc loc() const { return Loc; }
+
+  Expr *init() const { return Init.get(); }
+  void setInit(ExprPtr E) { Init = std::move(E); }
+
+  bool isGlobal() const { return Global; }
+  void setGlobal(bool B) { Global = B; }
+  bool isParam() const { return Param; }
+  void setParam(bool B) { Param = B; }
+
+private:
+  std::string Name;
+  Type Ty;
+  SourceLoc Loc;
+  ExprPtr Init;
+  bool Global = false;
+  bool Param = false;
+};
+
+// --- statements --------------------------------------------------------------
+
+class Stmt {
+public:
+  enum KindTy {
+    DeclStmtKind,
+    AssignStmtKind,
+    IfStmtKind,
+    WhileStmtKind,
+    ReturnStmtKind,
+    AssertStmtKind,
+    AssumeStmtKind,
+    BlockStmtKind,
+    ExprStmtKind
+  };
+
+  virtual ~Stmt() = default;
+  KindTy kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+
+protected:
+  Stmt(KindTy Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+
+private:
+  KindTy Kind;
+  SourceLoc Loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(std::unique_ptr<VarDecl> Decl, SourceLoc Loc)
+      : Stmt(DeclStmtKind, Loc), Decl(std::move(Decl)) {}
+  VarDecl *decl() const { return Decl.get(); }
+  static bool classof(const Stmt *S) { return S->kind() == DeclStmtKind; }
+
+private:
+  std::unique_ptr<VarDecl> Decl;
+};
+
+/// `x = e;` or `a[i] = e;`. The target variable is stored by name plus the
+/// Sema-resolved VarDecl; Index is null for scalar targets.
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(std::string Target, ExprPtr Index, ExprPtr Value, SourceLoc Loc)
+      : Stmt(AssignStmtKind, Loc), Target(std::move(Target)),
+        Index(std::move(Index)), Value(std::move(Value)) {}
+  const std::string &target() const { return Target; }
+  VarDecl *targetDecl() const { return Decl; }
+  void setTargetDecl(VarDecl *D) { Decl = D; }
+  Expr *index() const { return Index.get(); }
+  Expr *value() const { return Value.get(); }
+  static bool classof(const Stmt *S) { return S->kind() == AssignStmtKind; }
+
+private:
+  std::string Target;
+  VarDecl *Decl = nullptr;
+  ExprPtr Index;
+  ExprPtr Value;
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else, SourceLoc Loc)
+      : Stmt(IfStmtKind, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  Expr *cond() const { return Cond.get(); }
+  Stmt *thenStmt() const { return Then.get(); }
+  Stmt *elseStmt() const { return Else.get(); }
+  static bool classof(const Stmt *S) { return S->kind() == IfStmtKind; }
+
+private:
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else;
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(ExprPtr Cond, StmtPtr Body, SourceLoc Loc)
+      : Stmt(WhileStmtKind, Loc), Cond(std::move(Cond)), Body(std::move(Body)) {
+  }
+  Expr *cond() const { return Cond.get(); }
+  Stmt *body() const { return Body.get(); }
+  static bool classof(const Stmt *S) { return S->kind() == WhileStmtKind; }
+
+private:
+  ExprPtr Cond;
+  StmtPtr Body;
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(ExprPtr Value, SourceLoc Loc)
+      : Stmt(ReturnStmtKind, Loc), Value(std::move(Value)) {}
+  Expr *value() const { return Value.get(); } // null for `return;`
+  static bool classof(const Stmt *S) { return S->kind() == ReturnStmtKind; }
+
+private:
+  ExprPtr Value;
+};
+
+class AssertStmt : public Stmt {
+public:
+  AssertStmt(ExprPtr Cond, SourceLoc Loc)
+      : Stmt(AssertStmtKind, Loc), Cond(std::move(Cond)) {}
+  Expr *cond() const { return Cond.get(); }
+  static bool classof(const Stmt *S) { return S->kind() == AssertStmtKind; }
+
+private:
+  ExprPtr Cond;
+};
+
+class AssumeStmt : public Stmt {
+public:
+  AssumeStmt(ExprPtr Cond, SourceLoc Loc)
+      : Stmt(AssumeStmtKind, Loc), Cond(std::move(Cond)) {}
+  Expr *cond() const { return Cond.get(); }
+  static bool classof(const Stmt *S) { return S->kind() == AssumeStmtKind; }
+
+private:
+  ExprPtr Cond;
+};
+
+class BlockStmt : public Stmt {
+public:
+  BlockStmt(std::vector<StmtPtr> Stmts, SourceLoc Loc)
+      : Stmt(BlockStmtKind, Loc), Stmts(std::move(Stmts)) {}
+  const std::vector<StmtPtr> &stmts() const { return Stmts; }
+  static bool classof(const Stmt *S) { return S->kind() == BlockStmtKind; }
+
+private:
+  std::vector<StmtPtr> Stmts;
+};
+
+/// A call used as a statement (void procedures).
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(ExprPtr E, SourceLoc Loc) : Stmt(ExprStmtKind, Loc), E(std::move(E)) {}
+  Expr *expr() const { return E.get(); }
+  static bool classof(const Stmt *S) { return S->kind() == ExprStmtKind; }
+
+private:
+  ExprPtr E;
+};
+
+template <typename T> bool isa(const Stmt *S) { return T::classof(S); }
+template <typename T> T *cast(Stmt *S) {
+  assert(isa<T>(S) && "bad Stmt cast");
+  return static_cast<T *>(S);
+}
+template <typename T> const T *cast(const Stmt *S) {
+  assert(isa<T>(S) && "bad Stmt cast");
+  return static_cast<const T *>(S);
+}
+template <typename T> T *dyn_cast(Stmt *S) {
+  return isa<T>(S) ? static_cast<T *>(S) : nullptr;
+}
+template <typename T> const T *dyn_cast(const Stmt *S) {
+  return isa<T>(S) ? static_cast<const T *>(S) : nullptr;
+}
+
+// --- functions and programs --------------------------------------------------
+
+class FunctionDecl {
+public:
+  FunctionDecl(std::string Name, Type ReturnTy, SourceLoc Loc)
+      : Name(std::move(Name)), ReturnTy(ReturnTy), Loc(Loc) {}
+
+  const std::string &name() const { return Name; }
+  const Type &returnType() const { return ReturnTy; }
+  SourceLoc loc() const { return Loc; }
+
+  std::vector<std::unique_ptr<VarDecl>> &params() { return Params; }
+  const std::vector<std::unique_ptr<VarDecl>> &params() const { return Params; }
+
+  BlockStmt *body() const { return Body.get(); }
+  void setBody(std::unique_ptr<BlockStmt> B) { Body = std::move(B); }
+
+  bool isRecursive() const { return Recursive; }
+  void setRecursive(bool B) { Recursive = B; }
+
+private:
+  std::string Name;
+  Type ReturnTy;
+  SourceLoc Loc;
+  std::vector<std::unique_ptr<VarDecl>> Params;
+  std::unique_ptr<BlockStmt> Body;
+  bool Recursive = false;
+};
+
+/// A whole mini-C translation unit.
+class Program {
+public:
+  std::vector<std::unique_ptr<VarDecl>> &globals() { return Globals; }
+  const std::vector<std::unique_ptr<VarDecl>> &globals() const {
+    return Globals;
+  }
+  std::vector<std::unique_ptr<FunctionDecl>> &functions() { return Functions; }
+  const std::vector<std::unique_ptr<FunctionDecl>> &functions() const {
+    return Functions;
+  }
+
+  FunctionDecl *findFunction(const std::string &Name) const {
+    for (const auto &F : Functions)
+      if (F->name() == Name)
+        return F.get();
+    return nullptr;
+  }
+
+  VarDecl *findGlobal(const std::string &Name) const {
+    for (const auto &G : Globals)
+      if (G->name() == Name)
+        return G.get();
+    return nullptr;
+  }
+
+private:
+  std::vector<std::unique_ptr<VarDecl>> Globals;
+  std::vector<std::unique_ptr<FunctionDecl>> Functions;
+};
+
+/// Deep structural copy helpers; the repair engine mutates copies of the
+/// AST rather than the original.
+ExprPtr cloneExpr(const Expr *E);
+StmtPtr cloneStmt(const Stmt *S);
+std::unique_ptr<Program> cloneProgram(const Program &P);
+
+} // namespace bugassist
+
+#endif // BUGASSIST_LANG_AST_H

@@ -1,0 +1,144 @@
+//===- AstPrinter.cpp - Render mini-C ASTs back to source ---------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstPrinter.h"
+
+using namespace bugassist;
+
+std::string bugassist::printExpr(const Expr *E) {
+  if (!E)
+    return "<null>";
+  switch (E->kind()) {
+  case Expr::IntLiteralKind:
+    return std::to_string(cast<IntLiteral>(E)->value());
+  case Expr::BoolLiteralKind:
+    return cast<BoolLiteral>(E)->value() ? "true" : "false";
+  case Expr::VarRefKind:
+    return cast<VarRef>(E)->name();
+  case Expr::ArrayIndexKind: {
+    const auto *A = cast<ArrayIndex>(E);
+    return printExpr(A->base()) + "[" + printExpr(A->index()) + "]";
+  }
+  case Expr::UnaryKind: {
+    const auto *U = cast<UnaryExpr>(E);
+    return std::string(unaryOpSpelling(U->op())) + "(" +
+           printExpr(U->operand()) + ")";
+  }
+  case Expr::BinaryKind: {
+    const auto *B = cast<BinaryExpr>(E);
+    return "(" + printExpr(B->lhs()) + " " + binaryOpSpelling(B->op()) + " " +
+           printExpr(B->rhs()) + ")";
+  }
+  case Expr::ConditionalKind: {
+    const auto *C = cast<ConditionalExpr>(E);
+    return "(" + printExpr(C->cond()) + " ? " + printExpr(C->thenExpr()) +
+           " : " + printExpr(C->elseExpr()) + ")";
+  }
+  case Expr::CallKind: {
+    const auto *C = cast<CallExpr>(E);
+    std::string Out = C->callee() + "(";
+    for (size_t I = 0; I < C->args().size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += printExpr(C->args()[I].get());
+    }
+    return Out + ")";
+  }
+  }
+  return "<?>";
+}
+
+static std::string pad(int Indent) { return std::string(Indent * 2, ' '); }
+
+static std::string printVarDecl(const VarDecl *D) {
+  std::string Out;
+  if (D->type().isArray())
+    Out = "int " + D->name() + "[" + std::to_string(D->type().ArraySize) + "]";
+  else
+    Out = D->type().str() + " " + D->name();
+  if (D->init())
+    Out += " = " + printExpr(D->init());
+  return Out;
+}
+
+std::string bugassist::printStmt(const Stmt *S, int Indent) {
+  if (!S)
+    return pad(Indent) + ";\n";
+  switch (S->kind()) {
+  case Stmt::DeclStmtKind:
+    return pad(Indent) + printVarDecl(cast<DeclStmt>(S)->decl()) + ";\n";
+  case Stmt::AssignStmtKind: {
+    const auto *A = cast<AssignStmt>(S);
+    std::string Out = pad(Indent) + A->target();
+    if (A->index())
+      Out += "[" + printExpr(A->index()) + "]";
+    return Out + " = " + printExpr(A->value()) + ";\n";
+  }
+  case Stmt::IfStmtKind: {
+    const auto *I = cast<IfStmt>(S);
+    std::string Out =
+        pad(Indent) + "if (" + printExpr(I->cond()) + ")\n" +
+        printStmt(I->thenStmt(), Indent + (isa<BlockStmt>(I->thenStmt()) ? 0 : 1));
+    if (I->elseStmt())
+      Out += pad(Indent) + "else\n" +
+             printStmt(I->elseStmt(),
+                       Indent + (isa<BlockStmt>(I->elseStmt()) ? 0 : 1));
+    return Out;
+  }
+  case Stmt::WhileStmtKind: {
+    const auto *W = cast<WhileStmt>(S);
+    return pad(Indent) + "while (" + printExpr(W->cond()) + ")\n" +
+           printStmt(W->body(), Indent + (isa<BlockStmt>(W->body()) ? 0 : 1));
+  }
+  case Stmt::ReturnStmtKind: {
+    const auto *R = cast<ReturnStmt>(S);
+    if (R->value())
+      return pad(Indent) + "return " + printExpr(R->value()) + ";\n";
+    return pad(Indent) + "return;\n";
+  }
+  case Stmt::AssertStmtKind:
+    return pad(Indent) + "assert(" + printExpr(cast<AssertStmt>(S)->cond()) +
+           ");\n";
+  case Stmt::AssumeStmtKind:
+    return pad(Indent) + "assume(" + printExpr(cast<AssumeStmt>(S)->cond()) +
+           ");\n";
+  case Stmt::BlockStmtKind: {
+    const auto *B = cast<BlockStmt>(S);
+    std::string Out = pad(Indent) + "{\n";
+    for (const auto &Sub : B->stmts())
+      Out += printStmt(Sub.get(), Indent + 1);
+    return Out + pad(Indent) + "}\n";
+  }
+  case Stmt::ExprStmtKind:
+    return pad(Indent) + printExpr(cast<ExprStmt>(S)->expr()) + ";\n";
+  }
+  return pad(Indent) + "<?>;\n";
+}
+
+std::string bugassist::printProgram(const Program &P) {
+  std::string Out;
+  for (const auto &G : P.globals())
+    Out += printVarDecl(G.get()) + ";\n";
+  if (!P.globals().empty())
+    Out += "\n";
+  for (const auto &F : P.functions()) {
+    Out += F->returnType().str() + " " + F->name() + "(";
+    for (size_t I = 0; I < F->params().size(); ++I) {
+      if (I)
+        Out += ", ";
+      const VarDecl *Param = F->params()[I].get();
+      if (Param->type().isArray())
+        Out += "int " + Param->name() + "[" +
+               std::to_string(Param->type().ArraySize) + "]";
+      else
+        Out += Param->type().str() + " " + Param->name();
+    }
+    Out += ")\n";
+    Out += printStmt(F->body(), 0);
+    Out += "\n";
+  }
+  return Out;
+}

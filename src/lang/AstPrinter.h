@@ -1,0 +1,33 @@
+//===- AstPrinter.h - Render mini-C ASTs back to source ---------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty-prints ASTs as mini-C source. Used by the repair engine to show
+/// suggested fixes and by tests to check parse trees structurally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_LANG_ASTPRINTER_H
+#define BUGASSIST_LANG_ASTPRINTER_H
+
+#include "lang/Ast.h"
+
+#include <string>
+
+namespace bugassist {
+
+/// Renders \p E as an expression string (fully parenthesized).
+std::string printExpr(const Expr *E);
+
+/// Renders \p S with \p Indent leading spaces per level.
+std::string printStmt(const Stmt *S, int Indent = 0);
+
+/// Renders a whole program.
+std::string printProgram(const Program &P);
+
+} // namespace bugassist
+
+#endif // BUGASSIST_LANG_ASTPRINTER_H

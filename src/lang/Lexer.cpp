@@ -1,0 +1,309 @@
+//===- Lexer.cpp - Mini-C tokenizer ------------------------------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace bugassist;
+
+const char *bugassist::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwBool:
+    return "'bool'";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwAssert:
+    return "'assert'";
+  case TokenKind::KwAssume:
+    return "'assume'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Shl:
+    return "'<<'";
+  case TokenKind::Shr:
+    return "'>>'";
+  case TokenKind::Lt:
+    return "'<'";
+  case TokenKind::Le:
+    return "'<='";
+  case TokenKind::Gt:
+    return "'>'";
+  case TokenKind::Ge:
+    return "'>='";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::Pipe:
+    return "'|'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Caret:
+    return "'^'";
+  case TokenKind::Tilde:
+    return "'~'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string_view Source, DiagEngine &Diags)
+    : Source(Source), Diags(Diags) {}
+
+char Lexer::peek(int Ahead) const {
+  size_t P = Pos + static_cast<size_t>(Ahead);
+  return P < Source.size() ? Source[P] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = here();
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          Diags.error(Start, "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::next() {
+  static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+      {"int", TokenKind::KwInt},       {"bool", TokenKind::KwBool},
+      {"void", TokenKind::KwVoid},     {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},   {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},     {"while", TokenKind::KwWhile},
+      {"for", TokenKind::KwFor},       {"return", TokenKind::KwReturn},
+      {"assert", TokenKind::KwAssert}, {"assume", TokenKind::KwAssume},
+  };
+
+  skipWhitespaceAndComments();
+  Token T;
+  T.Loc = here();
+  if (Pos >= Source.size()) {
+    T.Kind = TokenKind::Eof;
+    return T;
+  }
+
+  char C = advance();
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Text(1, C);
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      Text.push_back(advance());
+    auto It = Keywords.find(Text);
+    T.Kind = It != Keywords.end() ? It->second : TokenKind::Identifier;
+    T.Text = std::move(Text);
+    return T;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    int64_t Value = C - '0';
+    std::string Text(1, C);
+    while (std::isdigit(static_cast<unsigned char>(peek()))) {
+      char D = advance();
+      Text.push_back(D);
+      Value = Value * 10 + (D - '0');
+      if (Value > INT64_MAX / 2) {
+        Diags.error(T.Loc, "integer literal too large");
+        break;
+      }
+    }
+    T.Kind = TokenKind::IntLiteral;
+    T.IntValue = Value;
+    T.Text = std::move(Text);
+    return T;
+  }
+
+  switch (C) {
+  case '(':
+    T.Kind = TokenKind::LParen;
+    return T;
+  case ')':
+    T.Kind = TokenKind::RParen;
+    return T;
+  case '{':
+    T.Kind = TokenKind::LBrace;
+    return T;
+  case '}':
+    T.Kind = TokenKind::RBrace;
+    return T;
+  case '[':
+    T.Kind = TokenKind::LBracket;
+    return T;
+  case ']':
+    T.Kind = TokenKind::RBracket;
+    return T;
+  case ';':
+    T.Kind = TokenKind::Semi;
+    return T;
+  case ',':
+    T.Kind = TokenKind::Comma;
+    return T;
+  case '?':
+    T.Kind = TokenKind::Question;
+    return T;
+  case ':':
+    T.Kind = TokenKind::Colon;
+    return T;
+  case '+':
+    T.Kind = TokenKind::Plus;
+    return T;
+  case '-':
+    T.Kind = TokenKind::Minus;
+    return T;
+  case '*':
+    T.Kind = TokenKind::Star;
+    return T;
+  case '/':
+    T.Kind = TokenKind::Slash;
+    return T;
+  case '%':
+    T.Kind = TokenKind::Percent;
+    return T;
+  case '~':
+    T.Kind = TokenKind::Tilde;
+    return T;
+  case '^':
+    T.Kind = TokenKind::Caret;
+    return T;
+  case '=':
+    T.Kind = match('=') ? TokenKind::EqEq : TokenKind::Assign;
+    return T;
+  case '!':
+    T.Kind = match('=') ? TokenKind::NotEq : TokenKind::Bang;
+    return T;
+  case '<':
+    T.Kind = match('<')   ? TokenKind::Shl
+             : match('=') ? TokenKind::Le
+                          : TokenKind::Lt;
+    return T;
+  case '>':
+    T.Kind = match('>')   ? TokenKind::Shr
+             : match('=') ? TokenKind::Ge
+                          : TokenKind::Gt;
+    return T;
+  case '&':
+    T.Kind = match('&') ? TokenKind::AmpAmp : TokenKind::Amp;
+    return T;
+  case '|':
+    T.Kind = match('|') ? TokenKind::PipePipe : TokenKind::Pipe;
+    return T;
+  default:
+    Diags.error(T.Loc, std::string("unexpected character '") + C + "'");
+    T.Kind = TokenKind::Error;
+    return T;
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Token T = next();
+    bool Done = T.is(TokenKind::Eof);
+    Tokens.push_back(std::move(T));
+    if (Done)
+      return Tokens;
+  }
+}

@@ -1,0 +1,119 @@
+//===- Lexer.h - Mini-C tokenizer -------------------------------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written tokenizer for mini-C. Tracks line/column positions because
+/// the whole point of BugAssist is mapping clauses back to source lines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_LANG_LEXER_H
+#define BUGASSIST_LANG_LEXER_H
+
+#include "support/Diagnostics.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bugassist {
+
+enum class TokenKind {
+  // literals / identifiers
+  Identifier,
+  IntLiteral,
+  // keywords
+  KwInt,
+  KwBool,
+  KwVoid,
+  KwTrue,
+  KwFalse,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwAssert,
+  KwAssume,
+  // punctuation
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Question,
+  Colon,
+  Assign, // =
+  // operators
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Shl,
+  Shr,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  NotEq,
+  Amp,
+  AmpAmp,
+  Pipe,
+  PipePipe,
+  Caret,
+  Tilde,
+  Bang,
+  // control
+  Eof,
+  Error
+};
+
+/// \returns a printable name for \p K, for diagnostics.
+const char *tokenKindName(TokenKind K);
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;
+  int64_t IntValue = 0;
+  SourceLoc Loc;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+/// Tokenizes a whole buffer up front. Unknown characters produce Error
+/// tokens plus diagnostics, and lexing continues.
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagEngine &Diags);
+
+  /// Lexes the entire buffer; the final token is always Eof.
+  std::vector<Token> lexAll();
+
+private:
+  Token next();
+  char peek(int Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  void skipWhitespaceAndComments();
+  SourceLoc here() const { return SourceLoc(Line, Col); }
+
+  std::string_view Source;
+  DiagEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace bugassist
+
+#endif // BUGASSIST_LANG_LEXER_H

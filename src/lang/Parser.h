@@ -1,0 +1,33 @@
+//===- Parser.h - Mini-C recursive-descent parser ---------------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser building the mini-C AST. `for` loops are
+/// desugared into `while` loops at parse time so downstream passes handle a
+/// single loop construct.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_LANG_PARSER_H
+#define BUGASSIST_LANG_PARSER_H
+
+#include "lang/Ast.h"
+#include "lang/Lexer.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string_view>
+
+namespace bugassist {
+
+/// Parses one translation unit. On syntax errors, diagnostics are reported
+/// and nullptr is returned.
+std::unique_ptr<Program> parseProgram(std::string_view Source,
+                                      DiagEngine &Diags);
+
+} // namespace bugassist
+
+#endif // BUGASSIST_LANG_PARSER_H

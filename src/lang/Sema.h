@@ -1,0 +1,38 @@
+//===- Sema.h - Mini-C semantic analysis ------------------------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name resolution and type checking for mini-C. After a successful run,
+/// every VarRef/CallExpr/AssignStmt carries its resolved declaration and
+/// every expression its type -- the invariants the interpreter and the BMC
+/// encoder rely on. Also marks functions reachable through call-graph
+/// cycles as recursive (they need bounded inlining).
+///
+/// Mini-C is strictly typed: int and bool do not interconvert, conditions
+/// must be bool, and arrays are only indexed or passed whole to array
+/// parameters (by reference, C-style).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_LANG_SEMA_H
+#define BUGASSIST_LANG_SEMA_H
+
+#include "lang/Ast.h"
+#include "support/Diagnostics.h"
+
+namespace bugassist {
+
+/// Resolves and type checks \p Prog in place. \returns true on success;
+/// on failure, diagnostics describe every error found.
+bool analyzeProgram(Program &Prog, DiagEngine &Diags);
+
+/// Convenience: parse + analyze. \returns nullptr on any error.
+std::unique_ptr<Program> parseAndAnalyze(std::string_view Source,
+                                         DiagEngine &Diags);
+
+} // namespace bugassist
+
+#endif // BUGASSIST_LANG_SEMA_H

@@ -1,0 +1,105 @@
+//===- Cardinality.cpp - Cardinality & PB encodings -------------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "maxsat/Cardinality.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace bugassist;
+
+void bugassist::encodeAtMostOne(const std::vector<Lit> &Lits,
+                                ClauseSink &Sink) {
+  size_t N = Lits.size();
+  if (N <= 1)
+    return;
+  if (N <= 5) {
+    // Pairwise: (~a \/ ~b) for every pair.
+    for (size_t I = 0; I < N; ++I)
+      for (size_t J = I + 1; J < N; ++J)
+        Sink.AddClause({~Lits[I], ~Lits[J]});
+    return;
+  }
+  // Sequential / ladder encoding: S_i means "some lit among the first i+1
+  // is true".
+  std::vector<Lit> S(N - 1);
+  for (size_t I = 0; I + 1 < N; ++I)
+    S[I] = mkLit(Sink.NewVar());
+  Sink.AddClause({~Lits[0], S[0]});
+  for (size_t I = 1; I + 1 < N; ++I) {
+    Sink.AddClause({~Lits[I], S[I]});
+    Sink.AddClause({~S[I - 1], S[I]});
+    Sink.AddClause({~Lits[I], ~S[I - 1]});
+  }
+  Sink.AddClause({~Lits[N - 1], ~S[N - 2]});
+}
+
+void bugassist::encodeExactlyOne(const std::vector<Lit> &Lits,
+                                 ClauseSink &Sink) {
+  assert(!Lits.empty() && "exactly-one over empty set is unsatisfiable");
+  Sink.AddClause(Clause(Lits.begin(), Lits.end())); // at least one
+  encodeAtMostOne(Lits, Sink);
+}
+
+void bugassist::encodePbLeq(const std::vector<Lit> &Lits,
+                            const std::vector<uint64_t> &Weights,
+                            uint64_t Bound, ClauseSink &Sink) {
+  assert(Lits.size() == Weights.size() && "weight per literal required");
+  size_t N = Lits.size();
+  if (N == 0)
+    return;
+
+  // Literals whose weight alone exceeds the bound must be false.
+  std::vector<Lit> Ls;
+  std::vector<uint64_t> Ws;
+  for (size_t I = 0; I < N; ++I) {
+    assert(Weights[I] > 0 && "zero-weight literal");
+    if (Weights[I] > Bound) {
+      Sink.AddClause({~Lits[I]});
+      continue;
+    }
+    Ls.push_back(Lits[I]);
+    Ws.push_back(Weights[I]);
+  }
+  N = Ls.size();
+  if (N == 0 || Bound == 0)
+    return;
+  uint64_t Total = 0;
+  for (uint64_t W : Ws)
+    Total += W;
+  if (Total <= Bound)
+    return; // constraint is vacuous
+
+  // Sequential weighted counter. Register R[i][j] (1-based j .. Bound) means
+  // "the weighted sum of the first i+1 literals is >= j".
+  auto Reg = [&](std::vector<std::vector<Lit>> &R, size_t I,
+                 uint64_t J) -> Lit { return R[I][J - 1]; };
+
+  std::vector<std::vector<Lit>> R(N, std::vector<Lit>(Bound));
+  for (size_t I = 0; I < N; ++I)
+    for (uint64_t J = 1; J <= Bound; ++J)
+      R[I][J - 1] = mkLit(Sink.NewVar());
+
+  // Base: first literal sets registers 1..w0.
+  for (uint64_t J = 1; J <= std::min(Ws[0], Bound); ++J)
+    Sink.AddClause({~Ls[0], Reg(R, 0, J)});
+
+  for (size_t I = 1; I < N; ++I) {
+    // Carry: sum >= j stays >= j.
+    for (uint64_t J = 1; J <= Bound; ++J)
+      Sink.AddClause({~Reg(R, I - 1, J), Reg(R, I, J)});
+    // Adding literal i contributes w_i.
+    for (uint64_t J = 1; J <= std::min(Ws[I], Bound); ++J)
+      Sink.AddClause({~Ls[I], Reg(R, I, J)});
+    for (uint64_t J = 1; J + Ws[I] <= Bound; ++J)
+      Sink.AddClause({~Ls[I], ~Reg(R, I - 1, J), Reg(R, I, J + Ws[I])});
+    // Overflow: literal i true while prefix already at Bound+1-w_i.
+    if (Bound + 1 > Ws[I] && Bound + 1 - Ws[I] <= Bound)
+      Sink.AddClause({~Ls[I], ~Reg(R, I - 1, Bound + 1 - Ws[I])});
+  }
+  // The very first literal alone cannot overflow (weights > Bound already
+  // filtered), so no base overflow clause is needed.
+}

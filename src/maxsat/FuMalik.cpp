@@ -1,0 +1,167 @@
+//===- FuMalik.cpp - Core-guided partial MaxSAT ------------------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+// The Fu-Malik algorithm [10], the unsatisfiability-core-guided procedure
+// engineered into MSUnCORE [21] that the paper's implementation calls:
+// repeatedly solve; while UNSAT, take an unsatisfiable core, attach a fresh
+// relaxation variable to every soft clause in the core, constrain exactly
+// one relaxation per round to fire, and charge one unit of cost.
+//
+//===----------------------------------------------------------------------===//
+
+#include "maxsat/MaxSat.h"
+
+#include "maxsat/Cardinality.h"
+#include "sat/Solver.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace bugassist;
+
+bool bugassist::clauseSatisfied(const Clause &C,
+                                const std::vector<LBool> &Model) {
+  for (Lit L : C) {
+    if (L.var() >= static_cast<Var>(Model.size()))
+      continue;
+    LBool B = Model[L.var()];
+    if (L.negated())
+      B = lboolNeg(B);
+    if (B == LBool::True)
+      return true;
+  }
+  return false;
+}
+
+static void collectFalsifiedSoft(const MaxSatInstance &Inst,
+                                 MaxSatResult &Res) {
+  Res.FalsifiedSoft.clear();
+  uint64_t Cost = 0;
+  for (size_t I = 0; I < Inst.Soft.size(); ++I) {
+    if (!clauseSatisfied(Inst.Soft[I].Lits, Res.Model)) {
+      Res.FalsifiedSoft.push_back(I);
+      Cost += Inst.Soft[I].Weight;
+    }
+  }
+  Res.Cost = Cost;
+}
+
+MaxSatResult bugassist::solveFuMalik(const MaxSatInstance &Inst,
+                                     uint64_t ConflictBudget) {
+  MaxSatResult Res;
+
+  // Working copies: soft clauses accumulate relaxation literals; extra hard
+  // clauses accumulate exactly-one constraints.
+  std::vector<Clause> WorkingSoft;
+  WorkingSoft.reserve(Inst.Soft.size());
+  for (const SoftClause &S : Inst.Soft)
+    WorkingSoft.push_back(S.Lits);
+  std::vector<Clause> ExtraHard;
+  int NextVar = Inst.NumVars;
+  uint64_t Rounds = 0;
+
+  for (;;) {
+    // Build a fresh solver over the working formula. Each soft clause i is
+    // guarded by assumption literal A_i via the hard clause (C_i \/ ~A_i);
+    // assuming A_i enforces C_i, and a final conflict yields a core over
+    // the A_i, i.e., over soft clauses.
+    Solver S;
+    S.ensureVars(NextVar);
+    bool HardOk = true;
+    for (const Clause &C : Inst.Hard)
+      if (!S.addClause(C)) {
+        HardOk = false;
+        break;
+      }
+    if (HardOk)
+      for (const Clause &C : ExtraHard)
+        if (!S.addClause(C)) {
+          HardOk = false;
+          break;
+        }
+    if (!HardOk) {
+      Res.Status = MaxSatStatus::HardUnsat;
+      return Res;
+    }
+
+    std::vector<Lit> Assumptions;
+    std::vector<size_t> AssumptionSoftIdx;
+    std::vector<Var> AssumpVarOf(WorkingSoft.size(), NullVar);
+    bool GuardsOk = true;
+    for (size_t I = 0; I < WorkingSoft.size() && GuardsOk; ++I) {
+      Var A = S.newVar();
+      AssumpVarOf[I] = A;
+      Clause Guarded = WorkingSoft[I];
+      Guarded.push_back(mkLit(A, /*Negated=*/true));
+      GuardsOk = S.addClause(std::move(Guarded));
+      Assumptions.push_back(mkLit(A));
+      AssumptionSoftIdx.push_back(I);
+    }
+    if (!GuardsOk) {
+      // A guarded clause can only break the solver if hard clauses force
+      // both the guard... impossible since A is fresh; defensive only.
+      Res.Status = MaxSatStatus::HardUnsat;
+      return Res;
+    }
+
+    for (Var V : Inst.PreferTrue)
+      S.setPolarity(V, true);
+    if (ConflictBudget)
+      S.setConflictBudget(ConflictBudget);
+    ++Res.SatCalls;
+    LBool R = S.solve(Assumptions);
+
+    if (R == LBool::Undef) {
+      Res.Status = MaxSatStatus::Unknown;
+      return Res;
+    }
+    if (R == LBool::True) {
+      Res.Status = MaxSatStatus::Optimum;
+      Res.Model.resize(Inst.NumVars);
+      for (Var V = 0; V < Inst.NumVars; ++V)
+        Res.Model[V] = S.modelValue(V);
+      collectFalsifiedSoft(Inst, Res);
+      // Fu-Malik invariant: rounds of relaxation == optimal cost for
+      // unit weights.
+      assert(Res.FalsifiedSoft.size() == Rounds &&
+             "Fu-Malik cost does not match falsified soft clauses");
+      return Res;
+    }
+
+    // UNSAT: harvest the core over assumption literals.
+    std::vector<size_t> CoreSoft;
+    for (Lit FL : S.conflictCore()) {
+      // conflictCore holds assumption literals (possibly negated forms);
+      // map the variable back to its soft clause.
+      Var V = FL.var();
+      for (size_t I = 0; I < AssumpVarOf.size(); ++I)
+        if (AssumpVarOf[I] == V) {
+          CoreSoft.push_back(I);
+          break;
+        }
+    }
+    std::sort(CoreSoft.begin(), CoreSoft.end());
+    CoreSoft.erase(std::unique(CoreSoft.begin(), CoreSoft.end()),
+                   CoreSoft.end());
+
+    if (CoreSoft.empty()) {
+      // Conflict involves no soft clause: hard part is UNSAT.
+      Res.Status = MaxSatStatus::HardUnsat;
+      return Res;
+    }
+
+    // Relax: fresh r per core soft clause; exactly one r true.
+    ClauseSink Sink{
+        [&ExtraHard](Clause C) { ExtraHard.push_back(std::move(C)); },
+        [&NextVar]() { return NextVar++; }};
+    std::vector<Lit> Relax;
+    for (size_t I : CoreSoft) {
+      Lit RL = mkLit(NextVar++);
+      WorkingSoft[I].push_back(RL);
+      Relax.push_back(RL);
+    }
+    encodeExactlyOne(Relax, Sink);
+    ++Rounds;
+  }
+}

@@ -1,0 +1,142 @@
+//===- LinearSearch.cpp - Weighted MaxSAT by model-improving search ----------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+// SAT-UNSAT linear search: relax every soft clause with a fresh literal,
+// find any model, then repeatedly demand a strictly cheaper model through a
+// pseudo-Boolean bound until UNSAT; the last model is optimal. This is the
+// weighted engine behind the loop-diagnosis extension (paper Section 5.2),
+// whose soft selector weights alpha + eta - kappa prioritize early loop
+// iterations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "maxsat/MaxSat.h"
+
+#include "maxsat/Cardinality.h"
+#include "sat/Solver.h"
+
+#include <cassert>
+
+using namespace bugassist;
+
+namespace {
+
+/// The relaxed instance: soft clause i becomes hard (C_i \/ R_i).
+struct RelaxedInstance {
+  std::vector<Clause> Hard;
+  std::vector<Lit> RelaxLits;
+  std::vector<uint64_t> Weights;
+  int NumVars = 0;
+};
+
+RelaxedInstance relax(const MaxSatInstance &Inst) {
+  RelaxedInstance R;
+  R.Hard = Inst.Hard;
+  R.NumVars = Inst.NumVars;
+  for (const SoftClause &S : Inst.Soft) {
+    Lit RL = mkLit(R.NumVars++);
+    Clause C = S.Lits;
+    C.push_back(RL);
+    R.Hard.push_back(std::move(C));
+    // (~R \/ ~l) for each soft literal would make R equivalent to clause
+    // falsification; cheaper: one direction suffices for minimization (a
+    // model can always turn R off when the clause is satisfied), but we add
+    // the equivalence for unit soft clauses so reported costs are exact
+    // even before re-evaluation.
+    if (S.Lits.size() == 1)
+      R.Hard.push_back({~RL, ~S.Lits[0]});
+    R.RelaxLits.push_back(RL);
+    R.Weights.push_back(S.Weight);
+  }
+  return R;
+}
+
+uint64_t modelCost(const MaxSatInstance &Inst,
+                   const std::vector<LBool> &Model) {
+  uint64_t Cost = 0;
+  for (const SoftClause &S : Inst.Soft)
+    if (!clauseSatisfied(S.Lits, Model))
+      Cost += S.Weight;
+  return Cost;
+}
+
+} // namespace
+
+MaxSatResult bugassist::solveLinear(const MaxSatInstance &Inst,
+                                    uint64_t ConflictBudget) {
+  MaxSatResult Res;
+  RelaxedInstance R = relax(Inst);
+
+  std::vector<LBool> BestModel;
+  bool HaveModel = false;
+  uint64_t BestCost = 0;
+
+  for (;;) {
+    Solver S;
+    S.ensureVars(R.NumVars);
+    bool Ok = true;
+    for (const Clause &C : R.Hard)
+      if (!S.addClause(C)) {
+        Ok = false;
+        break;
+      }
+    int SinkVars = R.NumVars;
+    if (Ok && HaveModel) {
+      if (BestCost == 0)
+        break; // cannot improve on zero
+      ClauseSink Sink{[&S](Clause C) { S.addClause(std::move(C)); },
+                      [&S, &SinkVars]() {
+                        ++SinkVars;
+                        return S.newVar();
+                      }};
+      encodePbLeq(R.RelaxLits, R.Weights, BestCost - 1, Sink);
+      Ok = S.okay();
+    }
+
+    if (!Ok) {
+      if (HaveModel)
+        break; // previous model is optimal
+      Res.Status = MaxSatStatus::HardUnsat;
+      return Res;
+    }
+
+    for (Var V : Inst.PreferTrue)
+      S.setPolarity(V, true);
+    if (ConflictBudget)
+      S.setConflictBudget(ConflictBudget);
+    ++Res.SatCalls;
+    LBool SatRes = S.solve();
+    if (SatRes == LBool::Undef) {
+      Res.Status = MaxSatStatus::Unknown;
+      return Res;
+    }
+    if (SatRes == LBool::False) {
+      if (!HaveModel) {
+        Res.Status = MaxSatStatus::HardUnsat;
+        return Res;
+      }
+      break; // BestModel is optimal
+    }
+
+    std::vector<LBool> Model(Inst.NumVars);
+    for (Var V = 0; V < Inst.NumVars; ++V)
+      Model[V] = S.modelValue(V);
+    uint64_t Cost = modelCost(Inst, Model);
+    assert((!HaveModel || Cost < BestCost) &&
+           "linear search failed to improve");
+    BestModel = std::move(Model);
+    BestCost = Cost;
+    HaveModel = true;
+    if (BestCost == 0)
+      break;
+  }
+
+  Res.Status = MaxSatStatus::Optimum;
+  Res.Model = std::move(BestModel);
+  Res.Cost = BestCost;
+  for (size_t I = 0; I < Inst.Soft.size(); ++I)
+    if (!clauseSatisfied(Inst.Soft[I].Lits, Res.Model))
+      Res.FalsifiedSoft.push_back(I);
+  return Res;
+}

@@ -1,0 +1,86 @@
+//===- MaxSat.h - Partial MaxSAT interfaces ---------------------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Partial (weighted) MaxSAT: given hard clauses that must hold and soft
+/// clauses with weights, find an assignment satisfying all hard clauses
+/// that minimizes the total weight of falsified soft clauses. The paper
+/// (Section 3.3) uses this to compute CoMSSes -- minimal sets of clauses
+/// whose removal restores satisfiability -- which map to suspect program
+/// statements.
+///
+/// Two solvers are provided:
+///  * solveFuMalik: the unsatisfiable-core-guided algorithm of Fu & Malik
+///    [10], as engineered in MSUnCORE [21], the solver the paper used.
+///    Unweighted (treats every soft clause as weight 1).
+///  * solveLinear: weighted model-improving linear search with a
+///    pseudo-Boolean bound (sequential weighted counter); handles the
+///    weighted instances of the loop-diagnosis extension (paper Eq. 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_MAXSAT_MAXSAT_H
+#define BUGASSIST_MAXSAT_MAXSAT_H
+
+#include "cnf/Lit.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace bugassist {
+
+/// One soft clause with its violation weight.
+struct SoftClause {
+  Clause Lits;
+  uint64_t Weight = 1;
+};
+
+/// A partial MaxSAT instance. NumVars must cover every literal mentioned;
+/// solvers allocate relaxation variables above it.
+struct MaxSatInstance {
+  int NumVars = 0;
+  std::vector<Clause> Hard;
+  std::vector<SoftClause> Soft;
+  /// Branching hint: variables whose saved phase should start at true.
+  /// BugAssist passes the selector variables here, so the search departs
+  /// from "the program as written" instead of "every statement disabled".
+  std::vector<Var> PreferTrue;
+};
+
+enum class MaxSatStatus {
+  Optimum,   ///< optimal model found
+  HardUnsat, ///< hard clauses alone are inconsistent
+  Unknown    ///< resource budget exhausted
+};
+
+/// Result of a MaxSAT call. On Optimum, Model satisfies all hard clauses,
+/// Cost is the total weight of falsified soft clauses (provably minimal),
+/// and FalsifiedSoft lists their indices -- for BugAssist's encoding this is
+/// exactly the CoMSS (paper Section 3.3).
+struct MaxSatResult {
+  MaxSatStatus Status = MaxSatStatus::Unknown;
+  uint64_t Cost = 0;
+  std::vector<LBool> Model;
+  std::vector<size_t> FalsifiedSoft;
+  uint64_t SatCalls = 0;
+};
+
+/// Fu-Malik core-guided partial MaxSAT (unweighted; weights ignored).
+/// \p ConflictBudget bounds each underlying SAT call (0 = unlimited).
+MaxSatResult solveFuMalik(const MaxSatInstance &Inst,
+                          uint64_t ConflictBudget = 0);
+
+/// Weighted partial MaxSAT by SAT-UNSAT linear search over a PB bound.
+MaxSatResult solveLinear(const MaxSatInstance &Inst,
+                         uint64_t ConflictBudget = 0);
+
+/// Evaluates \p C under \p Model. Clauses with unassigned variables count
+/// as falsified only if no literal is true.
+bool clauseSatisfied(const Clause &C, const std::vector<LBool> &Model);
+
+} // namespace bugassist
+
+#endif // BUGASSIST_MAXSAT_MAXSAT_H

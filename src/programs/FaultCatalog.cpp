@@ -1,0 +1,53 @@
+//===- FaultCatalog.cpp - Error-type taxonomy (Table 2) ---------------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/FaultCatalog.h"
+
+using namespace bugassist;
+
+const char *bugassist::errorTypeName(ErrorType T) {
+  switch (T) {
+  case ErrorType::Op:
+    return "op";
+  case ErrorType::Const:
+    return "const";
+  case ErrorType::Assign:
+    return "assign";
+  case ErrorType::Code:
+    return "code";
+  case ErrorType::AddCode:
+    return "addcode";
+  case ErrorType::Init:
+    return "init";
+  case ErrorType::Index:
+    return "index";
+  case ErrorType::Branch:
+    return "branch";
+  }
+  return "?";
+}
+
+const char *bugassist::errorTypeDescription(ErrorType T) {
+  switch (T) {
+  case ErrorType::Op:
+    return "Wrong operator usage, e.g. <= instead of <";
+  case ErrorType::Const:
+    return "Wrong constant value supplied, e.g. off-by-one error";
+  case ErrorType::Assign:
+    return "Wrong assignment expression";
+  case ErrorType::Code:
+    return "Logical coding bug";
+  case ErrorType::AddCode:
+    return "Error due to extra code fragments";
+  case ErrorType::Init:
+    return "Wrong value initialization of a variable";
+  case ErrorType::Index:
+    return "Use of wrong array index";
+  case ErrorType::Branch:
+    return "Error in branching due to negation of branching condition";
+  }
+  return "?";
+}

@@ -1,0 +1,38 @@
+//===- FaultCatalog.h - Error-type taxonomy (Table 2) -----------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Table 2: the taxonomy of injected fault types used to label
+/// the TCAS versions of Table 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_PROGRAMS_FAULTCATALOG_H
+#define BUGASSIST_PROGRAMS_FAULTCATALOG_H
+
+namespace bugassist {
+
+/// Fault categories, exactly as in Table 2 of the paper.
+enum class ErrorType {
+  Op,      ///< wrong operator usage, e.g. <= instead of <
+  Const,   ///< wrong constant value supplied, e.g. off-by-one
+  Assign,  ///< wrong assignment expression
+  Code,    ///< logical coding bug
+  AddCode, ///< error due to extra code fragments
+  Init,    ///< wrong value initialization of a variable
+  Index,   ///< use of wrong array index
+  Branch   ///< negated / wrong branching condition
+};
+
+/// Short tag as printed in Table 1 ("op", "const", ...).
+const char *errorTypeName(ErrorType T);
+
+/// The Table 2 explanation string.
+const char *errorTypeDescription(ErrorType T);
+
+} // namespace bugassist
+
+#endif // BUGASSIST_PROGRAMS_FAULTCATALOG_H

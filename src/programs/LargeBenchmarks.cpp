@@ -1,0 +1,422 @@
+//===- LargeBenchmarks.cpp - Table 3 benchmark programs ----------------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+// Like TcasMutants.cpp, the faulty sources are produced by targeted
+// replacements on the correct sources so ground-truth fault lines are
+// computed, not hand-maintained.
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/LargeBenchmarks.h"
+
+#include <cassert>
+
+using namespace bugassist;
+
+namespace {
+
+uint32_t lineOfN(const std::string &Text, const std::string &Needle,
+                 int Occurrence) {
+  size_t Pos = 0;
+  for (int Hit = 0;; ++Hit) {
+    Pos = Text.find(Needle, Pos);
+    assert(Pos != std::string::npos && "fragment not found");
+    if (Hit + 1 == Occurrence)
+      break;
+    ++Pos;
+  }
+  uint32_t Line = 1;
+  for (size_t I = 0; I < Pos; ++I)
+    if (Text[I] == '\n')
+      ++Line;
+  return Line;
+}
+
+uint32_t lineOf(const std::string &Text, const std::string &Needle) {
+  return lineOfN(Text, Needle, 1);
+}
+
+std::string replaceOnce(const std::string &Text, const std::string &From,
+                        const std::string &To) {
+  size_t Pos = Text.find(From);
+  assert(Pos != std::string::npos && "fault fragment not found");
+  std::string Out = Text;
+  Out.replace(Pos, From.size(), To);
+  return Out;
+}
+
+std::set<uint32_t> lineRange(uint32_t Lo, uint32_t Hi) {
+  std::set<uint32_t> S;
+  for (uint32_t L = Lo; L <= Hi; ++L)
+    S.insert(L);
+  return S;
+}
+
+// --- tot_info ---------------------------------------------------------------------
+//
+// Contingency-table information statistic over a 3x4 table of counts in
+// [0, 9] (the assumes keep 16-bit arithmetic exact). The fault drops
+// low-expectation cells from the statistic.
+
+const char *TotInfoSource = R"(int table[12];
+int rowtot[3];
+int coltot[4];
+int rowmean[3];
+int grandtot;
+int info;
+void compute_totals() {
+  int r = 0;
+  while (r < 3) {
+    int c = 0;
+    while (c < 4) {
+      int v = table[r * 4 + c];
+      rowtot[r] = rowtot[r] + v;
+      coltot[c] = coltot[c] + v;
+      grandtot = grandtot + v;
+      c = c + 1;
+    }
+    r = r + 1;
+  }
+}
+void compute_means() {
+  int r = 0;
+  while (r < 3) {
+    rowmean[r] = rowtot[r] * 100 / 4;
+    r = r + 1;
+  }
+}
+void compute_info() {
+  info = 0;
+  int r = 0;
+  while (r < 3) {
+    int c = 0;
+    while (c < 4) {
+      int expct = rowtot[r] * coltot[c] / grandtot;
+      if (expct > 0) {
+        int d = table[r * 4 + c] - expct;
+        info = info + d * d;
+      }
+      c = c + 1;
+    }
+    r = r + 1;
+  }
+}
+int main(int t[12]) {
+  int k = 0;
+  while (k < 12) {
+    assume(t[k] >= 0 && t[k] <= 9);
+    table[k] = t[k];
+    k = k + 1;
+  }
+  compute_totals();
+  compute_means();
+  if (grandtot == 0)
+    return 0;
+  compute_info();
+  return info;
+}
+)";
+
+LargeBenchmark makeTotInfo() {
+  LargeBenchmark B;
+  B.Name = "tot_info";
+  B.CorrectSource = TotInfoSource;
+  const char *From = "if (expct > 0) {";
+  B.FaultySource = replaceOnce(B.CorrectSource, From, "if (expct > 1) {");
+  B.BugLines = {lineOf(B.CorrectSource, From)};
+  // The statistic core (compute_info) is the code under test; totals are
+  // the trusted substrate in the CS row.
+  B.TrustedFunctions = {"compute_totals"};
+  // A table with several expct == 1 cells so the threshold matters:
+  // sparse counts around one heavy row.
+  B.FailingInput = {InputValue::array({3, 1, 0, 1, //
+                                       1, 4, 1, 0, //
+                                       0, 1, 2, 1})};
+  B.MaxLoopUnwind = 13;
+  B.MaxInlineDepth = 4;
+  // CBMC-style unwindset: the row/column loops run 3 / 4 times; only the
+  // input-copy loop needs the deep bound.
+  const std::string &Src = B.CorrectSource;
+  B.LoopUnwindByLine[lineOfN(Src, "while (r < 3)", 1)] = 4;
+  B.LoopUnwindByLine[lineOfN(Src, "while (r < 3)", 2)] = 4;
+  B.LoopUnwindByLine[lineOfN(Src, "while (r < 3)", 3)] = 4;
+  B.LoopUnwindByLine[lineOfN(Src, "while (c < 4)", 1)] = 5;
+  B.LoopUnwindByLine[lineOfN(Src, "while (c < 4)", 2)] = 5;
+  uint32_t MainLine = lineOf(Src, "int main(");
+  B.HardLines = lineRange(MainLine, MainLine + 6); // the input-copy loop
+  return B;
+}
+
+// --- print_tokens ------------------------------------------------------------------
+//
+// Recursive tokenizer: skip_blanks() walks blanks (code 0) by recursion,
+// next_token() classifies the character under the cursor. The driver sums
+// weighted token classes; the fault gives identifiers the wrong weight.
+// Character codes: 0 blank, 1..9 digit, 10..35 letter, else operator.
+
+const char *PrintTokensSource = R"(int input[16];
+int cursor;
+void skip_blanks() {
+  if (cursor < 16 && input[cursor] == 0) {
+    cursor = cursor + 1;
+    skip_blanks();
+  }
+}
+int next_token() {
+  skip_blanks();
+  if (cursor >= 16)
+    return 0;
+  int ch = input[cursor];
+  cursor = cursor + 1;
+  if (ch >= 1 && ch <= 9)
+    return 2;
+  if (ch >= 10 && ch <= 35)
+    return 1;
+  return 3;
+}
+int main(int inp[16]) {
+  int k = 0;
+  while (k < 16) {
+    input[k] = inp[k];
+    k = k + 1;
+  }
+  cursor = 0;
+  int sum = 0;
+  int n = 0;
+  while (n < 8) {
+    int t = next_token();
+    if (t == 1)
+      sum = sum + 2;
+    if (t == 2)
+      sum = sum + 10;
+    if (t == 3)
+      sum = sum + 100;
+    n = n + 1;
+  }
+  return sum;
+}
+)";
+
+LargeBenchmark makePrintTokens() {
+  LargeBenchmark B;
+  B.Name = "print_tokens";
+  // The CORRECT weight for identifiers is 1; the shipped driver uses 2.
+  B.CorrectSource = replaceOnce(PrintTokensSource, "sum = sum + 2;",
+                                "sum = sum + 1;");
+  B.FaultySource = PrintTokensSource;
+  B.BugLines = {lineOf(PrintTokensSource, "sum = sum + 2;")};
+  B.TrustedFunctions = {"skip_blanks", "next_token"};
+  // Blanks interleaved with identifiers/digits/operators: exercises the
+  // recursion and all three token classes.
+  B.FailingInput = {InputValue::array({0, 12, 0, 0, 5, 40, 0, 20, //
+                                       0, 0, 7, 15, 0, 41, 3, 0})};
+  B.MaxLoopUnwind = 17;
+  B.MaxInlineDepth = 18; // skip_blanks can recurse across all 16 cells
+  const std::string &Src = B.FaultySource;
+  B.LoopUnwindByLine[lineOf(Src, "while (k < 16)")] = 17; // input copy
+  B.LoopUnwindByLine[lineOf(Src, "while (n < 8)")] = 9;   // token loop
+  uint32_t MainLine = lineOf(Src, "int main(");
+  B.HardLines = lineRange(MainLine, MainLine + 5); // input-copy loop
+  return B;
+}
+
+// --- schedule ----------------------------------------------------------------------
+//
+// Two-level priority scheduler driven by an op string (0 halts; the
+// default atom value, so ddmin shrinks the trace). Queues are stacks;
+// pids are the op indices. flush_all drains both queues into the
+// `finished` checksum -- with the classic off-by-one leaving one process
+// behind.
+
+const char *ScheduleSource = R"(int queue0[5];
+int queue1[5];
+int len0;
+int len1;
+int finished;
+void enqueue(int prio, int pid) {
+  if (prio == 1) {
+    if (len1 < 5) {
+      queue1[len1] = pid;
+      len1 = len1 + 1;
+    }
+  } else {
+    if (len0 < 5) {
+      queue0[len0] = pid;
+      len0 = len0 + 1;
+    }
+  }
+}
+int dequeue_high() {
+  if (len1 > 0) {
+    len1 = len1 - 1;
+    return queue1[len1];
+  }
+  if (len0 > 0) {
+    len0 = len0 - 1;
+    return queue0[len0];
+  }
+  return -1;
+}
+void flush_all() {
+  int n = len0 + len1 - 1;
+  int i = 0;
+  while (i < n) {
+    finished = finished + dequeue_high();
+    i = i + 1;
+  }
+}
+int main(int ops[8]) {
+  int k = 0;
+  bool halted = false;
+  while (k < 8 && !halted) {
+    int op = ops[k];
+    assume(op >= 0 && op <= 4);
+    if (op == 0)
+      halted = true;
+    if (op == 1)
+      enqueue(0, k + 1);
+    if (op == 2)
+      enqueue(1, k + 1);
+    if (op == 3)
+      finished = finished + dequeue_high();
+    if (op == 4)
+      flush_all();
+    k = k + 1;
+  }
+  flush_all();
+  return finished;
+}
+)";
+
+LargeBenchmark makeSchedule() {
+  LargeBenchmark B;
+  B.Name = "schedule";
+  const char *Fault = "int n = len0 + len1 - 1;";
+  B.CorrectSource = replaceOnce(ScheduleSource, Fault, "int n = len0 + len1;");
+  B.FaultySource = ScheduleSource;
+  B.BugLines = {lineOf(ScheduleSource, Fault)};
+  // enqueue two, run one, enqueue more, final flush leaves one behind.
+  B.FailingInput = {InputValue::array({1, 2, 3, 1, 2, 1, 0, 0})};
+  B.MaxLoopUnwind = 11;
+  B.MaxInlineDepth = 4;
+  const std::string &Src = B.FaultySource;
+  B.LoopUnwindByLine[lineOf(Src, "while (k < 8 && !halted)")] = 9;
+  B.LoopUnwindByLine[lineOf(Src, "while (i < n)")] = 11; // <= 10 enqueues
+  B.HardLines = {};
+  return B;
+}
+
+// --- schedule2 --------------------------------------------------------------------
+//
+// Three-queue variant with promote ops; the fault promotes from the low
+// queue straight to the top queue, skipping the middle level.
+
+const char *Schedule2Source = R"(int q0[6];
+int q1[6];
+int q2[6];
+int n0;
+int n1;
+int n2;
+int done;
+void add_proc(int prio, int pid) {
+  if (prio == 2 && n2 < 6) {
+    q2[n2] = pid;
+    n2 = n2 + 1;
+  }
+  if (prio == 1 && n1 < 6) {
+    q1[n1] = pid;
+    n1 = n1 + 1;
+  }
+  if (prio == 0 && n0 < 6) {
+    q0[n0] = pid;
+    n0 = n0 + 1;
+  }
+}
+void promote_low() {
+  if (n0 > 0) {
+    n0 = n0 - 1;
+    add_proc(2, q0[n0]);
+  }
+}
+int run_one() {
+  if (n2 > 0) {
+    n2 = n2 - 1;
+    return q2[n2];
+  }
+  if (n1 > 0) {
+    n1 = n1 - 1;
+    return q1[n1];
+  }
+  if (n0 > 0) {
+    n0 = n0 - 1;
+    return q0[n0];
+  }
+  return -1;
+}
+int main(int ops[10]) {
+  int k = 0;
+  bool halted = false;
+  while (k < 10 && !halted) {
+    int op = ops[k];
+    assume(op >= 0 && op <= 4);
+    if (op == 0)
+      halted = true;
+    if (op == 1)
+      add_proc(0, k + 1);
+    if (op == 2)
+      add_proc(1, k + 1);
+    if (op == 3)
+      promote_low();
+    if (op == 4)
+      done = done * 2 + run_one();
+    k = k + 1;
+  }
+  return done;
+}
+)";
+
+LargeBenchmark makeSchedule2() {
+  LargeBenchmark B;
+  B.Name = "schedule2";
+  const char *Fault = "add_proc(2, q0[n0]);";
+  B.CorrectSource = replaceOnce(Schedule2Source, Fault, "add_proc(1, q0[n0]);");
+  B.FaultySource = Schedule2Source;
+  B.BugLines = {lineOf(Schedule2Source, Fault)};
+  // Promote must race a middle-priority process: add low p1, promote it,
+  // then add p3 at mid priority. Correctly promoted, p1 sits under p3 in
+  // q1 and runs second; wrongly promoted to q2 it runs first, flipping
+  // the run order and the checksum.
+  B.FailingInput = {InputValue::array({1, 3, 2, 4, 4, 0, 0, 0, 0, 0})};
+  B.MaxLoopUnwind = 11;
+  B.MaxInlineDepth = 4;
+  B.LoopUnwindByLine[lineOf(B.FaultySource,
+                            "while (k < 10 && !halted)")] = 11;
+  B.HardLines = {};
+  return B;
+}
+
+std::vector<LargeBenchmark> buildAll() {
+  std::vector<LargeBenchmark> Bs;
+  Bs.push_back(makeTotInfo());
+  Bs.push_back(makePrintTokens());
+  Bs.push_back(makeSchedule());
+  Bs.push_back(makeSchedule2());
+  return Bs;
+}
+
+} // namespace
+
+const std::vector<LargeBenchmark> &bugassist::largeBenchmarks() {
+  static const std::vector<LargeBenchmark> All = buildAll();
+  return All;
+}
+
+const LargeBenchmark &bugassist::largeBenchmark(const std::string &Name) {
+  for (const LargeBenchmark &B : largeBenchmarks())
+    if (B.Name == Name)
+      return B;
+  assert(false && "unknown benchmark");
+  static LargeBenchmark Empty;
+  return Empty;
+}

@@ -1,0 +1,74 @@
+//===- LargeBenchmarks.h - Table 3 benchmark programs -----------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analogs of the four larger Siemens programs of Section 6.2 / Table 3,
+/// each with one injected fault and the trace-reduction recipe the paper
+/// applied to it:
+///
+///  * tot_info  -- nested-loop contingency-table statistic with integer
+///                 division; fault: threshold constant; reduction S
+///                 (static slicing), plus a CS row (concretize + slice).
+///  * print_tokens -- recursive tokenizer (`skip_blanks` recursion inlined
+///                 8+ deep, like the paper's 8 unwindings); fault: token
+///                 weighting constant in the driver; reduction C
+///                 (concolic concretization of the trusted tokenizer).
+///  * schedule  -- two-level priority scheduler driven by an op string;
+///                 fault: off-by-one in the flush count; reduction D+S
+///                 (ddmin input minimization, then slicing). Table 3 runs
+///                 it at two input scales (rows 3 and 4).
+///  * schedule2 -- three-queue variant with promote/demote ops; fault:
+///                 promotion targets the wrong queue; reduction S.
+///
+/// The Siemens sources are not redistributable; these preserve the shape
+/// that matters for the experiment: loop/recursion structure, array state,
+/// input-dependent trace length, and a single realistic fault.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_PROGRAMS_LARGEBENCHMARKS_H
+#define BUGASSIST_PROGRAMS_LARGEBENCHMARKS_H
+
+#include "interp/Interpreter.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace bugassist {
+
+/// One Table 3 benchmark: correct + faulty source and experiment recipe.
+struct LargeBenchmark {
+  std::string Name;
+  std::string CorrectSource;
+  std::string FaultySource;
+  /// Ground-truth fault lines.
+  std::vector<uint32_t> BugLines;
+  /// Functions to trust/concretize for the "C" reduction (may be empty).
+  std::set<std::string> TrustedFunctions;
+  /// A failure-inducing input (faulty output != correct output).
+  InputVector FailingInput;
+  /// Loop-unwind bound sufficient for FailingInput's trace.
+  int MaxLoopUnwind = 16;
+  /// Tighter per-loop bounds (CBMC-style unwindset), keyed by loop line.
+  std::map<uint32_t, int> LoopUnwindByLine;
+  /// Recursion-inline bound sufficient for FailingInput's trace.
+  int MaxInlineDepth = 8;
+  /// Lines of the harness (input copies) that are never suspects.
+  std::set<uint32_t> HardLines;
+};
+
+/// The four benchmarks: tot_info, print_tokens, schedule, schedule2.
+const std::vector<LargeBenchmark> &largeBenchmarks();
+
+/// Looks a benchmark up by name; asserts it exists.
+const LargeBenchmark &largeBenchmark(const std::string &Name);
+
+} // namespace bugassist
+
+#endif // BUGASSIST_PROGRAMS_LARGEBENCHMARKS_H

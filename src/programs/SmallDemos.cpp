@@ -1,0 +1,106 @@
+//===- SmallDemos.cpp - The paper's inline example programs -----------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/SmallDemos.h"
+
+using namespace bugassist;
+
+const std::string &bugassist::program1Source() {
+  static const std::string Source = R"(int Array[3];
+int main(int index) {
+  if (index != 1)
+    index = 2;
+  else
+    index = index + 2;
+  int i = index;
+  assert(i >= 0 && i < 3);
+  return Array[i];
+}
+)";
+  return Source;
+}
+
+uint32_t bugassist::program1BugLine() { return 6; }
+
+const std::string &bugassist::program2Source() {
+  // Mini-C rendition of the paper's Program 2. Strings are int arrays
+  // (0-terminated); strncat_arr appends up to n characters of src to dest
+  // and, like the C library routine, writes the terminating 0 one slot
+  // past the appended characters -- the documented strncat trap [22].
+  // MyFunCopy's buffer has SIZE = 8 slots, so the last argument must be
+  // SIZE - 1 = 7; the buggy call passes 8 (line 21).
+  static const std::string Source = R"(int SRCLEN;
+void strncat_arr(int dest[8], int src[8], int n) {
+  int d = 0;
+  while (d < 8 && dest[d] != 0)
+    d = d + 1;
+  int k = 0;
+  bool stop = false;
+  while (k < n && !stop) {
+    int ch = src[k];
+    dest[d + k] = ch;
+    if (ch == 0)
+      stop = true;
+    k = k + 1;
+  }
+  if (!stop)
+    dest[d + n] = 0;
+}
+int main(int c0, int c1, int c2, int c3, int c4, int c5, int c6, int c7) {
+  int buf[8];
+  int s[8];
+  s[0] = c0; s[1] = c1; s[2] = c2; s[3] = c3;
+  s[4] = c4; s[5] = c5; s[6] = c6; s[7] = c7;
+  strncat_arr(buf, s, 8);
+  return buf[0];
+}
+)";
+  return Source;
+}
+
+uint32_t bugassist::program2BugLine() { return 23; }
+
+const char *bugassist::program2LibraryFunction() { return "strncat_arr"; }
+
+std::set<uint32_t> bugassist::program2HardLines() { return {21, 22}; }
+
+const std::string &bugassist::program3Source() {
+  static const std::string Source = R"(int main() {
+  int val = 50;
+  int i = 1;
+  int v = 0;
+  int res = 0;
+  while (v < val) {
+    v = v + 2 * i + 1;
+    i = i + 1;
+  }
+  res = i;
+  assert(res * res <= val && (res + 1) * (res + 1) > val);
+  return res;
+}
+)";
+  return Source;
+}
+
+uint32_t bugassist::program3BugLine() { return 10; }
+
+const std::string &bugassist::program3FixedSource() {
+  static const std::string Source = R"(int main() {
+  int val = 50;
+  int i = 1;
+  int v = 0;
+  int res = 0;
+  while (v < val) {
+    v = v + 2 * i + 1;
+    i = i + 1;
+  }
+  res = i - 1;
+  assert(res * res <= val && (res + 1) * (res + 1) > val);
+  return res;
+}
+)";
+  return Source;
+}

@@ -1,0 +1,52 @@
+//===- SmallDemos.h - The paper's inline example programs -------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mini-C sources for the three programs printed in the paper:
+///  * Program 1 (Section 2): the motivating `testme` example with the
+///    out-of-bounds index bug;
+///  * Program 2 (Section 6.3): the strncat off-by-one, rebuilt with
+///    arrays+indices since mini-C has no pointers -- the library still
+///    writes the terminator one slot past the copied length;
+///  * Program 3 (Section 6.4): the nearest-integer square root with the
+///    `res = i` bug whose diagnosis needs loop-iteration analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_PROGRAMS_SMALLDEMOS_H
+#define BUGASSIST_PROGRAMS_SMALLDEMOS_H
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+namespace bugassist {
+
+/// Program 1: `testme` with the bug on line 6 (`index = index + 2`).
+/// Entry: main(int index); implicit bounds assertion on the dereference.
+const std::string &program1Source();
+/// Line of the injected fault in Program 1.
+uint32_t program1BugLine();
+
+/// Program 2: array-based strncat misuse; the call site passes SIZE
+/// instead of SIZE-1 (fault line returned by program2BugLine()).
+const std::string &program2Source();
+uint32_t program2BugLine();
+/// Name of the trusted library routine (`strncat_arr`).
+const char *program2LibraryFunction();
+/// Harness lines of Program 2 (the input-string setup in main); marked
+/// hard so localization/repair cannot "fix" the test fixture itself.
+std::set<uint32_t> program2HardLines();
+
+/// Program 3: squareroot with `res = i` instead of `res = i - 1`.
+const std::string &program3Source();
+uint32_t program3BugLine();
+/// The fixed variant (res = i - 1), for differential tests.
+const std::string &program3FixedSource();
+
+} // namespace bugassist
+
+#endif // BUGASSIST_PROGRAMS_SMALLDEMOS_H

@@ -1,0 +1,204 @@
+//===- Tcas.cpp - TCAS collision-avoidance benchmark -------------------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+// Line numbers are load-bearing: TcasMutants.cpp refers to them as ground
+// truth and the Table 1 bench checks reported lines against them. Keep one
+// statement per line and do not reflow.
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Tcas.h"
+
+using namespace bugassist;
+
+const std::string &bugassist::tcasSource() {
+  static const std::string Source = R"(int Cur_Vertical_Sep;
+bool High_Confidence;
+bool Two_of_Three_Reports_Valid;
+int Own_Tracked_Alt;
+int Own_Tracked_Alt_Rate;
+int Other_Tracked_Alt;
+int Alt_Layer_Value;
+int Up_Separation;
+int Down_Separation;
+int Other_RAC;
+int Other_Capability;
+bool Climb_Inhibit;
+int Positive_RA_Alt_Thresh[4];
+void initialize() {
+  Positive_RA_Alt_Thresh[0] = 400;
+  Positive_RA_Alt_Thresh[1] = 500;
+  Positive_RA_Alt_Thresh[2] = 640;
+  Positive_RA_Alt_Thresh[3] = 740;
+}
+int ALIM() {
+  return Positive_RA_Alt_Thresh[Alt_Layer_Value];
+}
+int Inhibit_Biased_Climb() {
+  return Climb_Inhibit ? Up_Separation + 100 : Up_Separation;
+}
+bool Own_Below_Threat() {
+  return Own_Tracked_Alt < Other_Tracked_Alt;
+}
+bool Own_Above_Threat() {
+  return Other_Tracked_Alt < Own_Tracked_Alt;
+}
+bool Non_Crossing_Biased_Climb() {
+  bool upward_preferred = Inhibit_Biased_Climb() > Down_Separation;
+  bool result;
+  if (upward_preferred)
+    result = !Own_Below_Threat() || (Own_Below_Threat() && !(Down_Separation >= ALIM()));
+  else
+    result = Own_Above_Threat() && (Cur_Vertical_Sep >= 300) && (Up_Separation >= ALIM());
+  return result;
+}
+bool Non_Crossing_Biased_Descend() {
+  bool upward_preferred = Inhibit_Biased_Climb() > Down_Separation;
+  bool result;
+  if (upward_preferred)
+    result = Own_Below_Threat() && (Cur_Vertical_Sep >= 300) && (Down_Separation >= ALIM());
+  else
+    result = !Own_Above_Threat() || (Own_Above_Threat() && (Up_Separation >= ALIM()));
+  return result;
+}
+int alt_sep_test() {
+  bool enabled = High_Confidence && (Own_Tracked_Alt_Rate <= 600) && (Cur_Vertical_Sep > 600);
+  bool tcas_equipped = Other_Capability == 1;
+  bool intent_not_known = Two_of_Three_Reports_Valid && (Other_RAC == 0);
+  int alt_sep = 0;
+  if (enabled && ((tcas_equipped && intent_not_known) || !tcas_equipped)) {
+    bool need_upward_RA = Non_Crossing_Biased_Climb() && Own_Below_Threat();
+    bool need_downward_RA = Non_Crossing_Biased_Descend() && Own_Above_Threat();
+    if (need_upward_RA && need_downward_RA)
+      alt_sep = 0;
+    else if (need_upward_RA)
+      alt_sep = 1;
+    else if (need_downward_RA)
+      alt_sep = 2;
+    else
+      alt_sep = 0;
+  }
+  return alt_sep;
+}
+int main(int cvs, bool hc, bool ttrv, int ota, int otar, int otra, int alv, int us, int ds, int orac, int ocap, bool ci) {
+  Cur_Vertical_Sep = cvs;
+  High_Confidence = hc;
+  Two_of_Three_Reports_Valid = ttrv;
+  Own_Tracked_Alt = ota;
+  Own_Tracked_Alt_Rate = otar;
+  Other_Tracked_Alt = otra;
+  Alt_Layer_Value = alv;
+  Up_Separation = us;
+  Down_Separation = ds;
+  Other_RAC = orac;
+  Other_Capability = ocap;
+  Climb_Inhibit = ci;
+  initialize();
+  return alt_sep_test();
+}
+)";
+  return Source;
+}
+
+int bugassist::tcasInputArity() { return 12; }
+
+InputVector bugassist::randomTcasInput(Rng &R) {
+  // Threshold-biased sampling: separations hover around the ALIM table
+  // values and the NOZCROSS bias (100), vertical separation around the
+  // 300 / 600 decision points, so the conditional structure is exercised
+  // in both directions -- the property the Siemens pool was designed for.
+  auto NearThreshold = [&R](int64_t Threshold) {
+    // One draw in six lands exactly on the threshold: boundary mutants
+    // (<= vs <, >= vs >) need equality witnesses to be distinguishable.
+    return R.chance(1, 6) ? Threshold : Threshold + R.range(-150, 150);
+  };
+  static const int64_t AlimValues[4] = {400, 500, 640, 740};
+
+  int64_t Alv = R.range(0, 3);
+  int64_t Alim = AlimValues[Alv];
+
+  int64_t Cvs;
+  if (R.chance(1, 12))
+    Cvs = 300; // MINSEP boundary
+  else if (R.chance(1, 2))
+    Cvs = NearThreshold(600);
+  else
+    Cvs = R.range(0, 1600);
+  if (Cvs < 0)
+    Cvs = 0;
+
+  int64_t Up = R.chance(2, 3) ? NearThreshold(Alim) : R.range(0, 1200);
+  if (Up < 0)
+    Up = 0;
+  int64_t Down;
+  if (R.chance(1, 6))
+    Down = Alim; // threshold equality for the >= / > mutants
+  else if (R.chance(1, 6))
+    Down = Up; // exact tie in the climb-inhibit comparison
+  else if (R.chance(1, 12))
+    Down = Up + 100; // tie after the NOZCROSS bias
+  else if (R.chance(1, 3))
+    Down = Up + R.range(-120, 120);
+  else
+    Down = R.chance(2, 3) ? NearThreshold(Alim) : R.range(0, 1200);
+  if (Down < 0)
+    Down = 0;
+
+  int64_t OwnAlt = R.range(1000, 9000);
+  int64_t OtherAlt;
+  if (R.chance(1, 10))
+    OtherAlt = OwnAlt; // equal-altitude witness for the threat mutants
+  else if (R.chance(1, 3))
+    OtherAlt = OwnAlt + R.range(-50, 50);
+  else
+    OtherAlt = R.range(1000, 9000);
+
+  int64_t Otar =
+      R.chance(1, 6) ? 600
+                     : (R.chance(4, 5) ? R.range(0, 600) : R.range(601, 900));
+
+  return {
+      InputValue::scalar(Cvs),
+      InputValue::scalar(R.chance(4, 5) ? 1 : 0), // High_Confidence
+      InputValue::scalar(R.chance(3, 4) ? 1 : 0), // Two_of_Three_Reports
+      InputValue::scalar(OwnAlt),
+      InputValue::scalar(Otar),
+      InputValue::scalar(OtherAlt),
+      InputValue::scalar(Alv),
+      InputValue::scalar(Up),
+      InputValue::scalar(Down),
+      InputValue::scalar(R.range(0, 2)), // Other_RAC
+      InputValue::scalar(R.range(1, 2)), // Other_Capability
+      InputValue::scalar(R.chance(1, 2) ? 1 : 0), // Climb_Inhibit
+  };
+}
+
+std::vector<InputVector> bugassist::tcasTestPool(size_t Count, uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<InputVector> Pool;
+  Pool.reserve(Count);
+  for (size_t I = 0; I < Count; ++I)
+    Pool.push_back(randomTcasInput(R));
+  return Pool;
+}
+
+ExecOptions bugassist::tcasExecOptions() {
+  ExecOptions O;
+  O.BitWidth = 16;
+  O.CheckArrayBounds = false; // spec is the golden output, as in Section 6.1
+  O.CheckDivByZero = false;
+  return O;
+}
+
+UnrollOptions bugassist::tcasUnrollOptions() {
+  UnrollOptions O;
+  O.BitWidth = 16;
+  O.CheckArrayBounds = false;
+  // main() spans lines 69..84: the input-copy harness, the initialize()
+  // call, and the top-level return. The statements of initialize() itself
+  // (lines 15-18) remain soft -- the init-fault versions live there.
+  for (uint32_t Line = 69; Line <= 84; ++Line)
+    O.HardLines.insert(Line);
+  return O;
+}

@@ -1,0 +1,61 @@
+//===- Tcas.h - TCAS collision-avoidance benchmark --------------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A mini-C re-implementation of the Siemens-suite TCAS task (the aircraft
+/// Traffic Collision Avoidance System altitude-separation logic of
+/// Hutchins et al. [15]) -- the Section 6.1 benchmark. The Siemens
+/// distribution itself is not redistributable, so the logic is rebuilt
+/// from the published algorithm; behaviour (12 inputs, one resolution
+/// advisory output: 0 = UNRESOLVED, 1 = UPWARD_RA, 2 = DOWNWARD_RA)
+/// matches the original.
+///
+/// The seeded test-pool generator reproduces the paper's methodology:
+/// golden outputs come from running this correct version, faulty versions
+/// (see TcasMutants.h) are judged against them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_PROGRAMS_TCAS_H
+#define BUGASSIST_PROGRAMS_TCAS_H
+
+#include "bmc/Unroller.h"
+#include "interp/Interpreter.h"
+#include "support/Rng.h"
+
+#include <string>
+#include <vector>
+
+namespace bugassist {
+
+/// Mini-C source of the correct TCAS program. Entry point is `main` with
+/// the 12 canonical inputs.
+const std::string &tcasSource();
+
+/// Number of entry parameters (12).
+int tcasInputArity();
+
+/// Draws one plausible TCAS input. Values are biased toward the decision
+/// thresholds (300/600/ALIM table entries) so the pool discriminates
+/// between versions, mirroring the Siemens suite's designed test pool.
+InputVector randomTcasInput(Rng &R);
+
+/// The seeded pool of \p Count tests (the paper's suite has 1600).
+std::vector<InputVector> tcasTestPool(size_t Count, uint64_t Seed = 20110601);
+
+/// Interpreter options the TCAS experiments use everywhere (16-bit words,
+/// unchecked array bounds: the spec is the golden output, as in the paper).
+ExecOptions tcasExecOptions();
+
+/// Unroll options for TCAS localization: 16-bit words, bounds checks off,
+/// and main's input-copy harness lines marked hard (the paper's CBMC
+/// harness pins the parsed inputs as part of [[test]], so harness lines
+/// are never suspects).
+UnrollOptions tcasUnrollOptions();
+
+} // namespace bugassist
+
+#endif // BUGASSIST_PROGRAMS_TCAS_H

@@ -1,0 +1,306 @@
+//===- TcasMutants.cpp - The 41 faulty TCAS versions ------------------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/TcasMutants.h"
+
+#include "programs/Tcas.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace bugassist;
+
+namespace {
+
+/// One textual replacement: the Occurrence-th match of From becomes To.
+/// "AddCode" faults append statements to the line by setting To to
+/// From + extra text, keeping every line number stable.
+struct Replacement {
+  const char *From;
+  const char *To;
+  int Occurrence = 1;
+};
+
+/// \returns the 1-based line of the Occurrence-th match of \p Needle.
+uint32_t lineOfMatch(const std::string &Text, const std::string &Needle,
+                     int Occurrence) {
+  size_t Pos = 0;
+  for (int Hit = 0;; ++Hit) {
+    Pos = Text.find(Needle, Pos);
+    assert(Pos != std::string::npos && "mutation fragment not found");
+    if (Hit + 1 == Occurrence)
+      break;
+    ++Pos;
+  }
+  uint32_t Line = 1;
+  for (size_t I = 0; I < Pos; ++I)
+    if (Text[I] == '\n')
+      ++Line;
+  return Line;
+}
+
+std::string replaceOccurrence(const std::string &Text,
+                              const std::string &From, const std::string &To,
+                              int Occurrence) {
+  size_t Pos = 0;
+  for (int Hit = 0;; ++Hit) {
+    Pos = Text.find(From, Pos);
+    assert(Pos != std::string::npos && "mutation fragment not found");
+    if (Hit + 1 == Occurrence)
+      break;
+    ++Pos;
+  }
+  std::string Out = Text;
+  Out.replace(Pos, From.size(), To);
+  return Out;
+}
+
+TcasMutant makeMutant(int Version, ErrorType Type,
+                      std::initializer_list<Replacement> Repls,
+                      const char *Description) {
+  const std::string &Base = tcasSource();
+  TcasMutant M;
+  M.Version = Version;
+  M.Type = Type;
+  M.ErrorCount = static_cast<int>(Repls.size());
+  M.Description = Description;
+  M.Source = Base;
+  for (const Replacement &R : Repls) {
+    M.BugLines.push_back(lineOfMatch(Base, R.From, R.Occurrence));
+    M.Source = replaceOccurrence(M.Source, R.From, R.To, R.Occurrence);
+  }
+  std::sort(M.BugLines.begin(), M.BugLines.end());
+  return M;
+}
+
+std::vector<TcasMutant> buildMutants() {
+  std::vector<TcasMutant> Ms;
+
+  Ms.push_back(makeMutant(
+      1, ErrorType::Op,
+      {{"Own_Tracked_Alt_Rate <= 600", "Own_Tracked_Alt_Rate < 600"}},
+      "enabled boundary: <= 600 weakened to < 600"));
+  Ms.push_back(makeMutant(
+      2, ErrorType::Const,
+      {{"Up_Separation + 100", "Up_Separation + 300"}},
+      "Figure 2 fault: NOZCROSS bias 100 -> 300 in Inhibit_Biased_Climb"));
+  Ms.push_back(makeMutant(
+      3, ErrorType::Op,
+      {{"!(Down_Separation >= ALIM())", "!(Down_Separation > ALIM())"}},
+      "climb threshold: >= weakened to >"));
+  Ms.push_back(makeMutant(
+      4, ErrorType::Op,
+      {{"Cur_Vertical_Sep > 600", "Cur_Vertical_Sep >= 600"}},
+      "enabled boundary: > 600 strengthened to >= 600"));
+  Ms.push_back(makeMutant(5, ErrorType::Assign,
+                          {{"alt_sep = 1;", "alt_sep = 2;"}},
+                          "upward advisory assigned the downward code"));
+  Ms.push_back(makeMutant(
+      6, ErrorType::Op,
+      {{"Inhibit_Biased_Climb() > Down_Separation",
+        "Inhibit_Biased_Climb() >= Down_Separation", 1}},
+      "upward_preferred tie broken the wrong way in Climb"));
+  Ms.push_back(makeMutant(
+      7, ErrorType::Const,
+      {{"Other_RAC == 0", "Other_RAC == 1"}},
+      "intent_not_known compares against the wrong RAC code"));
+  Ms.push_back(makeMutant(
+      8, ErrorType::Const,
+      {{"Cur_Vertical_Sep > 600", "Cur_Vertical_Sep > 500"}},
+      "MAXALTDIFF 600 -> 500 in the enabled test"));
+  Ms.push_back(makeMutant(
+      9, ErrorType::Op,
+      {{"Own_Tracked_Alt < Other_Tracked_Alt",
+        "Own_Tracked_Alt <= Other_Tracked_Alt"}},
+      "Own_Below_Threat: < weakened to <="));
+  Ms.push_back(makeMutant(
+      10, ErrorType::Op,
+      {{"Own_Tracked_Alt < Other_Tracked_Alt",
+        "Own_Tracked_Alt <= Other_Tracked_Alt"},
+       {"Other_Tracked_Alt < Own_Tracked_Alt",
+        "Other_Tracked_Alt <= Own_Tracked_Alt"}},
+      "both threat comparisons weakened"));
+  Ms.push_back(makeMutant(
+      11, ErrorType::Op,
+      {{"!(Down_Separation >= ALIM())", "!(Down_Separation > ALIM())"},
+       {"(Cur_Vertical_Sep >= 300) && (Down_Separation >= ALIM())",
+        "(Cur_Vertical_Sep >= 300) && (Down_Separation > ALIM())"}},
+      "both Down_Separation thresholds weakened"));
+  Ms.push_back(makeMutant(12, ErrorType::Op,
+                          {{"Other_RAC == 0", "Other_RAC != 0"}},
+                          "intent_not_known test inverted"));
+  Ms.push_back(makeMutant(13, ErrorType::Const,
+                          {{"Other_Capability == 1", "Other_Capability == 2"}},
+                          "tcas_equipped compares the wrong capability code"));
+  Ms.push_back(makeMutant(14, ErrorType::Const,
+                          {{"Up_Separation + 100", "Up_Separation + 50"}},
+                          "NOZCROSS bias halved"));
+  Ms.push_back(makeMutant(
+      15, ErrorType::Const,
+      {{"Positive_RA_Alt_Thresh[0] = 400", "Positive_RA_Alt_Thresh[0] = 402"},
+       {"Positive_RA_Alt_Thresh[1] = 500", "Positive_RA_Alt_Thresh[1] = 502"},
+       {"Positive_RA_Alt_Thresh[2] = 640", "Positive_RA_Alt_Thresh[2] = 642"}},
+      "three ALIM table entries off by two"));
+  Ms.push_back(makeMutant(
+      16, ErrorType::Init,
+      {{"Positive_RA_Alt_Thresh[0] = 400", "Positive_RA_Alt_Thresh[0] = 700"}},
+      "ALIM layer 0 initialized wrongly"));
+  Ms.push_back(makeMutant(
+      17, ErrorType::Init,
+      {{"Positive_RA_Alt_Thresh[1] = 500", "Positive_RA_Alt_Thresh[1] = 200"}},
+      "ALIM layer 1 initialized wrongly"));
+  Ms.push_back(makeMutant(
+      18, ErrorType::Init,
+      {{"Positive_RA_Alt_Thresh[2] = 640", "Positive_RA_Alt_Thresh[2] = 340"}},
+      "ALIM layer 2 initialized wrongly"));
+  Ms.push_back(makeMutant(
+      19, ErrorType::Init,
+      {{"Positive_RA_Alt_Thresh[3] = 740", "Positive_RA_Alt_Thresh[3] = 440"}},
+      "ALIM layer 3 initialized wrongly"));
+  Ms.push_back(makeMutant(
+      20, ErrorType::Op,
+      {{"(Own_Above_Threat() && (Up_Separation >= ALIM()))",
+        "(Own_Above_Threat() && (Up_Separation > ALIM()))"}},
+      "descend-side Up_Separation threshold weakened"));
+  Ms.push_back(makeMutant(
+      21, ErrorType::Op,
+      {{"need_upward_RA && need_downward_RA",
+        "need_upward_RA || need_downward_RA"}},
+      "conflicting-advisory test || instead of &&"));
+  Ms.push_back(makeMutant(
+      22, ErrorType::Code,
+      {{"result = !Own_Below_Threat() || (Own_Below_Threat() && "
+        "!(Down_Separation >= ALIM()));",
+        "result = !Own_Below_Threat() || (Own_Below_Threat() && "
+        "(Down_Separation >= ALIM()));"}},
+      "climb branch: negation on the Down_Separation test dropped"));
+  Ms.push_back(makeMutant(
+      23, ErrorType::Code,
+      {{"result = !Own_Above_Threat() || (Own_Above_Threat() && "
+        "(Up_Separation >= ALIM()));",
+        "result = !Own_Above_Threat() || (Own_Above_Threat() && "
+        "!(Up_Separation >= ALIM()));"}},
+      "descend branch: spurious negation on the Up_Separation test"));
+  Ms.push_back(makeMutant(
+      24, ErrorType::Op,
+      {{"(tcas_equipped && intent_not_known) || !tcas_equipped",
+        "(tcas_equipped || intent_not_known) || !tcas_equipped"}},
+      "arbitration && mutated to ||, making the test vacuous"));
+  Ms.push_back(makeMutant(
+      25, ErrorType::Code,
+      {{"bool need_upward_RA = Non_Crossing_Biased_Climb() && "
+        "Own_Below_Threat();",
+        "bool need_upward_RA = Non_Crossing_Biased_Climb();"}},
+      "need_upward_RA misses the Own_Below_Threat conjunct"));
+  Ms.push_back(makeMutant(
+      26, ErrorType::AddCode,
+      {{"int alt_sep = 0;",
+        "int alt_sep = 0; Down_Separation = Down_Separation + 60;"}},
+      "stray Down_Separation bump before the advisory logic"));
+  Ms.push_back(makeMutant(
+      27, ErrorType::AddCode,
+      {{"bool upward_preferred = Inhibit_Biased_Climb() > Down_Separation;",
+        "bool upward_preferred = Inhibit_Biased_Climb() > Down_Separation; "
+        "Up_Separation = Up_Separation + 50;",
+        2}},
+      "stray Up_Separation bump inside Non_Crossing_Biased_Descend"));
+  Ms.push_back(makeMutant(
+      28, ErrorType::Branch,
+      {{"if (enabled && ((tcas_equipped && intent_not_known) || "
+        "!tcas_equipped))",
+        "if (!(enabled && ((tcas_equipped && intent_not_known) || "
+        "!tcas_equipped)))"}},
+      "top-level advisory guard negated"));
+  Ms.push_back(makeMutant(
+      29, ErrorType::Code,
+      {{"bool need_downward_RA = Non_Crossing_Biased_Descend() && "
+        "Own_Above_Threat();",
+        "bool need_downward_RA = Non_Crossing_Biased_Descend() && "
+        "Own_Below_Threat();"}},
+      "need_downward_RA checks the wrong threat direction"));
+  Ms.push_back(makeMutant(30, ErrorType::Code,
+                          {{"alt_sep = 2;", "alt_sep = 1;"}},
+                          "downward advisory emits the upward code"));
+  Ms.push_back(makeMutant(
+      31, ErrorType::AddCode,
+      {{"int alt_sep = 0;",
+        "int alt_sep = 0; Alt_Layer_Value = Alt_Layer_Value + 1;"},
+       {"bool need_upward_RA = Non_Crossing_Biased_Climb() && "
+        "Own_Below_Threat();",
+        "bool need_upward_RA = Non_Crossing_Biased_Climb() && "
+        "Own_Below_Threat(); Down_Separation = Down_Separation + 100;"}},
+      "stray layer bump plus Down_Separation bump"));
+  Ms.push_back(makeMutant(
+      32, ErrorType::AddCode,
+      {{"bool enabled = High_Confidence && (Own_Tracked_Alt_Rate <= 600) && "
+        "(Cur_Vertical_Sep > 600);",
+        "bool enabled = High_Confidence && (Own_Tracked_Alt_Rate <= 600) && "
+        "(Cur_Vertical_Sep > 600); Alt_Layer_Value = 0;"},
+       {"bool tcas_equipped = Other_Capability == 1;",
+        "bool tcas_equipped = Other_Capability == 1; Other_RAC = Other_RAC "
+        "+ 1;"}},
+      "stray layer reset plus RAC bump"));
+  Ms.push_back(makeMutant(
+      33, ErrorType::Code,
+      {{"result = !Own_Above_Threat() || (Own_Above_Threat() && "
+        "(Up_Separation >= ALIM()));",
+        "result = !Own_Above_Threat() || (Up_Separation >= ALIM());"}},
+      "equivalent rewrite (absorption); produces no failures"));
+  Ms.push_back(makeMutant(
+      34, ErrorType::Op,
+      {{"result = !Own_Below_Threat() || (Own_Below_Threat() && "
+        "!(Down_Separation >= ALIM()));",
+        "result = !Own_Below_Threat() && (Own_Below_Threat() && "
+        "!(Down_Separation >= ALIM()));"}},
+      "climb branch: || mutated to && (branch collapses to false)"));
+  Ms.push_back(makeMutant(
+      35, ErrorType::Code,
+      {{"if (need_upward_RA && need_downward_RA)",
+        "if (need_upward_RA)"}},
+      "conflict test drops need_downward_RA"));
+  Ms.push_back(makeMutant(
+      36, ErrorType::Op,
+      {{"bool enabled = High_Confidence && (Own_Tracked_Alt_Rate <= 600)",
+        "bool enabled = High_Confidence || (Own_Tracked_Alt_Rate <= 600)"}},
+      "enabled: && mutated to ||"));
+  Ms.push_back(makeMutant(
+      37, ErrorType::Index,
+      {{"Positive_RA_Alt_Thresh[Alt_Layer_Value]",
+        "Positive_RA_Alt_Thresh[Alt_Layer_Value - 1]"}},
+      "ALIM reads the previous layer's threshold"));
+  Ms.push_back(makeMutant(
+      38, ErrorType::Assign,
+      {{"alt_sep = 0;", "alt_sep = 0 * 1;", 3}},
+      "semantically neutral rewrite; produces no failures"));
+  Ms.push_back(makeMutant(
+      39, ErrorType::Op,
+      {{"result = Own_Below_Threat() && (Cur_Vertical_Sep >= 300)",
+        "result = Own_Below_Threat() || (Cur_Vertical_Sep >= 300)"}},
+      "descend branch: && mutated to ||"));
+  // Note: the first rewrite spells the value "2 + 0" so that the second
+  // replacement cannot re-match the freshly written statement.
+  Ms.push_back(makeMutant(
+      40, ErrorType::Assign,
+      {{"alt_sep = 1;", "alt_sep = 2 + 0;"},
+       {"alt_sep = 2;", "alt_sep = 1;"}},
+      "upward and downward advisories swapped"));
+  Ms.push_back(makeMutant(
+      41, ErrorType::Assign,
+      {{"bool upward_preferred = Inhibit_Biased_Climb() > Down_Separation;",
+        "bool upward_preferred = Inhibit_Biased_Climb() > Up_Separation;",
+        2}},
+      "descend: upward_preferred computed against the wrong separation"));
+
+  assert(Ms.size() == 41 && "expected all 41 versions");
+  return Ms;
+}
+
+} // namespace
+
+const std::vector<TcasMutant> &bugassist::tcasMutants() {
+  static const std::vector<TcasMutant> Mutants = buildMutants();
+  return Mutants;
+}

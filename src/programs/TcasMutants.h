@@ -1,0 +1,50 @@
+//===- TcasMutants.h - The 41 faulty TCAS versions --------------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Faulty versions of the TCAS benchmark, mirroring the Siemens suite's 41
+/// injected-fault versions (Section 6.1 / Table 1). The exact Siemens
+/// diffs are not redistributable; these mutants follow the Table 2
+/// taxonomy and Table 1's per-version error types and counts, with v2
+/// reproducing the Figure 2 fault verbatim (the NOZCROSS bias constant
+/// 100 -> 300 in Inhibit_Biased_Climb). Versions v33 and v38 are designed
+/// to produce no failing tests (the two versions missing from Table 1).
+///
+/// Each mutant records its ground-truth fault lines, the "human-verified
+/// bug location" against which Detect# is scored.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_PROGRAMS_TCASMUTANTS_H
+#define BUGASSIST_PROGRAMS_TCASMUTANTS_H
+
+#include "programs/FaultCatalog.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bugassist {
+
+/// One faulty TCAS version.
+struct TcasMutant {
+  int Version = 0;
+  ErrorType Type = ErrorType::Op;
+  int ErrorCount = 1;
+  /// Ground-truth source lines of the injected fault(s), sorted.
+  std::vector<uint32_t> BugLines;
+  /// Full mutated mini-C source (same line numbering as tcasSource()).
+  std::string Source;
+  /// Human-readable description of the mutation(s).
+  std::string Description;
+};
+
+/// All 41 faulty versions, ordered v1..v41.
+const std::vector<TcasMutant> &tcasMutants();
+
+} // namespace bugassist
+
+#endif // BUGASSIST_PROGRAMS_TCASMUTANTS_H

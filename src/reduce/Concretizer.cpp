@@ -1,0 +1,43 @@
+//===- Concretizer.cpp - Concolic reduction measurement ------------------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "reduce/Concretizer.h"
+
+using namespace bugassist;
+
+size_t bugassist::countConcretizableDefs(const UnrolledProgram &UP) {
+  size_t N = 0;
+  for (const TraceDef &D : UP.Defs)
+    if (D.Trusted && D.Shadow.has_value() && D.Role != DefRole::Input)
+      ++N;
+  return N;
+}
+
+ReductionReport bugassist::measureConcretization(const UnrolledProgram &UP,
+                                                 EncodeOptions BaseOpts) {
+  ReductionReport R;
+
+  EncodeOptions Plain = BaseOpts;
+  Plain.ConcretizeTrusted = false;
+  EncodedProgram EPlain = encodeProgram(UP, Plain);
+  R.VarsBefore = static_cast<size_t>(EPlain.Formula.numVars());
+  R.ClausesBefore = EPlain.Formula.numClauses();
+
+  EncodeOptions Conc = BaseOpts;
+  Conc.ConcretizeTrusted = true;
+  EncodedProgram EConc = encodeProgram(UP, Conc);
+  R.VarsAfter = static_cast<size_t>(EConc.Formula.numVars());
+  R.ClausesAfter = EConc.Formula.numClauses();
+
+  for (const TraceDef &D : UP.Defs) {
+    if (D.Role != DefRole::UserAssign)
+      continue;
+    ++R.AssignsBefore;
+    if (!(D.Trusted && D.Shadow.has_value()))
+      ++R.AssignsAfter;
+  }
+  return R;
+}

@@ -1,0 +1,47 @@
+//===- Concretizer.h - Concolic reduction measurement -----------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "C" trace reduction of Section 6.2: encode trusted (library /
+/// already-verified) functions as the constants observed along the
+/// concrete failing run instead of full symbolic circuits. The mechanism
+/// lives in the unroller (shadow values) and encoder (ConcretizeTrusted);
+/// this module packages the before/after measurement that Table 3 reports
+/// (assign#, var#, clause#).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_REDUCE_CONCRETIZER_H
+#define BUGASSIST_REDUCE_CONCRETIZER_H
+
+#include "bmc/Encoder.h"
+#include "bmc/Trace.h"
+
+namespace bugassist {
+
+/// Formula-size metrics before and after a reduction, matching the
+/// columns of the paper's Table 3.
+struct ReductionReport {
+  size_t AssignsBefore = 0;
+  size_t AssignsAfter = 0;
+  size_t VarsBefore = 0;
+  size_t VarsAfter = 0;
+  size_t ClausesBefore = 0;
+  size_t ClausesAfter = 0;
+};
+
+/// Encodes \p UP twice -- plain vs. ConcretizeTrusted -- and reports the
+/// shrinkage. "Assigns after" counts UserAssign definitions that still
+/// have symbolic circuits (trusted+shadowed ones became constants).
+ReductionReport measureConcretization(const UnrolledProgram &UP,
+                                      EncodeOptions BaseOpts = {});
+
+/// \returns the number of definitions eligible for concretization.
+size_t countConcretizableDefs(const UnrolledProgram &UP);
+
+} // namespace bugassist
+
+#endif // BUGASSIST_REDUCE_CONCRETIZER_H

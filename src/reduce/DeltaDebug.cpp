@@ -1,0 +1,116 @@
+//===- DeltaDebug.cpp - ddmin input minimization ------------------------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "reduce/DeltaDebug.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace bugassist;
+
+namespace {
+
+/// Flat view of the scalar atoms of an InputVector.
+struct AtomView {
+  std::vector<int64_t> Values;
+
+  static AtomView flatten(const InputVector &In) {
+    AtomView V;
+    for (const InputValue &I : In) {
+      if (I.IsArray)
+        V.Values.insert(V.Values.end(), I.Array.begin(), I.Array.end());
+      else
+        V.Values.push_back(I.Scalar);
+    }
+    return V;
+  }
+
+  /// Rebuilds an InputVector shaped like \p Template with only the atoms
+  /// in \p Keep carrying their original value (others default to 0).
+  InputVector rebuild(const InputVector &Template,
+                      const std::vector<bool> &Keep) const {
+    InputVector Out;
+    size_t Cursor = 0;
+    for (const InputValue &I : Template) {
+      if (I.IsArray) {
+        std::vector<int64_t> Vals;
+        for (size_t J = 0; J < I.Array.size(); ++J, ++Cursor)
+          Vals.push_back(Keep[Cursor] ? Values[Cursor] : 0);
+        Out.push_back(InputValue::array(std::move(Vals)));
+      } else {
+        Out.push_back(
+            InputValue::scalar(Keep[Cursor] ? Values[Cursor] : 0));
+        ++Cursor;
+      }
+    }
+    return Out;
+  }
+};
+
+} // namespace
+
+InputVector bugassist::minimizeFailingInput(const InputVector &Failing,
+                                            const FailPredicate &StillFails,
+                                            DdminStats *Stats) {
+  AtomView Atoms = AtomView::flatten(Failing);
+  size_t N = Atoms.Values.size();
+
+  // Only atoms that differ from the default are interesting.
+  std::vector<size_t> Active;
+  for (size_t I = 0; I < N; ++I)
+    if (Atoms.Values[I] != 0)
+      Active.push_back(I);
+
+  size_t Calls = 0;
+  auto Fails = [&](const std::vector<size_t> &Kept) {
+    std::vector<bool> Keep(N, false);
+    for (size_t I : Kept)
+      Keep[I] = true;
+    ++Calls;
+    return StillFails(Atoms.rebuild(Failing, Keep));
+  };
+
+  // ddmin main loop over the active atoms.
+  size_t Granularity = 2;
+  while (Active.size() >= 2) {
+    size_t ChunkSize = std::max<size_t>(1, Active.size() / Granularity);
+    bool Reduced = false;
+
+    // Try removing each chunk (testing its complement).
+    for (size_t Start = 0; Start < Active.size(); Start += ChunkSize) {
+      std::vector<size_t> Complement;
+      for (size_t I = 0; I < Active.size(); ++I)
+        if (I < Start || I >= Start + ChunkSize)
+          Complement.push_back(Active[I]);
+      if (Complement.size() == Active.size())
+        continue;
+      if (Fails(Complement)) {
+        Active = std::move(Complement);
+        Granularity = std::max<size_t>(2, Granularity - 1);
+        Reduced = true;
+        break;
+      }
+    }
+    if (Reduced)
+      continue;
+    if (Granularity >= Active.size())
+      break;
+    Granularity = std::min(Active.size(), Granularity * 2);
+  }
+
+  if (Stats) {
+    Stats->PredicateCalls = Calls;
+    Stats->AtomsBefore = N;
+    Stats->AtomsAfter = Active.size();
+  }
+  std::vector<bool> Keep(N, false);
+  for (size_t I : Active)
+    Keep[I] = true;
+  InputVector Result = Atoms.rebuild(Failing, Keep);
+  assert(StillFails(Result) && "ddmin result must still fail");
+  return Result;
+}

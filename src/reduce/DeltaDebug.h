@@ -1,0 +1,44 @@
+//===- DeltaDebug.h - ddmin input minimization ------------------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Zeller & Hildebrandt's ddmin [33], the "D" trace reduction of
+/// Section 6.2: minimize a failure-inducing input so the resulting
+/// execution (and hence the trace formula) shrinks. Here the atoms are the
+/// scalar elements of the entry input; removed atoms revert to a default
+/// value (0), and the predicate decides whether the reduced input still
+/// fails the same way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_REDUCE_DELTADEBUG_H
+#define BUGASSIST_REDUCE_DELTADEBUG_H
+
+#include "interp/Interpreter.h"
+
+#include <functional>
+
+namespace bugassist {
+
+/// \returns true when the candidate input still exhibits the failure.
+using FailPredicate = std::function<bool(const InputVector &)>;
+
+struct DdminStats {
+  size_t PredicateCalls = 0;
+  size_t AtomsBefore = 0;
+  size_t AtomsAfter = 0; ///< atoms still carrying their original value
+};
+
+/// Classic ddmin over the scalar atoms of \p Failing. \p StillFails must
+/// hold for \p Failing itself. \returns a 1-minimal input: resetting any
+/// single remaining atom to 0 stops the failure.
+InputVector minimizeFailingInput(const InputVector &Failing,
+                                 const FailPredicate &StillFails,
+                                 DdminStats *Stats = nullptr);
+
+} // namespace bugassist
+
+#endif // BUGASSIST_REDUCE_DELTADEBUG_H

@@ -1,0 +1,600 @@
+//===- Solver.cpp - CDCL SAT solver ----------------------------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+// The algorithm follows Een & Sorensson's "An Extensible SAT-solver"
+// (MiniSAT), with the assumption-core extraction of MiniSAT 1.14+ that the
+// Fu-Malik MaxSAT layer depends on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/Solver.h"
+
+#include "cnf/Cnf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace bugassist;
+
+Solver::Solver() = default;
+
+Var Solver::newVar() {
+  Var V = static_cast<Var>(Assigns.size());
+  Assigns.push_back(LBool::Undef);
+  VarLevel.push_back(0);
+  Reason.push_back(InvalidClause);
+  Activity.push_back(0.0);
+  HeapIndex.push_back(-1);
+  SavedPhase.push_back(false);
+  Seen.push_back(0);
+  Watches.emplace_back(); // positive literal
+  Watches.emplace_back(); // negative literal
+  heapInsert(V);
+  return V;
+}
+
+void Solver::ensureVars(int N) {
+  while (numVars() < N)
+    newVar();
+}
+
+bool Solver::addClause(Clause C) {
+  assert(decisionLevel() == 0 && "clauses must be added at the root level");
+  if (!Ok)
+    return false;
+  for (Lit L : C) {
+    assert(L.isValid() && "invalid literal");
+    ensureVars(L.var() + 1);
+  }
+
+  // Level-0 simplification: drop false literals, detect tautologies and
+  // duplicate literals.
+  std::sort(C.begin(), C.end());
+  Clause Simplified;
+  Lit Prev = NullLit;
+  for (Lit L : C) {
+    if (value(L) == LBool::True || L == ~Prev)
+      return true; // satisfied or tautological
+    if (value(L) == LBool::False || L == Prev)
+      continue; // falsified or duplicate literal
+    Simplified.push_back(L);
+    Prev = L;
+  }
+
+  if (Simplified.empty()) {
+    Ok = false;
+    return false;
+  }
+  if (Simplified.size() == 1) {
+    uncheckedEnqueue(Simplified[0], InvalidClause);
+    Ok = (propagate() == InvalidClause);
+    return Ok;
+  }
+  ClauseRef CR = allocClause(std::move(Simplified), /*Learnt=*/false);
+  ProblemClauses.push_back(CR);
+  attachClause(CR);
+  return true;
+}
+
+bool Solver::addFormula(const CnfFormula &F) {
+  ensureVars(F.numVars());
+  for (const Clause &C : F.hardClauses())
+    if (!addClause(C))
+      return false;
+  return true;
+}
+
+Solver::ClauseRef Solver::allocClause(std::vector<Lit> Lits, bool Learnt) {
+  ClauseRef CR = static_cast<ClauseRef>(Clauses.size());
+  ClauseData CD;
+  CD.Lits = std::move(Lits);
+  CD.Learnt = Learnt;
+  CD.Activity = Learnt ? ClaInc : 0.0;
+  Clauses.push_back(std::move(CD));
+  return CR;
+}
+
+void Solver::attachClause(ClauseRef CR) {
+  const ClauseData &C = Clauses[CR];
+  assert(C.Lits.size() >= 2 && "cannot watch unit clause");
+  Watches[(~C.Lits[0]).code()].push_back({CR, C.Lits[1]});
+  Watches[(~C.Lits[1]).code()].push_back({CR, C.Lits[0]});
+}
+
+void Solver::detachClause(ClauseRef CR) {
+  const ClauseData &C = Clauses[CR];
+  for (int I = 0; I < 2; ++I) {
+    auto &WL = Watches[(~C.Lits[I]).code()];
+    for (size_t J = 0; J < WL.size(); ++J) {
+      if (WL[J].CRef == CR) {
+        WL[J] = WL.back();
+        WL.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+bool Solver::isLocked(ClauseRef CR) const {
+  const ClauseData &C = Clauses[CR];
+  Var V = C.Lits[0].var();
+  return value(C.Lits[0]) == LBool::True && Reason[V] == CR;
+}
+
+void Solver::removeClause(ClauseRef CR) {
+  detachClause(CR);
+  Clauses[CR].Deleted = true;
+  Clauses[CR].Lits.clear();
+  Clauses[CR].Lits.shrink_to_fit();
+  ++Stats.DeletedClauses;
+}
+
+void Solver::uncheckedEnqueue(Lit L, ClauseRef From) {
+  assert(value(L) == LBool::Undef && "enqueueing assigned literal");
+  Assigns[L.var()] = L.negated() ? LBool::False : LBool::True;
+  VarLevel[L.var()] = decisionLevel();
+  Reason[L.var()] = From;
+  SavedPhase[L.var()] = !L.negated();
+  Trail.push_back(L);
+}
+
+Solver::ClauseRef Solver::propagate() {
+  ClauseRef Confl = InvalidClause;
+  while (PropagationHead < static_cast<int>(Trail.size())) {
+    Lit P = Trail[PropagationHead++];
+    ++Stats.Propagations;
+    auto &WL = Watches[P.code()];
+    size_t I = 0, J = 0;
+    while (I < WL.size()) {
+      Watcher W = WL[I];
+      // Blocker literal already true: clause satisfied, keep the watch.
+      if (value(W.Blocker) == LBool::True) {
+        WL[J++] = WL[I++];
+        continue;
+      }
+      ClauseData &C = Clauses[W.CRef];
+      // Normalize so the false literal (~P) sits at index 1.
+      Lit NotP = ~P;
+      if (C.Lits[0] == NotP)
+        std::swap(C.Lits[0], C.Lits[1]);
+      assert(C.Lits[1] == NotP && "watch invariant broken");
+      ++I;
+
+      Lit First = C.Lits[0];
+      if (First != W.Blocker && value(First) == LBool::True) {
+        WL[J++] = {W.CRef, First};
+        continue;
+      }
+
+      // Look for a replacement watch.
+      bool FoundWatch = false;
+      for (size_t K = 2; K < C.Lits.size(); ++K) {
+        if (value(C.Lits[K]) != LBool::False) {
+          std::swap(C.Lits[1], C.Lits[K]);
+          Watches[(~C.Lits[1]).code()].push_back({W.CRef, First});
+          FoundWatch = true;
+          break;
+        }
+      }
+      if (FoundWatch)
+        continue;
+
+      // Clause is unit or conflicting.
+      WL[J++] = {W.CRef, First};
+      if (value(First) == LBool::False) {
+        Confl = W.CRef;
+        PropagationHead = static_cast<int>(Trail.size());
+        while (I < WL.size())
+          WL[J++] = WL[I++];
+        break;
+      }
+      uncheckedEnqueue(First, W.CRef);
+    }
+    WL.resize(J);
+    if (Confl != InvalidClause)
+      break;
+  }
+  return Confl;
+}
+
+void Solver::analyze(ClauseRef Confl, std::vector<Lit> &OutLearnt,
+                     int &OutBtLevel) {
+  OutLearnt.clear();
+  OutLearnt.push_back(NullLit); // slot for the asserting literal
+  int PathCount = 0;
+  Lit P = NullLit;
+  int Index = static_cast<int>(Trail.size()) - 1;
+
+  do {
+    assert(Confl != InvalidClause && "no reason for implied literal");
+    ClauseData &C = Clauses[Confl];
+    if (C.Learnt)
+      claBumpActivity(C);
+    for (size_t J = (P == NullLit ? 0 : 1); J < C.Lits.size(); ++J) {
+      Lit Q = C.Lits[J];
+      if (Seen[Q.var()] || level(Q.var()) == 0)
+        continue;
+      Seen[Q.var()] = 1;
+      varBumpActivity(Q.var());
+      if (level(Q.var()) >= decisionLevel())
+        ++PathCount;
+      else
+        OutLearnt.push_back(Q);
+    }
+    // Find the next literal on the trail to expand.
+    while (!Seen[Trail[Index].var()])
+      --Index;
+    P = Trail[Index];
+    --Index;
+    Confl = Reason[P.var()];
+    Seen[P.var()] = 0;
+    --PathCount;
+  } while (PathCount > 0);
+  OutLearnt[0] = ~P;
+
+  // Local clause minimization: a literal is redundant if the other literals
+  // of its reason clause are all already in the learnt clause (marked seen).
+  std::vector<Lit> Cleanup(OutLearnt.begin(), OutLearnt.end());
+  for (Lit L : OutLearnt)
+    Seen[L.var()] = 1;
+  size_t Keep = 1;
+  for (size_t I = 1; I < OutLearnt.size(); ++I) {
+    Lit L = OutLearnt[I];
+    ClauseRef R = Reason[L.var()];
+    bool Redundant = false;
+    if (R != InvalidClause) {
+      Redundant = true;
+      const ClauseData &RC = Clauses[R];
+      for (size_t J = 1; J < RC.Lits.size(); ++J) {
+        Lit Q = RC.Lits[J];
+        if (!Seen[Q.var()] && level(Q.var()) > 0) {
+          Redundant = false;
+          break;
+        }
+      }
+    }
+    if (!Redundant)
+      OutLearnt[Keep++] = L;
+  }
+  OutLearnt.resize(Keep);
+  for (Lit L : Cleanup)
+    Seen[L.var()] = 0;
+
+  // Compute the backtrack level: second-highest decision level in clause.
+  if (OutLearnt.size() == 1) {
+    OutBtLevel = 0;
+  } else {
+    size_t MaxIdx = 1;
+    for (size_t I = 2; I < OutLearnt.size(); ++I)
+      if (level(OutLearnt[I].var()) > level(OutLearnt[MaxIdx].var()))
+        MaxIdx = I;
+    std::swap(OutLearnt[1], OutLearnt[MaxIdx]);
+    OutBtLevel = level(OutLearnt[1].var());
+  }
+}
+
+void Solver::analyzeFinal(Lit P) {
+  // Called when assumption P is found forced false: collect the subset of
+  // assumptions that (with the clauses) imply ~P. The resulting core holds
+  // the assumption literals themselves (including P), so re-solving with
+  // exactly the core as assumptions is again UNSAT.
+  ConflictCore.clear();
+  ConflictCore.push_back(P);
+  if (decisionLevel() == 0)
+    return;
+
+  Seen[P.var()] = 1;
+  for (int I = static_cast<int>(Trail.size()) - 1; I >= TrailLim[0]; --I) {
+    Var V = Trail[I].var();
+    if (!Seen[V])
+      continue;
+    if (Reason[V] == InvalidClause) {
+      // Decision variable at this point == an assumption, decided true.
+      assert(level(V) > 0 && "level-0 decision in final analysis");
+      ConflictCore.push_back(Trail[I]);
+    } else {
+      const ClauseData &C = Clauses[Reason[V]];
+      for (size_t J = 1; J < C.Lits.size(); ++J)
+        if (level(C.Lits[J].var()) > 0)
+          Seen[C.Lits[J].var()] = 1;
+    }
+    Seen[V] = 0;
+  }
+  Seen[P.var()] = 0;
+}
+
+void Solver::cancelUntil(int Level) {
+  if (decisionLevel() <= Level)
+    return;
+  for (int I = static_cast<int>(Trail.size()) - 1; I >= TrailLim[Level]; --I) {
+    Var V = Trail[I].var();
+    Assigns[V] = LBool::Undef;
+    Reason[V] = InvalidClause;
+    if (HeapIndex[V] == -1)
+      heapInsert(V);
+  }
+  PropagationHead = TrailLim[Level];
+  Trail.resize(TrailLim[Level]);
+  TrailLim.resize(Level);
+}
+
+Lit Solver::pickBranchLit() {
+  Var Next = NullVar;
+  // Occasional random decisions diversify restarts.
+  if ((nextRand() & 1023) < 20 && !heapEmpty()) {
+    Var Cand = Heap[nextRand() % Heap.size()];
+    if (value(Cand) == LBool::Undef)
+      Next = Cand;
+  }
+  while (Next == NullVar || value(Next) != LBool::Undef) {
+    if (heapEmpty())
+      return NullLit;
+    Next = heapPop();
+    if (value(Next) != LBool::Undef)
+      Next = NullVar;
+  }
+  return mkLit(Next, /*Negated=*/!SavedPhase[Next]);
+}
+
+uint64_t Solver::lubyScale(uint64_t I) {
+  // Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+  uint64_t K = 1;
+  while ((1ull << (K + 1)) <= I + 1)
+    ++K;
+  while ((1ull << K) - 1 != I + 1) {
+    I = I - ((1ull << K) - 1);
+    K = 1;
+    while ((1ull << (K + 1)) <= I + 1)
+      ++K;
+  }
+  return 1ull << (K - 1);
+}
+
+LBool Solver::search(uint64_t ConflictsBeforeRestart) {
+  uint64_t ConflictsHere = 0;
+  std::vector<Lit> Learnt;
+  int BtLevel = 0;
+
+  for (;;) {
+    ClauseRef Confl = propagate();
+    if (Confl != InvalidClause) {
+      // Conflict.
+      ++Stats.Conflicts;
+      ++ConflictsHere;
+      ++ConflictsThisSolve;
+      if (decisionLevel() == 0) {
+        Ok = false;
+        return LBool::False;
+      }
+      analyze(Confl, Learnt, BtLevel);
+      cancelUntil(BtLevel);
+      if (Learnt.size() == 1) {
+        uncheckedEnqueue(Learnt[0], InvalidClause);
+      } else {
+        ClauseRef CR = allocClause(Learnt, /*Learnt=*/true);
+        LearntClauses.push_back(CR);
+        attachClause(CR);
+        claBumpActivity(Clauses[CR]);
+        uncheckedEnqueue(Learnt[0], CR);
+        ++Stats.LearnedClauses;
+      }
+      varDecayActivity();
+      claDecayActivity();
+      continue;
+    }
+
+    // No conflict.
+    if (ConflictsHere >= ConflictsBeforeRestart) {
+      cancelUntil(0);
+      return LBool::Undef; // restart
+    }
+    if (ConflictBudget != 0 && ConflictsThisSolve >= ConflictBudget)
+      return LBool::Undef;
+    if (static_cast<double>(LearntClauses.size()) >= MaxLearnts)
+      reduceDB();
+
+    // Assumption decisions come first.
+    Lit Next = NullLit;
+    while (decisionLevel() < static_cast<int>(CurAssumptions.size())) {
+      Lit A = CurAssumptions[decisionLevel()];
+      if (value(A) == LBool::True) {
+        newDecisionLevel(); // dummy level keeps the indexing aligned
+      } else if (value(A) == LBool::False) {
+        analyzeFinal(A);
+        return LBool::False;
+      } else {
+        Next = A;
+        break;
+      }
+    }
+    if (Next == NullLit) {
+      ++Stats.Decisions;
+      Next = pickBranchLit();
+      if (Next == NullLit)
+        return LBool::True; // all variables assigned: model found
+    }
+    newDecisionLevel();
+    uncheckedEnqueue(Next, InvalidClause);
+  }
+}
+
+LBool Solver::solve(const std::vector<Lit> &Assumptions) {
+  ConflictCore.clear();
+  if (!Ok) {
+    return LBool::False;
+  }
+  for (Lit L : Assumptions)
+    ensureVars(L.var() + 1);
+  CurAssumptions = Assumptions;
+  ConflictsThisSolve = 0;
+  MaxLearnts =
+      std::max<double>(1000.0, static_cast<double>(ProblemClauses.size()) / 3.0);
+
+  simplifyLevel0();
+  if (!Ok) {
+    CurAssumptions.clear();
+    return LBool::False;
+  }
+
+  LBool Result = LBool::Undef;
+  for (uint64_t RestartIdx = 0; Result == LBool::Undef; ++RestartIdx) {
+    uint64_t Budget = 100 * lubyScale(RestartIdx);
+    Result = search(Budget);
+    if (Result == LBool::Undef) {
+      ++Stats.Restarts;
+      if (ConflictBudget != 0 && ConflictsThisSolve >= ConflictBudget)
+        break;
+    }
+  }
+
+  if (Result == LBool::True) {
+    Model.assign(Assigns.begin(), Assigns.end());
+    // Unassigned variables (possible when every clause was satisfied before
+    // full assignment never happens in this implementation, but be safe).
+    for (LBool &B : Model)
+      if (B == LBool::Undef)
+        B = LBool::False;
+  }
+  cancelUntil(0);
+  CurAssumptions.clear();
+  return Result;
+}
+
+void Solver::simplifyLevel0() {
+  assert(decisionLevel() == 0 && "simplify only at root");
+  if (propagate() != InvalidClause) {
+    Ok = false;
+    return;
+  }
+  auto SimplifySet = [&](std::vector<ClauseRef> &Set) {
+    size_t J = 0;
+    for (ClauseRef CR : Set) {
+      ClauseData &C = Clauses[CR];
+      if (C.Deleted)
+        continue;
+      bool Satisfied = false;
+      for (Lit L : C.Lits) {
+        if (value(L) == LBool::True && level(L.var()) == 0) {
+          Satisfied = true;
+          break;
+        }
+      }
+      if (Satisfied && !isLocked(CR)) {
+        removeClause(CR);
+        continue;
+      }
+      Set[J++] = CR;
+    }
+    Set.resize(J);
+  };
+  SimplifySet(ProblemClauses);
+  SimplifySet(LearntClauses);
+}
+
+void Solver::reduceDB() {
+  // Remove the lowest-activity half of learnt clauses, keeping binary and
+  // locked (reason) clauses.
+  std::sort(LearntClauses.begin(), LearntClauses.end(),
+            [&](ClauseRef A, ClauseRef B) {
+              return Clauses[A].Activity < Clauses[B].Activity;
+            });
+  size_t J = 0;
+  for (size_t I = 0; I < LearntClauses.size(); ++I) {
+    ClauseRef CR = LearntClauses[I];
+    ClauseData &C = Clauses[CR];
+    if (C.Deleted)
+      continue;
+    bool Removable =
+        C.Lits.size() > 2 && !isLocked(CR) && I < LearntClauses.size() / 2;
+    if (Removable)
+      removeClause(CR);
+    else
+      LearntClauses[J++] = CR;
+  }
+  LearntClauses.resize(J);
+  MaxLearnts = MaxLearnts * 1.1 + 100;
+}
+
+// --- VSIDS activity heap ----------------------------------------------------
+
+void Solver::boostActivity(Var V, double Amount) {
+  Activity[V] += Amount * VarInc;
+  if (HeapIndex[V] != -1)
+    heapDecrease(V);
+}
+
+void Solver::varBumpActivity(Var V) {
+  Activity[V] += VarInc;
+  if (Activity[V] > 1e100) {
+    for (double &A : Activity)
+      A *= 1e-100;
+    VarInc *= 1e-100;
+  }
+  if (HeapIndex[V] != -1)
+    heapDecrease(V);
+}
+
+void Solver::claBumpActivity(ClauseData &C) {
+  C.Activity += ClaInc;
+  if (C.Activity > 1e20) {
+    for (ClauseRef CR : LearntClauses)
+      Clauses[CR].Activity *= 1e-20;
+    ClaInc *= 1e-20;
+  }
+}
+
+void Solver::heapInsert(Var V) {
+  assert(HeapIndex[V] == -1 && "var already in heap");
+  HeapIndex[V] = static_cast<int>(Heap.size());
+  Heap.push_back(V);
+  heapPercolateUp(HeapIndex[V]);
+}
+
+void Solver::heapDecrease(Var V) { heapPercolateUp(HeapIndex[V]); }
+
+Var Solver::heapPop() {
+  Var Top = Heap[0];
+  HeapIndex[Top] = -1;
+  Heap[0] = Heap.back();
+  Heap.pop_back();
+  if (!Heap.empty()) {
+    HeapIndex[Heap[0]] = 0;
+    heapPercolateDown(0);
+  }
+  return Top;
+}
+
+void Solver::heapPercolateUp(int I) {
+  Var V = Heap[I];
+  while (I > 0) {
+    int Parent = (I - 1) / 2;
+    if (Activity[Heap[Parent]] >= Activity[V])
+      break;
+    Heap[I] = Heap[Parent];
+    HeapIndex[Heap[I]] = I;
+    I = Parent;
+  }
+  Heap[I] = V;
+  HeapIndex[V] = I;
+}
+
+void Solver::heapPercolateDown(int I) {
+  Var V = Heap[I];
+  int N = static_cast<int>(Heap.size());
+  for (;;) {
+    int Child = 2 * I + 1;
+    if (Child >= N)
+      break;
+    if (Child + 1 < N && Activity[Heap[Child + 1]] > Activity[Heap[Child]])
+      ++Child;
+    if (Activity[Heap[Child]] <= Activity[V])
+      break;
+    Heap[I] = Heap[Child];
+    HeapIndex[Heap[I]] = I;
+    I = Child;
+  }
+  Heap[I] = V;
+  HeapIndex[V] = I;
+}

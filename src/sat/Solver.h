@@ -1,0 +1,217 @@
+//===- Solver.h - CDCL SAT solver -------------------------------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A conflict-driven clause-learning SAT solver in the MiniSAT lineage
+/// (Een & Sorensson), built from scratch as the substrate the paper's
+/// pipeline rests on: CBMC-style trace formulas are decided here, and the
+/// MaxSAT layer drives it through the *assumptions* interface, harvesting
+/// unsatisfiable cores over assumption literals (analyzeFinal) exactly the
+/// way MSUnCORE does.
+///
+/// Features: two-watched-literal propagation, first-UIP learning with local
+/// clause minimization, VSIDS variable activities with a binary heap, phase
+/// saving, Luby restarts, activity-driven learned-clause deletion, and
+/// incremental solving under assumptions with core extraction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_SAT_SOLVER_H
+#define BUGASSIST_SAT_SOLVER_H
+
+#include "cnf/Lit.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace bugassist {
+
+class CnfFormula;
+
+/// Aggregate statistics for solver-behaviour benches and tests.
+struct SolverStats {
+  uint64_t Conflicts = 0;
+  uint64_t Decisions = 0;
+  uint64_t Propagations = 0;
+  uint64_t Restarts = 0;
+  uint64_t LearnedClauses = 0;
+  uint64_t DeletedClauses = 0;
+};
+
+/// CDCL solver. Typical interactive use:
+/// \code
+///   Solver S;
+///   S.ensureVars(F.numVars());
+///   for (const Clause &C : F.hardClauses()) S.addClause(C);
+///   LBool R = S.solve({assumption1, ~assumption2});
+///   if (R == LBool::False) auto &Core = S.conflictCore();
+/// \endcode
+class Solver {
+public:
+  Solver();
+
+  /// Allocates a fresh variable and returns it.
+  Var newVar();
+
+  /// Ensures variables [0, N) all exist.
+  void ensureVars(int N);
+
+  int numVars() const { return static_cast<int>(Assigns.size()); }
+
+  /// Adds a clause; performs level-0 simplification. \returns false if the
+  /// solver became trivially UNSAT (empty clause / conflicting units).
+  bool addClause(Clause C);
+
+  /// Loads every hard clause of \p F (also allocating its variables).
+  bool addFormula(const CnfFormula &F);
+
+  /// \returns false once the clause database is known UNSAT regardless of
+  /// assumptions.
+  bool okay() const { return Ok; }
+
+  /// Decides satisfiability. Undef is only returned when a conflict budget
+  /// is set and exhausted.
+  LBool solve() { return solve({}); }
+
+  /// Decides satisfiability under \p Assumptions (literals forced true for
+  /// this call only). On False, conflictCore() holds the subset of
+  /// assumptions proved jointly inconsistent with the clauses.
+  LBool solve(const std::vector<Lit> &Assumptions);
+
+  /// Model access after a True result.
+  LBool modelValue(Var V) const { return Model[V]; }
+  LBool modelValue(Lit L) const {
+    LBool B = Model[L.var()];
+    return L.negated() ? lboolNeg(B) : B;
+  }
+
+  /// After a False result under assumptions: the failed assumptions (each
+  /// element is one of the assumption literals passed to solve()).
+  const std::vector<Lit> &conflictCore() const { return ConflictCore; }
+
+  /// Limits the next solve() calls to \p MaxConflicts conflicts
+  /// (0 = unlimited). When exhausted, solve returns Undef.
+  void setConflictBudget(uint64_t MaxConflicts) { ConflictBudget = MaxConflicts; }
+
+  const SolverStats &stats() const { return Stats; }
+
+  /// Sets the saved phase of \p V to \p Phase; used to bias the search
+  /// (e.g., prefer enabling selectors).
+  void setPolarity(Var V, bool Phase) { SavedPhase[V] = Phase; }
+
+  /// Raises \p V's VSIDS activity so it is decided early. BugAssist boosts
+  /// the selector variables: deciding them first makes every descent start
+  /// from a concrete candidate "program edit", which propagation then
+  /// evaluates cheaply.
+  void boostActivity(Var V, double Amount = 1.0);
+
+  /// Pseudo-random tie breaking seed for restarts/decisions.
+  void setRandomSeed(uint64_t Seed) { RandState = Seed | 1; }
+
+private:
+  // --- clause storage -----------------------------------------------------
+  using ClauseRef = int32_t;
+  static constexpr ClauseRef InvalidClause = -1;
+
+  struct ClauseData {
+    std::vector<Lit> Lits;
+    double Activity = 0.0;
+    bool Learnt = false;
+    bool Deleted = false;
+  };
+
+  struct Watcher {
+    ClauseRef CRef;
+    Lit Blocker;
+  };
+
+  // --- core CDCL ----------------------------------------------------------
+  LBool search(uint64_t ConflictsBeforeRestart);
+  ClauseRef propagate();
+  void analyze(ClauseRef Confl, std::vector<Lit> &OutLearnt, int &OutBtLevel);
+  void analyzeFinal(Lit P);
+  void uncheckedEnqueue(Lit L, ClauseRef From);
+  void cancelUntil(int Level);
+  Lit pickBranchLit();
+  void newDecisionLevel() { TrailLim.push_back(static_cast<int>(Trail.size())); }
+  int decisionLevel() const { return static_cast<int>(TrailLim.size()); }
+
+  LBool value(Lit L) const {
+    LBool B = Assigns[L.var()];
+    return L.negated() ? lboolNeg(B) : B;
+  }
+  LBool value(Var V) const { return Assigns[V]; }
+  int level(Var V) const { return VarLevel[V]; }
+
+  ClauseRef allocClause(std::vector<Lit> Lits, bool Learnt);
+  void attachClause(ClauseRef CR);
+  void detachClause(ClauseRef CR);
+  void removeClause(ClauseRef CR);
+  bool isLocked(ClauseRef CR) const;
+  void reduceDB();
+  void simplifyLevel0();
+
+  // --- activity heap ------------------------------------------------------
+  void varBumpActivity(Var V);
+  void varDecayActivity() { VarInc /= VarDecay; }
+  void claBumpActivity(ClauseData &C);
+  void claDecayActivity() { ClaInc /= ClaDecay; }
+  void heapInsert(Var V);
+  void heapDecrease(Var V);
+  Var heapPop();
+  bool heapEmpty() const { return Heap.empty(); }
+  void heapPercolateUp(int I);
+  void heapPercolateDown(int I);
+
+  uint64_t nextRand() {
+    RandState ^= RandState << 13;
+    RandState ^= RandState >> 7;
+    RandState ^= RandState << 17;
+    return RandState;
+  }
+
+  static uint64_t lubyScale(uint64_t I);
+
+  // --- state ----------------------------------------------------------------
+  bool Ok = true;
+  std::vector<ClauseData> Clauses;
+  std::vector<ClauseRef> ProblemClauses;
+  std::vector<ClauseRef> LearntClauses;
+  std::vector<std::vector<Watcher>> Watches; // indexed by Lit code
+  std::vector<LBool> Assigns;
+  std::vector<int> VarLevel;
+  std::vector<ClauseRef> Reason;
+  std::vector<Lit> Trail;
+  std::vector<int> TrailLim;
+  int PropagationHead = 0;
+
+  std::vector<double> Activity;
+  double VarInc = 1.0;
+  double VarDecay = 0.95;
+  double ClaInc = 1.0;
+  double ClaDecay = 0.999;
+  std::vector<int> HeapIndex; // var -> position in Heap, -1 if absent
+  std::vector<Var> Heap;
+
+  std::vector<bool> SavedPhase;
+  std::vector<char> Seen;
+  std::vector<Lit> AnalyzeStack;
+
+  std::vector<Lit> CurAssumptions;
+  std::vector<Lit> ConflictCore;
+  std::vector<LBool> Model;
+
+  uint64_t ConflictBudget = 0;
+  uint64_t ConflictsThisSolve = 0;
+  double MaxLearnts = 0;
+  uint64_t RandState = 0x1234567890abcdefull;
+
+  SolverStats Stats;
+};
+
+} // namespace bugassist
+
+#endif // BUGASSIST_SAT_SOLVER_H

@@ -1,0 +1,36 @@
+//===- Diagnostics.cpp - Error reporting sink -----------------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace bugassist;
+
+static const char *severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string DiagEngine::render() const {
+  std::string Out;
+  for (const Diag &D : All) {
+    if (D.Loc.isValid()) {
+      Out += D.Loc.str();
+      Out += ": ";
+    }
+    Out += severityName(D.Severity);
+    Out += ": ";
+    Out += D.Message;
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,74 @@
+//===- Diagnostics.h - Error reporting sink ---------------------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal diagnostics engine. The library never throws; front-end and
+/// semantic errors are pushed into a DiagEngine that callers inspect. This
+/// mirrors the recoverable-error discipline of the LLVM coding standards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_SUPPORT_DIAGNOSTICS_H
+#define BUGASSIST_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace bugassist {
+
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One reported diagnostic: severity, position, and rendered message.
+struct Diag {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics produced while processing one source buffer.
+///
+/// Typical use:
+/// \code
+///   DiagEngine Diags;
+///   Parser P(Source, Diags);
+///   auto Prog = P.parseProgram();
+///   if (Diags.hasErrors()) { ... report Diags.render() ... }
+/// \endcode
+class DiagEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    All.push_back({DiagSeverity::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    All.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    All.push_back({DiagSeverity::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diag> &diags() const { return All; }
+  void clear() {
+    All.clear();
+    NumErrors = 0;
+  }
+
+  /// Renders all diagnostics into a single human-readable string, one per
+  /// line, in the order they were reported.
+  std::string render() const;
+
+private:
+  std::vector<Diag> All;
+  unsigned NumErrors = 0;
+};
+
+} // namespace bugassist
+
+#endif // BUGASSIST_SUPPORT_DIAGNOSTICS_H

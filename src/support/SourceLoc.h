@@ -1,0 +1,64 @@
+//===- SourceLoc.h - Source positions for diagnostics ----------*- C++ -*-===//
+//
+// Part of BugAssist-Repro, a reproduction of "Cause Clue Clauses: Error
+// Localization using Maximum Satisfiability" (Jose & Majumdar, PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight line/column positions used by the lexer, parser, and -- most
+/// importantly -- the clause-grouping machinery: BugAssist reports suspects
+/// as source *lines*, so every AST node and SSA statement carries a
+/// SourceLoc whose line number becomes its clause-group key.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_SUPPORT_SOURCELOC_H
+#define BUGASSIST_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace bugassist {
+
+/// A position in a mini-C source buffer. Lines and columns are 1-based;
+/// line 0 denotes "unknown / synthesized".
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  constexpr SourceLoc() = default;
+  constexpr SourceLoc(uint32_t Line, uint32_t Col) : Line(Line), Col(Col) {}
+
+  constexpr bool isValid() const { return Line != 0; }
+
+  friend constexpr bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Line == B.Line && A.Col == B.Col;
+  }
+  friend constexpr bool operator!=(SourceLoc A, SourceLoc B) {
+    return !(A == B);
+  }
+  friend constexpr bool operator<(SourceLoc A, SourceLoc B) {
+    return A.Line != B.Line ? A.Line < B.Line : A.Col < B.Col;
+  }
+
+  std::string str() const {
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+/// A half-open range of positions; used for diagnostics underlining.
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+
+  SourceRange() = default;
+  SourceRange(SourceLoc B, SourceLoc E) : Begin(B), End(E) {}
+  explicit SourceRange(SourceLoc P) : Begin(P), End(P) {}
+
+  bool isValid() const { return Begin.isValid(); }
+};
+
+} // namespace bugassist
+
+#endif // BUGASSIST_SUPPORT_SOURCELOC_H

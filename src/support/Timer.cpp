@@ -1,0 +1,8 @@
+//===- Timer.cpp - Wall-clock timing ---------------------------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+// Timer is header-only; this file anchors the translation unit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timer.h"

@@ -1,0 +1,42 @@
+//===- Timer.h - Wall-clock timing for benches ------------------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simple steady-clock stopwatch used by the benchmark harnesses to report
+/// the "RunTime" columns of Tables 1 and 3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_SUPPORT_TIMER_H
+#define BUGASSIST_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace bugassist {
+
+/// Stopwatch measuring elapsed wall time since construction or reset().
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  /// \returns elapsed seconds since the last reset (or construction).
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// \returns elapsed milliseconds since the last reset.
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace bugassist
+
+#endif // BUGASSIST_SUPPORT_TIMER_H

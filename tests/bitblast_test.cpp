@@ -1,0 +1,333 @@
+//===- bitblast_test.cpp - Circuit correctness tests ----------------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+// Every word-level circuit is checked against the interpreter's reference
+// semantics (evalBinaryOp / evalUnaryOp): exhaustively at width 4, randomly
+// at width 8. This is the contract that makes encoder and interpreter
+// interchangeable oracles.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bmc/BitBlaster.h"
+
+#include "interp/Interpreter.h"
+#include "sat/Solver.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace bugassist;
+
+namespace {
+
+/// Harness: builds a circuit over two symbolic input words, pins them with
+/// assumptions, solves, and reads the output back.
+class CircuitHarness {
+public:
+  explicit CircuitHarness(int Width) : BB(F, Width), Width(Width) {
+    A = BB.freshWord();
+    B = BB.freshWord();
+  }
+
+  BitBlaster &blaster() { return BB; }
+  const Word &a() const { return A; }
+  const Word &b() const { return B; }
+
+  /// Evaluates the previously built output word for concrete inputs.
+  int64_t evalWord(const Word &Out, int64_t AV, int64_t BV) {
+    Solver S;
+    EXPECT_TRUE(S.addFormula(F));
+    std::vector<Lit> Assumps = pinWord(A, AV);
+    for (Lit L : pinWord(B, BV))
+      Assumps.push_back(L);
+    EXPECT_EQ(S.solve(Assumps), LBool::True);
+    int64_t V = 0;
+    for (int I = 0; I < Width; ++I)
+      if (S.modelValue(Out[I]) == LBool::True)
+        V |= (1ll << I);
+    if (V & (1ll << (Width - 1)))
+      V |= ~((1ll << Width) - 1);
+    return V;
+  }
+
+  bool evalBit(Lit Out, int64_t AV, int64_t BV) {
+    Solver S;
+    EXPECT_TRUE(S.addFormula(F));
+    std::vector<Lit> Assumps = pinWord(A, AV);
+    for (Lit L : pinWord(B, BV))
+      Assumps.push_back(L);
+    EXPECT_EQ(S.solve(Assumps), LBool::True);
+    return S.modelValue(Out) == LBool::True;
+  }
+
+private:
+  std::vector<Lit> pinWord(const Word &W, int64_t V) {
+    std::vector<Lit> Ls;
+    for (int I = 0; I < Width; ++I)
+      Ls.push_back(((V >> I) & 1) ? W[I] : ~W[I]);
+    return Ls;
+  }
+
+  CnfFormula F;
+  BitBlaster BB;
+  int Width;
+  Word A, B;
+};
+
+int64_t wrap4(int64_t V) { return wrapToWidth(V, 4); }
+
+/// All signed 4-bit values.
+std::vector<int64_t> allW4() {
+  std::vector<int64_t> Vs;
+  for (int64_t V = -8; V <= 7; ++V)
+    Vs.push_back(V);
+  return Vs;
+}
+
+} // namespace
+
+TEST(BitBlaster, ConstWordRoundTrip) {
+  CnfFormula F;
+  BitBlaster BB(F, 8);
+  for (int64_t V : {0ll, 1ll, -1ll, 42ll, -128ll, 127ll}) {
+    int64_t Out = 0;
+    EXPECT_TRUE(BB.constValue(BB.constWord(V), Out));
+    EXPECT_EQ(Out, V);
+  }
+  Word Fresh = BB.freshWord();
+  int64_t Dummy;
+  EXPECT_FALSE(BB.constValue(Fresh, Dummy));
+}
+
+TEST(BitBlaster, GateFoldingOnConstants) {
+  CnfFormula F;
+  BitBlaster BB(F, 4);
+  Lit X = BB.freshBit();
+  EXPECT_EQ(BB.mkAnd(BB.trueLit(), X), X);
+  EXPECT_TRUE(BB.isConstFalse(BB.mkAnd(BB.falseLit(), X)));
+  EXPECT_EQ(BB.mkOr(BB.falseLit(), X), X);
+  EXPECT_TRUE(BB.isConstTrue(BB.mkOr(BB.trueLit(), X)));
+  EXPECT_EQ(BB.mkXor(BB.falseLit(), X), X);
+  EXPECT_EQ(BB.mkXor(BB.trueLit(), X), ~X);
+  EXPECT_TRUE(BB.isConstFalse(BB.mkXor(X, X)));
+  EXPECT_TRUE(BB.isConstTrue(BB.mkXor(X, ~X)));
+  EXPECT_EQ(BB.mkMux(BB.trueLit(), X, ~X), X);
+  EXPECT_EQ(BB.mkMux(BB.falseLit(), X, ~X), ~X);
+  // Constant-only circuits emit no clauses beyond the true anchor.
+  size_t Before = F.numClauses();
+  (void)BB.add(BB.constWord(3), BB.constWord(4));
+  EXPECT_EQ(F.numClauses(), Before);
+}
+
+TEST(BitBlaster, ConstantArithmeticFoldsExactly) {
+  CnfFormula F;
+  BitBlaster BB(F, 8);
+  int64_t Out;
+  ASSERT_TRUE(BB.constValue(BB.add(BB.constWord(100), BB.constWord(29)), Out));
+  EXPECT_EQ(Out, wrapToWidth(129, 8));
+  ASSERT_TRUE(BB.constValue(BB.mul(BB.constWord(7), BB.constWord(6)), Out));
+  EXPECT_EQ(Out, 42);
+  ASSERT_TRUE(BB.constValue(BB.neg(BB.constWord(-128)), Out));
+  EXPECT_EQ(Out, -128); // wraps
+}
+
+// --- exhaustive width-4 sweeps ------------------------------------------------
+
+struct BinOpCase {
+  BinaryOp Op;
+  const char *Name;
+};
+
+class BitBlastBinOpTest : public ::testing::TestWithParam<BinOpCase> {};
+
+TEST_P(BitBlastBinOpTest, ExhaustiveWidth4) {
+  BinaryOp Op = GetParam().Op;
+  CircuitHarness H(4);
+  BitBlaster &BB = H.blaster();
+
+  bool IsCompare = isComparisonOp(Op);
+  Word OutW;
+  Lit OutB = NullLit;
+  switch (Op) {
+  case BinaryOp::Add:
+    OutW = BB.add(H.a(), H.b());
+    break;
+  case BinaryOp::Sub:
+    OutW = BB.sub(H.a(), H.b());
+    break;
+  case BinaryOp::Mul:
+    OutW = BB.mul(H.a(), H.b());
+    break;
+  case BinaryOp::Div: {
+    Word R;
+    BB.divRem(H.a(), H.b(), OutW, R);
+    break;
+  }
+  case BinaryOp::Rem: {
+    Word Q;
+    BB.divRem(H.a(), H.b(), Q, OutW);
+    break;
+  }
+  case BinaryOp::Shl:
+    OutW = BB.shl(H.a(), H.b());
+    break;
+  case BinaryOp::Shr:
+    OutW = BB.ashr(H.a(), H.b());
+    break;
+  case BinaryOp::BitAnd:
+    OutW = BB.bitAnd(H.a(), H.b());
+    break;
+  case BinaryOp::BitOr:
+    OutW = BB.bitOr(H.a(), H.b());
+    break;
+  case BinaryOp::BitXor:
+    OutW = BB.bitXor(H.a(), H.b());
+    break;
+  case BinaryOp::Lt:
+    OutB = BB.slt(H.a(), H.b());
+    break;
+  case BinaryOp::Le:
+    OutB = BB.sle(H.a(), H.b());
+    break;
+  case BinaryOp::Eq:
+    OutB = BB.eq(H.a(), H.b());
+    break;
+  default:
+    GTEST_SKIP();
+  }
+
+  for (int64_t A : allW4()) {
+    for (int64_t B : allW4()) {
+      bool Dz = false;
+      int64_t Expected = evalBinaryOp(Op, A, B, 4, Dz);
+      if (IsCompare) {
+        EXPECT_EQ(H.evalBit(OutB, A, B), Expected != 0)
+            << GetParam().Name << " a=" << A << " b=" << B;
+      } else {
+        EXPECT_EQ(H.evalWord(OutW, A, B), wrap4(Expected))
+            << GetParam().Name << " a=" << A << " b=" << B;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, BitBlastBinOpTest,
+    ::testing::Values(BinOpCase{BinaryOp::Add, "add"},
+                      BinOpCase{BinaryOp::Sub, "sub"},
+                      BinOpCase{BinaryOp::Mul, "mul"},
+                      BinOpCase{BinaryOp::Div, "div"},
+                      BinOpCase{BinaryOp::Rem, "rem"},
+                      BinOpCase{BinaryOp::Shl, "shl"},
+                      BinOpCase{BinaryOp::Shr, "ashr"},
+                      BinOpCase{BinaryOp::BitAnd, "and"},
+                      BinOpCase{BinaryOp::BitOr, "or"},
+                      BinOpCase{BinaryOp::BitXor, "xor"},
+                      BinOpCase{BinaryOp::Lt, "slt"},
+                      BinOpCase{BinaryOp::Le, "sle"},
+                      BinOpCase{BinaryOp::Eq, "eq"}),
+    [](const auto &Info) { return Info.param.Name; });
+
+TEST(BitBlaster, NegExhaustiveWidth4) {
+  CircuitHarness H(4);
+  Word Out = H.blaster().neg(H.a());
+  for (int64_t A : allW4())
+    EXPECT_EQ(H.evalWord(Out, A, 0), wrap4(-A)) << "a=" << A;
+}
+
+TEST(BitBlaster, NotExhaustiveWidth4) {
+  CircuitHarness H(4);
+  Word Out = H.blaster().bitNot(H.a());
+  for (int64_t A : allW4())
+    EXPECT_EQ(H.evalWord(Out, A, 0), wrap4(~A)) << "a=" << A;
+}
+
+TEST(BitBlaster, UltExhaustiveWidth4) {
+  CircuitHarness H(4);
+  Lit Out = H.blaster().ult(H.a(), H.b());
+  for (int64_t A : allW4())
+    for (int64_t B : allW4()) {
+      uint64_t UA = static_cast<uint64_t>(A) & 0xF;
+      uint64_t UB = static_cast<uint64_t>(B) & 0xF;
+      EXPECT_EQ(H.evalBit(Out, A, B), UA < UB) << "a=" << A << " b=" << B;
+    }
+}
+
+// --- random width-8 sweeps -----------------------------------------------------
+
+TEST(BitBlaster, RandomWidth8Arithmetic) {
+  CircuitHarness H(8);
+  BitBlaster &BB = H.blaster();
+  Word Sum = BB.add(H.a(), H.b());
+  Word Prod = BB.mul(H.a(), H.b());
+  Word Quot, Rem;
+  BB.divRem(H.a(), H.b(), Quot, Rem);
+  Word Shl = BB.shl(H.a(), H.b());
+  Word Shr = BB.ashr(H.a(), H.b());
+
+  Rng R(2024);
+  for (int Round = 0; Round < 60; ++Round) {
+    int64_t A = wrapToWidth(static_cast<int64_t>(R.next()), 8);
+    int64_t B = wrapToWidth(static_cast<int64_t>(R.next()), 8);
+    bool Dz = false;
+    EXPECT_EQ(H.evalWord(Sum, A, B), evalBinaryOp(BinaryOp::Add, A, B, 8, Dz));
+    EXPECT_EQ(H.evalWord(Prod, A, B),
+              evalBinaryOp(BinaryOp::Mul, A, B, 8, Dz));
+    EXPECT_EQ(H.evalWord(Quot, A, B),
+              evalBinaryOp(BinaryOp::Div, A, B, 8, Dz));
+    EXPECT_EQ(H.evalWord(Rem, A, B), evalBinaryOp(BinaryOp::Rem, A, B, 8, Dz));
+    EXPECT_EQ(H.evalWord(Shl, A, B), evalBinaryOp(BinaryOp::Shl, A, B, 8, Dz));
+    EXPECT_EQ(H.evalWord(Shr, A, B), evalBinaryOp(BinaryOp::Shr, A, B, 8, Dz));
+  }
+}
+
+TEST(BitBlaster, DivByZeroGivesZero) {
+  CircuitHarness H(8);
+  Word Quot, Rem;
+  H.blaster().divRem(H.a(), H.b(), Quot, Rem);
+  for (int64_t A : {0ll, 5ll, -7ll, 127ll, -128ll}) {
+    EXPECT_EQ(H.evalWord(Quot, A, 0), 0) << "a=" << A;
+    EXPECT_EQ(H.evalWord(Rem, A, 0), 0) << "a=" << A;
+  }
+}
+
+TEST(BitBlaster, IntMinDivMinusOne) {
+  CircuitHarness H(8);
+  Word Quot, Rem;
+  H.blaster().divRem(H.a(), H.b(), Quot, Rem);
+  EXPECT_EQ(H.evalWord(Quot, -128, -1), -128);
+  EXPECT_EQ(H.evalWord(Rem, -128, -1), 0);
+}
+
+TEST(BitBlaster, GroupedCircuitDisablesWithSelector) {
+  // A soft statement's circuit must vanish when its selector is off: with
+  // the selector asserted, out == a+1 is forced; without it, out is free.
+  CnfFormula F;
+  BitBlaster BB(F, 4);
+  Word A = BB.freshWord();
+  Word Out = BB.freshWord();
+  GroupId G = F.newGroup(7, "out := a + 1");
+  BB.setGroup(G);
+  Word Sum = BB.add(A, BB.constWord(1));
+  BB.assertEqual(Out, Sum);
+  BB.setGroup(NoGroup);
+
+  Solver S;
+  ASSERT_TRUE(S.addFormula(F));
+  std::vector<Lit> Pin;
+  for (int I = 0; I < 4; ++I)
+    Pin.push_back(((3 >> I) & 1) ? A[I] : ~A[I]); // a = 3
+  // Selector on: out must be 4; asking out==5 is UNSAT.
+  std::vector<Lit> On = Pin;
+  On.push_back(F.selectorLit(G));
+  for (int I = 0; I < 4; ++I)
+    On.push_back(((5 >> I) & 1) ? Out[I] : ~Out[I]);
+  EXPECT_EQ(S.solve(On), LBool::False);
+  // Selector off: out==5 becomes satisfiable (statement "replaced").
+  std::vector<Lit> Off = Pin;
+  Off.push_back(~F.selectorLit(G));
+  for (int I = 0; I < 4; ++I)
+    Off.push_back(((5 >> I) & 1) ? Out[I] : ~Out[I]);
+  EXPECT_EQ(S.solve(Off), LBool::True);
+}

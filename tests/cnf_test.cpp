@@ -1,0 +1,120 @@
+//===- cnf_test.cpp - CNF layer unit tests -----------------------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cnf/Cnf.h"
+#include "cnf/DimacsWriter.h"
+
+#include <gtest/gtest.h>
+
+using namespace bugassist;
+
+TEST(Lit, EncodingRoundTrips) {
+  Lit P = mkLit(7);
+  EXPECT_EQ(P.var(), 7);
+  EXPECT_FALSE(P.negated());
+  EXPECT_TRUE((~P).negated());
+  EXPECT_EQ((~P).var(), 7);
+  EXPECT_EQ(~~P, P);
+  EXPECT_NE(P, ~P);
+}
+
+TEST(Lit, DimacsRendering) {
+  EXPECT_EQ(mkLit(0).str(), "1");
+  EXPECT_EQ((~mkLit(0)).str(), "-1");
+  EXPECT_EQ(mkLit(41).str(), "42");
+  EXPECT_EQ(mkLit(41, true).str(), "-42");
+}
+
+TEST(Lit, AdjacentCodes) {
+  // Positive and negative literal of one var differ only in the low bit,
+  // the invariant the solver's watch indexing relies on.
+  Lit P = mkLit(3);
+  EXPECT_EQ(P.code() ^ 1, (~P).code());
+}
+
+TEST(Lit, LBoolNegation) {
+  EXPECT_EQ(lboolNeg(LBool::True), LBool::False);
+  EXPECT_EQ(lboolNeg(LBool::False), LBool::True);
+  EXPECT_EQ(lboolNeg(LBool::Undef), LBool::Undef);
+}
+
+TEST(CnfFormula, FreshVariables) {
+  CnfFormula F;
+  EXPECT_EQ(F.numVars(), 0);
+  Var A = F.newVar();
+  Var B = F.newVar();
+  EXPECT_NE(A, B);
+  EXPECT_EQ(F.numVars(), 2);
+  Var First = F.newVars(5);
+  EXPECT_EQ(First, 2);
+  EXPECT_EQ(F.numVars(), 7);
+}
+
+TEST(CnfFormula, GroupedClausesCarryGuard) {
+  CnfFormula F;
+  Var X = F.newVar();
+  GroupId G = F.newGroup(/*Line=*/42, "x := 1");
+  F.addGroupedClause(G, {mkLit(X)});
+
+  ASSERT_EQ(F.numClauses(), 1u);
+  const Clause &C = F.hardClauses()[0];
+  ASSERT_EQ(C.size(), 2u);
+  EXPECT_EQ(C[0], mkLit(X));
+  EXPECT_EQ(C[1], mkLit(F.group(G).Selector, true));
+  EXPECT_EQ(F.group(G).Line, 42u);
+  EXPECT_EQ(F.group(G).Label, "x := 1");
+}
+
+TEST(CnfFormula, SelectorLookup) {
+  CnfFormula F;
+  GroupId G1 = F.newGroup(1);
+  GroupId G2 = F.newGroup(2);
+  EXPECT_EQ(F.groupOfSelector(F.group(G1).Selector), G1);
+  EXPECT_EQ(F.groupOfSelector(F.group(G2).Selector), G2);
+  EXPECT_EQ(F.groupOfSelector(12345), NoGroup);
+  EXPECT_EQ(F.selectorLit(G1), mkLit(F.group(G1).Selector));
+}
+
+TEST(CnfFormula, GroupWeightsAndUnwindings) {
+  CnfFormula F;
+  GroupId G = F.newGroup(7, "loop body", /*Weight=*/9, /*Unwinding=*/3);
+  EXPECT_EQ(F.group(G).Weight, 9u);
+  EXPECT_EQ(F.group(G).Unwinding, 3u);
+}
+
+TEST(CnfFormula, LiteralCount) {
+  CnfFormula F;
+  Var A = F.newVar(), B = F.newVar();
+  F.addClause(mkLit(A));
+  F.addClause(mkLit(A), mkLit(B));
+  EXPECT_EQ(F.literalCount(), 3u);
+}
+
+TEST(DimacsWriter, PlainCnf) {
+  CnfFormula F;
+  Var A = F.newVar(), B = F.newVar();
+  F.addClause(mkLit(A), ~mkLit(B));
+  F.addClause(~mkLit(A));
+  EXPECT_EQ(writeDimacs(F), "p cnf 2 2\n1 -2 0\n-1 0\n");
+}
+
+TEST(DimacsWriter, WcnfHardAndSoft) {
+  CnfFormula F;
+  Var X = F.newVar();
+  GroupId G = F.newGroup(1, "stmt", /*Weight=*/3);
+  F.addGroupedClause(G, {mkLit(X)});
+  std::string W = writeWcnf(F);
+  // Top weight = 3 + 1 = 4; one hard clause (x \/ ~sel), one soft (sel).
+  EXPECT_EQ(W, "p wcnf 2 2 4\n4 1 -2 0\n3 2 0\n");
+}
+
+TEST(DimacsWriter, WcnfTopExceedsSoftSum) {
+  CnfFormula F;
+  F.newGroup(1, "", 5);
+  F.newGroup(2, "", 7);
+  std::string W = writeWcnf(F);
+  EXPECT_NE(W.find("p wcnf 2 2 13"), std::string::npos);
+}

@@ -1,0 +1,356 @@
+//===- interp_test.cpp - Concrete interpreter tests ----------------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "lang/Sema.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace bugassist;
+
+namespace {
+
+std::unique_ptr<Program> compile(std::string_view Src) {
+  DiagEngine Diags;
+  auto P = parseAndAnalyze(Src, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.render();
+  return P;
+}
+
+int64_t runInt(std::string_view Src, const InputVector &Inputs = {},
+               ExecOptions Opts = {}) {
+  auto P = compile(Src);
+  Interpreter I(*P, Opts);
+  ExecResult R = I.run("main", Inputs);
+  EXPECT_EQ(R.Status, ExecStatus::Ok);
+  return R.ReturnValue;
+}
+
+ExecResult runRaw(std::string_view Src, const InputVector &Inputs = {},
+                  ExecOptions Opts = {}) {
+  auto P = compile(Src);
+  Interpreter I(*P, Opts);
+  return I.run("main", Inputs);
+}
+
+} // namespace
+
+TEST(Interp, Arithmetic) {
+  EXPECT_EQ(runInt("int main() { return 2 + 3 * 4; }"), 14);
+  EXPECT_EQ(runInt("int main() { return (2 + 3) * 4; }"), 20);
+  EXPECT_EQ(runInt("int main() { return 17 / 5; }"), 3);
+  EXPECT_EQ(runInt("int main() { return 17 % 5; }"), 2);
+  EXPECT_EQ(runInt("int main() { return -17 / 5; }"), -3);
+  EXPECT_EQ(runInt("int main() { return -17 % 5; }"), -2);
+  EXPECT_EQ(runInt("int main() { return -(3 - 10); }"), 7);
+}
+
+TEST(Interp, BitwiseAndShifts) {
+  EXPECT_EQ(runInt("int main() { return 12 & 10; }"), 8);
+  EXPECT_EQ(runInt("int main() { return 12 | 10; }"), 14);
+  EXPECT_EQ(runInt("int main() { return 12 ^ 10; }"), 6);
+  EXPECT_EQ(runInt("int main() { return ~0; }"), -1);
+  EXPECT_EQ(runInt("int main() { return 1 << 4; }"), 16);
+  EXPECT_EQ(runInt("int main() { return -16 >> 2; }"), -4);
+  // Saturating out-of-range shift semantics.
+  EXPECT_EQ(runInt("int main() { return 1 << 40; }"), 0);
+  EXPECT_EQ(runInt("int main() { return -1 >> 99; }"), -1);
+  EXPECT_EQ(runInt("int main() { return 5 >> 99; }"), 0);
+  EXPECT_EQ(runInt("int main() { int s = 0 - 1; return 1 << s; }"), 0);
+}
+
+TEST(Interp, WraparoundAtWidth) {
+  ExecOptions O8;
+  O8.BitWidth = 8;
+  EXPECT_EQ(runInt("int main() { return 127 + 1; }", {}, O8), -128);
+  EXPECT_EQ(runInt("int main() { return 100 * 3; }", {}, O8), 44); // 300 mod 256
+  ExecOptions O16;
+  O16.BitWidth = 16;
+  EXPECT_EQ(runInt("int main() { return 32767 + 1; }", {}, O16), -32768);
+}
+
+TEST(Interp, IntMinDivMinusOneWraps) {
+  ExecOptions O8;
+  O8.BitWidth = 8;
+  EXPECT_EQ(runInt("int main() { int m = -128; return m / -1; }", {}, O8),
+            -128);
+  EXPECT_EQ(runInt("int main() { int m = -128; return m % -1; }", {}, O8), 0);
+}
+
+TEST(Interp, ComparisonsAndLogical) {
+  EXPECT_EQ(runInt("int main() { return 3 < 4 ? 1 : 0; }"), 1);
+  EXPECT_EQ(runInt("int main() { return 4 <= 3 ? 1 : 0; }"), 0);
+  EXPECT_EQ(runInt("int main() { return (3 == 3 && 2 != 1) ? 7 : 9; }"), 7);
+  EXPECT_EQ(runInt("int main() { return (false || !false) ? 1 : 0; }"), 1);
+}
+
+TEST(Interp, InputsAndParams) {
+  EXPECT_EQ(runInt("int main(int x, int y) { return x * 10 + y; }",
+                   {InputValue::scalar(4), InputValue::scalar(2)}),
+            42);
+  EXPECT_EQ(runInt("int main(bool b) { return b ? 1 : 0; }",
+                   {InputValue::scalar(1)}),
+            1);
+}
+
+TEST(Interp, GlobalsInitializedAndMutable) {
+  EXPECT_EQ(runInt("int g = 10; int main() { g = g + 5; return g; }"), 15);
+  EXPECT_EQ(runInt("int g; int main() { return g; }"), 0);
+  EXPECT_EQ(runInt("bool b = true; int main() { return b ? 2 : 3; }"), 2);
+}
+
+TEST(Interp, WhileLoop) {
+  EXPECT_EQ(runInt("int main(int n) {"
+                   "  int s = 0; int i = 1;"
+                   "  while (i <= n) { s = s + i; i = i + 1; }"
+                   "  return s;"
+                   "}",
+                   {InputValue::scalar(10)}),
+            55);
+}
+
+TEST(Interp, ForLoopDesugared) {
+  EXPECT_EQ(runInt("int main(int n) {"
+                   "  int s = 0; int i;"
+                   "  for (i = 0; i < n; i = i + 1) s = s + 2;"
+                   "  return s;"
+                   "}",
+                   {InputValue::scalar(7)}),
+            14);
+}
+
+TEST(Interp, FunctionsAndRecursion) {
+  EXPECT_EQ(runInt("int add(int a, int b) { return a + b; }"
+                   "int main() { return add(add(1, 2), 3); }"),
+            6);
+  EXPECT_EQ(runInt("int fact(int n) { if (n <= 1) return 1;"
+                   "  return n * fact(n - 1); }"
+                   "int main() { return fact(6); }"),
+            720);
+}
+
+TEST(Interp, EarlyReturnSkipsRest) {
+  EXPECT_EQ(runInt("int main(int x) {"
+                   "  if (x > 0) return 1;"
+                   "  x = 99;"
+                   "  return x;"
+                   "}",
+                   {InputValue::scalar(5)}),
+            1);
+}
+
+TEST(Interp, FallOffEndReturnsZero) {
+  EXPECT_EQ(runInt("int f(int x) { if (x > 0) return 5; }"
+                   "int main() { return f(-1); }"),
+            0);
+}
+
+TEST(Interp, Arrays) {
+  EXPECT_EQ(runInt("int main() {"
+                   "  int a[5];"
+                   "  int i;"
+                   "  for (i = 0; i < 5; i = i + 1) a[i] = i * i;"
+                   "  return a[0] + a[1] + a[2] + a[3] + a[4];"
+                   "}"),
+            30);
+}
+
+TEST(Interp, ArraysByReference) {
+  EXPECT_EQ(runInt("void fill(int a[3], int v) {"
+                   "  a[0] = v; a[1] = v + 1; a[2] = v + 2;"
+                   "}"
+                   "int main() { int b[3]; fill(b, 7); return b[2]; }"),
+            9);
+}
+
+TEST(Interp, GlobalArray) {
+  EXPECT_EQ(runInt("int tab[4];"
+                   "void set(int i, int v) { tab[i] = v; }"
+                   "int main() { set(2, 42); return tab[2]; }"),
+            42);
+}
+
+TEST(Interp, ArrayInputs) {
+  EXPECT_EQ(runInt("int main(int a[3]) { return a[0] + a[1] * a[2]; }",
+                   {InputValue::array({5, 6, 7})}),
+            47);
+}
+
+TEST(Interp, AssertFailure) {
+  ExecResult R = runRaw("int main(int x) { assert(x < 10); return x; }",
+                        {InputValue::scalar(12)});
+  EXPECT_EQ(R.Status, ExecStatus::AssertFail);
+  EXPECT_EQ(R.FailLoc.Line, 1u);
+  EXPECT_TRUE(R.failed());
+}
+
+TEST(Interp, AssertPasses) {
+  ExecResult R = runRaw("int main(int x) { assert(x < 10); return x; }",
+                        {InputValue::scalar(3)});
+  EXPECT_EQ(R.Status, ExecStatus::Ok);
+}
+
+TEST(Interp, AssumeBlocksExecution) {
+  ExecResult R = runRaw("int main(int x) { assume(x > 0); assert(false); return x; }",
+                        {InputValue::scalar(-1)});
+  EXPECT_EQ(R.Status, ExecStatus::AssumeFail);
+  EXPECT_FALSE(R.failed()) << "assume violation is not a bug";
+}
+
+TEST(Interp, PaperProgram1MotivatingExample) {
+  // Program 1 from the paper: index == 1 takes the else branch, sets
+  // index to 3, and the dereference is out of bounds.
+  const char *Src = "int Array[3];\n"
+                    "int testme(int index) {\n"
+                    "  if (index != 1)\n"
+                    "    index = 2;\n"
+                    "  else\n"
+                    "    index = index + 2;\n"
+                    "  int i = index;\n"
+                    "  assert(i >= 0 && i < 3);\n"
+                    "  return Array[i];\n"
+                    "}\n"
+                    "int main(int index) { return testme(index); }\n";
+  ExecResult Bad = runRaw(Src, {InputValue::scalar(1)});
+  EXPECT_EQ(Bad.Status, ExecStatus::AssertFail);
+  ExecResult Good = runRaw(Src, {InputValue::scalar(0)});
+  EXPECT_EQ(Good.Status, ExecStatus::Ok);
+}
+
+TEST(Interp, BoundsCheckOnRead) {
+  ExecResult R = runRaw("int main(int i) { int a[3]; return a[i]; }",
+                        {InputValue::scalar(5)});
+  EXPECT_EQ(R.Status, ExecStatus::BoundsFail);
+}
+
+TEST(Interp, BoundsCheckOnWrite) {
+  ExecResult R = runRaw("int main(int i) { int a[3]; a[i] = 1; return 0; }",
+                        {InputValue::scalar(-1)});
+  EXPECT_EQ(R.Status, ExecStatus::BoundsFail);
+}
+
+TEST(Interp, BoundsUncheckedSemantics) {
+  ExecOptions O;
+  O.CheckArrayBounds = false;
+  // OOB read yields 0; OOB write is dropped.
+  EXPECT_EQ(runInt("int main(int i) { int a[3]; a[1] = 9; return a[i]; }",
+                   {InputValue::scalar(7)}, O),
+            0);
+  EXPECT_EQ(runInt("int main(int i) { int a[3]; a[i] = 9; return a[1]; }",
+                   {InputValue::scalar(7)}, O),
+            0);
+}
+
+TEST(Interp, DivByZeroTrapped) {
+  ExecResult R = runRaw("int main(int x) { return 10 / x; }",
+                        {InputValue::scalar(0)});
+  EXPECT_EQ(R.Status, ExecStatus::DivByZero);
+  R = runRaw("int main(int x) { return 10 % x; }", {InputValue::scalar(0)});
+  EXPECT_EQ(R.Status, ExecStatus::DivByZero);
+}
+
+TEST(Interp, DivByZeroUncheckedYieldsZero) {
+  ExecOptions O;
+  O.CheckDivByZero = false;
+  EXPECT_EQ(runInt("int main(int x) { return 10 / x; }",
+                   {InputValue::scalar(0)}, O),
+            0);
+}
+
+TEST(Interp, StepLimitOnInfiniteLoop) {
+  ExecOptions O;
+  O.MaxSteps = 10000;
+  ExecResult R = runRaw("int main() { while (true) { } return 0; }", {}, O);
+  EXPECT_EQ(R.Status, ExecStatus::StepLimit);
+}
+
+TEST(Interp, SetupErrors) {
+  auto P = compile("int main(int x) { return x; }");
+  Interpreter I(*P);
+  EXPECT_EQ(I.run("nosuch", {}).Status, ExecStatus::SetupError);
+  EXPECT_EQ(I.run("main", {}).Status, ExecStatus::SetupError);
+  EXPECT_EQ(I.run("main", {InputValue::array({1, 2})}).Status,
+            ExecStatus::SetupError);
+}
+
+TEST(Interp, PaperProgram3Squareroot) {
+  // Program 3 (Section 6.4) with the fix applied at line 13: res = i - 1.
+  const char *Fixed = "int main() {\n"
+                      "  int val = 50;\n"
+                      "  int i = 1;\n"
+                      "  int v = 0;\n"
+                      "  int res = 0;\n"
+                      "  while (v < val) {\n"
+                      "    v = v + 2 * i + 1;\n"
+                      "    i = i + 1;\n"
+                      "  }\n"
+                      "  res = i - 1;\n"
+                      "  assert(res * res <= val && (res + 1) * (res + 1) > val);\n"
+                      "  return res;\n"
+                      "}\n";
+  ExecResult R = runRaw(Fixed);
+  EXPECT_EQ(R.Status, ExecStatus::Ok);
+  EXPECT_EQ(R.ReturnValue, 7); // floor(sqrt(50))
+
+  // The buggy version (res = i) must fail the assertion.
+  const char *Buggy = "int main() {\n"
+                      "  int val = 50;\n"
+                      "  int i = 1;\n"
+                      "  int v = 0;\n"
+                      "  int res = 0;\n"
+                      "  while (v < val) {\n"
+                      "    v = v + 2 * i + 1;\n"
+                      "    i = i + 1;\n"
+                      "  }\n"
+                      "  res = i;\n"
+                      "  assert(res * res <= val && (res + 1) * (res + 1) > val);\n"
+                      "  return res;\n"
+                      "}\n";
+  EXPECT_EQ(runRaw(Buggy).Status, ExecStatus::AssertFail);
+}
+
+// Differential property: evalBinaryOp/evalUnaryOp agree with native 64-bit
+// arithmetic wrapped to width, across random operands and widths.
+struct WidthCase {
+  int Width;
+  uint64_t Seed;
+};
+class InterpWidthTest : public ::testing::TestWithParam<WidthCase> {};
+
+TEST_P(InterpWidthTest, WrapMatchesReference) {
+  const auto &P = GetParam();
+  Rng R(P.Seed);
+  for (int Round = 0; Round < 500; ++Round) {
+    int64_t A = wrapToWidth(static_cast<int64_t>(R.next()), P.Width);
+    int64_t B = wrapToWidth(static_cast<int64_t>(R.next()), P.Width);
+    bool Dz = false;
+    int64_t Sum = evalBinaryOp(BinaryOp::Add, A, B, P.Width, Dz);
+    EXPECT_EQ(Sum, wrapToWidth(A + B, P.Width));
+    int64_t Diff = evalBinaryOp(BinaryOp::Sub, A, B, P.Width, Dz);
+    EXPECT_EQ(Diff, wrapToWidth(A - B, P.Width));
+    int64_t Prod = evalBinaryOp(BinaryOp::Mul, A, B, P.Width, Dz);
+    EXPECT_EQ(Prod, wrapToWidth(static_cast<int64_t>(static_cast<uint64_t>(A) *
+                                                     static_cast<uint64_t>(B)),
+                                P.Width));
+    EXPECT_EQ(evalUnaryOp(UnaryOp::Neg, A, P.Width), wrapToWidth(-A, P.Width));
+    EXPECT_EQ(evalUnaryOp(UnaryOp::BitNot, A, P.Width),
+              wrapToWidth(~A, P.Width));
+    if (B != 0) {
+      int64_t Q = evalBinaryOp(BinaryOp::Div, A, B, P.Width, Dz);
+      int64_t M = evalBinaryOp(BinaryOp::Rem, A, B, P.Width, Dz);
+      // Euclidean identity holds modulo wrap.
+      EXPECT_EQ(wrapToWidth(Q * B + M, P.Width), A);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, InterpWidthTest,
+                         ::testing::Values(WidthCase{4, 11}, WidthCase{8, 12},
+                                           WidthCase{16, 13},
+                                           WidthCase{32, 14},
+                                           WidthCase{64, 15}));

@@ -1,0 +1,114 @@
+//===- lexer_test.cpp - Tokenizer tests ----------------------------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace bugassist;
+
+namespace {
+
+std::vector<Token> lex(std::string_view Src) {
+  DiagEngine Diags;
+  Lexer L(Src, Diags);
+  auto Tokens = L.lexAll();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.render();
+  return Tokens;
+}
+
+std::vector<TokenKind> kinds(std::string_view Src) {
+  std::vector<TokenKind> Ks;
+  for (const Token &T : lex(Src))
+    Ks.push_back(T.Kind);
+  return Ks;
+}
+
+} // namespace
+
+TEST(Lexer, EmptyInput) {
+  auto Ks = kinds("");
+  ASSERT_EQ(Ks.size(), 1u);
+  EXPECT_EQ(Ks[0], TokenKind::Eof);
+}
+
+TEST(Lexer, Keywords) {
+  auto Ks = kinds("int bool void true false if else while for return assert assume");
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwInt,   TokenKind::KwBool,  TokenKind::KwVoid,
+      TokenKind::KwTrue,  TokenKind::KwFalse, TokenKind::KwIf,
+      TokenKind::KwElse,  TokenKind::KwWhile, TokenKind::KwFor,
+      TokenKind::KwReturn, TokenKind::KwAssert, TokenKind::KwAssume,
+      TokenKind::Eof};
+  EXPECT_EQ(Ks, Expected);
+}
+
+TEST(Lexer, IdentifiersVsKeywords) {
+  auto Ts = lex("iff intx _x x_1 forx");
+  ASSERT_EQ(Ts.size(), 6u);
+  for (size_t I = 0; I + 1 < Ts.size(); ++I)
+    EXPECT_EQ(Ts[I].Kind, TokenKind::Identifier) << I;
+  EXPECT_EQ(Ts[0].Text, "iff");
+  EXPECT_EQ(Ts[2].Text, "_x");
+}
+
+TEST(Lexer, IntegerLiterals) {
+  auto Ts = lex("0 7 12345");
+  EXPECT_EQ(Ts[0].IntValue, 0);
+  EXPECT_EQ(Ts[1].IntValue, 7);
+  EXPECT_EQ(Ts[2].IntValue, 12345);
+}
+
+TEST(Lexer, MultiCharOperators) {
+  auto Ks = kinds("<= >= == != && || << >> < > = ! & |");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Le,       TokenKind::Ge,   TokenKind::EqEq,
+      TokenKind::NotEq,    TokenKind::AmpAmp, TokenKind::PipePipe,
+      TokenKind::Shl,      TokenKind::Shr,  TokenKind::Lt,
+      TokenKind::Gt,       TokenKind::Assign, TokenKind::Bang,
+      TokenKind::Amp,      TokenKind::Pipe, TokenKind::Eof};
+  EXPECT_EQ(Ks, Expected);
+}
+
+TEST(Lexer, LineComments) {
+  auto Ks = kinds("x // comment with * tokens < >\ny");
+  std::vector<TokenKind> Expected = {TokenKind::Identifier,
+                                     TokenKind::Identifier, TokenKind::Eof};
+  EXPECT_EQ(Ks, Expected);
+}
+
+TEST(Lexer, BlockComments) {
+  auto Ks = kinds("a /* multi\nline\ncomment */ b");
+  std::vector<TokenKind> Expected = {TokenKind::Identifier,
+                                     TokenKind::Identifier, TokenKind::Eof};
+  EXPECT_EQ(Ks, Expected);
+}
+
+TEST(Lexer, LineNumbersTracked) {
+  auto Ts = lex("a\nb\n  c");
+  EXPECT_EQ(Ts[0].Loc.Line, 1u);
+  EXPECT_EQ(Ts[1].Loc.Line, 2u);
+  EXPECT_EQ(Ts[2].Loc.Line, 3u);
+  EXPECT_EQ(Ts[2].Loc.Col, 3u);
+}
+
+TEST(Lexer, UnknownCharacterDiagnosed) {
+  DiagEngine Diags;
+  Lexer L("a @ b", Diags);
+  auto Ts = L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+  bool SawError = false;
+  for (const Token &T : Ts)
+    SawError |= T.is(TokenKind::Error);
+  EXPECT_TRUE(SawError);
+}
+
+TEST(Lexer, UnterminatedBlockCommentDiagnosed) {
+  DiagEngine Diags;
+  Lexer L("a /* never closed", Diags);
+  (void)L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}

@@ -1,0 +1,405 @@
+//===- maxsat_test.cpp - Partial MaxSAT unit & property tests ----------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "maxsat/MaxSat.h"
+
+#include "maxsat/Cardinality.h"
+#include "sat/Solver.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace bugassist;
+
+namespace {
+
+/// Exhaustive weighted partial MaxSAT oracle for small NumVars.
+/// \returns minimal falsified-soft weight over models of Hard, or
+/// UINT64_MAX when Hard is unsatisfiable.
+uint64_t bruteForceOptimum(const MaxSatInstance &Inst) {
+  uint64_t Best = UINT64_MAX;
+  for (uint64_t Mask = 0; Mask < (1ull << Inst.NumVars); ++Mask) {
+    auto LitTrue = [&](Lit L) {
+      bool V = (Mask >> L.var()) & 1;
+      return V != L.negated();
+    };
+    bool HardOk = true;
+    for (const Clause &C : Inst.Hard) {
+      bool Sat = false;
+      for (Lit L : C)
+        if (LitTrue(L)) {
+          Sat = true;
+          break;
+        }
+      if (!Sat) {
+        HardOk = false;
+        break;
+      }
+    }
+    if (!HardOk)
+      continue;
+    uint64_t Cost = 0;
+    for (const SoftClause &S : Inst.Soft) {
+      bool Sat = false;
+      for (Lit L : S.Lits)
+        if (LitTrue(L)) {
+          Sat = true;
+          break;
+        }
+      if (!Sat)
+        Cost += S.Weight;
+    }
+    Best = std::min(Best, Cost);
+  }
+  return Best;
+}
+
+MaxSatInstance randomInstance(Rng &R, int NumVars, int NumHard, int NumSoft,
+                              bool Weighted) {
+  MaxSatInstance Inst;
+  Inst.NumVars = NumVars;
+  auto RandomClause = [&](int Len) {
+    Clause C;
+    std::set<Var> Used;
+    while (static_cast<int>(C.size()) < Len) {
+      Var V = static_cast<Var>(R.below(NumVars));
+      if (!Used.insert(V).second)
+        continue;
+      C.push_back(mkLit(V, R.chance(1, 2)));
+    }
+    return C;
+  };
+  for (int I = 0; I < NumHard; ++I)
+    Inst.Hard.push_back(RandomClause(static_cast<int>(R.range(1, 3))));
+  for (int I = 0; I < NumSoft; ++I) {
+    SoftClause S;
+    S.Lits = RandomClause(static_cast<int>(R.range(1, 2)));
+    S.Weight = Weighted ? static_cast<uint64_t>(R.range(1, 5)) : 1;
+    Inst.Soft.push_back(std::move(S));
+  }
+  return Inst;
+}
+
+} // namespace
+
+// --- cardinality encodings --------------------------------------------------
+
+namespace {
+
+/// Counts models of the clauses produced by an encoder, projected onto the
+/// first NumVars variables, that satisfy a predicate.
+template <typename Pred>
+void forEachProjectedModel(int NumVars,
+                           const std::vector<Clause> &EncoderClauses,
+                           int TotalVars, Pred &&Check) {
+  for (uint64_t Mask = 0; Mask < (1ull << NumVars); ++Mask) {
+    // The encoding must be *satisfiable consistently with Mask* iff the
+    // constraint holds for Mask. Use the solver with assumptions.
+    Solver S;
+    S.ensureVars(TotalVars);
+    bool Ok = true;
+    for (const Clause &C : EncoderClauses)
+      Ok = Ok && S.addClause(C);
+    std::vector<Lit> Assumps;
+    for (int V = 0; V < NumVars; ++V)
+      Assumps.push_back(mkLit(V, !((Mask >> V) & 1)));
+    bool Sat = Ok && S.solve(Assumps) == LBool::True;
+    Check(Mask, Sat);
+  }
+}
+
+} // namespace
+
+TEST(Cardinality, AtMostOnePairwise) {
+  for (int N : {2, 3, 4, 5}) {
+    std::vector<Clause> Out;
+    int NextVar = N;
+    ClauseSink Sink{[&Out](Clause C) { Out.push_back(std::move(C)); },
+                    [&NextVar]() { return NextVar++; }};
+    std::vector<Lit> Ls;
+    for (int I = 0; I < N; ++I)
+      Ls.push_back(mkLit(I));
+    encodeAtMostOne(Ls, Sink);
+    forEachProjectedModel(N, Out, NextVar, [&](uint64_t Mask, bool Sat) {
+      EXPECT_EQ(Sat, __builtin_popcountll(Mask) <= 1)
+          << "n=" << N << " mask=" << Mask;
+    });
+  }
+}
+
+TEST(Cardinality, AtMostOneLadder) {
+  for (int N : {6, 8, 10}) {
+    std::vector<Clause> Out;
+    int NextVar = N;
+    ClauseSink Sink{[&Out](Clause C) { Out.push_back(std::move(C)); },
+                    [&NextVar]() { return NextVar++; }};
+    std::vector<Lit> Ls;
+    for (int I = 0; I < N; ++I)
+      Ls.push_back(mkLit(I));
+    encodeAtMostOne(Ls, Sink);
+    forEachProjectedModel(N, Out, NextVar, [&](uint64_t Mask, bool Sat) {
+      EXPECT_EQ(Sat, __builtin_popcountll(Mask) <= 1)
+          << "n=" << N << " mask=" << Mask;
+    });
+  }
+}
+
+TEST(Cardinality, ExactlyOne) {
+  for (int N : {1, 3, 7}) {
+    std::vector<Clause> Out;
+    int NextVar = N;
+    ClauseSink Sink{[&Out](Clause C) { Out.push_back(std::move(C)); },
+                    [&NextVar]() { return NextVar++; }};
+    std::vector<Lit> Ls;
+    for (int I = 0; I < N; ++I)
+      Ls.push_back(mkLit(I));
+    encodeExactlyOne(Ls, Sink);
+    forEachProjectedModel(N, Out, NextVar, [&](uint64_t Mask, bool Sat) {
+      EXPECT_EQ(Sat, __builtin_popcountll(Mask) == 1)
+          << "n=" << N << " mask=" << Mask;
+    });
+  }
+}
+
+TEST(Cardinality, PbLeqUnitWeightsMatchesCardinality) {
+  const int N = 6;
+  for (uint64_t Bound : {0ull, 1ull, 2ull, 3ull, 5ull, 6ull}) {
+    std::vector<Clause> Out;
+    int NextVar = N;
+    ClauseSink Sink{[&Out](Clause C) { Out.push_back(std::move(C)); },
+                    [&NextVar]() { return NextVar++; }};
+    std::vector<Lit> Ls;
+    std::vector<uint64_t> Ws;
+    for (int I = 0; I < N; ++I) {
+      Ls.push_back(mkLit(I));
+      Ws.push_back(1);
+    }
+    encodePbLeq(Ls, Ws, Bound, Sink);
+    forEachProjectedModel(N, Out, NextVar, [&](uint64_t Mask, bool Sat) {
+      EXPECT_EQ(Sat, static_cast<uint64_t>(__builtin_popcountll(Mask)) <=
+                         Bound)
+          << "bound=" << Bound << " mask=" << Mask;
+    });
+  }
+}
+
+TEST(Cardinality, PbLeqGeneralWeights) {
+  // weights {3, 1, 4, 2, 5}, several bounds, exhaustive check.
+  const std::vector<uint64_t> Ws = {3, 1, 4, 2, 5};
+  const int N = static_cast<int>(Ws.size());
+  for (uint64_t Bound : {0ull, 2ull, 4ull, 7ull, 10ull, 14ull, 15ull}) {
+    std::vector<Clause> Out;
+    int NextVar = N;
+    ClauseSink Sink{[&Out](Clause C) { Out.push_back(std::move(C)); },
+                    [&NextVar]() { return NextVar++; }};
+    std::vector<Lit> Ls;
+    for (int I = 0; I < N; ++I)
+      Ls.push_back(mkLit(I));
+    encodePbLeq(Ls, Ws, Bound, Sink);
+    forEachProjectedModel(N, Out, NextVar, [&](uint64_t Mask, bool Sat) {
+      uint64_t Sum = 0;
+      for (int I = 0; I < N; ++I)
+        if ((Mask >> I) & 1)
+          Sum += Ws[I];
+      EXPECT_EQ(Sat, Sum <= Bound) << "bound=" << Bound << " mask=" << Mask;
+    });
+  }
+}
+
+// --- MaxSAT solvers -----------------------------------------------------------
+
+TEST(FuMalik, AllSoftSatisfiable) {
+  MaxSatInstance Inst;
+  Inst.NumVars = 2;
+  Inst.Soft.push_back({{mkLit(0)}, 1});
+  Inst.Soft.push_back({{mkLit(1)}, 1});
+  auto R = solveFuMalik(Inst);
+  ASSERT_EQ(R.Status, MaxSatStatus::Optimum);
+  EXPECT_EQ(R.Cost, 0u);
+  EXPECT_TRUE(R.FalsifiedSoft.empty());
+}
+
+TEST(FuMalik, TwoContradictorySoft) {
+  MaxSatInstance Inst;
+  Inst.NumVars = 1;
+  Inst.Soft.push_back({{mkLit(0)}, 1});
+  Inst.Soft.push_back({{~mkLit(0)}, 1});
+  auto R = solveFuMalik(Inst);
+  ASSERT_EQ(R.Status, MaxSatStatus::Optimum);
+  EXPECT_EQ(R.Cost, 1u);
+  EXPECT_EQ(R.FalsifiedSoft.size(), 1u);
+}
+
+TEST(FuMalik, HardUnsatDetected) {
+  MaxSatInstance Inst;
+  Inst.NumVars = 1;
+  Inst.Hard.push_back({mkLit(0)});
+  Inst.Hard.push_back({~mkLit(0)});
+  Inst.Soft.push_back({{mkLit(0)}, 1});
+  auto R = solveFuMalik(Inst);
+  EXPECT_EQ(R.Status, MaxSatStatus::HardUnsat);
+}
+
+TEST(FuMalik, HardForcesSoftViolation) {
+  // Hard: x. Soft: ~x, y, ~y. Optimum 2 (must falsify ~x and one of y/~y).
+  MaxSatInstance Inst;
+  Inst.NumVars = 2;
+  Inst.Hard.push_back({mkLit(0)});
+  Inst.Soft.push_back({{~mkLit(0)}, 1});
+  Inst.Soft.push_back({{mkLit(1)}, 1});
+  Inst.Soft.push_back({{~mkLit(1)}, 1});
+  auto R = solveFuMalik(Inst);
+  ASSERT_EQ(R.Status, MaxSatStatus::Optimum);
+  EXPECT_EQ(R.Cost, 2u);
+}
+
+TEST(FuMalik, SelectorLocalizationShape) {
+  // The BugAssist shape: hard statement clauses guarded by selectors,
+  // contradictory data; MaxSAT must falsify exactly the "buggy" selector.
+  // Statements: s1: x=1, s2: y=x+1 (as y=2), s3: assert y==3 (hard).
+  // Encoded propositionally: sel1 -> x1, sel2 -> (x1 <-> y2false...)
+  // Simplified Boolean model: hard: (y3), sel2 -> (y3 <-> x... )
+  // Use: hard (a), soft sel1 with sel1->(b), soft sel2 with sel2->(b -> ~a).
+  // Then sel1 & sel2 & a is UNSAT; dropping either selector fixes it; the
+  // optimum cost is 1.
+  MaxSatInstance Inst;
+  Inst.NumVars = 4; // a=0 b=1 sel1=2 sel2=3
+  Lit A = mkLit(0), B = mkLit(1), S1 = mkLit(2), S2 = mkLit(3);
+  Inst.Hard.push_back({A});
+  Inst.Hard.push_back({~S1, B});
+  Inst.Hard.push_back({~S2, ~B, ~A});
+  Inst.Soft.push_back({{S1}, 1});
+  Inst.Soft.push_back({{S2}, 1});
+  auto R = solveFuMalik(Inst);
+  ASSERT_EQ(R.Status, MaxSatStatus::Optimum);
+  EXPECT_EQ(R.Cost, 1u);
+  ASSERT_EQ(R.FalsifiedSoft.size(), 1u);
+}
+
+TEST(LinearSearch, MatchesSmallOptimum) {
+  MaxSatInstance Inst;
+  Inst.NumVars = 2;
+  Inst.Hard.push_back({mkLit(0)});
+  Inst.Soft.push_back({{~mkLit(0)}, 7});
+  Inst.Soft.push_back({{mkLit(1)}, 2});
+  auto R = solveLinear(Inst);
+  ASSERT_EQ(R.Status, MaxSatStatus::Optimum);
+  EXPECT_EQ(R.Cost, 7u);
+}
+
+TEST(LinearSearch, WeightedPrefersCheaperViolation) {
+  // x and ~x soft with weights 1 and 10: falsify the weight-1 clause.
+  MaxSatInstance Inst;
+  Inst.NumVars = 1;
+  Inst.Soft.push_back({{mkLit(0)}, 1});
+  Inst.Soft.push_back({{~mkLit(0)}, 10});
+  auto R = solveLinear(Inst);
+  ASSERT_EQ(R.Status, MaxSatStatus::Optimum);
+  EXPECT_EQ(R.Cost, 1u);
+  ASSERT_EQ(R.FalsifiedSoft.size(), 1u);
+  EXPECT_EQ(R.FalsifiedSoft[0], 0u);
+}
+
+TEST(LinearSearch, HardUnsat) {
+  MaxSatInstance Inst;
+  Inst.NumVars = 1;
+  Inst.Hard.push_back({mkLit(0)});
+  Inst.Hard.push_back({~mkLit(0)});
+  auto R = solveLinear(Inst);
+  EXPECT_EQ(R.Status, MaxSatStatus::HardUnsat);
+}
+
+TEST(LinearSearch, LoopWeightShape) {
+  // The Section 5.2 shape: iterations kappa=1..3 get weights
+  // alpha+eta-kappa = 4,3,2 (alpha=2, eta=3). Hard constraints force at
+  // least one iteration selector off; the solver must drop the *latest*
+  // (cheapest) iteration.
+  MaxSatInstance Inst;
+  Inst.NumVars = 3;
+  Inst.Hard.push_back({~mkLit(0), ~mkLit(1), ~mkLit(2)});
+  Inst.Soft.push_back({{mkLit(0)}, 4});
+  Inst.Soft.push_back({{mkLit(1)}, 3});
+  Inst.Soft.push_back({{mkLit(2)}, 2});
+  auto R = solveLinear(Inst);
+  ASSERT_EQ(R.Status, MaxSatStatus::Optimum);
+  EXPECT_EQ(R.Cost, 2u);
+  ASSERT_EQ(R.FalsifiedSoft.size(), 1u);
+  EXPECT_EQ(R.FalsifiedSoft[0], 2u);
+}
+
+// --- randomized differential properties -------------------------------------
+
+struct MaxSatRandomCase {
+  int NumVars;
+  int NumHard;
+  int NumSoft;
+  bool Weighted;
+  uint64_t Seed;
+};
+
+class MaxSatRandomTest : public ::testing::TestWithParam<MaxSatRandomCase> {};
+
+TEST_P(MaxSatRandomTest, MatchesBruteForce) {
+  const auto &P = GetParam();
+  Rng R(P.Seed);
+  for (int Round = 0; Round < 25; ++Round) {
+    MaxSatInstance Inst =
+        randomInstance(R, P.NumVars, P.NumHard, P.NumSoft, P.Weighted);
+    uint64_t Expected = bruteForceOptimum(Inst);
+
+    auto Lin = solveLinear(Inst);
+    if (Expected == UINT64_MAX) {
+      EXPECT_EQ(Lin.Status, MaxSatStatus::HardUnsat);
+    } else {
+      ASSERT_EQ(Lin.Status, MaxSatStatus::Optimum) << "round " << Round;
+      EXPECT_EQ(Lin.Cost, Expected) << "linear, round " << Round;
+    }
+
+    if (!P.Weighted) {
+      auto FM = solveFuMalik(Inst);
+      if (Expected == UINT64_MAX) {
+        EXPECT_EQ(FM.Status, MaxSatStatus::HardUnsat);
+      } else {
+        ASSERT_EQ(FM.Status, MaxSatStatus::Optimum) << "round " << Round;
+        EXPECT_EQ(FM.Cost, Expected) << "fu-malik, round " << Round;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSweep, MaxSatRandomTest,
+    ::testing::Values(MaxSatRandomCase{5, 4, 6, false, 101},
+                      MaxSatRandomCase{6, 8, 8, false, 102},
+                      MaxSatRandomCase{7, 10, 10, false, 103},
+                      MaxSatRandomCase{8, 12, 10, false, 104},
+                      MaxSatRandomCase{5, 4, 6, true, 201},
+                      MaxSatRandomCase{6, 8, 8, true, 202},
+                      MaxSatRandomCase{7, 10, 10, true, 203},
+                      MaxSatRandomCase{8, 12, 10, true, 204}));
+
+TEST(MaxSat, FalsifiedSoftConsistentWithCost) {
+  Rng R(555);
+  for (int Round = 0; Round < 20; ++Round) {
+    MaxSatInstance Inst = randomInstance(R, 7, 6, 9, true);
+    auto Res = solveLinear(Inst);
+    if (Res.Status != MaxSatStatus::Optimum)
+      continue;
+    uint64_t Sum = 0;
+    for (size_t I : Res.FalsifiedSoft)
+      Sum += Inst.Soft[I].Weight;
+    EXPECT_EQ(Sum, Res.Cost);
+    // Every clause not reported falsified must be satisfied by the model.
+    for (size_t I = 0; I < Inst.Soft.size(); ++I) {
+      bool Reported = std::find(Res.FalsifiedSoft.begin(),
+                                Res.FalsifiedSoft.end(),
+                                I) != Res.FalsifiedSoft.end();
+      EXPECT_EQ(!clauseSatisfied(Inst.Soft[I].Lits, Res.Model), Reported);
+    }
+  }
+}

@@ -1,0 +1,175 @@
+//===- repair_test.cpp - Algorithm 2 repair tests --------------------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Repair.h"
+
+#include "interp/Interpreter.h"
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace bugassist;
+
+namespace {
+
+std::unique_ptr<Program> compile(std::string_view Src) {
+  DiagEngine Diags;
+  auto P = parseAndAnalyze(Src, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.render();
+  return P;
+}
+
+} // namespace
+
+TEST(Repair, OffByOneOnMotivatingExample) {
+  // Paper Section 2: the fix for Program 1 is changing the constant 2 on
+  // the else branch; kappa - 1 = 1 passes all inputs.
+  const char *Src = "int Array[3];\n"
+                    "int main(int index) {\n"
+                    "  if (index != 1)\n"
+                    "    index = 2;\n"
+                    "  else\n"
+                    "    index = index + 2;\n"
+                    "  int i = index;\n"
+                    "  assert(i >= 0 && i < 3);\n"
+                    "  return Array[i];\n"
+                    "}\n";
+  auto P = compile(Src);
+  RepairResult R =
+      repairProgram(*P, "main", {{InputValue::scalar(1)}}, Spec{});
+  ASSERT_TRUE(R.Found) << "tried " << R.CandidatesTried << " candidates";
+  // Valid fixes exist on the branch condition (line 3) and the else-branch
+  // constant (line 6, the paper's suggested kappa-1 fix); either passes
+  // verification.
+  EXPECT_TRUE(R.Suggestion.Line == 3u || R.Suggestion.Line == 6u)
+      << "line " << R.Suggestion.Line << ": " << R.Suggestion.Description;
+
+  // Whatever was chosen, the fixed program must pass every input.
+  Interpreter I(*R.Suggestion.FixedProgram, ExecOptions{16});
+  for (int64_t X = -4; X <= 4; ++X)
+    EXPECT_EQ(I.run("main", {InputValue::scalar(X)}).Status, ExecStatus::Ok)
+        << "x=" << X;
+}
+
+TEST(Repair, OperatorSwapBoundaryCheck) {
+  // Classic boundary bug: <= should be <.
+  const char *Src = "int main(int x) {\n"
+                    "  assume(x >= 0 && x <= 20);\n"
+                    "  bool ok = x <= 10;\n"
+                    "  int y = ok ? x : 0;\n"
+                    "  assert(y < 10);\n"
+                    "  return y;\n"
+                    "}\n";
+  auto P = compile(Src);
+  RepairResult R =
+      repairProgram(*P, "main", {{InputValue::scalar(10)}}, Spec{});
+  ASSERT_TRUE(R.Found);
+  EXPECT_EQ(R.Suggestion.Line, 3u);
+  EXPECT_NE(R.Suggestion.Description.find("'<='"), std::string::npos)
+      << R.Suggestion.Description;
+}
+
+TEST(Repair, StrncatStyleOffByOne) {
+  // Section 6.3 shape: the last argument to a trusted copy routine is one
+  // too large; the library writes a terminator one past the copied length.
+  const char *Src =
+      "int SIZE_BUG;\n"
+      "void copyN(int dest[8], int src[8], int n) {\n"
+      "  int k = 0;\n"
+      "  while (k < n) { dest[k] = src[k]; k = k + 1; }\n"
+      "  dest[n] = 0;\n"
+      "}\n"
+      "int main(int s0) {\n"
+      "  int buf[8];\n"
+      "  int data[8];\n"
+      "  data[0] = s0;\n"
+      "  copyN(buf, data, 8);\n"
+      "  return buf[0];\n"
+      "}\n";
+  auto P = compile(Src);
+  RepairOptions Opts;
+  Opts.Unroll.MaxLoopUnwind = 10;
+  Opts.Unroll.TrustedFunctions.insert("copyN");
+  RepairResult R = repairProgram(*P, "main", {{InputValue::scalar(1)}},
+                                 Spec{}, nullptr, Opts);
+  ASSERT_TRUE(R.Found) << "suspects:" << R.SuspectLines.size();
+  // The fix is at the call site (line 11): 8 -> 7; the library itself is
+  // trusted and untouched.
+  EXPECT_EQ(R.Suggestion.Line, 11u);
+  EXPECT_NE(R.Suggestion.Description.find("8 -> 7"), std::string::npos)
+      << R.Suggestion.Description;
+}
+
+TEST(Repair, GoldenOutputDrivenRepair) {
+  // max() with inverted comparison; goldens come from the true max.
+  const char *Src = "int main(int a, int b) {\n"
+                    "  if (a < b) return a;\n"
+                    "  return b;\n"
+                    "}\n";
+  auto P = compile(Src);
+  std::vector<InputVector> Fails = {
+      {InputValue::scalar(1), InputValue::scalar(5)},
+      {InputValue::scalar(7), InputValue::scalar(2)},
+  };
+  std::vector<int64_t> Goldens = {5, 7};
+  Spec S;
+  S.CheckObligations = false;
+  RepairResult R = repairProgram(*P, "main", Fails, S, &Goldens);
+  ASSERT_TRUE(R.Found);
+  // '<' -> '>' (or an equivalent swap) on line 2 fixes both tests.
+  EXPECT_EQ(R.Suggestion.Line, 2u);
+  Interpreter I(*R.Suggestion.FixedProgram, ExecOptions{16});
+  EXPECT_EQ(I.run("main", Fails[0]).ReturnValue, 5);
+  EXPECT_EQ(I.run("main", Fails[1]).ReturnValue, 7);
+}
+
+TEST(Repair, ReportsFailureWhenNoNearMissFixExists) {
+  // The bug is a completely wrong algorithm; no single off-by-one or
+  // operator swap can satisfy the spec for all inputs.
+  const char *Src = "int main(int x) {\n"
+                    "  assume(x >= 0 && x <= 7);\n"
+                    "  int y = 0;\n"
+                    "  assert(y == x * x);\n"
+                    "  return y;\n"
+                    "}\n";
+  auto P = compile(Src);
+  RepairResult R =
+      repairProgram(*P, "main", {{InputValue::scalar(2)}}, Spec{});
+  EXPECT_FALSE(R.Found);
+  EXPECT_FALSE(R.SuspectLines.empty()) << "localization should still work";
+}
+
+TEST(Repair, RespectsCandidateLineRestriction) {
+  const char *Src = "int main(int x) {\n"
+                    "  int a = 3;\n"
+                    "  int b = 3;\n"
+                    "  assert(a + b == 5);\n"
+                    "  return a + b;\n"
+                    "}\n";
+  auto P = compile(Src);
+  RepairOptions Opts;
+  Opts.CandidateLines = {3}; // only allow touching line 3
+  RepairResult R = repairProgram(*P, "main", {{InputValue::scalar(0)}},
+                                 Spec{}, nullptr, Opts);
+  ASSERT_TRUE(R.Found);
+  EXPECT_EQ(R.Suggestion.Line, 3u);
+  EXPECT_NE(R.Suggestion.Description.find("3 -> 2"), std::string::npos);
+}
+
+TEST(Repair, MaxCandidatesBudget) {
+  const char *Src = "int main(int x) {\n"
+                    "  int y = x + 1;\n"
+                    "  assert(y == x + 2);\n"
+                    "  return y;\n"
+                    "}\n";
+  auto P = compile(Src);
+  RepairOptions Opts;
+  Opts.MaxCandidates = 0;
+  RepairResult R = repairProgram(*P, "main", {{InputValue::scalar(0)}},
+                                 Spec{}, nullptr, Opts);
+  EXPECT_FALSE(R.Found);
+  EXPECT_EQ(R.CandidatesTried, 0u);
+}

@@ -1,0 +1,373 @@
+//===- sat_test.cpp - CDCL solver unit & property tests ----------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/Solver.h"
+
+#include "cnf/Cnf.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace bugassist;
+
+namespace {
+
+/// Brute-force SAT check for <= 20 variables; the reference oracle for
+/// property tests.
+bool bruteForceSat(int NumVars, const std::vector<Clause> &Clauses) {
+  for (uint64_t Mask = 0; Mask < (1ull << NumVars); ++Mask) {
+    bool AllSat = true;
+    for (const Clause &C : Clauses) {
+      bool Sat = false;
+      for (Lit L : C) {
+        bool V = (Mask >> L.var()) & 1;
+        if (V != L.negated()) {
+          Sat = true;
+          break;
+        }
+      }
+      if (!Sat) {
+        AllSat = false;
+        break;
+      }
+    }
+    if (AllSat)
+      return true;
+  }
+  return false;
+}
+
+bool modelSatisfies(const Solver &S, const std::vector<Clause> &Clauses) {
+  for (const Clause &C : Clauses) {
+    bool Sat = false;
+    for (Lit L : C)
+      if (S.modelValue(L) == LBool::True) {
+        Sat = true;
+        break;
+      }
+    if (!Sat)
+      return false;
+  }
+  return true;
+}
+
+std::vector<Clause> randomInstance(Rng &R, int NumVars, int NumClauses,
+                                   int ClauseLen) {
+  std::vector<Clause> Cs;
+  for (int I = 0; I < NumClauses; ++I) {
+    Clause C;
+    std::set<Var> Used;
+    while (static_cast<int>(C.size()) < ClauseLen) {
+      Var V = static_cast<Var>(R.below(NumVars));
+      if (!Used.insert(V).second)
+        continue;
+      C.push_back(mkLit(V, R.chance(1, 2)));
+    }
+    Cs.push_back(std::move(C));
+  }
+  return Cs;
+}
+
+} // namespace
+
+TEST(Solver, EmptyFormulaIsSat) {
+  Solver S;
+  EXPECT_EQ(S.solve(), LBool::True);
+}
+
+TEST(Solver, SingleUnit) {
+  Solver S;
+  Var X = S.newVar();
+  ASSERT_TRUE(S.addClause({mkLit(X)}));
+  EXPECT_EQ(S.solve(), LBool::True);
+  EXPECT_EQ(S.modelValue(X), LBool::True);
+}
+
+TEST(Solver, ContradictoryUnits) {
+  Solver S;
+  Var X = S.newVar();
+  EXPECT_TRUE(S.addClause({mkLit(X)}));
+  EXPECT_FALSE(S.addClause({~mkLit(X)}));
+  EXPECT_FALSE(S.okay());
+  EXPECT_EQ(S.solve(), LBool::False);
+}
+
+TEST(Solver, UnitPropagationChain) {
+  // x1, x1->x2, x2->x3, ..., x9->x10; all become true.
+  Solver S;
+  S.ensureVars(10);
+  ASSERT_TRUE(S.addClause({mkLit(0)}));
+  for (Var V = 0; V < 9; ++V)
+    ASSERT_TRUE(S.addClause({~mkLit(V), mkLit(V + 1)}));
+  ASSERT_EQ(S.solve(), LBool::True);
+  for (Var V = 0; V < 10; ++V)
+    EXPECT_EQ(S.modelValue(V), LBool::True) << "var " << V;
+}
+
+TEST(Solver, TautologyDropped) {
+  Solver S;
+  Var X = S.newVar();
+  ASSERT_TRUE(S.addClause({mkLit(X), ~mkLit(X)}));
+  EXPECT_EQ(S.solve(), LBool::True);
+}
+
+TEST(Solver, DuplicateLiteralsMerged) {
+  Solver S;
+  Var X = S.newVar(), Y = S.newVar();
+  ASSERT_TRUE(S.addClause({mkLit(X), mkLit(X), mkLit(Y)}));
+  ASSERT_TRUE(S.addClause({~mkLit(Y)}));
+  // Duplicate-merged (x \/ y) with ~y forces x; this clause then empties
+  // under level-0 simplification and addClause reports UNSAT eagerly.
+  EXPECT_FALSE(S.addClause({~mkLit(X), mkLit(Y)}));
+  EXPECT_EQ(S.solve(), LBool::False);
+}
+
+TEST(Solver, SimpleUnsatTriangle) {
+  // (a \/ b) (a \/ ~b) (~a \/ b) (~a \/ ~b) is UNSAT.
+  Solver S;
+  Var A = S.newVar(), B = S.newVar();
+  S.addClause({mkLit(A), mkLit(B)});
+  S.addClause({mkLit(A), ~mkLit(B)});
+  S.addClause({~mkLit(A), mkLit(B)});
+  S.addClause({~mkLit(A), ~mkLit(B)});
+  EXPECT_EQ(S.solve(), LBool::False);
+}
+
+TEST(Solver, PigeonHole4Into3) {
+  // PHP(4,3): 4 pigeons, 3 holes, UNSAT; forces real conflict analysis.
+  Solver S;
+  const int P = 4, H = 3;
+  auto VarOf = [&](int Pi, int Hi) { return Pi * H + Hi; };
+  S.ensureVars(P * H);
+  for (int Pi = 0; Pi < P; ++Pi) {
+    Clause C;
+    for (int Hi = 0; Hi < H; ++Hi)
+      C.push_back(mkLit(VarOf(Pi, Hi)));
+    S.addClause(C);
+  }
+  for (int Hi = 0; Hi < H; ++Hi)
+    for (int P1 = 0; P1 < P; ++P1)
+      for (int P2 = P1 + 1; P2 < P; ++P2)
+        S.addClause({~mkLit(VarOf(P1, Hi)), ~mkLit(VarOf(P2, Hi))});
+  EXPECT_EQ(S.solve(), LBool::False);
+  EXPECT_GT(S.stats().Conflicts, 0u);
+}
+
+TEST(Solver, PigeonHole5Into5IsSat) {
+  Solver S;
+  const int P = 5, H = 5;
+  auto VarOf = [&](int Pi, int Hi) { return Pi * H + Hi; };
+  S.ensureVars(P * H);
+  std::vector<Clause> All;
+  for (int Pi = 0; Pi < P; ++Pi) {
+    Clause C;
+    for (int Hi = 0; Hi < H; ++Hi)
+      C.push_back(mkLit(VarOf(Pi, Hi)));
+    All.push_back(C);
+  }
+  for (int Hi = 0; Hi < H; ++Hi)
+    for (int P1 = 0; P1 < P; ++P1)
+      for (int P2 = P1 + 1; P2 < P; ++P2)
+        All.push_back({~mkLit(VarOf(P1, Hi)), ~mkLit(VarOf(P2, Hi))});
+  for (const Clause &C : All)
+    S.addClause(C);
+  ASSERT_EQ(S.solve(), LBool::True);
+  EXPECT_TRUE(modelSatisfies(S, All));
+}
+
+TEST(Solver, AssumptionsSatAndUnsat) {
+  Solver S;
+  Var A = S.newVar(), B = S.newVar();
+  S.addClause({~mkLit(A), mkLit(B)}); // a -> b
+  EXPECT_EQ(S.solve({mkLit(A)}), LBool::True);
+  EXPECT_EQ(S.modelValue(B), LBool::True);
+  EXPECT_EQ(S.solve({mkLit(A), ~mkLit(B)}), LBool::False);
+  // Solver state must survive for reuse.
+  EXPECT_EQ(S.solve({mkLit(A)}), LBool::True);
+  EXPECT_EQ(S.solve(), LBool::True);
+}
+
+TEST(Solver, ConflictCoreIsSubsetOfAssumptions) {
+  Solver S;
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar(), D = S.newVar();
+  S.addClause({~mkLit(A), ~mkLit(B)}); // a,b incompatible
+  (void)D;
+  std::vector<Lit> Assumps = {mkLit(A), mkLit(B), mkLit(C), mkLit(D)};
+  ASSERT_EQ(S.solve(Assumps), LBool::False);
+  const auto &Core = S.conflictCore();
+  EXPECT_FALSE(Core.empty());
+  for (Lit L : Core)
+    EXPECT_TRUE(std::find(Assumps.begin(), Assumps.end(), L) != Assumps.end())
+        << "core literal " << L.str() << " not among assumptions";
+  // c and d are irrelevant; core must not mention them.
+  for (Lit L : Core) {
+    EXPECT_NE(L.var(), C);
+    EXPECT_NE(L.var(), D);
+  }
+}
+
+TEST(Solver, CoreFromChainedImplications) {
+  // a -> x, x -> y, y -> ~b: assuming a and b is UNSAT; core = {a, b}.
+  Solver S;
+  Var A = S.newVar(), B = S.newVar(), X = S.newVar(), Y = S.newVar();
+  S.addClause({~mkLit(A), mkLit(X)});
+  S.addClause({~mkLit(X), mkLit(Y)});
+  S.addClause({~mkLit(Y), ~mkLit(B)});
+  ASSERT_EQ(S.solve({mkLit(A), mkLit(B)}), LBool::False);
+  std::set<Var> CoreVars;
+  for (Lit L : S.conflictCore())
+    CoreVars.insert(L.var());
+  EXPECT_TRUE(CoreVars.count(A));
+  EXPECT_TRUE(CoreVars.count(B));
+}
+
+TEST(Solver, RedundantAssumptionHandled) {
+  Solver S;
+  Var A = S.newVar();
+  S.addClause({mkLit(A)});
+  // Assumption already implied at level 0.
+  EXPECT_EQ(S.solve({mkLit(A)}), LBool::True);
+  // Assumption contradicting a level-0 unit.
+  EXPECT_EQ(S.solve({~mkLit(A)}), LBool::False);
+}
+
+TEST(Solver, ConflictBudgetReturnsUndef) {
+  // A hard random instance with a budget of 1 conflict usually gives Undef;
+  // at minimum it must not crash and must return a defined result when the
+  // budget is lifted.
+  Rng R(42);
+  auto Cs = randomInstance(R, 30, 128, 3);
+  Solver S;
+  S.ensureVars(30);
+  bool Ok = true;
+  for (const Clause &C : Cs)
+    Ok = Ok && S.addClause(C);
+  if (Ok) {
+    S.setConflictBudget(1);
+    LBool First = S.solve();
+    S.setConflictBudget(0);
+    LBool Second = S.solve();
+    EXPECT_NE(Second, LBool::Undef);
+    if (First != LBool::Undef) {
+      EXPECT_EQ(First, Second);
+    }
+  }
+}
+
+TEST(Solver, AddFormulaLoadsGroupsAsHard) {
+  CnfFormula F;
+  Var X = F.newVar();
+  GroupId G = F.newGroup(1);
+  F.addGroupedClause(G, {mkLit(X)});
+  Solver S;
+  ASSERT_TRUE(S.addFormula(F));
+  // With the selector asserted, x must hold.
+  ASSERT_EQ(S.solve({F.selectorLit(G)}), LBool::True);
+  EXPECT_EQ(S.modelValue(X), LBool::True);
+  // With the selector negated the clause is disabled; ~x is fine.
+  ASSERT_EQ(S.solve({~F.selectorLit(G), ~mkLit(X)}), LBool::True);
+}
+
+// Property test: solver agrees with brute force on hundreds of random
+// instances around the 3-SAT phase transition (clause/var ~ 4.3).
+struct RandomSatCase {
+  int NumVars;
+  int NumClauses;
+  uint64_t Seed;
+};
+
+class SolverRandomTest : public ::testing::TestWithParam<RandomSatCase> {};
+
+TEST_P(SolverRandomTest, AgreesWithBruteForce) {
+  const auto &P = GetParam();
+  Rng R(P.Seed);
+  for (int Round = 0; Round < 30; ++Round) {
+    auto Cs = randomInstance(R, P.NumVars, P.NumClauses, 3);
+    Solver S;
+    S.ensureVars(P.NumVars);
+    bool Ok = true;
+    for (const Clause &C : Cs)
+      Ok = Ok && S.addClause(C);
+    bool Expected = bruteForceSat(P.NumVars, Cs);
+    if (!Ok) {
+      EXPECT_FALSE(Expected);
+      continue;
+    }
+    LBool Got = S.solve();
+    ASSERT_NE(Got, LBool::Undef);
+    EXPECT_EQ(Got == LBool::True, Expected)
+        << "vars=" << P.NumVars << " clauses=" << P.NumClauses
+        << " seed=" << P.Seed << " round=" << Round;
+    if (Got == LBool::True) {
+      EXPECT_TRUE(modelSatisfies(S, Cs));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PhaseTransitionSweep, SolverRandomTest,
+    ::testing::Values(RandomSatCase{6, 20, 1}, RandomSatCase{6, 30, 2},
+                      RandomSatCase{8, 34, 3}, RandomSatCase{8, 40, 4},
+                      RandomSatCase{10, 42, 5}, RandomSatCase{10, 50, 6},
+                      RandomSatCase{12, 51, 7}, RandomSatCase{12, 60, 8},
+                      RandomSatCase{14, 60, 9}, RandomSatCase{14, 70, 10},
+                      RandomSatCase{16, 68, 11}, RandomSatCase{16, 80, 12}));
+
+// Property: under random assumptions, an UNSAT answer's core re-verifies
+// as UNSAT when solved with exactly the core as assumptions.
+TEST(Solver, CoreReverifies) {
+  Rng R(777);
+  for (int Round = 0; Round < 40; ++Round) {
+    int NumVars = 10;
+    auto Cs = randomInstance(R, NumVars, 30, 3);
+    Solver S;
+    S.ensureVars(NumVars);
+    bool Ok = true;
+    for (const Clause &C : Cs)
+      Ok = Ok && S.addClause(C);
+    if (!Ok)
+      continue;
+    std::vector<Lit> Assumps;
+    for (Var V = 0; V < 5; ++V)
+      Assumps.push_back(mkLit(V, R.chance(1, 2)));
+    if (S.solve(Assumps) != LBool::False)
+      continue;
+    std::vector<Lit> Core = S.conflictCore();
+    Solver S2;
+    S2.ensureVars(NumVars);
+    bool Ok2 = true;
+    for (const Clause &C : Cs)
+      Ok2 = Ok2 && S2.addClause(C);
+    if (!Ok2)
+      continue;
+    EXPECT_EQ(S2.solve(Core), LBool::False)
+        << "core failed to reverify (round " << Round << ")";
+  }
+}
+
+TEST(Solver, StatsAreTracked) {
+  Solver S;
+  Var A = S.newVar(), B = S.newVar();
+  S.addClause({mkLit(A), mkLit(B)});
+  S.solve();
+  EXPECT_GE(S.stats().Decisions, 1u);
+}
+
+TEST(Solver, PolarityHintRespectedWhenFree) {
+  Solver S;
+  Var A = S.newVar();
+  Var B = S.newVar();
+  S.addClause({mkLit(A), mkLit(B)});
+  S.setPolarity(A, true);
+  S.setPolarity(B, true);
+  ASSERT_EQ(S.solve(), LBool::True);
+  // Both saved phases point at true; at least the first decision follows.
+  EXPECT_TRUE(S.modelValue(A) == LBool::True ||
+              S.modelValue(B) == LBool::True);
+}

@@ -1,0 +1,162 @@
+//===- sema_test.cpp - Semantic analysis tests ---------------------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace bugassist;
+
+namespace {
+
+std::unique_ptr<Program> semaOk(std::string_view Src) {
+  DiagEngine Diags;
+  auto P = parseAndAnalyze(Src, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.render();
+  return P;
+}
+
+void semaFails(std::string_view Src, const char *ExpectSubstr = nullptr) {
+  DiagEngine Diags;
+  auto P = parseAndAnalyze(Src, Diags);
+  EXPECT_TRUE(P == nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+  if (ExpectSubstr) {
+    EXPECT_NE(Diags.render().find(ExpectSubstr), std::string::npos)
+        << "diagnostics were:\n"
+        << Diags.render();
+  }
+}
+
+} // namespace
+
+TEST(Sema, ResolvesVariables) {
+  auto P = semaOk("int f(int x) { int y = x + 1; return y; }");
+  const auto &Stmts = P->functions()[0]->body()->stmts();
+  const auto *D = cast<DeclStmt>(Stmts[0].get());
+  const auto *B = cast<BinaryExpr>(D->decl()->init());
+  const auto *X = cast<VarRef>(B->lhs());
+  EXPECT_EQ(X->decl(), P->functions()[0]->params()[0].get());
+  EXPECT_TRUE(X->type().isInt());
+}
+
+TEST(Sema, ResolvesGlobals) {
+  auto P = semaOk("int g = 3; int f() { return g; }");
+  const auto *Ret = cast<ReturnStmt>(P->functions()[0]->body()->stmts()[0].get());
+  EXPECT_EQ(cast<VarRef>(Ret->value())->decl(), P->globals()[0].get());
+}
+
+TEST(Sema, ShadowingInNestedScopes) {
+  auto P = semaOk("int f(int x) { { int y = 1; x = y; } { bool y = true; if (y) x = 2; } return x; }");
+  EXPECT_TRUE(P != nullptr);
+}
+
+TEST(Sema, UndeclaredVariable) {
+  semaFails("int f() { return q; }", "undeclared variable 'q'");
+}
+
+TEST(Sema, UseBeforeDeclarationInInitializer) {
+  semaFails("int f() { int x = x; return x; }", "undeclared");
+}
+
+TEST(Sema, RedeclarationSameScope) {
+  semaFails("int f() { int x = 1; int x = 2; return x; }", "redeclaration");
+}
+
+TEST(Sema, TypeErrors) {
+  semaFails("int f(bool b) { return b + 1; }", "must be int");
+  semaFails("int f(int x) { if (x) return 1; return 0; }", "must be bool");
+  semaFails("int f(int x) { while (x + 1) x = 0; return x; }", "must be bool");
+  semaFails("bool f(int x) { return !x; }", "must be bool");
+  semaFails("int f(bool a, bool b) { return a && b; }", "return type mismatch");
+  semaFails("int f(int x) { bool b = x; return x; }", "cannot initialize");
+  semaFails("void f(int x) { assert(x); }", "must be bool");
+  semaFails("int f(int x, bool b) { return x == b ? 1 : 0; }", "same scalar");
+}
+
+TEST(Sema, EqualityOnBools) {
+  semaOk("bool f(bool a, bool b) { return a == b; }");
+  semaOk("bool f(bool a, bool b) { return a != b; }");
+}
+
+TEST(Sema, ConditionalArmTypesMustAgree) {
+  semaFails("int f(bool c) { return c ? 1 : true; }", "same scalar");
+  semaOk("int f(bool c) { return c ? 1 : 2; }");
+}
+
+TEST(Sema, ArrayRules) {
+  semaOk("int f(int a[3], int i) { a[i] = a[0] + 1; return a[i]; }");
+  semaFails("int f(int x) { return x[0]; }", "not an array");
+  semaFails("int a[3]; int f() { a = a; return 0; }", "whole arrays");
+  semaFails("int a[3]; bool f() { return a[true ? 0 : 1] < a; }");
+  semaFails("int f(int a[3]) { return a[true]; }", "index must be int");
+}
+
+TEST(Sema, CallChecking) {
+  semaOk("int g(int x) { return x; } int f() { return g(1); }");
+  semaFails("int f() { return g(1); }", "undeclared function");
+  semaFails("int g(int x) { return x; } int f() { return g(); }",
+            "wrong number of arguments");
+  semaFails("int g(int x) { return x; } int f(bool b) { return g(b); }",
+            "must be int");
+}
+
+TEST(Sema, ArrayArgumentMustBeArrayVariable) {
+  semaOk("int g(int a[3]) { return a[0]; } int b[3]; int f() { return g(b); }");
+  semaFails("int g(int a[3]) { return a[0]; } int f(int x) { return g(x); }");
+  semaFails(
+      "int g(int a[3]) { return a[0]; } int b[4]; int f() { return g(b); }",
+      "array argument");
+}
+
+TEST(Sema, VoidRules) {
+  semaOk("void f() { return; }");
+  semaFails("void f() { return 1; }", "void function");
+  semaFails("int f() { return; }", "must return a value");
+  semaFails("void v() {} int f() { int x = v(); return x; }");
+}
+
+TEST(Sema, OnlyCallsAsExprStatements) {
+  semaOk("void g() {} void f() { g(); }");
+}
+
+TEST(Sema, DuplicateFunction) {
+  semaFails("int f() { return 1; } int f() { return 2; }", "redefinition");
+}
+
+TEST(Sema, GlobalInitMustBeLiteral) {
+  semaOk("int g = 5; bool h = false;");
+  semaFails("int g = 1 + 2;", "literal constant");
+}
+
+TEST(Sema, RecursionDetection) {
+  auto P = semaOk("int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }"
+                  "int helper(int n) { return fact(n); }"
+                  "int plain(int n) { return n + 1; }");
+  EXPECT_TRUE(P->findFunction("fact")->isRecursive());
+  EXPECT_FALSE(P->findFunction("helper")->isRecursive());
+  EXPECT_FALSE(P->findFunction("plain")->isRecursive());
+}
+
+TEST(Sema, MutualRecursionBothMarked) {
+  // Note: mini-C resolves calls against the whole program, so forward
+  // references work without prototypes.
+  auto P = semaOk("int even(int n) { if (n == 0) return 1; return odd(n - 1); }"
+                  "int odd(int n) { if (n == 0) return 0; return even(n - 1); }");
+  EXPECT_TRUE(P->findFunction("even")->isRecursive());
+  EXPECT_TRUE(P->findFunction("odd")->isRecursive());
+}
+
+TEST(Sema, CloneThenReanalyze) {
+  auto P = semaOk("int g; int f(int x) { g = x * 2; return g + 1; }");
+  auto Q = cloneProgram(*P);
+  DiagEngine Diags;
+  EXPECT_TRUE(analyzeProgram(*Q, Diags)) << Diags.render();
+  // Resolutions must point into the clone, not the original.
+  const auto *A = cast<AssignStmt>(Q->functions()[0]->body()->stmts()[0].get());
+  EXPECT_EQ(A->targetDecl(), Q->globals()[0].get());
+  EXPECT_NE(A->targetDecl(), P->globals()[0].get());
+}
