@@ -1,25 +1,66 @@
-//===- bench_solvers.cpp - SAT / MaxSAT micro-benchmarks (A2) ------------------------===//
+//===- bench_solvers.cpp - SAT / MaxSAT micro-benchmarks (A2) ----------------===//
 //
 // Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
 //
-// google-benchmark microbenchmarks for the solver substrate: CDCL on
-// random 3-SAT around the phase transition and on pigeonhole instances,
-// and Fu-Malik vs. linear-search partial MaxSAT on localization-shaped
-// instances (hard program constraints + soft unit selectors).
+// Solver-substrate benchmarks: CDCL on random 3-SAT around the phase
+// transition and on pigeonhole instances, Fu-Malik and linear-search
+// partial MaxSAT on localization-shaped instances, and -- the headline --
+// the Fu-Malik TCAS localization workload run both through the incremental
+// one-persistent-solver engine and the seed's rebuilt-per-round baseline.
+//
+// Every workload is emitted as machine-readable JSON (BENCH_solvers.json:
+// wall time, conflicts, propagations, SatCalls) so the perf trajectory is
+// tracked across PRs. `--json=PATH` overrides the output path.
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/BugAssist.h"
+#include "lang/Sema.h"
 #include "maxsat/MaxSat.h"
+#include "maxsat/ReferenceMaxSat.h"
+#include "programs/Tcas.h"
+#include "programs/TcasMutants.h"
 #include "sat/Solver.h"
 #include "support/Rng.h"
+#include "support/Timer.h"
 
-#include <benchmark/benchmark.h>
-
+#include <cstdio>
+#include <cstring>
 #include <set>
+#include <string>
+#include <vector>
 
 using namespace bugassist;
 
 namespace {
+
+struct WorkloadResult {
+  std::string Name;
+  double WallSeconds = 0;
+  uint64_t Conflicts = 0;
+  uint64_t Propagations = 0;
+  uint64_t SatCalls = 0;
+  uint64_t Extra = 0; ///< workload-specific (cost, diagnoses, ...)
+  const char *ExtraKey = nullptr;
+};
+
+std::vector<WorkloadResult> Results;
+
+void record(WorkloadResult R) {
+  std::printf("%-38s %9.3fs  conflicts=%-9llu propagations=%-11llu "
+              "sat_calls=%llu",
+              R.Name.c_str(), R.WallSeconds,
+              static_cast<unsigned long long>(R.Conflicts),
+              static_cast<unsigned long long>(R.Propagations),
+              static_cast<unsigned long long>(R.SatCalls));
+  if (R.ExtraKey)
+    std::printf("  %s=%llu", R.ExtraKey,
+                static_cast<unsigned long long>(R.Extra));
+  std::printf("\n");
+  Results.push_back(std::move(R));
+}
+
+// --- plain SAT workloads ----------------------------------------------------
 
 std::vector<Clause> random3Sat(Rng &R, int Vars, int Clauses) {
   std::vector<Clause> Cs;
@@ -37,19 +78,68 @@ std::vector<Clause> random3Sat(Rng &R, int Vars, int Clauses) {
   return Cs;
 }
 
+void benchPhaseTransition(int Vars, int Rounds) {
+  WorkloadResult W;
+  W.Name = "sat_phase_transition_v" + std::to_string(Vars);
+  Timer T;
+  uint64_t Seed = 1;
+  for (int I = 0; I < Rounds; ++I) {
+    Rng R(Seed++);
+    auto Cs = random3Sat(R, Vars, static_cast<int>(Vars * 4.26));
+    Solver S;
+    S.ensureVars(Vars);
+    bool Ok = true;
+    for (const Clause &C : Cs)
+      Ok = Ok && S.addClause(C);
+    if (Ok)
+      S.solve();
+    ++W.SatCalls;
+    W.Conflicts += S.stats().Conflicts;
+    W.Propagations += S.stats().Propagations;
+  }
+  W.WallSeconds = T.seconds();
+  record(std::move(W));
+}
+
+void benchPigeonhole(int Holes) {
+  WorkloadResult W;
+  W.Name = "sat_pigeonhole_h" + std::to_string(Holes);
+  int Pigeons = Holes + 1;
+  Timer T;
+  Solver S;
+  S.ensureVars(Pigeons * Holes);
+  auto VarOf = [Holes](int P, int H) { return P * Holes + H; };
+  for (int P = 0; P < Pigeons; ++P) {
+    Clause C;
+    for (int H = 0; H < Holes; ++H)
+      C.push_back(mkLit(VarOf(P, H)));
+    S.addClause(C);
+  }
+  for (int H = 0; H < Holes; ++H)
+    for (int P1 = 0; P1 < Pigeons; ++P1)
+      for (int P2 = P1 + 1; P2 < Pigeons; ++P2)
+        S.addClause({~mkLit(VarOf(P1, H)), ~mkLit(VarOf(P2, H))});
+  S.solve();
+  W.WallSeconds = T.seconds();
+  W.SatCalls = 1;
+  W.Conflicts = S.stats().Conflicts;
+  W.Propagations = S.stats().Propagations;
+  record(std::move(W));
+}
+
+// --- MaxSAT workloads -------------------------------------------------------
+
 /// Localization-shaped MaxSAT: a chain of "statements" y_{i+1} = f(y_i)
 /// modeled as selector-guarded equivalences, with contradictory hard
 /// endpoints; the optimum disables exactly one selector.
 MaxSatInstance selectorChain(int Length) {
   MaxSatInstance Inst;
-  // y_0 .. y_Length, selectors s_1 .. s_Length
   Inst.NumVars = (Length + 1) + Length;
   auto Y = [](int I) { return mkLit(I); };
   auto Sel = [Length](int I) { return mkLit(Length + I); };
-  Inst.Hard.push_back({Y(0)});        // y_0
-  Inst.Hard.push_back({~Y(Length)});  // ~y_Length: contradiction
+  Inst.Hard.push_back({Y(0)});
+  Inst.Hard.push_back({~Y(Length)});
   for (int I = 1; I <= Length; ++I) {
-    // s_i -> (y_{i-1} <-> y_i)
     Inst.Hard.push_back({~Sel(I), ~Y(I - 1), Y(I)});
     Inst.Hard.push_back({~Sel(I), Y(I - 1), ~Y(I)});
     Inst.Soft.push_back({{Sel(I)}, 1});
@@ -57,83 +147,180 @@ MaxSatInstance selectorChain(int Length) {
   return Inst;
 }
 
-void BM_Sat_PhaseTransition(benchmark::State &State) {
-  int Vars = static_cast<int>(State.range(0));
-  int Clauses = static_cast<int>(Vars * 4.26);
-  uint64_t Seed = 1;
-  for (auto _ : State) {
-    Rng R(Seed++);
-    auto Cs = random3Sat(R, Vars, Clauses);
-    Solver S;
-    S.ensureVars(Vars);
-    bool Ok = true;
-    for (const Clause &C : Cs)
-      Ok = Ok && S.addClause(C);
-    LBool Res = Ok ? S.solve() : LBool::False;
-    benchmark::DoNotOptimize(Res);
+template <typename Fn>
+void benchMaxSat(const std::string &Name, const MaxSatInstance &Inst, Fn Solve) {
+  WorkloadResult W;
+  W.Name = Name;
+  Timer T;
+  MaxSatResult R = Solve(Inst);
+  W.WallSeconds = T.seconds();
+  W.Conflicts = R.Search.Conflicts;
+  W.Propagations = R.Search.Propagations;
+  W.SatCalls = R.SatCalls;
+  W.Extra = R.Cost;
+  W.ExtraKey = "cost";
+  record(std::move(W));
+}
+
+// --- the TCAS Fu-Malik localization workload --------------------------------
+
+/// Algorithm 1's enumeration with the seed engine: the whole MaxSAT is
+/// rebuilt from scratch for every diagnosis AND every relaxation round
+/// rebuilds its solver. This is the baseline the incremental engine is
+/// measured against.
+void rebuiltEnumerate(MaxSatInstance Inst, const CnfFormula &F,
+                      size_t MaxDiagnoses, WorkloadResult &W) {
+  for (size_t Diagnoses = 0; Diagnoses < MaxDiagnoses;) {
+    MaxSatResult R = referenceSolveFuMalik(Inst);
+    W.SatCalls += R.SatCalls;
+    W.Conflicts += R.Search.Conflicts;
+    W.Propagations += R.Search.Propagations;
+    if (R.Status != MaxSatStatus::Optimum || R.FalsifiedSoft.empty())
+      break;
+    Clause Blocking;
+    for (size_t SoftIdx : R.FalsifiedSoft)
+      Blocking.push_back(mkLit(F.group(static_cast<GroupId>(SoftIdx)).Selector));
+    Inst.Hard.push_back(std::move(Blocking));
+    ++Diagnoses;
+    ++W.Extra; // total diagnoses across runs
   }
 }
-BENCHMARK(BM_Sat_PhaseTransition)->Arg(50)->Arg(75)->Arg(100)->Arg(125);
 
-void BM_Sat_Pigeonhole(benchmark::State &State) {
-  int Holes = static_cast<int>(State.range(0));
-  int Pigeons = Holes + 1;
-  for (auto _ : State) {
-    Solver S;
-    S.ensureVars(Pigeons * Holes);
-    auto VarOf = [Holes](int P, int H) { return P * Holes + H; };
-    for (int P = 0; P < Pigeons; ++P) {
-      Clause C;
-      for (int H = 0; H < Holes; ++H)
-        C.push_back(mkLit(VarOf(P, H)));
-      S.addClause(C);
+void benchTcasLocalization(size_t NumMutants, size_t TestsPerMutant,
+                           size_t MaxDiagnoses) {
+  DiagEngine Diags;
+  auto Golden = parseAndAnalyze(tcasSource(), Diags);
+  if (!Golden) {
+    std::printf("golden TCAS failed to compile\n");
+    return;
+  }
+  Interpreter GI(*Golden, tcasExecOptions());
+  auto Pool = tcasTestPool(400);
+  std::vector<int64_t> GoldenOut;
+  GoldenOut.reserve(Pool.size());
+  for (const InputVector &In : Pool)
+    GoldenOut.push_back(GI.run("main", In).ReturnValue);
+
+  WorkloadResult Inc, Reb;
+  Inc.Name = "tcas_fumalik_localize_incremental";
+  Inc.ExtraKey = "diagnoses";
+  Reb.Name = "tcas_fumalik_localize_rebuilt";
+  Reb.ExtraKey = "diagnoses";
+
+  size_t MutantsUsed = 0;
+  for (const TcasMutant &M : tcasMutants()) {
+    if (MutantsUsed >= NumMutants)
+      break;
+    DiagEngine D2;
+    auto Faulty = parseAndAnalyze(M.Source, D2);
+    if (!Faulty)
+      continue;
+    Interpreter FI(*Faulty, tcasExecOptions());
+    std::vector<size_t> FailingIdx;
+    for (size_t I = 0; I < Pool.size() && FailingIdx.size() < TestsPerMutant;
+         ++I)
+      if (FI.run("main", Pool[I]).ReturnValue != GoldenOut[I])
+        FailingIdx.push_back(I);
+    if (FailingIdx.empty())
+      continue;
+    ++MutantsUsed;
+
+    BugAssistDriver Driver(*Faulty, "main", tcasUnrollOptions());
+    for (size_t Idx : FailingIdx) {
+      Spec S;
+      S.CheckObligations = false;
+      S.GoldenReturn = GoldenOut[Idx];
+
+      LocalizeOptions LO;
+      LO.MaxDiagnoses = MaxDiagnoses;
+      Timer T1;
+      LocalizationReport Rep = Driver.localize(Pool[Idx], S, LO);
+      Inc.WallSeconds += T1.seconds();
+      Inc.SatCalls += Rep.SatCalls;
+      Inc.Conflicts += Rep.Search.Conflicts;
+      Inc.Propagations += Rep.Search.Propagations;
+      Inc.Extra += Rep.Diagnoses.size();
+
+      Timer T2;
+      rebuiltEnumerate(Driver.formula().localizationInstance(Pool[Idx], S),
+                       Driver.formula().encoded().Formula, MaxDiagnoses, Reb);
+      Reb.WallSeconds += T2.seconds();
     }
-    for (int H = 0; H < Holes; ++H)
-      for (int P1 = 0; P1 < Pigeons; ++P1)
-        for (int P2 = P1 + 1; P2 < Pigeons; ++P2)
-          S.addClause({~mkLit(VarOf(P1, H)), ~mkLit(VarOf(P2, H))});
-    LBool Res = S.solve();
-    benchmark::DoNotOptimize(Res);
   }
+  if (MutantsUsed == 0) {
+    std::printf("no TCAS mutant with failing tests found\n");
+    return;
+  }
+  double Work1 = static_cast<double>(Inc.Conflicts + Inc.Propagations);
+  double Work2 = static_cast<double>(Reb.Conflicts + Reb.Propagations);
+  double Wall1 = Inc.WallSeconds, Wall2 = Reb.WallSeconds;
+  record(std::move(Inc));
+  record(std::move(Reb));
+  std::printf("tcas incremental vs rebuilt (%zu mutants): "
+              "conflicts+propagations %.2fx, wall %.2fx\n",
+              MutantsUsed, Work1 > 0 ? Work2 / Work1 : 0.0,
+              Wall1 > 0 ? Wall2 / Wall1 : 0.0);
 }
-BENCHMARK(BM_Sat_Pigeonhole)->Arg(5)->Arg(6)->Arg(7);
 
-void BM_MaxSat_FuMalik_SelectorChain(benchmark::State &State) {
-  MaxSatInstance Inst = selectorChain(static_cast<int>(State.range(0)));
-  for (auto _ : State) {
-    MaxSatResult R = solveFuMalik(Inst);
-    benchmark::DoNotOptimize(R.Cost);
+void writeJson(const char *Path) {
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::printf("cannot open %s\n", Path);
+    return;
   }
-}
-BENCHMARK(BM_MaxSat_FuMalik_SelectorChain)->Arg(50)->Arg(200)->Arg(800);
-
-void BM_MaxSat_Linear_SelectorChain(benchmark::State &State) {
-  MaxSatInstance Inst = selectorChain(static_cast<int>(State.range(0)));
-  for (auto _ : State) {
-    MaxSatResult R = solveLinear(Inst);
-    benchmark::DoNotOptimize(R.Cost);
+  std::fprintf(F, "{\n  \"bench\": \"bench_solvers\",\n  \"workloads\": [\n");
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const WorkloadResult &W = Results[I];
+    std::fprintf(F,
+                 "    {\"name\": \"%s\", \"wall_s\": %.6f, "
+                 "\"conflicts\": %llu, \"propagations\": %llu, "
+                 "\"sat_calls\": %llu",
+                 W.Name.c_str(), W.WallSeconds,
+                 static_cast<unsigned long long>(W.Conflicts),
+                 static_cast<unsigned long long>(W.Propagations),
+                 static_cast<unsigned long long>(W.SatCalls));
+    if (W.ExtraKey)
+      std::fprintf(F, ", \"%s\": %llu", W.ExtraKey,
+                   static_cast<unsigned long long>(W.Extra));
+    std::fprintf(F, "}%s\n", I + 1 < Results.size() ? "," : "");
   }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("wrote %s\n", Path);
 }
-BENCHMARK(BM_MaxSat_Linear_SelectorChain)->Arg(50)->Arg(200)->Arg(800);
-
-void BM_MaxSat_Weighted_Random(benchmark::State &State) {
-  // Random weighted soft units over a small hard core.
-  int N = static_cast<int>(State.range(0));
-  Rng R(99);
-  MaxSatInstance Inst;
-  Inst.NumVars = N;
-  for (int I = 0; I + 1 < N; I += 2)
-    Inst.Hard.push_back({mkLit(I), mkLit(I + 1)});
-  for (int I = 0; I < N; ++I)
-    Inst.Soft.push_back(
-        {{mkLit(I, R.chance(1, 2))}, static_cast<uint64_t>(R.range(1, 8))});
-  for (auto _ : State) {
-    MaxSatResult Res = solveLinear(Inst);
-    benchmark::DoNotOptimize(Res.Cost);
-  }
-}
-BENCHMARK(BM_MaxSat_Weighted_Random)->Arg(40)->Arg(80);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  const char *JsonPath = "BENCH_solvers.json";
+  bool Quick = false;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strncmp(argv[I], "--json=", 7) == 0)
+      JsonPath = argv[I] + 7;
+    else if (std::strcmp(argv[I], "--quick") == 0)
+      Quick = true;
+  }
+
+  benchPhaseTransition(100, Quick ? 4 : 16);
+  benchPigeonhole(Quick ? 6 : 7);
+
+  for (int Len : {200, 800}) {
+    MaxSatInstance Chain = selectorChain(Len);
+    std::string Suffix = "_chain" + std::to_string(Len);
+    benchMaxSat("maxsat_fumalik_incremental" + Suffix, Chain,
+                [](const MaxSatInstance &I) { return solveFuMalik(I); });
+    benchMaxSat("maxsat_fumalik_rebuilt" + Suffix, Chain,
+                [](const MaxSatInstance &I) { return referenceSolveFuMalik(I); });
+    benchMaxSat("maxsat_linear_incremental" + Suffix, Chain,
+                [](const MaxSatInstance &I) { return solveLinear(I); });
+    benchMaxSat("maxsat_linear_rebuilt" + Suffix, Chain,
+                [](const MaxSatInstance &I) { return referenceSolveLinear(I); });
+  }
+
+  benchTcasLocalization(/*NumMutants=*/Quick ? 1 : 6,
+                        /*TestsPerMutant=*/Quick ? 1 : 2,
+                        /*MaxDiagnoses=*/24);
+
+  writeJson(JsonPath);
+  return 0;
+}

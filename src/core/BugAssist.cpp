@@ -24,11 +24,15 @@ LocalizationReport bugassist::enumerateCoMSSes(MaxSatInstance Inst,
 
   std::set<uint32_t> AllLines;
 
-  // Algorithm 1, lines 7-14.
+  // Algorithm 1, lines 7-14, on ONE incremental MaxSAT session: the solver
+  // (hard formula, learned clauses, heuristic state) persists across
+  // diagnoses, and each blocking clause beta is added incrementally.
+  std::unique_ptr<MaxSatSession> Session =
+      makeMaxSatSession(Inst, Opts.Weighted, Opts.ConflictBudget);
   while (Report.Diagnoses.size() < Opts.MaxDiagnoses) {
-    MaxSatResult R = Opts.Weighted ? solveLinear(Inst, Opts.ConflictBudget)
-                                   : solveFuMalik(Inst, Opts.ConflictBudget);
+    MaxSatResult R = Session->solve();
     Report.SatCalls += R.SatCalls;
+    Report.Search = R.Search; // cumulative over the session
     if (R.Status == MaxSatStatus::HardUnsat) {
       Report.Exhausted = true; // "No more suspects"
       break;
@@ -78,7 +82,7 @@ LocalizationReport bugassist::enumerateCoMSSes(MaxSatInstance Inst,
     // intent ("other combinations of these locations are still allowed")
     // with honest costs; the hard beta still bans the reported CoMSS and
     // all of its supersets.
-    Inst.Hard.push_back(std::move(Blocking));
+    Session->addHardClause(Blocking);
   }
 
   Report.AllLines.assign(AllLines.begin(), AllLines.end());
@@ -108,8 +112,9 @@ bool bugassist::isValidCorrection(const TraceFormula &TF,
     if (!Solve.addClause(C))
       return false;
   bool Ok = true;
+  const std::set<uint32_t> LineSet(Lines.begin(), Lines.end());
   for (const ClauseGroup &G : F.groups()) {
-    bool Off = std::find(Lines.begin(), Lines.end(), G.Line) != Lines.end();
+    bool Off = LineSet.count(G.Line) != 0;
     Ok = Ok && Solve.addClause({mkLit(G.Selector, /*Negated=*/Off)});
   }
   if (!Ok)

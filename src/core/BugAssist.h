@@ -59,6 +59,9 @@ struct LocalizationReport {
   /// ("No more suspects") rather than hitting MaxDiagnoses.
   bool Exhausted = false;
   uint64_t SatCalls = 0;
+  /// Cumulative statistics of the incremental MaxSAT session's solver
+  /// (conflicts, propagations, ...) over the whole enumeration.
+  SolverStats Search;
 };
 
 struct LocalizeOptions {

@@ -103,3 +103,42 @@ void bugassist::encodePbLeq(const std::vector<Lit> &Lits,
   // The very first literal alone cannot overflow (weights > Bound already
   // filtered), so no base overflow clause is needed.
 }
+
+std::vector<Lit> bugassist::encodePbCounter(const std::vector<Lit> &Lits,
+                                            const std::vector<uint64_t> &Weights,
+                                            uint64_t MaxSum, ClauseSink &Sink) {
+  assert(Lits.size() == Weights.size() && "weight per literal required");
+  assert(MaxSum > 0 && "counter needs at least one threshold");
+  size_t N = Lits.size();
+  if (N == 0) {
+    // Sum is always 0; fresh unconstrained outputs (never forced true).
+    std::vector<Lit> Out(MaxSum);
+    for (uint64_t J = 0; J < MaxSum; ++J)
+      Out[J] = mkLit(Sink.NewVar());
+    return Out;
+  }
+
+  // R[j-1] after row i means "weighted sum of the first i+1 literals >= j"
+  // (one-directional: high sums force registers true; assuming a register
+  // false prunes). Saturation: contributions past MaxSum land on MaxSum.
+  auto Sat = [MaxSum](uint64_t J) { return J < MaxSum ? J : MaxSum; };
+  std::vector<Lit> Prev(MaxSum), Cur(MaxSum);
+  for (size_t I = 0; I < N; ++I) {
+    assert(Weights[I] > 0 && "zero-weight literal");
+    for (uint64_t J = 1; J <= MaxSum; ++J)
+      Cur[J - 1] = mkLit(Sink.NewVar());
+    // Direct: literal i alone reaches thresholds 1..min(w_i, MaxSum).
+    for (uint64_t J = 1; J <= Sat(Weights[I]); ++J)
+      Sink.AddClause({~Lits[I], Cur[J - 1]});
+    if (I > 0) {
+      for (uint64_t J = 1; J <= MaxSum; ++J) {
+        // Carry: prefix sum >= j stays >= j.
+        Sink.AddClause({~Prev[J - 1], Cur[J - 1]});
+        // Add: literal i lifts a prefix at j to min(j + w_i, MaxSum).
+        Sink.AddClause({~Lits[I], ~Prev[J - 1], Cur[Sat(J + Weights[I]) - 1]});
+      }
+    }
+    std::swap(Prev, Cur);
+  }
+  return Prev;
+}

@@ -47,6 +47,18 @@ void encodePbLeq(const std::vector<Lit> &Lits,
                  const std::vector<uint64_t> &Weights, uint64_t Bound,
                  ClauseSink &Sink);
 
+/// Emits a *saturating* sequential weighted counter over \p Lits and
+/// returns its output literals Out[0..MaxSum-1], where every model of the
+/// emitted clauses sets Out[J-1] true whenever the weighted sum of true
+/// \p Lits is >= J (sums beyond MaxSum saturate at MaxSum). Unlike
+/// encodePbLeq, no bound is baked in: assuming ~Out[K] enforces sum <= K
+/// for any K < MaxSum, so an incremental MaxSAT session can tighten the
+/// bound across solve() calls without re-encoding (Martins et al. style
+/// incremental cardinality). Weights must be nonzero.
+std::vector<Lit> encodePbCounter(const std::vector<Lit> &Lits,
+                                 const std::vector<uint64_t> &Weights,
+                                 uint64_t MaxSum, ClauseSink &Sink);
+
 } // namespace bugassist
 
 #endif // BUGASSIST_MAXSAT_CARDINALITY_H

@@ -8,6 +8,14 @@
 // relaxation variable to every soft clause in the core, constrain exactly
 // one relaxation per round to fire, and charge one unit of cost.
 //
+// This implementation is fully incremental: ONE solver lives for the whole
+// session. Hard clauses are loaded once; each soft clause is guarded by an
+// assumption literal, and a relaxation round retires the stale guard (stops
+// assuming it and releases it as root-level false, so the superseded
+// guarded copy is satisfied trivially and reclaimed) before re-guarding the
+// relaxed copy. Learned clauses, VSIDS activity, and saved phases survive
+// every round -- and every blocking clause the CoMSS enumeration adds.
+//
 //===----------------------------------------------------------------------===//
 
 #include "maxsat/MaxSat.h"
@@ -34,134 +42,171 @@ bool bugassist::clauseSatisfied(const Clause &C,
   return false;
 }
 
-static void collectFalsifiedSoft(const MaxSatInstance &Inst,
-                                 MaxSatResult &Res) {
+namespace {
+
+void collectFalsifiedSoft(const std::vector<SoftClause> &Soft,
+                          MaxSatResult &Res) {
   Res.FalsifiedSoft.clear();
   uint64_t Cost = 0;
-  for (size_t I = 0; I < Inst.Soft.size(); ++I) {
-    if (!clauseSatisfied(Inst.Soft[I].Lits, Res.Model)) {
+  for (size_t I = 0; I < Soft.size(); ++I) {
+    if (!clauseSatisfied(Soft[I].Lits, Res.Model)) {
       Res.FalsifiedSoft.push_back(I);
-      Cost += Inst.Soft[I].Weight;
+      Cost += Soft[I].Weight;
     }
   }
   Res.Cost = Cost;
 }
 
-MaxSatResult bugassist::solveFuMalik(const MaxSatInstance &Inst,
-                                     uint64_t ConflictBudget) {
-  MaxSatResult Res;
-
-  // Working copies: soft clauses accumulate relaxation literals; extra hard
-  // clauses accumulate exactly-one constraints.
-  std::vector<Clause> WorkingSoft;
-  WorkingSoft.reserve(Inst.Soft.size());
-  for (const SoftClause &S : Inst.Soft)
-    WorkingSoft.push_back(S.Lits);
-  std::vector<Clause> ExtraHard;
-  int NextVar = Inst.NumVars;
-  uint64_t Rounds = 0;
-
-  for (;;) {
-    // Build a fresh solver over the working formula. Each soft clause i is
-    // guarded by assumption literal A_i via the hard clause (C_i \/ ~A_i);
-    // assuming A_i enforces C_i, and a final conflict yields a core over
-    // the A_i, i.e., over soft clauses.
-    Solver S;
-    S.ensureVars(NextVar);
-    bool HardOk = true;
+class FuMalikSessionImpl final : public MaxSatSession {
+public:
+  FuMalikSessionImpl(const MaxSatInstance &Inst, uint64_t ConflictBudget)
+      : NumOrigVars(Inst.NumVars), Soft(Inst.Soft) {
+    S.ensureVars(Inst.NumVars);
     for (const Clause &C : Inst.Hard)
       if (!S.addClause(C)) {
-        HardOk = false;
-        break;
+        HardBroken = true;
+        return;
       }
-    if (HardOk)
-      for (const Clause &C : ExtraHard)
-        if (!S.addClause(C)) {
-          HardOk = false;
-          break;
-        }
-    if (!HardOk) {
-      Res.Status = MaxSatStatus::HardUnsat;
-      return Res;
+    // Guard each soft clause exactly once: assumption literal A_i enforces
+    // C_i through the hard clause (C_i \/ ~A_i); a final conflict yields a
+    // core over the A_i, i.e., over soft clauses.
+    WorkingSoft.reserve(Soft.size());
+    GuardOf.reserve(Soft.size());
+    for (const SoftClause &SC : Soft) {
+      WorkingSoft.push_back(SC.Lits);
+      GuardOf.push_back(newGuard(GuardOf.size()));
+      Clause Guarded = SC.Lits;
+      Guarded.push_back(mkLit(GuardOf.back(), /*Negated=*/true));
+      if (!S.addClause(std::move(Guarded)))
+        HardBroken = true; // impossible while A is fresh; defensive only
     }
-
-    std::vector<Lit> Assumptions;
-    std::vector<size_t> AssumptionSoftIdx;
-    std::vector<Var> AssumpVarOf(WorkingSoft.size(), NullVar);
-    bool GuardsOk = true;
-    for (size_t I = 0; I < WorkingSoft.size() && GuardsOk; ++I) {
-      Var A = S.newVar();
-      AssumpVarOf[I] = A;
-      Clause Guarded = WorkingSoft[I];
-      Guarded.push_back(mkLit(A, /*Negated=*/true));
-      GuardsOk = S.addClause(std::move(Guarded));
-      Assumptions.push_back(mkLit(A));
-      AssumptionSoftIdx.push_back(I);
-    }
-    if (!GuardsOk) {
-      // A guarded clause can only break the solver if hard clauses force
-      // both the guard... impossible since A is fresh; defensive only.
-      Res.Status = MaxSatStatus::HardUnsat;
-      return Res;
-    }
-
-    for (Var V : Inst.PreferTrue)
-      S.setPolarity(V, true);
+    PreferTrue = Inst.PreferTrue;
     if (ConflictBudget)
       S.setConflictBudget(ConflictBudget);
-    ++Res.SatCalls;
-    LBool R = S.solve(Assumptions);
-
-    if (R == LBool::Undef) {
-      Res.Status = MaxSatStatus::Unknown;
-      return Res;
-    }
-    if (R == LBool::True) {
-      Res.Status = MaxSatStatus::Optimum;
-      Res.Model.resize(Inst.NumVars);
-      for (Var V = 0; V < Inst.NumVars; ++V)
-        Res.Model[V] = S.modelValue(V);
-      collectFalsifiedSoft(Inst, Res);
-      // Fu-Malik invariant: rounds of relaxation == optimal cost for
-      // unit weights.
-      assert(Res.FalsifiedSoft.size() == Rounds &&
-             "Fu-Malik cost does not match falsified soft clauses");
-      return Res;
-    }
-
-    // UNSAT: harvest the core over assumption literals.
-    std::vector<size_t> CoreSoft;
-    for (Lit FL : S.conflictCore()) {
-      // conflictCore holds assumption literals (possibly negated forms);
-      // map the variable back to its soft clause.
-      Var V = FL.var();
-      for (size_t I = 0; I < AssumpVarOf.size(); ++I)
-        if (AssumpVarOf[I] == V) {
-          CoreSoft.push_back(I);
-          break;
-        }
-    }
-    std::sort(CoreSoft.begin(), CoreSoft.end());
-    CoreSoft.erase(std::unique(CoreSoft.begin(), CoreSoft.end()),
-                   CoreSoft.end());
-
-    if (CoreSoft.empty()) {
-      // Conflict involves no soft clause: hard part is UNSAT.
-      Res.Status = MaxSatStatus::HardUnsat;
-      return Res;
-    }
-
-    // Relax: fresh r per core soft clause; exactly one r true.
-    ClauseSink Sink{
-        [&ExtraHard](Clause C) { ExtraHard.push_back(std::move(C)); },
-        [&NextVar]() { return NextVar++; }};
-    std::vector<Lit> Relax;
-    for (size_t I : CoreSoft) {
-      Lit RL = mkLit(NextVar++);
-      WorkingSoft[I].push_back(RL);
-      Relax.push_back(RL);
-    }
-    encodeExactlyOne(Relax, Sink);
-    ++Rounds;
   }
+
+  bool addHardClause(const Clause &C) override {
+    if (HardBroken)
+      return false;
+    HardBroken = !S.addClause(C);
+    return !HardBroken;
+  }
+
+  MaxSatResult solve() override {
+    MaxSatResult Res;
+    for (; !HardBroken;) {
+      std::vector<Lit> Assumptions;
+      Assumptions.reserve(GuardOf.size());
+      for (Var A : GuardOf)
+        Assumptions.push_back(mkLit(A));
+      // Phase saving overwrites polarities during search; re-seed the
+      // "program as written" bias before every descent, exactly as the
+      // per-round solver rebuild used to.
+      for (Var V : PreferTrue)
+        S.setPolarity(V, true);
+      ++Res.SatCalls;
+      LBool R = S.solve(Assumptions);
+
+      if (R == LBool::Undef) {
+        Res.Status = MaxSatStatus::Unknown;
+        break;
+      }
+      if (R == LBool::True) {
+        Res.Status = MaxSatStatus::Optimum;
+        Res.Model.resize(NumOrigVars);
+        for (Var V = 0; V < NumOrigVars; ++V)
+          Res.Model[V] = S.modelValue(V);
+        collectFalsifiedSoft(Soft, Res);
+        // Fu-Malik invariant: relaxation rounds == optimal cost for unit
+        // weights. Holds across incremental blocking clauses too, since
+        // Rounds accumulates over the session exactly as the optimum does.
+        assert(Res.FalsifiedSoft.size() == Rounds &&
+               "Fu-Malik cost does not match falsified soft clauses");
+        break;
+      }
+
+      // UNSAT: harvest the core over assumption literals via the
+      // direct-indexed var -> soft map (no nested scan).
+      std::vector<size_t> CoreSoft;
+      for (Lit FL : S.conflictCore()) {
+        Var V = FL.var();
+        if (V < static_cast<Var>(SoftIdxOfVar.size()) && SoftIdxOfVar[V] >= 0)
+          CoreSoft.push_back(static_cast<size_t>(SoftIdxOfVar[V]));
+      }
+      std::sort(CoreSoft.begin(), CoreSoft.end());
+      CoreSoft.erase(std::unique(CoreSoft.begin(), CoreSoft.end()),
+                     CoreSoft.end());
+
+      if (CoreSoft.empty()) {
+        // Conflict involves no soft clause: hard part is UNSAT.
+        Res.Status = MaxSatStatus::HardUnsat;
+        break;
+      }
+
+      // Relax: fresh r per core soft clause; exactly one r true. The old
+      // guard is retired -- dropped from the assumptions and fixed false at
+      // the root, which satisfies the superseded guarded copy so the solver
+      // reclaims it -- and the relaxed copy goes in under a fresh guard.
+      ClauseSink Sink{[this](Clause C) { S.addClause(std::move(C)); },
+                      [this]() { return S.newVar(); }};
+      std::vector<Lit> Relax;
+      Relax.reserve(CoreSoft.size());
+      for (size_t I : CoreSoft) {
+        Var OldGuard = GuardOf[I];
+        SoftIdxOfVar[OldGuard] = -1;
+        S.releaseVar(mkLit(OldGuard, /*Negated=*/true));
+
+        Lit RL = mkLit(S.newVar());
+        WorkingSoft[I].push_back(RL);
+        Relax.push_back(RL);
+
+        GuardOf[I] = newGuard(I);
+        Clause Guarded = WorkingSoft[I];
+        Guarded.push_back(mkLit(GuardOf[I], /*Negated=*/true));
+        S.addClause(std::move(Guarded));
+      }
+      encodeExactlyOne(Relax, Sink);
+      ++Rounds;
+      if (!S.okay()) {
+        Res.Status = MaxSatStatus::HardUnsat;
+        break;
+      }
+    }
+    if (HardBroken)
+      Res.Status = MaxSatStatus::HardUnsat;
+    Res.Search = S.stats();
+    return Res;
+  }
+
+private:
+  Var newGuard(size_t SoftIdx) {
+    Var A = S.newVar();
+    if (static_cast<Var>(SoftIdxOfVar.size()) <= A)
+      SoftIdxOfVar.resize(A + 1, -1);
+    SoftIdxOfVar[A] = static_cast<int32_t>(SoftIdx);
+    return A;
+  }
+
+  Solver S;
+  int NumOrigVars;
+  std::vector<SoftClause> Soft;     ///< original soft clauses (for re-eval)
+  std::vector<Var> PreferTrue;
+  std::vector<Clause> WorkingSoft;  ///< soft + accumulated relaxation lits
+  std::vector<Var> GuardOf;         ///< soft idx -> live guard variable
+  std::vector<int32_t> SoftIdxOfVar; ///< guard var -> soft idx, -1 otherwise
+  uint64_t Rounds = 0;
+  bool HardBroken = false;
+};
+
+} // namespace
+
+std::unique_ptr<MaxSatSession>
+bugassist::makeFuMalikSession(const MaxSatInstance &Inst,
+                              uint64_t ConflictBudget) {
+  return std::make_unique<FuMalikSessionImpl>(Inst, ConflictBudget);
+}
+
+MaxSatResult bugassist::solveFuMalik(const MaxSatInstance &Inst,
+                                     uint64_t ConflictBudget) {
+  return FuMalikSessionImpl(Inst, ConflictBudget).solve();
 }

@@ -3,11 +3,19 @@
 // Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
 //
 // SAT-UNSAT linear search: relax every soft clause with a fresh literal,
-// find any model, then repeatedly demand a strictly cheaper model through a
-// pseudo-Boolean bound until UNSAT; the last model is optimal. This is the
-// weighted engine behind the loop-diagnosis extension (paper Section 5.2),
-// whose soft selector weights alpha + eta - kappa prioritize early loop
-// iterations.
+// find any model, then repeatedly demand a strictly cheaper model until
+// UNSAT; the last model is optimal. This is the weighted engine behind the
+// loop-diagnosis extension (paper Section 5.2), whose soft selector
+// weights alpha + eta - kappa prioritize early loop iterations.
+//
+// Incremental: ONE solver lives for the whole session. The relaxed
+// formula is loaded once, a saturating sequential weighted counter over
+// the relaxation literals is encoded once (and lazily extended when a
+// later blocking clause pushes the optimum past its range), and each
+// improvement step tightens the bound "sum <= K" purely by assuming the
+// negation of the counter output for threshold K+1 -- no re-encoding, so
+// learned clauses and heuristic state survive every step and every
+// blocking clause of the CoMSS enumeration.
 //
 //===----------------------------------------------------------------------===//
 
@@ -22,121 +30,224 @@ using namespace bugassist;
 
 namespace {
 
-/// The relaxed instance: soft clause i becomes hard (C_i \/ R_i).
-struct RelaxedInstance {
-  std::vector<Clause> Hard;
-  std::vector<Lit> RelaxLits;
-  std::vector<uint64_t> Weights;
-  int NumVars = 0;
-};
-
-RelaxedInstance relax(const MaxSatInstance &Inst) {
-  RelaxedInstance R;
-  R.Hard = Inst.Hard;
-  R.NumVars = Inst.NumVars;
-  for (const SoftClause &S : Inst.Soft) {
-    Lit RL = mkLit(R.NumVars++);
-    Clause C = S.Lits;
-    C.push_back(RL);
-    R.Hard.push_back(std::move(C));
-    // (~R \/ ~l) for each soft literal would make R equivalent to clause
-    // falsification; cheaper: one direction suffices for minimization (a
-    // model can always turn R off when the clause is satisfied), but we add
-    // the equivalence for unit soft clauses so reported costs are exact
-    // even before re-evaluation.
-    if (S.Lits.size() == 1)
-      R.Hard.push_back({~RL, ~S.Lits[0]});
-    R.RelaxLits.push_back(RL);
-    R.Weights.push_back(S.Weight);
-  }
-  return R;
-}
-
-uint64_t modelCost(const MaxSatInstance &Inst,
+uint64_t modelCost(const std::vector<SoftClause> &Soft,
                    const std::vector<LBool> &Model) {
   uint64_t Cost = 0;
-  for (const SoftClause &S : Inst.Soft)
+  for (const SoftClause &S : Soft)
     if (!clauseSatisfied(S.Lits, Model))
       Cost += S.Weight;
   return Cost;
 }
 
+class LinearSessionImpl final : public MaxSatSession {
+public:
+  LinearSessionImpl(const MaxSatInstance &Inst, uint64_t ConflictBudget)
+      : NumOrigVars(Inst.NumVars), Soft(Inst.Soft) {
+    S.ensureVars(Inst.NumVars);
+    for (const Clause &C : Inst.Hard)
+      if (!S.addClause(C)) {
+        HardBroken = true;
+        return;
+      }
+    // Relax each soft clause once: soft clause i becomes hard (C_i \/ R_i).
+    RelaxLits.reserve(Soft.size());
+    Weights.reserve(Soft.size());
+    for (const SoftClause &SC : Soft) {
+      Lit RL = mkLit(S.newVar());
+      Clause C = SC.Lits;
+      C.push_back(RL);
+      S.addClause(std::move(C));
+      // One direction suffices for minimization (a model can always turn R
+      // off when the clause is satisfied), but add the equivalence for unit
+      // soft clauses so the counter tracks exact costs from the start.
+      if (SC.Lits.size() == 1)
+        S.addClause({~RL, ~SC.Lits[0]});
+      RelaxLits.push_back(RL);
+      Weights.push_back(SC.Weight);
+    }
+    PreferTrue = Inst.PreferTrue;
+    if (ConflictBudget)
+      S.setConflictBudget(ConflictBudget);
+  }
+
+  bool addHardClause(const Clause &C) override {
+    if (HardBroken)
+      return false;
+    HardBroken = !S.addClause(C);
+    return !HardBroken;
+  }
+
+  MaxSatResult solve() override {
+    MaxSatResult Res;
+    if (HardBroken) {
+      Res.Status = MaxSatStatus::HardUnsat;
+      Res.Search = S.stats();
+      return Res;
+    }
+
+    std::vector<LBool> BestModel;
+    bool HaveModel = false;
+    uint64_t BestCost = 0;
+    std::vector<Lit> Assumptions; // empty, then {~Out[BestCost]} per step
+
+    for (;;) {
+      // Phase saving overwrites polarities during search; re-seed the
+      // "program as written" bias so every descent starts from it, exactly
+      // as the per-round solver rebuild used to.
+      for (Var V : PreferTrue)
+        S.setPolarity(V, true);
+      ++Res.SatCalls;
+      LBool R = S.solve(Assumptions);
+      if (R == LBool::Undef) {
+        Res.Status = MaxSatStatus::Unknown;
+        Res.Search = S.stats();
+        return Res;
+      }
+      if (R == LBool::False) {
+        if (!HaveModel) {
+          Res.Status = MaxSatStatus::HardUnsat;
+          Res.Search = S.stats();
+          return Res;
+        }
+        break; // BestModel is optimal
+      }
+
+      std::vector<LBool> Model(NumOrigVars);
+      for (Var V = 0; V < NumOrigVars; ++V)
+        Model[V] = S.modelValue(V);
+      uint64_t Cost = modelCost(Soft, Model);
+      assert((!HaveModel || Cost < BestCost) &&
+             "linear search failed to improve");
+      BestModel = std::move(Model);
+      BestCost = Cost;
+      HaveModel = true;
+      if (BestCost == 0)
+        break;
+      // Tighten to "sum of relaxation weights <= BestCost - 1" by assuming
+      // the counter output for threshold BestCost false.
+      ensureCounter(BestCost);
+      Assumptions = {~CounterOut[BestCost - 1]};
+    }
+
+    if (BestCost > 0 && !RelaxLits.empty())
+      canonicalize(BestModel, BestCost, Res);
+
+    Res.Status = MaxSatStatus::Optimum;
+    Res.Model = std::move(BestModel);
+    Res.Cost = BestCost;
+    for (size_t I = 0; I < Soft.size(); ++I)
+      if (!clauseSatisfied(Soft[I].Lits, Res.Model))
+        Res.FalsifiedSoft.push_back(I);
+    Res.Search = S.stats();
+    return Res;
+  }
+
+private:
+  /// Canonicalizes the optimum: among minimum-weight models, greedily
+  /// prefer keeping soft clauses satisfied in index (program) order, so
+  /// falsification lands on the latest statements. This pins the reported
+  /// CoMSS deterministically regardless of search-heuristic history --
+  /// essential now that heuristic state persists across improvement steps
+  /// and blocking clauses.
+  ///
+  /// A clause satisfied by the current witness model commits for free: its
+  /// relaxation literal can always be lowered to false (relaxation and
+  /// counter clauses only constrain it upward), so the witness extends.
+  /// Each falsified position is then located by a galloping binary search
+  /// over the maximal additionally-satisfiable prefix ("satisfy [Begin, E)
+  /// too" is monotone in E), which costs O(log N) incremental solves per
+  /// falsified clause instead of crawling one re-solve per position.
+  void canonicalize(std::vector<LBool> &Model, uint64_t Cost,
+                    MaxSatResult &Res) {
+    ensureCounter(Cost + 1);
+    const size_t N = RelaxLits.size();
+    std::vector<Lit> Committed = {~CounterOut[Cost]}; // hold sum <= Cost
+    // Probe(E): can clauses [Begin, E) be satisfied on top of Committed?
+    // On success the witness Model is refreshed.
+    auto Probe = [&](size_t Begin, size_t E) -> LBool {
+      std::vector<Lit> Assumptions = Committed;
+      for (size_t J = Begin; J < E; ++J)
+        Assumptions.push_back(~RelaxLits[J]);
+      for (Var V : PreferTrue)
+        S.setPolarity(V, true);
+      ++Res.SatCalls;
+      LBool R = S.solve(Assumptions);
+      if (R == LBool::True)
+        for (Var V = 0; V < NumOrigVars; ++V)
+          Model[V] = S.modelValue(V);
+      return R;
+    };
+
+    size_t Begin = 0; // clauses [0, Begin) are committed satisfied
+    while (Begin < N) {
+      if (clauseSatisfied(Soft[Begin].Lits, Model)) {
+        Committed.push_back(~RelaxLits[Begin]); // free commit
+        ++Begin;
+        continue;
+      }
+      // Model falsifies clause Begin. Binary search the largest E with
+      // [Begin, E) satisfiable; E == Begin (the current witness) is SAT,
+      // E == N is UNSAT (the optimum falsifies something >= Begin).
+      size_t Lo = Begin, Hi = N;
+      while (Lo + 1 < Hi) {
+        size_t Mid = Lo + (Hi - Lo + 1) / 2;
+        LBool R = Probe(Begin, Mid);
+        if (R == LBool::Undef)
+          return; // budget exhausted: keep the optimum found so far
+        if (R == LBool::False) {
+          Hi = Mid;
+          continue;
+        }
+        // Gallop: the fresh witness may satisfy well past Mid.
+        Lo = Mid;
+        while (Lo < Hi - 1 && clauseSatisfied(Soft[Lo].Lits, Model))
+          ++Lo;
+      }
+      // [Begin, Lo) satisfiable, [Begin, Lo + 1) not: Lo stays falsified.
+      // Re-probe only if the current witness lost it (a failed probe does
+      // not restore the earlier model).
+      if (Lo > Begin && !clauseSatisfied(Soft[Lo - 1].Lits, Model)) {
+        if (Probe(Begin, Lo) != LBool::True)
+          return; // budget exhausted mid-search
+      }
+      for (size_t J = Begin; J < Lo; ++J)
+        Committed.push_back(~RelaxLits[J]);
+      Begin = Lo + 1;
+    }
+  }
+
+  /// Makes counter outputs available for thresholds 1..MaxNeeded. Encoded
+  /// once in the common case; a later blocking clause can push the first
+  /// model's cost past the current range, in which case a wider counter is
+  /// encoded over the same relaxation literals (the narrower one stays as
+  /// inert implications).
+  void ensureCounter(uint64_t MaxNeeded) {
+    if (CounterOut.size() >= MaxNeeded)
+      return;
+    ClauseSink Sink{[this](Clause C) { S.addClause(std::move(C)); },
+                    [this]() { return S.newVar(); }};
+    CounterOut = encodePbCounter(RelaxLits, Weights, MaxNeeded, Sink);
+  }
+
+  Solver S;
+  int NumOrigVars;
+  std::vector<SoftClause> Soft;
+  std::vector<Var> PreferTrue;
+  std::vector<Lit> RelaxLits;
+  std::vector<uint64_t> Weights;
+  std::vector<Lit> CounterOut; ///< CounterOut[J-1] <=> relax-weight sum >= J
+  bool HardBroken = false;
+};
+
 } // namespace
+
+std::unique_ptr<MaxSatSession>
+bugassist::makeLinearSession(const MaxSatInstance &Inst,
+                             uint64_t ConflictBudget) {
+  return std::make_unique<LinearSessionImpl>(Inst, ConflictBudget);
+}
 
 MaxSatResult bugassist::solveLinear(const MaxSatInstance &Inst,
                                     uint64_t ConflictBudget) {
-  MaxSatResult Res;
-  RelaxedInstance R = relax(Inst);
-
-  std::vector<LBool> BestModel;
-  bool HaveModel = false;
-  uint64_t BestCost = 0;
-
-  for (;;) {
-    Solver S;
-    S.ensureVars(R.NumVars);
-    bool Ok = true;
-    for (const Clause &C : R.Hard)
-      if (!S.addClause(C)) {
-        Ok = false;
-        break;
-      }
-    int SinkVars = R.NumVars;
-    if (Ok && HaveModel) {
-      if (BestCost == 0)
-        break; // cannot improve on zero
-      ClauseSink Sink{[&S](Clause C) { S.addClause(std::move(C)); },
-                      [&S, &SinkVars]() {
-                        ++SinkVars;
-                        return S.newVar();
-                      }};
-      encodePbLeq(R.RelaxLits, R.Weights, BestCost - 1, Sink);
-      Ok = S.okay();
-    }
-
-    if (!Ok) {
-      if (HaveModel)
-        break; // previous model is optimal
-      Res.Status = MaxSatStatus::HardUnsat;
-      return Res;
-    }
-
-    for (Var V : Inst.PreferTrue)
-      S.setPolarity(V, true);
-    if (ConflictBudget)
-      S.setConflictBudget(ConflictBudget);
-    ++Res.SatCalls;
-    LBool SatRes = S.solve();
-    if (SatRes == LBool::Undef) {
-      Res.Status = MaxSatStatus::Unknown;
-      return Res;
-    }
-    if (SatRes == LBool::False) {
-      if (!HaveModel) {
-        Res.Status = MaxSatStatus::HardUnsat;
-        return Res;
-      }
-      break; // BestModel is optimal
-    }
-
-    std::vector<LBool> Model(Inst.NumVars);
-    for (Var V = 0; V < Inst.NumVars; ++V)
-      Model[V] = S.modelValue(V);
-    uint64_t Cost = modelCost(Inst, Model);
-    assert((!HaveModel || Cost < BestCost) &&
-           "linear search failed to improve");
-    BestModel = std::move(Model);
-    BestCost = Cost;
-    HaveModel = true;
-    if (BestCost == 0)
-      break;
-  }
-
-  Res.Status = MaxSatStatus::Optimum;
-  Res.Model = std::move(BestModel);
-  Res.Cost = BestCost;
-  for (size_t I = 0; I < Inst.Soft.size(); ++I)
-    if (!clauseSatisfied(Inst.Soft[I].Lits, Res.Model))
-      Res.FalsifiedSoft.push_back(I);
-  return Res;
+  return LinearSessionImpl(Inst, ConflictBudget).solve();
 }

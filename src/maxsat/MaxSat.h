@@ -12,13 +12,35 @@
 /// whose removal restores satisfiability -- which map to suspect program
 /// statements.
 ///
-/// Two solvers are provided:
-///  * solveFuMalik: the unsatisfiable-core-guided algorithm of Fu & Malik
-///    [10], as engineered in MSUnCORE [21], the solver the paper used.
-///    Unweighted (treats every soft clause as weight 1).
-///  * solveLinear: weighted model-improving linear search with a
-///    pseudo-Boolean bound (sequential weighted counter); handles the
-///    weighted instances of the loop-diagnosis extension (paper Eq. 3).
+/// Two engines are provided, each running as an *incremental session* over
+/// one persistent CDCL solver (MiniSAT 1.14-style assumption interface, as
+/// engineered in MSUnCORE [21], the solver the paper used):
+///
+///  * Fu-Malik [10] (unweighted): every soft clause is guarded once by an
+///    assumption literal A_i via the hard clause (C_i \/ ~A_i). When a
+///    solve under all guards yields an unsatisfiable core, the core's soft
+///    clauses are relaxed in place: the old guard is *retired* -- it stops
+///    being assumed and the unit ~A_old is added, which satisfies the
+///    stale guarded copy trivially and lets the solver reclaim it -- and
+///    the relaxed copy (C_i \/ r_1 \/ ... \/ r_k \/ ~A_new) is added under
+///    a fresh guard. Hard clauses are therefore loaded exactly once, and
+///    learned clauses, VSIDS activity, and saved phases survive across
+///    relaxation rounds. Guard-retirement invariant: at any time exactly
+///    one guard per soft clause is live (assumed); every retired guard is
+///    root-level false, so each soft clause has exactly one active guarded
+///    copy and the working formula equals the classic per-round rebuild.
+///
+///  * Linear search (weighted): soft clauses are relaxed once with fresh
+///    literals, a *saturating* sequential weighted counter over the
+///    relaxation literals is encoded once (lazily extended), and the
+///    model-improving bound "sum <= K" is tightened per improvement step
+///    purely by assuming ~Out_{K+1} on the counter's output literals
+///    (incremental cardinality in the style of Martins et al.), never by
+///    re-encoding.
+///
+/// Algorithm 1's CoMSS enumeration keeps one session alive across
+/// diagnoses: each blocking clause beta is added incrementally through
+/// MaxSatSession::addHardClause instead of restarting MaxSAT from scratch.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,8 +48,10 @@
 #define BUGASSIST_MAXSAT_MAXSAT_H
 
 #include "cnf/Lit.h"
+#include "sat/Solver.h"
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace bugassist {
@@ -65,15 +89,54 @@ struct MaxSatResult {
   uint64_t Cost = 0;
   std::vector<LBool> Model;
   std::vector<size_t> FalsifiedSoft;
+  /// SAT calls issued during this solve().
   uint64_t SatCalls = 0;
+  /// Cumulative statistics of the underlying solver (for a session, totals
+  /// since the session was created; for one-shot calls, totals of the call).
+  SolverStats Search;
 };
 
-/// Fu-Malik core-guided partial MaxSAT (unweighted; weights ignored).
+/// An incremental MaxSAT session: one persistent solver, repeatedly
+/// re-optimized as hard (blocking) clauses are added. This is the engine
+/// behind Algorithm 1's CoMSS enumeration.
+class MaxSatSession {
+public:
+  virtual ~MaxSatSession() = default;
+
+  /// Optimizes the current formula (initial instance plus every hard
+  /// clause added so far). May be called repeatedly; state carries over.
+  virtual MaxSatResult solve() = 0;
+
+  /// Incrementally adds a hard clause (Algorithm 1's beta). \returns false
+  /// when the hard formula became unsatisfiable (next solve() reports
+  /// HardUnsat).
+  virtual bool addHardClause(const Clause &C) = 0;
+};
+
+/// Creates a Fu-Malik core-guided session (unweighted; weights ignored).
 /// \p ConflictBudget bounds each underlying SAT call (0 = unlimited).
+std::unique_ptr<MaxSatSession> makeFuMalikSession(const MaxSatInstance &Inst,
+                                                  uint64_t ConflictBudget = 0);
+
+/// Creates a weighted linear-search session with an incremental PB bound.
+std::unique_ptr<MaxSatSession> makeLinearSession(const MaxSatInstance &Inst,
+                                                 uint64_t ConflictBudget = 0);
+
+/// Engine dispatch used by the localization drivers.
+inline std::unique_ptr<MaxSatSession>
+makeMaxSatSession(const MaxSatInstance &Inst, bool Weighted,
+                  uint64_t ConflictBudget = 0) {
+  return Weighted ? makeLinearSession(Inst, ConflictBudget)
+                  : makeFuMalikSession(Inst, ConflictBudget);
+}
+
+/// Fu-Malik core-guided partial MaxSAT (unweighted; weights ignored).
+/// One-shot convenience wrapper over makeFuMalikSession.
 MaxSatResult solveFuMalik(const MaxSatInstance &Inst,
                           uint64_t ConflictBudget = 0);
 
 /// Weighted partial MaxSAT by SAT-UNSAT linear search over a PB bound.
+/// One-shot convenience wrapper over makeLinearSession.
 MaxSatResult solveLinear(const MaxSatInstance &Inst,
                          uint64_t ConflictBudget = 0);
 

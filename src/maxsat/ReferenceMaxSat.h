@@ -1,0 +1,37 @@
+//===- ReferenceMaxSat.h - Non-incremental MaxSAT baselines -----*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The original rebuild-per-round MaxSAT implementations, kept verbatim as
+/// baselines: every Fu-Malik relaxation round and every linear-search
+/// improvement step constructs a fresh Solver, re-adds the whole formula,
+/// and discards all learned clauses and heuristic state. The production
+/// engines in MaxSat.h run incrementally over one persistent solver; these
+/// references exist so tests can check the incremental paths against the
+/// seed semantics and so bench_solvers can quantify the incremental win.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_MAXSAT_REFERENCEMAXSAT_H
+#define BUGASSIST_MAXSAT_REFERENCEMAXSAT_H
+
+#include "maxsat/MaxSat.h"
+
+namespace bugassist {
+
+/// Fu-Malik with a fresh solver per relaxation round (the seed
+/// implementation). Result.Search accumulates stats across all solvers.
+MaxSatResult referenceSolveFuMalik(const MaxSatInstance &Inst,
+                                   uint64_t ConflictBudget = 0);
+
+/// Linear search with a fresh solver and a freshly encoded PB bound per
+/// improvement step (the seed implementation).
+MaxSatResult referenceSolveLinear(const MaxSatInstance &Inst,
+                                  uint64_t ConflictBudget = 0);
+
+} // namespace bugassist
+
+#endif // BUGASSIST_MAXSAT_REFERENCEMAXSAT_H

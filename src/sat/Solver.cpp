@@ -4,7 +4,11 @@
 //
 // The algorithm follows Een & Sorensson's "An Extensible SAT-solver"
 // (MiniSAT), with the assumption-core extraction of MiniSAT 1.14+ that the
-// Fu-Malik MaxSAT layer depends on.
+// Fu-Malik MaxSAT layer depends on. Clause storage is a flat arena in the
+// style of MiniSAT's ClauseAllocator: headers and literals are inline in
+// one contiguous buffer, so the propagation inner loop never chases a
+// per-clause heap pointer, and freed clauses are reclaimed by a relocating
+// garbage collector once a fifth of the arena is waste.
 //
 //===----------------------------------------------------------------------===//
 
@@ -15,10 +19,24 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 using namespace bugassist;
 
 Solver::Solver() = default;
+
+float Solver::clauseActivity(ClauseRef CR) const {
+  float A;
+  int32_t Bits = Arena[CR + 1].code();
+  std::memcpy(&A, &Bits, sizeof(A));
+  return A;
+}
+
+void Solver::setClauseActivity(ClauseRef CR, float A) {
+  int32_t Bits;
+  std::memcpy(&Bits, &A, sizeof(Bits));
+  Arena[CR + 1] = Lit::fromCode(Bits);
+}
 
 Var Solver::newVar() {
   Var V = static_cast<Var>(Assigns.size());
@@ -28,6 +46,7 @@ Var Solver::newVar() {
   Activity.push_back(0.0);
   HeapIndex.push_back(-1);
   SavedPhase.push_back(false);
+  Released.push_back(false);
   Seen.push_back(0);
   Watches.emplace_back(); // positive literal
   Watches.emplace_back(); // negative literal
@@ -72,7 +91,7 @@ bool Solver::addClause(Clause C) {
     Ok = (propagate() == InvalidClause);
     return Ok;
   }
-  ClauseRef CR = allocClause(std::move(Simplified), /*Learnt=*/false);
+  ClauseRef CR = allocClause(Simplified, /*Learnt=*/false);
   ProblemClauses.push_back(CR);
   attachClause(CR);
   return true;
@@ -86,27 +105,46 @@ bool Solver::addFormula(const CnfFormula &F) {
   return true;
 }
 
-Solver::ClauseRef Solver::allocClause(std::vector<Lit> Lits, bool Learnt) {
-  ClauseRef CR = static_cast<ClauseRef>(Clauses.size());
-  ClauseData CD;
-  CD.Lits = std::move(Lits);
-  CD.Learnt = Learnt;
-  CD.Activity = Learnt ? ClaInc : 0.0;
-  Clauses.push_back(std::move(CD));
+bool Solver::releaseVar(Lit L) {
+  assert(decisionLevel() == 0 && "release only at the root level");
+  ensureVars(L.var() + 1);
+  Released[L.var()] = true;
+  if (HeapIndex[L.var()] != -1) {
+    // Evict from the decision heap by raising to the top and popping.
+    Activity[L.var()] = 1e300;
+    heapDecrease(L.var());
+    Var Top = heapPop();
+    assert(Top == L.var() && "heap eviction failed");
+    (void)Top;
+    Activity[L.var()] = 0.0;
+  }
+  return addClause({L});
+}
+
+Solver::ClauseRef Solver::allocClause(const std::vector<Lit> &Lits,
+                                      bool Learnt) {
+  ClauseRef CR = static_cast<ClauseRef>(Arena.size());
+  int32_t Header = static_cast<int32_t>(Lits.size() << 3);
+  if (Learnt)
+    Header |= LearntBit;
+  Arena.push_back(Lit::fromCode(Header));
+  Arena.push_back(Lit::fromCode(0)); // activity slot
+  Arena.insert(Arena.end(), Lits.begin(), Lits.end());
+  setClauseActivity(CR, Learnt ? static_cast<float>(ClaInc) : 0.0f);
   return CR;
 }
 
 void Solver::attachClause(ClauseRef CR) {
-  const ClauseData &C = Clauses[CR];
-  assert(C.Lits.size() >= 2 && "cannot watch unit clause");
-  Watches[(~C.Lits[0]).code()].push_back({CR, C.Lits[1]});
-  Watches[(~C.Lits[1]).code()].push_back({CR, C.Lits[0]});
+  const Lit *CL = clauseLits(CR);
+  assert(clauseSize(CR) >= 2 && "cannot watch unit clause");
+  Watches[(~CL[0]).code()].push_back({CR, CL[1]});
+  Watches[(~CL[1]).code()].push_back({CR, CL[0]});
 }
 
 void Solver::detachClause(ClauseRef CR) {
-  const ClauseData &C = Clauses[CR];
+  const Lit *CL = clauseLits(CR);
   for (int I = 0; I < 2; ++I) {
-    auto &WL = Watches[(~C.Lits[I]).code()];
+    auto &WL = Watches[(~CL[I]).code()];
     for (size_t J = 0; J < WL.size(); ++J) {
       if (WL[J].CRef == CR) {
         WL[J] = WL.back();
@@ -118,16 +156,14 @@ void Solver::detachClause(ClauseRef CR) {
 }
 
 bool Solver::isLocked(ClauseRef CR) const {
-  const ClauseData &C = Clauses[CR];
-  Var V = C.Lits[0].var();
-  return value(C.Lits[0]) == LBool::True && Reason[V] == CR;
+  Lit First = clauseLits(CR)[0];
+  return value(First) == LBool::True && Reason[First.var()] == CR;
 }
 
 void Solver::removeClause(ClauseRef CR) {
   detachClause(CR);
-  Clauses[CR].Deleted = true;
-  Clauses[CR].Lits.clear();
-  Clauses[CR].Lits.shrink_to_fit();
+  Arena[CR] = Lit::fromCode(header(CR) | FreedBit);
+  ArenaWasted += HeaderWords + clauseSize(CR);
   ++Stats.DeletedClauses;
 }
 
@@ -154,15 +190,16 @@ Solver::ClauseRef Solver::propagate() {
         WL[J++] = WL[I++];
         continue;
       }
-      ClauseData &C = Clauses[W.CRef];
+      Lit *CL = clauseLits(W.CRef);
+      uint32_t Size = clauseSize(W.CRef);
       // Normalize so the false literal (~P) sits at index 1.
       Lit NotP = ~P;
-      if (C.Lits[0] == NotP)
-        std::swap(C.Lits[0], C.Lits[1]);
-      assert(C.Lits[1] == NotP && "watch invariant broken");
+      if (CL[0] == NotP)
+        std::swap(CL[0], CL[1]);
+      assert(CL[1] == NotP && "watch invariant broken");
       ++I;
 
-      Lit First = C.Lits[0];
+      Lit First = CL[0];
       if (First != W.Blocker && value(First) == LBool::True) {
         WL[J++] = {W.CRef, First};
         continue;
@@ -170,10 +207,10 @@ Solver::ClauseRef Solver::propagate() {
 
       // Look for a replacement watch.
       bool FoundWatch = false;
-      for (size_t K = 2; K < C.Lits.size(); ++K) {
-        if (value(C.Lits[K]) != LBool::False) {
-          std::swap(C.Lits[1], C.Lits[K]);
-          Watches[(~C.Lits[1]).code()].push_back({W.CRef, First});
+      for (uint32_t K = 2; K < Size; ++K) {
+        if (value(CL[K]) != LBool::False) {
+          std::swap(CL[1], CL[K]);
+          Watches[(~CL[1]).code()].push_back({W.CRef, First});
           FoundWatch = true;
           break;
         }
@@ -209,11 +246,12 @@ void Solver::analyze(ClauseRef Confl, std::vector<Lit> &OutLearnt,
 
   do {
     assert(Confl != InvalidClause && "no reason for implied literal");
-    ClauseData &C = Clauses[Confl];
-    if (C.Learnt)
-      claBumpActivity(C);
-    for (size_t J = (P == NullLit ? 0 : 1); J < C.Lits.size(); ++J) {
-      Lit Q = C.Lits[J];
+    if (clauseLearnt(Confl))
+      claBumpActivity(Confl);
+    const Lit *CL = clauseLits(Confl);
+    uint32_t Size = clauseSize(Confl);
+    for (uint32_t J = (P == NullLit ? 0 : 1); J < Size; ++J) {
+      Lit Q = CL[J];
       if (Seen[Q.var()] || level(Q.var()) == 0)
         continue;
       Seen[Q.var()] = 1;
@@ -246,9 +284,10 @@ void Solver::analyze(ClauseRef Confl, std::vector<Lit> &OutLearnt,
     bool Redundant = false;
     if (R != InvalidClause) {
       Redundant = true;
-      const ClauseData &RC = Clauses[R];
-      for (size_t J = 1; J < RC.Lits.size(); ++J) {
-        Lit Q = RC.Lits[J];
+      const Lit *RC = clauseLits(R);
+      uint32_t RSize = clauseSize(R);
+      for (uint32_t J = 1; J < RSize; ++J) {
+        Lit Q = RC[J];
         if (!Seen[Q.var()] && level(Q.var()) > 0) {
           Redundant = false;
           break;
@@ -295,10 +334,11 @@ void Solver::analyzeFinal(Lit P) {
       assert(level(V) > 0 && "level-0 decision in final analysis");
       ConflictCore.push_back(Trail[I]);
     } else {
-      const ClauseData &C = Clauses[Reason[V]];
-      for (size_t J = 1; J < C.Lits.size(); ++J)
-        if (level(C.Lits[J].var()) > 0)
-          Seen[C.Lits[J].var()] = 1;
+      const Lit *CL = clauseLits(Reason[V]);
+      uint32_t Size = clauseSize(Reason[V]);
+      for (uint32_t J = 1; J < Size; ++J)
+        if (level(CL[J].var()) > 0)
+          Seen[CL[J].var()] = 1;
     }
     Seen[V] = 0;
   }
@@ -312,8 +352,7 @@ void Solver::cancelUntil(int Level) {
     Var V = Trail[I].var();
     Assigns[V] = LBool::Undef;
     Reason[V] = InvalidClause;
-    if (HeapIndex[V] == -1)
-      heapInsert(V);
+    insertVarOrder(V);
   }
   PropagationHead = TrailLim[Level];
   Trail.resize(TrailLim[Level]);
@@ -376,7 +415,7 @@ LBool Solver::search(uint64_t ConflictsBeforeRestart) {
         ClauseRef CR = allocClause(Learnt, /*Learnt=*/true);
         LearntClauses.push_back(CR);
         attachClause(CR);
-        claBumpActivity(Clauses[CR]);
+        claBumpActivity(CR);
         uncheckedEnqueue(Learnt[0], CR);
         ++Stats.LearnedClauses;
       }
@@ -437,6 +476,7 @@ LBool Solver::solve(const std::vector<Lit> &Assumptions) {
     CurAssumptions.clear();
     return LBool::False;
   }
+  checkGarbage();
 
   LBool Result = LBool::Undef;
   for (uint64_t RestartIdx = 0; Result == LBool::Undef; ++RestartIdx) {
@@ -471,19 +511,36 @@ void Solver::simplifyLevel0() {
   auto SimplifySet = [&](std::vector<ClauseRef> &Set) {
     size_t J = 0;
     for (ClauseRef CR : Set) {
-      ClauseData &C = Clauses[CR];
-      if (C.Deleted)
+      if (clauseFreed(CR))
         continue;
+      Lit *CL = clauseLits(CR);
+      uint32_t Size = clauseSize(CR);
       bool Satisfied = false;
-      for (Lit L : C.Lits) {
-        if (value(L) == LBool::True && level(L.var()) == 0) {
+      for (uint32_t K = 0; K < Size; ++K) {
+        if (value(CL[K]) == LBool::True && level(CL[K].var()) == 0) {
           Satisfied = true;
           break;
         }
       }
-      if (Satisfied && !isLocked(CR)) {
-        removeClause(CR);
-        continue;
+      if (Satisfied) {
+        if (!isLocked(CR)) {
+          removeClause(CR);
+          continue;
+        }
+      } else {
+        // Trim root-level false literals beyond the two watched positions;
+        // after level-0 propagation the watches themselves are never false.
+        uint32_t NewSize = Size;
+        for (uint32_t K = 2; K < NewSize;) {
+          if (value(CL[K]) == LBool::False) {
+            CL[K] = CL[--NewSize];
+            ++ArenaWasted;
+          } else {
+            ++K;
+          }
+        }
+        if (NewSize != Size)
+          setClauseSize(CR, NewSize);
       }
       Set[J++] = CR;
     }
@@ -498,16 +555,15 @@ void Solver::reduceDB() {
   // locked (reason) clauses.
   std::sort(LearntClauses.begin(), LearntClauses.end(),
             [&](ClauseRef A, ClauseRef B) {
-              return Clauses[A].Activity < Clauses[B].Activity;
+              return clauseActivity(A) < clauseActivity(B);
             });
   size_t J = 0;
   for (size_t I = 0; I < LearntClauses.size(); ++I) {
     ClauseRef CR = LearntClauses[I];
-    ClauseData &C = Clauses[CR];
-    if (C.Deleted)
+    if (clauseFreed(CR))
       continue;
     bool Removable =
-        C.Lits.size() > 2 && !isLocked(CR) && I < LearntClauses.size() / 2;
+        clauseSize(CR) > 2 && !isLocked(CR) && I < LearntClauses.size() / 2;
     if (Removable)
       removeClause(CR);
     else
@@ -515,6 +571,58 @@ void Solver::reduceDB() {
   }
   LearntClauses.resize(J);
   MaxLearnts = MaxLearnts * 1.1 + 100;
+  checkGarbage();
+}
+
+// --- arena garbage collection ----------------------------------------------
+
+void Solver::checkGarbage() {
+  if (ArenaWasted * 5 >= Arena.size() && ArenaWasted > 0)
+    garbageCollect();
+}
+
+void Solver::garbageCollect() {
+  std::vector<Lit> To;
+  To.reserve(Arena.size() - ArenaWasted);
+
+  auto Reloc = [&](ClauseRef &CR) {
+    if (header(CR) & RelocedBit) {
+      CR = Arena[CR + 1].code();
+      return;
+    }
+    ClauseRef NR = static_cast<ClauseRef>(To.size());
+    uint32_t Size = clauseSize(CR);
+    To.push_back(Arena[CR]);     // header
+    To.push_back(Arena[CR + 1]); // activity
+    for (uint32_t K = 0; K < Size; ++K)
+      To.push_back(Arena[CR + HeaderWords + K]);
+    Arena[CR] = Lit::fromCode(header(CR) | RelocedBit);
+    Arena[CR + 1] = Lit::fromCode(NR);
+    CR = NR;
+  };
+
+  for (auto &WL : Watches)
+    for (Watcher &W : WL)
+      Reloc(W.CRef);
+  for (Lit L : Trail)
+    if (Reason[L.var()] != InvalidClause)
+      Reloc(Reason[L.var()]);
+  auto RelocSet = [&](std::vector<ClauseRef> &Set) {
+    size_t J = 0;
+    for (ClauseRef CR : Set) {
+      if (clauseFreed(CR) && !(header(CR) & RelocedBit))
+        continue; // dead clause: dropped by collection
+      Reloc(CR);
+      Set[J++] = CR;
+    }
+    Set.resize(J);
+  };
+  RelocSet(ProblemClauses);
+  RelocSet(LearntClauses);
+
+  Arena = std::move(To);
+  ArenaWasted = 0;
+  ++Stats.GcRuns;
 }
 
 // --- VSIDS activity heap ----------------------------------------------------
@@ -536,13 +644,20 @@ void Solver::varBumpActivity(Var V) {
     heapDecrease(V);
 }
 
-void Solver::claBumpActivity(ClauseData &C) {
-  C.Activity += ClaInc;
-  if (C.Activity > 1e20) {
-    for (ClauseRef CR : LearntClauses)
-      Clauses[CR].Activity *= 1e-20;
+void Solver::claBumpActivity(ClauseRef CR) {
+  float A = clauseActivity(CR) + static_cast<float>(ClaInc);
+  setClauseActivity(CR, A);
+  if (A > 1e20f) {
+    for (ClauseRef LR : LearntClauses)
+      if (!clauseFreed(LR))
+        setClauseActivity(LR, clauseActivity(LR) * 1e-20f);
     ClaInc *= 1e-20;
   }
+}
+
+void Solver::insertVarOrder(Var V) {
+  if (HeapIndex[V] == -1 && !Released[V])
+    heapInsert(V);
 }
 
 void Solver::heapInsert(Var V) {

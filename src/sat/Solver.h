@@ -17,6 +17,15 @@
 /// saving, Luby restarts, activity-driven learned-clause deletion, and
 /// incremental solving under assumptions with core extraction.
 ///
+/// The solver is designed to stay alive across many solve() calls: clauses
+/// can be added between calls, learned clauses / VSIDS activity / saved
+/// phases persist, and retired selector variables can be released
+/// (releaseVar) so long-running incremental MaxSAT sessions do not bloat
+/// the decision heap. Clause literals live in a flat arena (MiniSAT-style
+/// ClauseAllocator: header + inline literals addressed by a 32-bit
+/// ClauseRef), so propagation walks contiguous memory and deleted clauses
+/// are reclaimed by relocating garbage collection.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BUGASSIST_SAT_SOLVER_H
@@ -39,6 +48,7 @@ struct SolverStats {
   uint64_t Restarts = 0;
   uint64_t LearnedClauses = 0;
   uint64_t DeletedClauses = 0;
+  uint64_t GcRuns = 0;
 };
 
 /// CDCL solver. Typical interactive use:
@@ -67,6 +77,14 @@ public:
 
   /// Loads every hard clause of \p F (also allocating its variables).
   bool addFormula(const CnfFormula &F);
+
+  /// Retires a variable from an incremental session: fixes \p L at the root
+  /// level (so every clause mentioning it simplifies away or shrinks) and
+  /// permanently removes the variable from branching. The MaxSAT layer
+  /// calls this with ~A when assumption guard A is superseded, satisfying
+  /// the stale guarded clause copy trivially without bloating the decision
+  /// heap with dead selectors. \returns false if the solver became UNSAT.
+  bool releaseVar(Lit L);
 
   /// \returns false once the clause database is known UNSAT regardless of
   /// assumptions.
@@ -113,15 +131,34 @@ public:
 
 private:
   // --- clause storage -----------------------------------------------------
+  //
+  // Clauses live in one flat arena of 32-bit words (stored as Lit for
+  // type-clean access): [header][activity][lit_0 ... lit_{n-1}]. A
+  // ClauseRef is the word offset of the header. Header layout:
+  // size << 3 | Reloced << 2 | Learnt << 1 | Freed. The activity word
+  // holds float bits (learnt clauses) or, after relocation during garbage
+  // collection, the forwarding ClauseRef into the new arena.
   using ClauseRef = int32_t;
   static constexpr ClauseRef InvalidClause = -1;
+  static constexpr int32_t FreedBit = 1;
+  static constexpr int32_t LearntBit = 2;
+  static constexpr int32_t RelocedBit = 4;
+  static constexpr int32_t HeaderWords = 2;
 
-  struct ClauseData {
-    std::vector<Lit> Lits;
-    double Activity = 0.0;
-    bool Learnt = false;
-    bool Deleted = false;
-  };
+  int32_t header(ClauseRef CR) const { return Arena[CR].code(); }
+  uint32_t clauseSize(ClauseRef CR) const {
+    return static_cast<uint32_t>(header(CR)) >> 3;
+  }
+  bool clauseLearnt(ClauseRef CR) const { return header(CR) & LearntBit; }
+  bool clauseFreed(ClauseRef CR) const { return header(CR) & FreedBit; }
+  void setClauseSize(ClauseRef CR, uint32_t Size) {
+    Arena[CR] = Lit::fromCode(static_cast<int32_t>(Size << 3) |
+                              (header(CR) & 7));
+  }
+  Lit *clauseLits(ClauseRef CR) { return &Arena[CR + HeaderWords]; }
+  const Lit *clauseLits(ClauseRef CR) const { return &Arena[CR + HeaderWords]; }
+  float clauseActivity(ClauseRef CR) const;
+  void setClauseActivity(ClauseRef CR, float A);
 
   struct Watcher {
     ClauseRef CRef;
@@ -146,19 +183,22 @@ private:
   LBool value(Var V) const { return Assigns[V]; }
   int level(Var V) const { return VarLevel[V]; }
 
-  ClauseRef allocClause(std::vector<Lit> Lits, bool Learnt);
+  ClauseRef allocClause(const std::vector<Lit> &Lits, bool Learnt);
   void attachClause(ClauseRef CR);
   void detachClause(ClauseRef CR);
   void removeClause(ClauseRef CR);
   bool isLocked(ClauseRef CR) const;
   void reduceDB();
   void simplifyLevel0();
+  void checkGarbage();
+  void garbageCollect();
 
   // --- activity heap ------------------------------------------------------
   void varBumpActivity(Var V);
   void varDecayActivity() { VarInc /= VarDecay; }
-  void claBumpActivity(ClauseData &C);
+  void claBumpActivity(ClauseRef CR);
   void claDecayActivity() { ClaInc /= ClaDecay; }
+  void insertVarOrder(Var V);
   void heapInsert(Var V);
   void heapDecrease(Var V);
   Var heapPop();
@@ -177,7 +217,8 @@ private:
 
   // --- state ----------------------------------------------------------------
   bool Ok = true;
-  std::vector<ClauseData> Clauses;
+  std::vector<Lit> Arena; // flat clause storage (see layout above)
+  size_t ArenaWasted = 0; // words occupied by freed/shrunk clauses
   std::vector<ClauseRef> ProblemClauses;
   std::vector<ClauseRef> LearntClauses;
   std::vector<std::vector<Watcher>> Watches; // indexed by Lit code
@@ -197,6 +238,7 @@ private:
   std::vector<Var> Heap;
 
   std::vector<bool> SavedPhase;
+  std::vector<bool> Released; // released vars never re-enter the heap
   std::vector<char> Seen;
   std::vector<Lit> AnalyzeStack;
 

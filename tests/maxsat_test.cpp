@@ -7,6 +7,7 @@
 #include "maxsat/MaxSat.h"
 
 #include "maxsat/Cardinality.h"
+#include "maxsat/ReferenceMaxSat.h"
 #include "sat/Solver.h"
 #include "support/Rng.h"
 
@@ -382,6 +383,133 @@ INSTANTIATE_TEST_SUITE_P(
                       MaxSatRandomCase{6, 8, 8, true, 202},
                       MaxSatRandomCase{7, 10, 10, true, 203},
                       MaxSatRandomCase{8, 12, 10, true, 204}));
+
+// --- incremental engines vs. the seed (rebuild-per-round) semantics --------
+
+TEST(Incremental, FuMalikMatchesSeedOnFixedInstances) {
+  // Unique optimum: y is forced, so (~x \/ ~y) forces x false and the only
+  // minimal CoMSS is soft clause 0.
+  MaxSatInstance Inst;
+  Inst.NumVars = 2;
+  Inst.Hard.push_back({~mkLit(0), ~mkLit(1)});
+  Inst.Hard.push_back({mkLit(1)});
+  Inst.Soft.push_back({{mkLit(0)}, 1});
+  Inst.Soft.push_back({{mkLit(1)}, 1});
+
+  auto Inc = solveFuMalik(Inst);
+  auto Ref = referenceSolveFuMalik(Inst);
+  ASSERT_EQ(Inc.Status, MaxSatStatus::Optimum);
+  ASSERT_EQ(Ref.Status, MaxSatStatus::Optimum);
+  EXPECT_EQ(Inc.Cost, Ref.Cost);
+  EXPECT_EQ(Inc.FalsifiedSoft, Ref.FalsifiedSoft);
+  EXPECT_EQ(Inc.FalsifiedSoft, std::vector<size_t>{0});
+}
+
+TEST(Incremental, LinearMatchesSeedOnFixedInstances) {
+  MaxSatInstance Inst;
+  Inst.NumVars = 3;
+  Inst.Hard.push_back({~mkLit(0), ~mkLit(1), ~mkLit(2)});
+  Inst.Soft.push_back({{mkLit(0)}, 4});
+  Inst.Soft.push_back({{mkLit(1)}, 3});
+  Inst.Soft.push_back({{mkLit(2)}, 2});
+
+  auto Inc = solveLinear(Inst);
+  auto Ref = referenceSolveLinear(Inst);
+  ASSERT_EQ(Inc.Status, MaxSatStatus::Optimum);
+  ASSERT_EQ(Ref.Status, MaxSatStatus::Optimum);
+  EXPECT_EQ(Inc.Cost, Ref.Cost);
+  EXPECT_EQ(Inc.FalsifiedSoft, Ref.FalsifiedSoft);
+}
+
+TEST(Incremental, MatchesSeedCostOnRandomSweep) {
+  Rng R(4242);
+  for (int Round = 0; Round < 40; ++Round) {
+    MaxSatInstance Inst = randomInstance(R, 7, 8, 9, Round % 2 == 1);
+    auto RefL = referenceSolveLinear(Inst);
+    auto IncL = solveLinear(Inst);
+    ASSERT_EQ(IncL.Status, RefL.Status) << "round " << Round;
+    if (RefL.Status == MaxSatStatus::Optimum)
+      EXPECT_EQ(IncL.Cost, RefL.Cost) << "linear, round " << Round;
+    if (Round % 2 == 0) {
+      auto RefF = referenceSolveFuMalik(Inst);
+      auto IncF = solveFuMalik(Inst);
+      ASSERT_EQ(IncF.Status, RefF.Status) << "round " << Round;
+      if (RefF.Status == MaxSatStatus::Optimum)
+        EXPECT_EQ(IncF.Cost, RefF.Cost) << "fu-malik, round " << Round;
+    }
+  }
+}
+
+TEST(Incremental, SessionEnumerationMatchesRebuiltEnumeration) {
+  // Drive one persistent session through blocked re-optimizations (the
+  // CoMSS enumeration pattern) and check every step against the seed
+  // engine re-run from scratch on the instance plus all blocking clauses.
+  const int Length = 6;
+  MaxSatInstance Inst;
+  Inst.NumVars = (Length + 1) + Length;
+  auto Y = [](int I) { return mkLit(I); };
+  auto Sel = [](int I) { return mkLit(Length + I); };
+  Inst.Hard.push_back({Y(0)});
+  Inst.Hard.push_back({~Y(Length)});
+  for (int I = 1; I <= Length; ++I) {
+    Inst.Hard.push_back({~Sel(I), ~Y(I - 1), Y(I)});
+    Inst.Hard.push_back({~Sel(I), Y(I - 1), ~Y(I)});
+    Inst.Soft.push_back({{Sel(I)}, 1});
+  }
+
+  auto Session = makeFuMalikSession(Inst);
+  MaxSatInstance Blocked = Inst; // accumulates beta for the reference
+  for (int Step = 0; Step < Length + 1; ++Step) {
+    MaxSatResult Inc = Session->solve();
+    MaxSatResult Ref = referenceSolveFuMalik(Blocked);
+    ASSERT_EQ(Inc.Status, Ref.Status) << "step " << Step;
+    if (Inc.Status != MaxSatStatus::Optimum)
+      break; // both exhausted together
+    EXPECT_EQ(Inc.Cost, Ref.Cost) << "step " << Step;
+    EXPECT_EQ(Inc.FalsifiedSoft.size(), Ref.FalsifiedSoft.size())
+        << "step " << Step;
+    ASSERT_FALSE(Inc.FalsifiedSoft.empty());
+    Clause Beta;
+    for (size_t I : Inc.FalsifiedSoft)
+      Beta.push_back(Inst.Soft[I].Lits[0]);
+    Session->addHardClause(Beta);
+    Blocked.Hard.push_back(Beta);
+  }
+}
+
+TEST(Incremental, LinearSessionSurvivesBlockingClauses) {
+  // Weighted session: after each blocking clause the next-cheapest
+  // violation must be found, with the bound re-tightened on the same
+  // persistent counter (optima 1, then 5, then 9, then hard-UNSAT).
+  MaxSatInstance Inst;
+  Inst.NumVars = 3;
+  Inst.Hard.push_back({~mkLit(0), ~mkLit(1), ~mkLit(2)});
+  Inst.Soft.push_back({{mkLit(0)}, 1});
+  Inst.Soft.push_back({{mkLit(1)}, 5});
+  Inst.Soft.push_back({{mkLit(2)}, 9});
+
+  auto Session = makeLinearSession(Inst);
+  auto R1 = Session->solve();
+  ASSERT_EQ(R1.Status, MaxSatStatus::Optimum);
+  EXPECT_EQ(R1.Cost, 1u);
+  ASSERT_EQ(R1.FalsifiedSoft, std::vector<size_t>{0});
+
+  Session->addHardClause({mkLit(0)}); // beta: statement 0 stays enabled
+  auto R2 = Session->solve();
+  ASSERT_EQ(R2.Status, MaxSatStatus::Optimum);
+  EXPECT_EQ(R2.Cost, 5u);
+  ASSERT_EQ(R2.FalsifiedSoft, std::vector<size_t>{1});
+
+  Session->addHardClause({mkLit(1)});
+  auto R3 = Session->solve();
+  ASSERT_EQ(R3.Status, MaxSatStatus::Optimum);
+  EXPECT_EQ(R3.Cost, 9u);
+  ASSERT_EQ(R3.FalsifiedSoft, std::vector<size_t>{2});
+
+  Session->addHardClause({mkLit(2)});
+  auto R4 = Session->solve();
+  EXPECT_EQ(R4.Status, MaxSatStatus::HardUnsat);
+}
 
 TEST(MaxSat, FalsifiedSoftConsistentWithCost) {
   Rng R(555);

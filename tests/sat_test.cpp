@@ -371,3 +371,50 @@ TEST(Solver, PolarityHintRespectedWhenFree) {
   EXPECT_TRUE(S.modelValue(A) == LBool::True ||
               S.modelValue(B) == LBool::True);
 }
+
+TEST(Solver, IncrementalStatePersistsAcrossSolves) {
+  // Pigeonhole (7 pigeons, 6 holes) with each pigeon's placement clause
+  // guarded by an assumption literal: UNSAT under all guards, and hard
+  // enough that the first refutation must learn clauses. The SAME solver
+  // is solved repeatedly; learned clauses and stats must persist, making
+  // later identical calls strictly cheaper -- the property the incremental
+  // MaxSAT layer is built on.
+  const int Holes = 6, Pigeons = Holes + 1;
+  Solver S;
+  S.ensureVars(Pigeons * Holes);
+  auto VarOf = [](int P, int H) { return P * Holes + H; };
+  std::vector<Lit> Assumps;
+  for (int P = 0; P < Pigeons; ++P) {
+    Clause C;
+    for (int H = 0; H < Holes; ++H)
+      C.push_back(mkLit(VarOf(P, H)));
+    Var G = S.newVar();
+    C.push_back(mkLit(G, /*Negated=*/true));
+    ASSERT_TRUE(S.addClause(C));
+    Assumps.push_back(mkLit(G));
+  }
+  for (int H = 0; H < Holes; ++H)
+    for (int P1 = 0; P1 < Pigeons; ++P1)
+      for (int P2 = P1 + 1; P2 < Pigeons; ++P2)
+        ASSERT_TRUE(S.addClause({~mkLit(VarOf(P1, H)), ~mkLit(VarOf(P2, H))}));
+
+  ASSERT_EQ(S.solve(Assumps), LBool::False);
+  const uint64_t Conflicts1 = S.stats().Conflicts;
+  const uint64_t Learned1 = S.stats().LearnedClauses;
+  EXPECT_GT(Conflicts1, 0u);
+  EXPECT_GT(Learned1, 0u) << "first refutation should learn clauses";
+
+  ASSERT_EQ(S.solve(Assumps), LBool::False);
+  const uint64_t Conflicts2 = S.stats().Conflicts - Conflicts1;
+  // Stats are cumulative across calls ...
+  EXPECT_GE(S.stats().Conflicts, Conflicts1);
+  EXPECT_GE(S.stats().LearnedClauses, Learned1);
+  // ... and the persisted learned clauses make the re-refutation cheaper.
+  EXPECT_LT(Conflicts2, Conflicts1)
+      << "second solve on the same instance should reuse learned clauses";
+
+  // Dropping one guard makes the instance satisfiable: the persistent
+  // solver must still answer positively after repeated UNSAT calls.
+  Assumps.pop_back();
+  EXPECT_EQ(S.solve(Assumps), LBool::True);
+}
