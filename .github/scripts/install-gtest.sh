@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Installs GoogleTest on an Ubuntu runner. Prefers the distro's prebuilt
+# static libraries; falls back to building the packaged sources when the
+# image ships headers only.
+set -euo pipefail
+
+sudo apt-get update
+sudo apt-get install -y libgtest-dev
+
+if [ ! -e /usr/lib/x86_64-linux-gnu/libgtest.a ] && [ ! -e /usr/lib/libgtest.a ]; then
+  sudo cmake -S /usr/src/googletest -B /tmp/gtest-build -DCMAKE_BUILD_TYPE=Release
+  sudo cmake --build /tmp/gtest-build -j "$(nproc)"
+  sudo cmake --install /tmp/gtest-build
+fi

@@ -40,19 +40,39 @@ struct WorkloadResult {
   uint64_t Conflicts = 0;
   uint64_t Propagations = 0;
   uint64_t SatCalls = 0;
+  uint64_t Restarts = 0;
+  uint64_t RestartsBlocked = 0;
+  uint64_t LbdSum = 0;
+  uint64_t LbdCount = 0;
   uint64_t Extra = 0; ///< workload-specific (cost, diagnoses, ...)
   const char *ExtraKey = nullptr;
+
+  void addSearch(const SolverStats &S) {
+    Conflicts += S.Conflicts;
+    Propagations += S.Propagations;
+    Restarts += S.Restarts;
+    RestartsBlocked += S.RestartsBlocked;
+    LbdSum += S.LbdSum;
+    LbdCount += S.LbdCount;
+  }
+  double avgLbd() const {
+    return LbdCount ? static_cast<double>(LbdSum) /
+                          static_cast<double>(LbdCount)
+                    : 0.0;
+  }
 };
 
 std::vector<WorkloadResult> Results;
 
 void record(WorkloadResult R) {
-  std::printf("%-38s %9.3fs  conflicts=%-9llu propagations=%-11llu "
-              "sat_calls=%llu",
+  std::printf("%-44s %9.3fs  conflicts=%-9llu propagations=%-11llu "
+              "sat_calls=%-5llu restarts=%llu/%llu avg_lbd=%.2f",
               R.Name.c_str(), R.WallSeconds,
               static_cast<unsigned long long>(R.Conflicts),
               static_cast<unsigned long long>(R.Propagations),
-              static_cast<unsigned long long>(R.SatCalls));
+              static_cast<unsigned long long>(R.SatCalls),
+              static_cast<unsigned long long>(R.Restarts),
+              static_cast<unsigned long long>(R.RestartsBlocked), R.avgLbd());
   if (R.ExtraKey)
     std::printf("  %s=%llu", R.ExtraKey,
                 static_cast<unsigned long long>(R.Extra));
@@ -78,15 +98,25 @@ std::vector<Clause> random3Sat(Rng &R, int Vars, int Clauses) {
   return Cs;
 }
 
-void benchPhaseTransition(int Vars, int Rounds) {
+/// Both clause-management policies run every conflict-heavy SAT workload,
+/// so the JSON tracks the Glucose-vs-seed comparison where reduceDB and
+/// restarts actually fire.
+const char *policySuffix(const Solver::Options &O) {
+  return O.Retention == Solver::Options::RetentionPolicy::LbdTiers
+             ? "_lbd_tiers"
+             : "_activity_halving";
+}
+
+void benchPhaseTransition(int Vars, int Rounds, const Solver::Options &Opts) {
   WorkloadResult W;
-  W.Name = "sat_phase_transition_v" + std::to_string(Vars);
+  W.Name = "sat_phase_transition_v" + std::to_string(Vars) +
+           policySuffix(Opts);
   Timer T;
   uint64_t Seed = 1;
   for (int I = 0; I < Rounds; ++I) {
     Rng R(Seed++);
     auto Cs = random3Sat(R, Vars, static_cast<int>(Vars * 4.26));
-    Solver S;
+    Solver S{Opts};
     S.ensureVars(Vars);
     bool Ok = true;
     for (const Clause &C : Cs)
@@ -94,19 +124,18 @@ void benchPhaseTransition(int Vars, int Rounds) {
     if (Ok)
       S.solve();
     ++W.SatCalls;
-    W.Conflicts += S.stats().Conflicts;
-    W.Propagations += S.stats().Propagations;
+    W.addSearch(S.stats());
   }
   W.WallSeconds = T.seconds();
   record(std::move(W));
 }
 
-void benchPigeonhole(int Holes) {
+void benchPigeonhole(int Holes, const Solver::Options &Opts) {
   WorkloadResult W;
-  W.Name = "sat_pigeonhole_h" + std::to_string(Holes);
+  W.Name = "sat_pigeonhole_h" + std::to_string(Holes) + policySuffix(Opts);
   int Pigeons = Holes + 1;
   Timer T;
-  Solver S;
+  Solver S{Opts};
   S.ensureVars(Pigeons * Holes);
   auto VarOf = [Holes](int P, int H) { return P * Holes + H; };
   for (int P = 0; P < Pigeons; ++P) {
@@ -122,8 +151,7 @@ void benchPigeonhole(int Holes) {
   S.solve();
   W.WallSeconds = T.seconds();
   W.SatCalls = 1;
-  W.Conflicts = S.stats().Conflicts;
-  W.Propagations = S.stats().Propagations;
+  W.addSearch(S.stats());
   record(std::move(W));
 }
 
@@ -154,8 +182,7 @@ void benchMaxSat(const std::string &Name, const MaxSatInstance &Inst, Fn Solve) 
   Timer T;
   MaxSatResult R = Solve(Inst);
   W.WallSeconds = T.seconds();
-  W.Conflicts = R.Search.Conflicts;
-  W.Propagations = R.Search.Propagations;
+  W.addSearch(R.Search);
   W.SatCalls = R.SatCalls;
   W.Extra = R.Cost;
   W.ExtraKey = "cost";
@@ -173,8 +200,7 @@ void rebuiltEnumerate(MaxSatInstance Inst, const CnfFormula &F,
   for (size_t Diagnoses = 0; Diagnoses < MaxDiagnoses;) {
     MaxSatResult R = referenceSolveFuMalik(Inst);
     W.SatCalls += R.SatCalls;
-    W.Conflicts += R.Search.Conflicts;
-    W.Propagations += R.Search.Propagations;
+    W.addSearch(R.Search);
     if (R.Status != MaxSatStatus::Optimum || R.FalsifiedSoft.empty())
       break;
     Clause Blocking;
@@ -184,6 +210,35 @@ void rebuiltEnumerate(MaxSatInstance Inst, const CnfFormula &F,
     ++Diagnoses;
     ++W.Extra; // total diagnoses across runs
   }
+}
+
+/// Algorithm 1's enumeration over ONE incremental Fu-Malik session with the
+/// given solver policies: blocking clauses are added through the session so
+/// learned clauses survive every diagnosis. Running this once with the
+/// Glucose policies and once with the seed policies isolates the clause
+/// management change on identical workloads.
+void sessionEnumerate(const MaxSatInstance &Inst, const CnfFormula &F,
+                      size_t MaxDiagnoses, WorkloadResult &W,
+                      const Solver::Options &Opts) {
+  auto Session = makeFuMalikSession(Inst, /*ConflictBudget=*/0, Opts);
+  SolverStats Final; // session stats are cumulative; keep only the last
+  for (size_t Diagnoses = 0; Diagnoses < MaxDiagnoses;) {
+    MaxSatResult R = Session->solve();
+    W.SatCalls += R.SatCalls;
+    Final = R.Search;
+    if (R.Status != MaxSatStatus::Optimum || R.FalsifiedSoft.empty())
+      break;
+    Clause Blocking;
+    for (size_t SoftIdx : R.FalsifiedSoft)
+      Blocking.push_back(mkLit(F.group(static_cast<GroupId>(SoftIdx)).Selector));
+    // The CoMSS just found counts even when blocking it exhausts the hard
+    // formula, matching rebuiltEnumerate and the driver's enumeration.
+    ++Diagnoses;
+    ++W.Extra;
+    if (!Session->addHardClause(Blocking))
+      break;
+  }
+  W.addSearch(Final);
 }
 
 void benchTcasLocalization(size_t NumMutants, size_t TestsPerMutant,
@@ -201,9 +256,13 @@ void benchTcasLocalization(size_t NumMutants, size_t TestsPerMutant,
   for (const InputVector &In : Pool)
     GoldenOut.push_back(GI.run("main", In).ReturnValue);
 
-  WorkloadResult Inc, Reb;
+  WorkloadResult Inc, Lbd, Seed, Reb;
   Inc.Name = "tcas_fumalik_localize_incremental";
   Inc.ExtraKey = "diagnoses";
+  Lbd.Name = "tcas_fumalik_comss_lbd_tiers";
+  Lbd.ExtraKey = "diagnoses";
+  Seed.Name = "tcas_fumalik_comss_activity_halving";
+  Seed.ExtraKey = "diagnoses";
   Reb.Name = "tcas_fumalik_localize_rebuilt";
   Reb.ExtraKey = "diagnoses";
 
@@ -237,29 +296,48 @@ void benchTcasLocalization(size_t NumMutants, size_t TestsPerMutant,
       LocalizationReport Rep = Driver.localize(Pool[Idx], S, LO);
       Inc.WallSeconds += T1.seconds();
       Inc.SatCalls += Rep.SatCalls;
-      Inc.Conflicts += Rep.Search.Conflicts;
-      Inc.Propagations += Rep.Search.Propagations;
+      Inc.addSearch(Rep.Search);
       Inc.Extra += Rep.Diagnoses.size();
 
+      MaxSatInstance Inst =
+          Driver.formula().localizationInstance(Pool[Idx], S);
+      const CnfFormula &F = Driver.formula().encoded().Formula;
+
       Timer T2;
-      rebuiltEnumerate(Driver.formula().localizationInstance(Pool[Idx], S),
-                       Driver.formula().encoded().Formula, MaxDiagnoses, Reb);
-      Reb.WallSeconds += T2.seconds();
+      sessionEnumerate(Inst, F, MaxDiagnoses, Lbd, Solver::Options());
+      Lbd.WallSeconds += T2.seconds();
+
+      Timer T3;
+      sessionEnumerate(Inst, F, MaxDiagnoses, Seed, Solver::Options::seed());
+      Seed.WallSeconds += T3.seconds();
+
+      Timer T4;
+      rebuiltEnumerate(Inst, F, MaxDiagnoses, Reb);
+      Reb.WallSeconds += T4.seconds();
     }
   }
   if (MutantsUsed == 0) {
     std::printf("no TCAS mutant with failing tests found\n");
     return;
   }
-  double Work1 = static_cast<double>(Inc.Conflicts + Inc.Propagations);
-  double Work2 = static_cast<double>(Reb.Conflicts + Reb.Propagations);
-  double Wall1 = Inc.WallSeconds, Wall2 = Reb.WallSeconds;
+  double WorkInc = static_cast<double>(Inc.Conflicts + Inc.Propagations);
+  double WorkLbd = static_cast<double>(Lbd.Conflicts + Lbd.Propagations);
+  double WorkSeed = static_cast<double>(Seed.Conflicts + Seed.Propagations);
+  double WorkReb = static_cast<double>(Reb.Conflicts + Reb.Propagations);
+  double WallInc = Inc.WallSeconds, WallLbd = Lbd.WallSeconds,
+         WallSeed = Seed.WallSeconds, WallReb = Reb.WallSeconds;
   record(std::move(Inc));
+  record(std::move(Lbd));
+  record(std::move(Seed));
   record(std::move(Reb));
   std::printf("tcas incremental vs rebuilt (%zu mutants): "
               "conflicts+propagations %.2fx, wall %.2fx\n",
-              MutantsUsed, Work1 > 0 ? Work2 / Work1 : 0.0,
-              Wall1 > 0 ? Wall2 / Wall1 : 0.0);
+              MutantsUsed, WorkInc > 0 ? WorkReb / WorkInc : 0.0,
+              WallInc > 0 ? WallReb / WallInc : 0.0);
+  std::printf("tcas lbd-tiers vs activity-halving (CoMSS sessions): "
+              "conflicts+propagations %.2fx, wall %.2fx\n",
+              WorkLbd > 0 ? WorkSeed / WorkLbd : 0.0,
+              WallLbd > 0 ? WallSeed / WallLbd : 0.0);
 }
 
 void writeJson(const char *Path) {
@@ -274,11 +352,15 @@ void writeJson(const char *Path) {
     std::fprintf(F,
                  "    {\"name\": \"%s\", \"wall_s\": %.6f, "
                  "\"conflicts\": %llu, \"propagations\": %llu, "
-                 "\"sat_calls\": %llu",
+                 "\"sat_calls\": %llu, \"restarts\": %llu, "
+                 "\"restarts_blocked\": %llu, \"avg_lbd\": %.3f",
                  W.Name.c_str(), W.WallSeconds,
                  static_cast<unsigned long long>(W.Conflicts),
                  static_cast<unsigned long long>(W.Propagations),
-                 static_cast<unsigned long long>(W.SatCalls));
+                 static_cast<unsigned long long>(W.SatCalls),
+                 static_cast<unsigned long long>(W.Restarts),
+                 static_cast<unsigned long long>(W.RestartsBlocked),
+                 W.avgLbd());
     if (W.ExtraKey)
       std::fprintf(F, ", \"%s\": %llu", W.ExtraKey,
                    static_cast<unsigned long long>(W.Extra));
@@ -293,18 +375,25 @@ void writeJson(const char *Path) {
 
 int main(int argc, char **argv) {
   const char *JsonPath = "BENCH_solvers.json";
-  bool Quick = false;
+  bool Quick = false, Smoke = false;
   for (int I = 1; I < argc; ++I) {
     if (std::strncmp(argv[I], "--json=", 7) == 0)
       JsonPath = argv[I] + 7;
     else if (std::strcmp(argv[I], "--quick") == 0)
       Quick = true;
+    else if (std::strcmp(argv[I], "--smoke") == 0)
+      Smoke = Quick = true; // smoke: CI-sized subset of the quick run
   }
 
-  benchPhaseTransition(100, Quick ? 4 : 16);
-  benchPigeonhole(Quick ? 6 : 7);
+  for (const Solver::Options &O :
+       {Solver::Options(), Solver::Options::seed()}) {
+    benchPhaseTransition(Smoke ? 60 : 100, Smoke ? 2 : Quick ? 4 : 16, O);
+    benchPigeonhole(Smoke ? 5 : Quick ? 6 : 7, O);
+  }
 
-  for (int Len : {200, 800}) {
+  std::vector<int> ChainLens = Smoke ? std::vector<int>{100}
+                                     : std::vector<int>{200, 800};
+  for (int Len : ChainLens) {
     MaxSatInstance Chain = selectorChain(Len);
     std::string Suffix = "_chain" + std::to_string(Len);
     benchMaxSat("maxsat_fumalik_incremental" + Suffix, Chain,
@@ -319,7 +408,7 @@ int main(int argc, char **argv) {
 
   benchTcasLocalization(/*NumMutants=*/Quick ? 1 : 6,
                         /*TestsPerMutant=*/Quick ? 1 : 2,
-                        /*MaxDiagnoses=*/24);
+                        /*MaxDiagnoses=*/Smoke ? 8 : 24);
 
   writeJson(JsonPath);
   return 0;

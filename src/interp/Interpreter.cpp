@@ -25,7 +25,9 @@ int64_t bugassist::wrapToWidth(int64_t V, int BitWidth) {
 int64_t bugassist::evalUnaryOp(UnaryOp Op, int64_t V, int BitWidth) {
   switch (Op) {
   case UnaryOp::Neg:
-    return wrapToWidth(-V, BitWidth);
+    // Negate in unsigned 64-bit to avoid UB on INT64_MIN, then wrap.
+    return wrapToWidth(static_cast<int64_t>(-static_cast<uint64_t>(V)),
+                       BitWidth);
   case UnaryOp::BitNot:
     return wrapToWidth(~V, BitWidth);
   case UnaryOp::LogNot:
@@ -39,9 +41,14 @@ int64_t bugassist::evalBinaryOp(BinaryOp Op, int64_t Lhs, int64_t Rhs,
   DivByZero = false;
   switch (Op) {
   case BinaryOp::Add:
-    return wrapToWidth(Lhs + Rhs, BitWidth);
+    // Add/subtract in unsigned 64-bit to avoid UB, then wrap.
+    return wrapToWidth(static_cast<int64_t>(static_cast<uint64_t>(Lhs) +
+                                            static_cast<uint64_t>(Rhs)),
+                       BitWidth);
   case BinaryOp::Sub:
-    return wrapToWidth(Lhs - Rhs, BitWidth);
+    return wrapToWidth(static_cast<int64_t>(static_cast<uint64_t>(Lhs) -
+                                            static_cast<uint64_t>(Rhs)),
+                       BitWidth);
   case BinaryOp::Mul:
     // Multiply in unsigned 64-bit to avoid UB, then wrap.
     return wrapToWidth(static_cast<int64_t>(static_cast<uint64_t>(Lhs) *
@@ -54,7 +61,8 @@ int64_t bugassist::evalBinaryOp(BinaryOp Op, int64_t Lhs, int64_t Rhs,
     }
     // INT_MIN / -1 wraps (two's complement), matching the circuit.
     if (Rhs == -1)
-      return wrapToWidth(-Lhs, BitWidth);
+      return wrapToWidth(static_cast<int64_t>(-static_cast<uint64_t>(Lhs)),
+                         BitWidth);
     return wrapToWidth(Lhs / Rhs, BitWidth);
   case BinaryOp::Rem:
     if (Rhs == 0) {

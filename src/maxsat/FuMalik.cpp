@@ -59,8 +59,9 @@ void collectFalsifiedSoft(const std::vector<SoftClause> &Soft,
 
 class FuMalikSessionImpl final : public MaxSatSession {
 public:
-  FuMalikSessionImpl(const MaxSatInstance &Inst, uint64_t ConflictBudget)
-      : NumOrigVars(Inst.NumVars), Soft(Inst.Soft) {
+  FuMalikSessionImpl(const MaxSatInstance &Inst, uint64_t ConflictBudget,
+                     const Solver::Options &SolverOpts)
+      : S(SolverOpts), NumOrigVars(Inst.NumVars), Soft(Inst.Soft) {
     S.ensureVars(Inst.NumVars);
     for (const Clause &C : Inst.Hard)
       if (!S.addClause(C)) {
@@ -91,6 +92,8 @@ public:
     HardBroken = !S.addClause(C);
     return !HardBroken;
   }
+
+  const SolverStats &stats() const override { return S.stats(); }
 
   MaxSatResult solve() override {
     MaxSatResult Res;
@@ -202,11 +205,13 @@ private:
 
 std::unique_ptr<MaxSatSession>
 bugassist::makeFuMalikSession(const MaxSatInstance &Inst,
-                              uint64_t ConflictBudget) {
-  return std::make_unique<FuMalikSessionImpl>(Inst, ConflictBudget);
+                              uint64_t ConflictBudget,
+                              const Solver::Options &SolverOpts) {
+  return std::make_unique<FuMalikSessionImpl>(Inst, ConflictBudget, SolverOpts);
 }
 
 MaxSatResult bugassist::solveFuMalik(const MaxSatInstance &Inst,
-                                     uint64_t ConflictBudget) {
-  return FuMalikSessionImpl(Inst, ConflictBudget).solve();
+                                     uint64_t ConflictBudget,
+                                     const Solver::Options &SolverOpts) {
+  return FuMalikSessionImpl(Inst, ConflictBudget, SolverOpts).solve();
 }

@@ -41,8 +41,9 @@ uint64_t modelCost(const std::vector<SoftClause> &Soft,
 
 class LinearSessionImpl final : public MaxSatSession {
 public:
-  LinearSessionImpl(const MaxSatInstance &Inst, uint64_t ConflictBudget)
-      : NumOrigVars(Inst.NumVars), Soft(Inst.Soft) {
+  LinearSessionImpl(const MaxSatInstance &Inst, uint64_t ConflictBudget,
+                    const Solver::Options &SolverOpts)
+      : S(SolverOpts), NumOrigVars(Inst.NumVars), Soft(Inst.Soft) {
     S.ensureVars(Inst.NumVars);
     for (const Clause &C : Inst.Hard)
       if (!S.addClause(C)) {
@@ -76,6 +77,8 @@ public:
     HardBroken = !S.addClause(C);
     return !HardBroken;
   }
+
+  const SolverStats &stats() const override { return S.stats(); }
 
   MaxSatResult solve() override {
     MaxSatResult Res;
@@ -243,11 +246,13 @@ private:
 
 std::unique_ptr<MaxSatSession>
 bugassist::makeLinearSession(const MaxSatInstance &Inst,
-                             uint64_t ConflictBudget) {
-  return std::make_unique<LinearSessionImpl>(Inst, ConflictBudget);
+                             uint64_t ConflictBudget,
+                             const Solver::Options &SolverOpts) {
+  return std::make_unique<LinearSessionImpl>(Inst, ConflictBudget, SolverOpts);
 }
 
 MaxSatResult bugassist::solveLinear(const MaxSatInstance &Inst,
-                                    uint64_t ConflictBudget) {
-  return LinearSessionImpl(Inst, ConflictBudget).solve();
+                                    uint64_t ConflictBudget,
+                                    const Solver::Options &SolverOpts) {
+  return LinearSessionImpl(Inst, ConflictBudget, SolverOpts).solve();
 }

@@ -111,34 +111,47 @@ public:
   /// when the hard formula became unsatisfiable (next solve() reports
   /// HardUnsat).
   virtual bool addHardClause(const Clause &C) = 0;
+
+  /// Live statistics of the persistent solver, including the learnt-tier
+  /// gauges, restart/blocked-restart counters and average LBD. The same
+  /// totals are snapshotted into MaxSatResult::Search by solve().
+  virtual const SolverStats &stats() const = 0;
 };
 
 /// Creates a Fu-Malik core-guided session (unweighted; weights ignored).
-/// \p ConflictBudget bounds each underlying SAT call (0 = unlimited).
-std::unique_ptr<MaxSatSession> makeFuMalikSession(const MaxSatInstance &Inst,
-                                                  uint64_t ConflictBudget = 0);
+/// \p ConflictBudget bounds each underlying SAT call (0 = unlimited);
+/// \p SolverOpts selects the persistent solver's search policies (defaults
+/// to the Glucose-style LBD retention + EMA restarts; pass
+/// Solver::Options::seed() to pin the original behavior).
+std::unique_ptr<MaxSatSession>
+makeFuMalikSession(const MaxSatInstance &Inst, uint64_t ConflictBudget = 0,
+                   const Solver::Options &SolverOpts = Solver::Options());
 
 /// Creates a weighted linear-search session with an incremental PB bound.
-std::unique_ptr<MaxSatSession> makeLinearSession(const MaxSatInstance &Inst,
-                                                 uint64_t ConflictBudget = 0);
+std::unique_ptr<MaxSatSession>
+makeLinearSession(const MaxSatInstance &Inst, uint64_t ConflictBudget = 0,
+                  const Solver::Options &SolverOpts = Solver::Options());
 
 /// Engine dispatch used by the localization drivers.
 inline std::unique_ptr<MaxSatSession>
 makeMaxSatSession(const MaxSatInstance &Inst, bool Weighted,
-                  uint64_t ConflictBudget = 0) {
-  return Weighted ? makeLinearSession(Inst, ConflictBudget)
-                  : makeFuMalikSession(Inst, ConflictBudget);
+                  uint64_t ConflictBudget = 0,
+                  const Solver::Options &SolverOpts = Solver::Options()) {
+  return Weighted ? makeLinearSession(Inst, ConflictBudget, SolverOpts)
+                  : makeFuMalikSession(Inst, ConflictBudget, SolverOpts);
 }
 
 /// Fu-Malik core-guided partial MaxSAT (unweighted; weights ignored).
 /// One-shot convenience wrapper over makeFuMalikSession.
 MaxSatResult solveFuMalik(const MaxSatInstance &Inst,
-                          uint64_t ConflictBudget = 0);
+                          uint64_t ConflictBudget = 0,
+                          const Solver::Options &SolverOpts = Solver::Options());
 
 /// Weighted partial MaxSAT by SAT-UNSAT linear search over a PB bound.
 /// One-shot convenience wrapper over makeLinearSession.
 MaxSatResult solveLinear(const MaxSatInstance &Inst,
-                         uint64_t ConflictBudget = 0);
+                         uint64_t ConflictBudget = 0,
+                         const Solver::Options &SolverOpts = Solver::Options());
 
 /// Evaluates \p C under \p Model. Clauses with unassigned variables count
 /// as falsified only if no literal is true.

@@ -25,9 +25,15 @@ void accumulate(SolverStats &Into, const SolverStats &From) {
   Into.Decisions += From.Decisions;
   Into.Propagations += From.Propagations;
   Into.Restarts += From.Restarts;
+  Into.RestartsBlocked += From.RestartsBlocked;
   Into.LearnedClauses += From.LearnedClauses;
   Into.DeletedClauses += From.DeletedClauses;
   Into.GcRuns += From.GcRuns;
+  Into.LbdSum += From.LbdSum;
+  Into.LbdCount += From.LbdCount;
+  Into.LbdTightened += From.LbdTightened;
+  // Tier gauges are per-solver instantaneous counts; summing over the
+  // discarded per-round solvers would be meaningless, so they stay 0.
 }
 
 void collectFalsifiedSoft(const MaxSatInstance &Inst, MaxSatResult &Res) {
@@ -72,7 +78,8 @@ MaxSatResult bugassist::referenceSolveFuMalik(const MaxSatInstance &Inst,
     // guarded by assumption literal A_i via the hard clause (C_i \/ ~A_i);
     // assuming A_i enforces C_i, and a final conflict yields a core over
     // the A_i, i.e., over soft clauses.
-    Solver S;
+    Solver S{Solver::Options::seed()}; // the rebuild-per-round baseline pins
+                                       // the seed search policies
     S.ensureVars(NextVar);
     bool HardOk = true;
     for (const Clause &C : Inst.Hard)
@@ -196,7 +203,8 @@ MaxSatResult bugassist::referenceSolveLinear(const MaxSatInstance &Inst,
   uint64_t BestCost = 0;
 
   for (;;) {
-    Solver S;
+    Solver S{Solver::Options::seed()}; // the rebuild-per-round baseline pins
+                                       // the seed search policies
     S.ensureVars(NumVars);
     bool Ok = true;
     for (const Clause &C : Hard)

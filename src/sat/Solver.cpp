@@ -4,11 +4,15 @@
 //
 // The algorithm follows Een & Sorensson's "An Extensible SAT-solver"
 // (MiniSAT), with the assumption-core extraction of MiniSAT 1.14+ that the
-// Fu-Malik MaxSAT layer depends on. Clause storage is a flat arena in the
-// style of MiniSAT's ClauseAllocator: headers and literals are inline in
-// one contiguous buffer, so the propagation inner loop never chases a
-// per-clause heap pointer, and freed clauses are reclaimed by a relocating
-// garbage collector once a fifth of the arena is waste.
+// Fu-Malik MaxSAT layer depends on, and Glucose-style learned-clause
+// management (Audemard & Simon, "Predicting Learnt Clauses Quality in
+// Modern SAT Solvers", IJCAI'09): LBD-keyed three-tier retention and
+// dual-EMA adaptive restarts with trail-size blocking. Clause storage is a
+// flat arena in the style of MiniSAT's ClauseAllocator: headers, activity,
+// LBD and literals are inline in one contiguous buffer, so the propagation
+// inner loop never chases a per-clause heap pointer, and freed clauses are
+// reclaimed by a relocating garbage collector once a fifth of the arena is
+// waste.
 //
 //===----------------------------------------------------------------------===//
 
@@ -23,7 +27,7 @@
 
 using namespace bugassist;
 
-Solver::Solver() = default;
+Solver::Solver(const Options &O) : Opts(O) {}
 
 float Solver::clauseActivity(ClauseRef CR) const {
   float A;
@@ -129,6 +133,7 @@ Solver::ClauseRef Solver::allocClause(const std::vector<Lit> &Lits,
     Header |= LearntBit;
   Arena.push_back(Lit::fromCode(Header));
   Arena.push_back(Lit::fromCode(0)); // activity slot
+  Arena.push_back(Lit::fromCode(0)); // lbd/flags slot
   Arena.insert(Arena.end(), Lits.begin(), Lits.end());
   setClauseActivity(CR, Learnt ? static_cast<float>(ClaInc) : 0.0f);
   return CR;
@@ -236,8 +241,25 @@ Solver::ClauseRef Solver::propagate() {
   return Confl;
 }
 
+uint32_t Solver::computeLbd(const Lit *Lits, uint32_t Size) {
+  ++LbdStamp;
+  uint32_t Distinct = 0;
+  for (uint32_t I = 0; I < Size; ++I) {
+    int L = level(Lits[I].var());
+    if (L <= 0)
+      continue;
+    if (static_cast<size_t>(L) >= LbdStampOfLevel.size())
+      LbdStampOfLevel.resize(static_cast<size_t>(L) + 1, 0);
+    if (LbdStampOfLevel[L] != LbdStamp) {
+      LbdStampOfLevel[L] = LbdStamp;
+      ++Distinct;
+    }
+  }
+  return Distinct ? Distinct : 1;
+}
+
 void Solver::analyze(ClauseRef Confl, std::vector<Lit> &OutLearnt,
-                     int &OutBtLevel) {
+                     int &OutBtLevel, uint32_t &OutLbd) {
   OutLearnt.clear();
   OutLearnt.push_back(NullLit); // slot for the asserting literal
   int PathCount = 0;
@@ -246,8 +268,22 @@ void Solver::analyze(ClauseRef Confl, std::vector<Lit> &OutLearnt,
 
   do {
     assert(Confl != InvalidClause && "no reason for implied literal");
-    if (clauseLearnt(Confl))
+    if (clauseLearnt(Confl)) {
       claBumpActivity(Confl);
+      // Glucose: a learnt clause participating in conflict analysis gets
+      // its LBD recomputed against the current levels; it can only
+      // tighten, and a tightened clause is "interesting again" -- mark it
+      // touched so the tier policy protects it at the next reduction.
+      uint32_t Old = clauseLbd(Confl);
+      if (Old > 2) {
+        uint32_t New = computeLbd(clauseLits(Confl), clauseSize(Confl));
+        if (New < Old) {
+          setClauseLbd(Confl, New);
+          ++Stats.LbdTightened;
+        }
+      }
+      setClauseTouched(Confl, true);
+    }
     const Lit *CL = clauseLits(Confl);
     uint32_t Size = clauseSize(Confl);
     for (uint32_t J = (P == NullLit ? 0 : 1); J < Size; ++J) {
@@ -300,6 +336,10 @@ void Solver::analyze(ClauseRef Confl, std::vector<Lit> &OutLearnt,
   OutLearnt.resize(Keep);
   for (Lit L : Cleanup)
     Seen[L.var()] = 0;
+
+  // The LBD of the minimized clause, measured before backjumping while the
+  // trail levels are still those of the conflict.
+  OutLbd = computeLbd(OutLearnt.data(), static_cast<uint32_t>(OutLearnt.size()));
 
   // Compute the backtrack level: second-highest decision level in clause.
   if (OutLearnt.size() == 1) {
@@ -391,29 +431,96 @@ uint64_t Solver::lubyScale(uint64_t I) {
   return 1ull << (K - 1);
 }
 
-LBool Solver::search(uint64_t ConflictsBeforeRestart) {
-  uint64_t ConflictsHere = 0;
+void Solver::pushLearnt(ClauseRef CR, uint32_t Lbd) {
+  setClauseLbd(CR, Lbd);
+  if (Opts.Retention == Options::RetentionPolicy::ActivityHalving) {
+    LocalLearnts.push_back(CR);
+    ++Stats.LocalLearnts;
+    return;
+  }
+  if (Lbd <= Opts.CoreLbdCut || clauseSize(CR) <= 2) {
+    CoreLearnts.push_back(CR);
+    ++Stats.CoreLearnts;
+  } else if (Lbd <= Opts.MidLbdCut) {
+    MidLearnts.push_back(CR);
+    ++Stats.MidLearnts;
+  } else {
+    LocalLearnts.push_back(CR);
+    ++Stats.LocalLearnts;
+  }
+}
+
+size_t Solver::reducibleLearnts() const {
+  // Core clauses are permanent and never count against the reduction
+  // trigger; under the seed policy every learnt lives in Local.
+  return MidLearnts.size() + LocalLearnts.size();
+}
+
+void Solver::onConflictLearnt(uint32_t Lbd) {
+  Stats.LbdSum += Lbd;
+  ++Stats.LbdCount;
+  if (Opts.Restart != Options::RestartPolicy::GlucoseEma)
+    return;
+  FastLbdEma += Opts.FastLbdAlpha * (static_cast<double>(Lbd) - FastLbdEma);
+  FastLbdBias += Opts.FastLbdAlpha * (1.0 - FastLbdBias);
+  double TrailSize = static_cast<double>(Trail.size());
+  // Glucose blocking: an unusually deep trail at conflict time means the
+  // solver is probably closing in on a model; cancel a pending restart
+  // instead of throwing the assignment away. Decisive for the SAT-heavy
+  // improvement steps of linear-search MaxSAT. The bias-corrected trail
+  // EMA (and at least one prior sample) keeps the comparison meaningful
+  // while the EMA warms up.
+  if (ConflictsThisSolve >= Opts.BlockMinConflicts && TrailBias > 0 &&
+      TrailSize > Opts.BlockMargin * (TrailEma / TrailBias) &&
+      restartPending()) {
+    ++Stats.RestartsBlocked;
+    ConflictsSinceRestart = 0; // re-enter the warmup window
+    // Drop the pending high-LBD signal: corrected fast EMA == lifetime avg.
+    FastLbdEma = Stats.avgLearntLbd() * FastLbdBias;
+  }
+  TrailEma += Opts.TrailAlpha * (TrailSize - TrailEma);
+  TrailBias += Opts.TrailAlpha * (1.0 - TrailBias);
+}
+
+bool Solver::restartPending() const {
+  if (Stats.LbdCount == 0 || FastLbdBias <= 0)
+    return false;
+  return FastLbdEma / FastLbdBias > Opts.RestartMargin * Stats.avgLearntLbd();
+}
+
+bool Solver::shouldRestart() const {
+  if (Opts.Restart == Options::RestartPolicy::Luby)
+    return ConflictsSinceRestart >= CurRestartBudget;
+  // At least one conflict must separate restarts, or a standing EMA signal
+  // would spin the search loop without ever deciding.
+  uint64_t Warmup = Opts.RestartMinConflicts ? Opts.RestartMinConflicts : 1;
+  return ConflictsSinceRestart >= Warmup && restartPending();
+}
+
+LBool Solver::search() {
   std::vector<Lit> Learnt;
   int BtLevel = 0;
+  uint32_t Lbd = 0;
 
   for (;;) {
     ClauseRef Confl = propagate();
     if (Confl != InvalidClause) {
       // Conflict.
       ++Stats.Conflicts;
-      ++ConflictsHere;
       ++ConflictsThisSolve;
+      ++ConflictsSinceRestart;
       if (decisionLevel() == 0) {
         Ok = false;
         return LBool::False;
       }
-      analyze(Confl, Learnt, BtLevel);
+      analyze(Confl, Learnt, BtLevel, Lbd);
+      onConflictLearnt(Lbd); // EMAs see the trail depth of the conflict
       cancelUntil(BtLevel);
       if (Learnt.size() == 1) {
         uncheckedEnqueue(Learnt[0], InvalidClause);
       } else {
         ClauseRef CR = allocClause(Learnt, /*Learnt=*/true);
-        LearntClauses.push_back(CR);
+        pushLearnt(CR, Lbd);
         attachClause(CR);
         claBumpActivity(CR);
         uncheckedEnqueue(Learnt[0], CR);
@@ -425,13 +532,13 @@ LBool Solver::search(uint64_t ConflictsBeforeRestart) {
     }
 
     // No conflict.
-    if (ConflictsHere >= ConflictsBeforeRestart) {
+    if (shouldRestart()) {
       cancelUntil(0);
       return LBool::Undef; // restart
     }
     if (ConflictBudget != 0 && ConflictsThisSolve >= ConflictBudget)
       return LBool::Undef;
-    if (static_cast<double>(LearntClauses.size()) >= MaxLearnts)
+    if (static_cast<double>(reducibleLearnts()) >= MaxLearnts)
       reduceDB();
 
     // Assumption decisions come first.
@@ -468,8 +575,8 @@ LBool Solver::solve(const std::vector<Lit> &Assumptions) {
     ensureVars(L.var() + 1);
   CurAssumptions = Assumptions;
   ConflictsThisSolve = 0;
-  MaxLearnts =
-      std::max<double>(1000.0, static_cast<double>(ProblemClauses.size()) / 3.0);
+  MaxLearnts = std::max<double>(
+      Opts.MaxLearntsBase, static_cast<double>(ProblemClauses.size()) / 3.0);
 
   simplifyLevel0();
   if (!Ok) {
@@ -480,8 +587,9 @@ LBool Solver::solve(const std::vector<Lit> &Assumptions) {
 
   LBool Result = LBool::Undef;
   for (uint64_t RestartIdx = 0; Result == LBool::Undef; ++RestartIdx) {
-    uint64_t Budget = 100 * lubyScale(RestartIdx);
-    Result = search(Budget);
+    CurRestartBudget = Opts.LubyUnit * lubyScale(RestartIdx);
+    ConflictsSinceRestart = 0;
+    Result = search();
     if (Result == LBool::Undef) {
       ++Stats.Restarts;
       if (ConflictBudget != 0 && ConflictsThisSolve >= ConflictBudget)
@@ -547,31 +655,139 @@ void Solver::simplifyLevel0() {
     Set.resize(J);
   };
   SimplifySet(ProblemClauses);
-  SimplifySet(LearntClauses);
+  SimplifySet(CoreLearnts);
+  SimplifySet(MidLearnts);
+  SimplifySet(LocalLearnts);
+  refreshTierGauges();
 }
 
 void Solver::reduceDB() {
-  // Remove the lowest-activity half of learnt clauses, keeping binary and
-  // locked (reason) clauses.
-  std::sort(LearntClauses.begin(), LearntClauses.end(),
+  if (Opts.Retention == Options::RetentionPolicy::LbdTiers)
+    reduceDbTiers();
+  else
+    reduceDbActivity();
+}
+
+void Solver::reduceLearntDb() {
+  assert(decisionLevel() == 0 && "reduce only at the root level");
+  reduceDB();
+}
+
+void Solver::reduceDbActivity() {
+  // Seed policy: remove the lowest-activity half of learnt clauses, keeping
+  // binary and locked (reason) clauses. Everything lives in Local.
+  std::sort(LocalLearnts.begin(), LocalLearnts.end(),
             [&](ClauseRef A, ClauseRef B) {
               return clauseActivity(A) < clauseActivity(B);
             });
   size_t J = 0;
-  for (size_t I = 0; I < LearntClauses.size(); ++I) {
-    ClauseRef CR = LearntClauses[I];
+  for (size_t I = 0; I < LocalLearnts.size(); ++I) {
+    ClauseRef CR = LocalLearnts[I];
     if (clauseFreed(CR))
       continue;
     bool Removable =
-        clauseSize(CR) > 2 && !isLocked(CR) && I < LearntClauses.size() / 2;
+        clauseSize(CR) > 2 && !isLocked(CR) && I < LocalLearnts.size() / 2;
     if (Removable)
       removeClause(CR);
     else
-      LearntClauses[J++] = CR;
+      LocalLearnts[J++] = CR;
   }
-  LearntClauses.resize(J);
+  LocalLearnts.resize(J);
   MaxLearnts = MaxLearnts * 1.1 + 100;
+  refreshTierGauges();
   checkGarbage();
+}
+
+void Solver::reduceDbTiers() {
+  // Redistribute mid/local by their current (possibly tightened) LBD; the
+  // core tier is permanent and never rescanned.
+  std::vector<ClauseRef> Mid, Local;
+  auto Classify = [&](ClauseRef CR, bool FromMid) {
+    if (clauseFreed(CR))
+      return;
+    uint32_t Lbd = clauseLbd(CR);
+    if (Lbd <= Opts.CoreLbdCut || clauseSize(CR) <= 2) {
+      CoreLearnts.push_back(CR); // promoted for good
+      return;
+    }
+    if (Lbd <= Opts.MidLbdCut) {
+      if (clauseTouched(CR)) {
+        // Used in a conflict since the last reduction: stays mid, young.
+        setClauseTouched(CR, false);
+        setClauseAge(CR, 0);
+        Mid.push_back(CR);
+        return;
+      }
+      if (FromMid) {
+        // The stored age saturates at AgeMask, so a configured MidMaxAge
+        // beyond the field's range degrades to AgeMask + 1 instead of
+        // wrapping into immortality.
+        uint32_t Age = clauseAge(CR) + 1;
+        uint32_t MaxAge = std::min(Opts.MidMaxAge, AgeMask + 1);
+        if (Age < MaxAge) {
+          setClauseAge(CR, Age);
+          Mid.push_back(CR);
+          return;
+        }
+        // Unused for MidMaxAge reductions: falls into the local rotation.
+      }
+      // A clause that already aged out of mid only climbs back when a
+      // conflict touches it again.
+    }
+    Local.push_back(CR);
+  };
+  for (ClauseRef CR : MidLearnts)
+    Classify(CR, /*FromMid=*/true);
+  for (ClauseRef CR : LocalLearnts)
+    Classify(CR, /*FromMid=*/false);
+
+  // Aggressive local rotation: the worst half by LBD-then-activity goes.
+  // Locked clauses and clauses touched since the last reduction survive.
+  std::sort(Local.begin(), Local.end(), [&](ClauseRef A, ClauseRef B) {
+    if (clauseLbd(A) != clauseLbd(B))
+      return clauseLbd(A) > clauseLbd(B);
+    return clauseActivity(A) < clauseActivity(B);
+  });
+  size_t Target = Local.size() / 2;
+  size_t Deleted = 0, J = 0;
+  for (ClauseRef CR : Local) {
+    if (Deleted < Target && !isLocked(CR) && !clauseTouched(CR)) {
+      removeClause(CR);
+      ++Deleted;
+    } else {
+      setClauseTouched(CR, false);
+      Local[J++] = CR;
+    }
+  }
+  Local.resize(J);
+
+  MidLearnts = std::move(Mid);
+  LocalLearnts = std::move(Local);
+  MaxLearnts = MaxLearnts * 1.1 + 100;
+  refreshTierGauges();
+  checkGarbage();
+}
+
+void Solver::refreshTierGauges() {
+  auto Live = [&](const std::vector<ClauseRef> &Set) {
+    uint64_t N = 0;
+    for (ClauseRef CR : Set)
+      if (!clauseFreed(CR))
+        ++N;
+    return N;
+  };
+  Stats.CoreLearnts = Live(CoreLearnts);
+  Stats.MidLearnts = Live(MidLearnts);
+  Stats.LocalLearnts = Live(LocalLearnts);
+}
+
+std::vector<uint32_t> Solver::learntLbds() const {
+  std::vector<uint32_t> Lbds;
+  for (const auto *Set : {&CoreLearnts, &MidLearnts, &LocalLearnts})
+    for (ClauseRef CR : *Set)
+      if (!clauseFreed(CR))
+        Lbds.push_back(clauseLbd(CR));
+  return Lbds;
 }
 
 // --- arena garbage collection ----------------------------------------------
@@ -579,6 +795,11 @@ void Solver::reduceDB() {
 void Solver::checkGarbage() {
   if (ArenaWasted * 5 >= Arena.size() && ArenaWasted > 0)
     garbageCollect();
+}
+
+void Solver::forceGarbageCollect() {
+  assert(decisionLevel() == 0 && "collect only at the root level");
+  garbageCollect();
 }
 
 void Solver::garbageCollect() {
@@ -592,8 +813,8 @@ void Solver::garbageCollect() {
     }
     ClauseRef NR = static_cast<ClauseRef>(To.size());
     uint32_t Size = clauseSize(CR);
-    To.push_back(Arena[CR]);     // header
-    To.push_back(Arena[CR + 1]); // activity
+    for (int H = 0; H < HeaderWords; ++H)
+      To.push_back(Arena[CR + H]); // header, activity, lbd/flags
     for (uint32_t K = 0; K < Size; ++K)
       To.push_back(Arena[CR + HeaderWords + K]);
     Arena[CR] = Lit::fromCode(header(CR) | RelocedBit);
@@ -618,7 +839,9 @@ void Solver::garbageCollect() {
     Set.resize(J);
   };
   RelocSet(ProblemClauses);
-  RelocSet(LearntClauses);
+  RelocSet(CoreLearnts);
+  RelocSet(MidLearnts);
+  RelocSet(LocalLearnts);
 
   Arena = std::move(To);
   ArenaWasted = 0;
@@ -648,9 +871,10 @@ void Solver::claBumpActivity(ClauseRef CR) {
   float A = clauseActivity(CR) + static_cast<float>(ClaInc);
   setClauseActivity(CR, A);
   if (A > 1e20f) {
-    for (ClauseRef LR : LearntClauses)
-      if (!clauseFreed(LR))
-        setClauseActivity(LR, clauseActivity(LR) * 1e-20f);
+    for (auto *Set : {&CoreLearnts, &MidLearnts, &LocalLearnts})
+      for (ClauseRef LR : *Set)
+        if (!clauseFreed(LR))
+          setClauseActivity(LR, clauseActivity(LR) * 1e-20f);
     ClaInc *= 1e-20;
   }
 }

@@ -14,17 +14,33 @@
 ///
 /// Features: two-watched-literal propagation, first-UIP learning with local
 /// clause minimization, VSIDS variable activities with a binary heap, phase
-/// saving, Luby restarts, activity-driven learned-clause deletion, and
-/// incremental solving under assumptions with core extraction.
+/// saving, and incremental solving under assumptions with core extraction.
+///
+/// Learned-clause management is Glucose-style (Audemard & Simon, IJCAI'09):
+/// every learnt clause carries its Literal Block Distance -- the number of
+/// distinct decision levels among its literals -- computed at learn time and
+/// tightened whenever the clause serves as a reason in conflict analysis.
+/// Retention is three-tiered: *core* clauses (LBD <= CoreLbdCut, and all
+/// binaries) are kept forever, *mid* clauses age out when they stop
+/// participating in conflicts, and the *local* tier is rotated aggressively
+/// by LBD-then-activity. Restarts follow glucose's dual-EMA scheme: a fast
+/// EMA of recent learnt LBDs against the lifetime average triggers a
+/// restart when the search degrades, and a trail-size EMA *blocks* pending
+/// restarts when the assignment is unusually deep (the solver is probably
+/// closing in on a model -- crucial for the SAT-heavy linear-search phase of
+/// MaxSAT). Both policies are selectable through Solver::Options; the
+/// seed's Luby restarts + activity-halving deletion remain available so the
+/// rebuild-per-round reference engines and differential tests can pin the
+/// original behavior.
 ///
 /// The solver is designed to stay alive across many solve() calls: clauses
 /// can be added between calls, learned clauses / VSIDS activity / saved
 /// phases persist, and retired selector variables can be released
 /// (releaseVar) so long-running incremental MaxSAT sessions do not bloat
 /// the decision heap. Clause literals live in a flat arena (MiniSAT-style
-/// ClauseAllocator: header + inline literals addressed by a 32-bit
-/// ClauseRef), so propagation walks contiguous memory and deleted clauses
-/// are reclaimed by relocating garbage collection.
+/// ClauseAllocator: header + activity + LBD words with inline literals,
+/// addressed by a 32-bit ClauseRef), so propagation walks contiguous memory
+/// and deleted clauses are reclaimed by relocating garbage collection.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -46,9 +62,25 @@ struct SolverStats {
   uint64_t Decisions = 0;
   uint64_t Propagations = 0;
   uint64_t Restarts = 0;
+  uint64_t RestartsBlocked = 0; ///< restarts suppressed by the trail EMA
   uint64_t LearnedClauses = 0;
   uint64_t DeletedClauses = 0;
   uint64_t GcRuns = 0;
+  uint64_t LbdSum = 0;   ///< sum of learn-time LBDs over all conflicts
+  uint64_t LbdCount = 0; ///< conflicts that recorded an LBD (incl. units)
+  uint64_t LbdTightened = 0; ///< reason-clause LBDs improved during analysis
+  // Live tier gauges (LbdTiers retention; seed policy reports all as Local).
+  uint64_t CoreLearnts = 0;
+  uint64_t MidLearnts = 0;
+  uint64_t LocalLearnts = 0;
+
+  /// Average learn-time LBD per conflict (unit learnts count with LBD 1),
+  /// glucose's "average LBD" signal.
+  double avgLearntLbd() const {
+    return LbdCount
+               ? static_cast<double>(LbdSum) / static_cast<double>(LbdCount)
+               : 0.0;
+  }
 };
 
 /// CDCL solver. Typical interactive use:
@@ -61,7 +93,54 @@ struct SolverStats {
 /// \endcode
 class Solver {
 public:
-  Solver();
+  /// Search-policy knobs. Defaults are the Glucose-style policies; seed()
+  /// pins the original Luby + activity-halving behavior for the reference
+  /// engines and differential tests.
+  struct Options {
+    enum class RestartPolicy : uint8_t {
+      Luby,      ///< fixed Luby sequence scaled by LubyUnit (seed behavior)
+      GlucoseEma ///< dual-EMA LBD trigger with trail-size blocking
+    };
+    enum class RetentionPolicy : uint8_t {
+      ActivityHalving, ///< drop the lowest-activity half (seed behavior)
+      LbdTiers         ///< core/mid/local tiers keyed by LBD
+    };
+
+    RestartPolicy Restart = RestartPolicy::GlucoseEma;
+    RetentionPolicy Retention = RetentionPolicy::LbdTiers;
+
+    // -- Luby restarts ----
+    uint64_t LubyUnit = 100; ///< conflicts per Luby step
+
+    // -- Glucose EMA restarts ----
+    double FastLbdAlpha = 1.0 / 32;  ///< EMA weight of the recent-LBD signal
+    double RestartMargin = 1.25;     ///< restart when fast > margin * lifetime
+    uint64_t RestartMinConflicts = 50; ///< warmup conflicts after each restart
+    double TrailAlpha = 1.0 / 256;   ///< EMA weight of the trail-size signal
+    double BlockMargin = 1.4;        ///< block when trail > margin * trail EMA
+    uint64_t BlockMinConflicts = 100; ///< conflicts before blocking can fire
+
+    // -- LBD tier retention ----
+    uint32_t CoreLbdCut = 3; ///< LBD <= cut (or binary) => kept forever
+    uint32_t MidLbdCut = 6;  ///< LBD <= cut => mid tier, aged by usage
+    uint32_t MidMaxAge = 2;  ///< reductions a mid clause may sit unused
+
+    // -- shared ----
+    double MaxLearntsBase = 1000.0; ///< floor of the first reduceDB trigger
+
+    /// The seed solver's policies: Luby restarts, activity-halving deletion.
+    static Options seed() {
+      Options O;
+      O.Restart = RestartPolicy::Luby;
+      O.Retention = RetentionPolicy::ActivityHalving;
+      return O;
+    }
+  };
+
+  Solver() : Solver(Options()) {}
+  explicit Solver(const Options &O);
+
+  const Options &options() const { return Opts; }
 
   /// Allocates a fresh variable and returns it.
   Var newVar();
@@ -116,6 +195,21 @@ public:
 
   const SolverStats &stats() const { return Stats; }
 
+  /// LBDs of the live learnt clauses across all tiers, in no particular
+  /// order. Introspection surface for tests and benches; under the seed
+  /// retention policy LBDs are still computed and reported.
+  std::vector<uint32_t> learntLbds() const;
+
+  /// Forces a learned-clause reduction with the configured retention
+  /// policy. Must be called at the root level (between solve() calls);
+  /// normally reductions trigger automatically during search.
+  void reduceLearntDb();
+
+  /// Forces a relocating arena collection (normally triggered once a fifth
+  /// of the arena is waste). Root level only; exposed so tests can check
+  /// that relocation preserves clause metadata.
+  void forceGarbageCollect();
+
   /// Sets the saved phase of \p V to \p Phase; used to bias the search
   /// (e.g., prefer enabling selectors).
   void setPolarity(Var V, bool Phase) { SavedPhase[V] = Phase; }
@@ -133,17 +227,24 @@ private:
   // --- clause storage -----------------------------------------------------
   //
   // Clauses live in one flat arena of 32-bit words (stored as Lit for
-  // type-clean access): [header][activity][lit_0 ... lit_{n-1}]. A
+  // type-clean access): [header][activity][lbd][lit_0 ... lit_{n-1}]. A
   // ClauseRef is the word offset of the header. Header layout:
   // size << 3 | Reloced << 2 | Learnt << 1 | Freed. The activity word
   // holds float bits (learnt clauses) or, after relocation during garbage
-  // collection, the forwarding ClauseRef into the new arena.
+  // collection, the forwarding ClauseRef into the new arena. The lbd word
+  // packs the clause's Literal Block Distance with its retention flags:
+  // bits 0..19 LBD, bit 20 Touched (used in a conflict since the last
+  // reduction), bits 21..23 Age (reductions survived without being used).
   using ClauseRef = int32_t;
   static constexpr ClauseRef InvalidClause = -1;
   static constexpr int32_t FreedBit = 1;
   static constexpr int32_t LearntBit = 2;
   static constexpr int32_t RelocedBit = 4;
-  static constexpr int32_t HeaderWords = 2;
+  static constexpr int32_t HeaderWords = 3;
+  static constexpr uint32_t LbdMask = (1u << 20) - 1;
+  static constexpr uint32_t TouchedBit = 1u << 20;
+  static constexpr uint32_t AgeShift = 21;
+  static constexpr uint32_t AgeMask = 7;
 
   int32_t header(ClauseRef CR) const { return Arena[CR].code(); }
   uint32_t clauseSize(ClauseRef CR) const {
@@ -160,15 +261,38 @@ private:
   float clauseActivity(ClauseRef CR) const;
   void setClauseActivity(ClauseRef CR, float A);
 
+  uint32_t lbdWord(ClauseRef CR) const {
+    return static_cast<uint32_t>(Arena[CR + 2].code());
+  }
+  void setLbdWord(ClauseRef CR, uint32_t W) {
+    Arena[CR + 2] = Lit::fromCode(static_cast<int32_t>(W));
+  }
+  uint32_t clauseLbd(ClauseRef CR) const { return lbdWord(CR) & LbdMask; }
+  void setClauseLbd(ClauseRef CR, uint32_t Lbd) {
+    setLbdWord(CR, (lbdWord(CR) & ~LbdMask) | (Lbd & LbdMask));
+  }
+  bool clauseTouched(ClauseRef CR) const { return lbdWord(CR) & TouchedBit; }
+  void setClauseTouched(ClauseRef CR, bool T) {
+    setLbdWord(CR, T ? (lbdWord(CR) | TouchedBit) : (lbdWord(CR) & ~TouchedBit));
+  }
+  uint32_t clauseAge(ClauseRef CR) const {
+    return (lbdWord(CR) >> AgeShift) & AgeMask;
+  }
+  void setClauseAge(ClauseRef CR, uint32_t Age) {
+    setLbdWord(CR, (lbdWord(CR) & ~(AgeMask << AgeShift)) |
+                       ((Age & AgeMask) << AgeShift));
+  }
+
   struct Watcher {
     ClauseRef CRef;
     Lit Blocker;
   };
 
   // --- core CDCL ----------------------------------------------------------
-  LBool search(uint64_t ConflictsBeforeRestart);
+  LBool search();
   ClauseRef propagate();
-  void analyze(ClauseRef Confl, std::vector<Lit> &OutLearnt, int &OutBtLevel);
+  void analyze(ClauseRef Confl, std::vector<Lit> &OutLearnt, int &OutBtLevel,
+               uint32_t &OutLbd);
   void analyzeFinal(Lit P);
   void uncheckedEnqueue(Lit L, ClauseRef From);
   void cancelUntil(int Level);
@@ -188,10 +312,21 @@ private:
   void detachClause(ClauseRef CR);
   void removeClause(ClauseRef CR);
   bool isLocked(ClauseRef CR) const;
+  void pushLearnt(ClauseRef CR, uint32_t Lbd);
+  size_t reducibleLearnts() const;
   void reduceDB();
+  void reduceDbActivity();
+  void reduceDbTiers();
+  void refreshTierGauges();
   void simplifyLevel0();
   void checkGarbage();
   void garbageCollect();
+
+  // --- LBD / restart machinery -------------------------------------------
+  uint32_t computeLbd(const Lit *Lits, uint32_t Size);
+  void onConflictLearnt(uint32_t Lbd);
+  bool restartPending() const;
+  bool shouldRestart() const;
 
   // --- activity heap ------------------------------------------------------
   void varBumpActivity(Var V);
@@ -216,11 +351,16 @@ private:
   static uint64_t lubyScale(uint64_t I);
 
   // --- state ----------------------------------------------------------------
+  Options Opts;
   bool Ok = true;
   std::vector<Lit> Arena; // flat clause storage (see layout above)
   size_t ArenaWasted = 0; // words occupied by freed/shrunk clauses
   std::vector<ClauseRef> ProblemClauses;
-  std::vector<ClauseRef> LearntClauses;
+  // Learnt tiers. The seed retention policy keeps everything in Local;
+  // LbdTiers distributes by LBD and Core is never scanned for deletion.
+  std::vector<ClauseRef> CoreLearnts;
+  std::vector<ClauseRef> MidLearnts;
+  std::vector<ClauseRef> LocalLearnts;
   std::vector<std::vector<Watcher>> Watches; // indexed by Lit code
   std::vector<LBool> Assigns;
   std::vector<int> VarLevel;
@@ -241,6 +381,8 @@ private:
   std::vector<bool> Released; // released vars never re-enter the heap
   std::vector<char> Seen;
   std::vector<Lit> AnalyzeStack;
+  std::vector<uint64_t> LbdStampOfLevel; // level -> last stamp that saw it
+  uint64_t LbdStamp = 0;
 
   std::vector<Lit> CurAssumptions;
   std::vector<Lit> ConflictCore;
@@ -248,7 +390,19 @@ private:
 
   uint64_t ConflictBudget = 0;
   uint64_t ConflictsThisSolve = 0;
+  uint64_t ConflictsSinceRestart = 0;
+  uint64_t CurRestartBudget = 0; // Luby policy: conflicts before restart
   double MaxLearnts = 0;
+  // Restart EMAs persist across solve() calls, like the learnt clauses
+  // whose quality they track. Each EMA carries a bias divisor (the Adam
+  // correction 1 - (1-alpha)^n, accumulated incrementally) so the
+  // corrected value is unbiased from the first sample; otherwise a fresh
+  // solver's trail EMA underestimates for ~1/alpha conflicts and ordinary
+  // trails would spuriously block every pending restart.
+  double FastLbdEma = 0;
+  double FastLbdBias = 0;
+  double TrailEma = 0;
+  double TrailBias = 0;
   uint64_t RandState = 0x1234567890abcdefull;
 
   SolverStats Stats;

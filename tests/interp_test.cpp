@@ -325,26 +325,31 @@ class InterpWidthTest : public ::testing::TestWithParam<WidthCase> {};
 TEST_P(InterpWidthTest, WrapMatchesReference) {
   const auto &P = GetParam();
   Rng R(P.Seed);
+  // Reference arithmetic runs in uint64_t: at width 64 the signed
+  // expressions would overflow (UB the sanitizer build rejects).
+  auto WrapU = [&P](uint64_t V) {
+    return wrapToWidth(static_cast<int64_t>(V), P.Width);
+  };
   for (int Round = 0; Round < 500; ++Round) {
     int64_t A = wrapToWidth(static_cast<int64_t>(R.next()), P.Width);
     int64_t B = wrapToWidth(static_cast<int64_t>(R.next()), P.Width);
+    uint64_t UA = static_cast<uint64_t>(A), UB = static_cast<uint64_t>(B);
     bool Dz = false;
     int64_t Sum = evalBinaryOp(BinaryOp::Add, A, B, P.Width, Dz);
-    EXPECT_EQ(Sum, wrapToWidth(A + B, P.Width));
+    EXPECT_EQ(Sum, WrapU(UA + UB));
     int64_t Diff = evalBinaryOp(BinaryOp::Sub, A, B, P.Width, Dz);
-    EXPECT_EQ(Diff, wrapToWidth(A - B, P.Width));
+    EXPECT_EQ(Diff, WrapU(UA - UB));
     int64_t Prod = evalBinaryOp(BinaryOp::Mul, A, B, P.Width, Dz);
-    EXPECT_EQ(Prod, wrapToWidth(static_cast<int64_t>(static_cast<uint64_t>(A) *
-                                                     static_cast<uint64_t>(B)),
-                                P.Width));
-    EXPECT_EQ(evalUnaryOp(UnaryOp::Neg, A, P.Width), wrapToWidth(-A, P.Width));
+    EXPECT_EQ(Prod, WrapU(UA * UB));
+    EXPECT_EQ(evalUnaryOp(UnaryOp::Neg, A, P.Width), WrapU(-UA));
     EXPECT_EQ(evalUnaryOp(UnaryOp::BitNot, A, P.Width),
               wrapToWidth(~A, P.Width));
     if (B != 0) {
       int64_t Q = evalBinaryOp(BinaryOp::Div, A, B, P.Width, Dz);
       int64_t M = evalBinaryOp(BinaryOp::Rem, A, B, P.Width, Dz);
       // Euclidean identity holds modulo wrap.
-      EXPECT_EQ(wrapToWidth(Q * B + M, P.Width), A);
+      EXPECT_EQ(WrapU(static_cast<uint64_t>(Q) * UB + static_cast<uint64_t>(M)),
+                A);
     }
   }
 }

@@ -428,14 +428,16 @@ TEST(Incremental, MatchesSeedCostOnRandomSweep) {
     auto RefL = referenceSolveLinear(Inst);
     auto IncL = solveLinear(Inst);
     ASSERT_EQ(IncL.Status, RefL.Status) << "round " << Round;
-    if (RefL.Status == MaxSatStatus::Optimum)
+    if (RefL.Status == MaxSatStatus::Optimum) {
       EXPECT_EQ(IncL.Cost, RefL.Cost) << "linear, round " << Round;
+    }
     if (Round % 2 == 0) {
       auto RefF = referenceSolveFuMalik(Inst);
       auto IncF = solveFuMalik(Inst);
       ASSERT_EQ(IncF.Status, RefF.Status) << "round " << Round;
-      if (RefF.Status == MaxSatStatus::Optimum)
+      if (RefF.Status == MaxSatStatus::Optimum) {
         EXPECT_EQ(IncF.Cost, RefF.Cost) << "fu-malik, round " << Round;
+      }
     }
   }
 }
