@@ -1,0 +1,52 @@
+//===- BenchArgs.h - shared bench command-line helpers ----------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small helpers shared by the bench drivers' hand-rolled argument
+/// parsing (the benches deliberately have no flag framework).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_BENCH_BENCHARGS_H
+#define BUGASSIST_BENCH_BENCHARGS_H
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+
+namespace bugassist {
+
+/// Portfolio width from a `--threads` argument, clamped to [1, 64]: atol
+/// on garbage returns 0, and a negative would wrap catastrophically
+/// through size_t into a billions-of-workers allocation.
+inline size_t parseThreads(const char *Arg) {
+  long V = std::atol(Arg);
+  if (V < 1)
+    return 1;
+  return static_cast<size_t>(V < 64 ? V : 64);
+}
+
+/// Recognizes `--threads N` / `--threads=N` at argv[I]. On a match, stores
+/// the clamped width in \p Out, advances \p I past any consumed value
+/// argument, and returns true.
+inline bool matchThreadsFlag(int Argc, char **Argv, int &I, size_t &Out) {
+  if (std::strncmp(Argv[I], "--threads=", 10) == 0) {
+    Out = parseThreads(Argv[I] + 10);
+    return true;
+  }
+  if (std::strcmp(Argv[I], "--threads") == 0 && I + 1 < Argc &&
+      std::strncmp(Argv[I + 1], "--", 2) != 0) {
+    // The value is only consumed when it is not itself a flag, so
+    // `--threads --smoke` cannot silently swallow `--smoke`.
+    Out = parseThreads(Argv[++I]);
+    return true;
+  }
+  return false;
+}
+
+} // namespace bugassist
+
+#endif // BUGASSIST_BENCH_BENCHARGS_H

@@ -7,6 +7,10 @@
 // partial MaxSAT on localization-shaped instances, and -- the headline --
 // the Fu-Malik TCAS localization workload run both through the incremental
 // one-persistent-solver engine and the seed's rebuilt-per-round baseline.
+// `--threads N` (default 4) additionally races the N-worker portfolio
+// (diversified solvers + glue sharing, maxsat/Portfolio.h) on the
+// conflict-heavy SAT workloads and on the TCAS localization, recording the
+// per-worker win counts and exchange traffic.
 //
 // Every workload is emitted as machine-readable JSON (BENCH_solvers.json:
 // wall time, conflicts, propagations, SatCalls) so the perf trajectory is
@@ -14,9 +18,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchArgs.h"
 #include "core/BugAssist.h"
 #include "lang/Sema.h"
 #include "maxsat/MaxSat.h"
+#include "maxsat/Portfolio.h"
 #include "maxsat/ReferenceMaxSat.h"
 #include "programs/Tcas.h"
 #include "programs/TcasMutants.h"
@@ -25,6 +31,7 @@
 #include "support/Timer.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <set>
 #include <string>
@@ -46,6 +53,11 @@ struct WorkloadResult {
   uint64_t LbdCount = 0;
   uint64_t Extra = 0; ///< workload-specific (cost, diagnoses, ...)
   const char *ExtraKey = nullptr;
+  // Portfolio workloads only.
+  uint64_t Exported = 0; ///< clauses pushed into the exchange
+  uint64_t Imported = 0; ///< foreign clauses injected at restarts
+  int Winner = -1;       ///< winning worker of the (last) race
+  std::vector<uint64_t> Wins; ///< races won per worker
 
   void addSearch(const SolverStats &S) {
     Conflicts += S.Conflicts;
@@ -54,6 +66,8 @@ struct WorkloadResult {
     RestartsBlocked += S.RestartsBlocked;
     LbdSum += S.LbdSum;
     LbdCount += S.LbdCount;
+    Exported += S.ClausesExported;
+    Imported += S.ClausesImported;
   }
   double avgLbd() const {
     return LbdCount ? static_cast<double>(LbdSum) /
@@ -76,6 +90,15 @@ void record(WorkloadResult R) {
   if (R.ExtraKey)
     std::printf("  %s=%llu", R.ExtraKey,
                 static_cast<unsigned long long>(R.Extra));
+  if (!R.Wins.empty()) {
+    std::printf("  shared=%llu/%llu wins=[",
+                static_cast<unsigned long long>(R.Exported),
+                static_cast<unsigned long long>(R.Imported));
+    for (size_t I = 0; I < R.Wins.size(); ++I)
+      std::printf("%s%llu", I ? "," : "",
+                  static_cast<unsigned long long>(R.Wins[I]));
+    std::printf("]");
+  }
   std::printf("\n");
   Results.push_back(std::move(R));
 }
@@ -130,28 +153,79 @@ void benchPhaseTransition(int Vars, int Rounds, const Solver::Options &Opts) {
   record(std::move(W));
 }
 
-void benchPigeonhole(int Holes, const Solver::Options &Opts) {
-  WorkloadResult W;
-  W.Name = "sat_pigeonhole_h" + std::to_string(Holes) + policySuffix(Opts);
+std::vector<Clause> pigeonholeClauses(int Holes) {
   int Pigeons = Holes + 1;
-  Timer T;
-  Solver S{Opts};
-  S.ensureVars(Pigeons * Holes);
   auto VarOf = [Holes](int P, int H) { return P * Holes + H; };
+  std::vector<Clause> Cs;
   for (int P = 0; P < Pigeons; ++P) {
     Clause C;
     for (int H = 0; H < Holes; ++H)
       C.push_back(mkLit(VarOf(P, H)));
-    S.addClause(C);
+    Cs.push_back(std::move(C));
   }
   for (int H = 0; H < Holes; ++H)
     for (int P1 = 0; P1 < Pigeons; ++P1)
       for (int P2 = P1 + 1; P2 < Pigeons; ++P2)
-        S.addClause({~mkLit(VarOf(P1, H)), ~mkLit(VarOf(P2, H))});
+        Cs.push_back({~mkLit(VarOf(P1, H)), ~mkLit(VarOf(P2, H))});
+  return Cs;
+}
+
+void benchPigeonhole(int Holes, const Solver::Options &Opts) {
+  WorkloadResult W;
+  W.Name = "sat_pigeonhole_h" + std::to_string(Holes) + policySuffix(Opts);
+  Timer T;
+  Solver S{Opts};
+  S.ensureVars((Holes + 1) * Holes);
+  for (const Clause &C : pigeonholeClauses(Holes))
+    S.addClause(C);
   S.solve();
   W.WallSeconds = T.seconds();
   W.SatCalls = 1;
   W.addSearch(S.stats());
+  record(std::move(W));
+}
+
+// --- portfolio workloads ----------------------------------------------------
+
+void recordRace(WorkloadResult &W, const SatRaceResult &R) {
+  W.addSearch(R.Aggregate);
+  W.Winner = R.Winner;
+  if (W.Wins.empty())
+    W.Wins.assign(R.PerWorker.size(), 0);
+  if (R.Winner >= 0 && static_cast<size_t>(R.Winner) < W.Wins.size())
+    ++W.Wins[static_cast<size_t>(R.Winner)];
+}
+
+/// Races the portfolio on the pigeonhole refutation -- the conflict-heavy
+/// UNSAT workload where diversification plus glue sharing has to prove
+/// itself against the single solver above.
+void benchPigeonholePortfolio(int Holes, size_t Threads) {
+  WorkloadResult W;
+  W.Name = "sat_pigeonhole_h" + std::to_string(Holes) + "_portfolio_t" +
+           std::to_string(Threads);
+  auto Cs = pigeonholeClauses(Holes);
+  Timer T;
+  SatRaceResult R = racePortfolioSat(Cs, (Holes + 1) * Holes, Threads);
+  W.WallSeconds = T.seconds();
+  W.SatCalls = 1;
+  recordRace(W, R);
+  record(std::move(W));
+}
+
+void benchPhaseTransitionPortfolio(int Vars, int Rounds, size_t Threads) {
+  WorkloadResult W;
+  W.Name = "sat_phase_transition_v" + std::to_string(Vars) + "_portfolio_t" +
+           std::to_string(Threads);
+  Timer T;
+  uint64_t Seed = 1;
+  for (int I = 0; I < Rounds; ++I) {
+    Rng R(Seed++);
+    auto Cs = random3Sat(R, Vars, static_cast<int>(Vars * 4.26));
+    SatRaceResult Race = racePortfolioSat(Cs, Vars, Threads);
+    ++W.SatCalls;
+    recordRace(W, Race);
+  }
+  W.WallSeconds = T.seconds();
   record(std::move(W));
 }
 
@@ -242,7 +316,7 @@ void sessionEnumerate(const MaxSatInstance &Inst, const CnfFormula &F,
 }
 
 void benchTcasLocalization(size_t NumMutants, size_t TestsPerMutant,
-                           size_t MaxDiagnoses) {
+                           size_t MaxDiagnoses, size_t Threads) {
   DiagEngine Diags;
   auto Golden = parseAndAnalyze(tcasSource(), Diags);
   if (!Golden) {
@@ -256,9 +330,11 @@ void benchTcasLocalization(size_t NumMutants, size_t TestsPerMutant,
   for (const InputVector &In : Pool)
     GoldenOut.push_back(GI.run("main", In).ReturnValue);
 
-  WorkloadResult Inc, Lbd, Seed, Reb;
+  WorkloadResult Inc, Pf, Lbd, Seed, Reb;
   Inc.Name = "tcas_fumalik_localize_incremental";
   Inc.ExtraKey = "diagnoses";
+  Pf.Name = "tcas_fumalik_localize_portfolio_t" + std::to_string(Threads);
+  Pf.ExtraKey = "diagnoses";
   Lbd.Name = "tcas_fumalik_comss_lbd_tiers";
   Lbd.ExtraKey = "diagnoses";
   Seed.Name = "tcas_fumalik_comss_activity_halving";
@@ -299,6 +375,21 @@ void benchTcasLocalization(size_t NumMutants, size_t TestsPerMutant,
       Inc.addSearch(Rep.Search);
       Inc.Extra += Rep.Diagnoses.size();
 
+      if (Threads > 1) {
+        LocalizeOptions PLO = LO;
+        PLO.Threads = Threads;
+        Timer TP;
+        LocalizationReport PRep = Driver.localize(Pool[Idx], S, PLO);
+        Pf.WallSeconds += TP.seconds();
+        Pf.SatCalls += PRep.SatCalls;
+        Pf.addSearch(PRep.Search);
+        Pf.Extra += PRep.Diagnoses.size();
+        if (Pf.Wins.empty())
+          Pf.Wins.assign(PRep.PortfolioWins.size(), 0);
+        for (size_t WI = 0; WI < PRep.PortfolioWins.size(); ++WI)
+          Pf.Wins[WI] += PRep.PortfolioWins[WI];
+      }
+
       MaxSatInstance Inst =
           Driver.formula().localizationInstance(Pool[Idx], S);
       const CnfFormula &F = Driver.formula().encoded().Formula;
@@ -326,10 +417,17 @@ void benchTcasLocalization(size_t NumMutants, size_t TestsPerMutant,
   double WorkReb = static_cast<double>(Reb.Conflicts + Reb.Propagations);
   double WallInc = Inc.WallSeconds, WallLbd = Lbd.WallSeconds,
          WallSeed = Seed.WallSeconds, WallReb = Reb.WallSeconds;
+  double WallPf = Pf.WallSeconds;
   record(std::move(Inc));
+  if (Threads > 1)
+    record(std::move(Pf));
   record(std::move(Lbd));
   record(std::move(Seed));
   record(std::move(Reb));
+  if (Threads > 1)
+    std::printf("tcas portfolio (t=%zu) vs single session: wall %.2fx "
+                "(identical diagnoses by construction)\n",
+                Threads, WallPf > 0 ? WallInc / WallPf : 0.0);
   std::printf("tcas incremental vs rebuilt (%zu mutants): "
               "conflicts+propagations %.2fx, wall %.2fx\n",
               MutantsUsed, WorkInc > 0 ? WorkReb / WorkInc : 0.0,
@@ -364,6 +462,18 @@ void writeJson(const char *Path) {
     if (W.ExtraKey)
       std::fprintf(F, ", \"%s\": %llu", W.ExtraKey,
                    static_cast<unsigned long long>(W.Extra));
+    if (!W.Wins.empty()) {
+      std::fprintf(F, ", \"shared_exported\": %llu, \"shared_imported\": %llu",
+                   static_cast<unsigned long long>(W.Exported),
+                   static_cast<unsigned long long>(W.Imported));
+      if (W.Winner >= 0)
+        std::fprintf(F, ", \"last_winner\": %d", W.Winner);
+      std::fprintf(F, ", \"wins\": [");
+      for (size_t J = 0; J < W.Wins.size(); ++J)
+        std::fprintf(F, "%s%llu", J ? ", " : "",
+                     static_cast<unsigned long long>(W.Wins[J]));
+      std::fprintf(F, "]");
+    }
     std::fprintf(F, "}%s\n", I + 1 < Results.size() ? "," : "");
   }
   std::fprintf(F, "  ]\n}\n");
@@ -376,6 +486,7 @@ void writeJson(const char *Path) {
 int main(int argc, char **argv) {
   const char *JsonPath = "BENCH_solvers.json";
   bool Quick = false, Smoke = false;
+  size_t Threads = 4; // portfolio width for the *_portfolio workloads
   for (int I = 1; I < argc; ++I) {
     if (std::strncmp(argv[I], "--json=", 7) == 0)
       JsonPath = argv[I] + 7;
@@ -383,12 +494,25 @@ int main(int argc, char **argv) {
       Quick = true;
     else if (std::strcmp(argv[I], "--smoke") == 0)
       Smoke = Quick = true; // smoke: CI-sized subset of the quick run
+    else
+      matchThreadsFlag(argc, argv, I, Threads);
   }
 
+  int PhaseVars = Smoke ? 60 : 100;
+  int PhaseRounds = Smoke ? 2 : Quick ? 4 : 16;
+  int Holes = Smoke ? 5 : Quick ? 6 : 7;
   for (const Solver::Options &O :
        {Solver::Options(), Solver::Options::seed()}) {
-    benchPhaseTransition(Smoke ? 60 : 100, Smoke ? 2 : Quick ? 4 : 16, O);
-    benchPigeonhole(Smoke ? 5 : Quick ? 6 : 7, O);
+    benchPhaseTransition(PhaseVars, PhaseRounds, O);
+    benchPigeonhole(Holes, O);
+  }
+  if (!Quick)
+    benchPigeonhole(8, Solver::Options()); // the larger refutation
+  if (Threads > 1) {
+    benchPhaseTransitionPortfolio(PhaseVars, PhaseRounds, Threads);
+    benchPigeonholePortfolio(Holes, Threads);
+    if (!Quick)
+      benchPigeonholePortfolio(8, Threads);
   }
 
   std::vector<int> ChainLens = Smoke ? std::vector<int>{100}
@@ -408,7 +532,7 @@ int main(int argc, char **argv) {
 
   benchTcasLocalization(/*NumMutants=*/Quick ? 1 : 6,
                         /*TestsPerMutant=*/Quick ? 1 : 2,
-                        /*MaxDiagnoses=*/Smoke ? 8 : 24);
+                        /*MaxDiagnoses=*/Smoke ? 8 : 24, Threads);
 
   writeJson(JsonPath);
   return 0;

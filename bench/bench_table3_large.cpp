@@ -16,6 +16,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchArgs.h"
 #include "core/BugAssist.h"
 #include "lang/Sema.h"
 #include "programs/LargeBenchmarks.h"
@@ -26,6 +27,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 using namespace bugassist;
@@ -61,6 +63,8 @@ UnrollOptions baseOpts(const LargeBenchmark &B) {
   O.HardLines = B.HardLines;
   return O;
 }
+
+size_t PortfolioThreads = 1; // --threads N: portfolio per MaxSAT query
 
 /// Runs one Table 3 row. \p Reduction is a combination of 'D', 'C', 'S'.
 RowResult runRow(const LargeBenchmark &B, const char *Reduction,
@@ -163,6 +167,7 @@ RowResult runRow(const LargeBenchmark &B, const char *Reduction,
   // exponentially hard (the paper's row 4 ran 11 hours); bound each call
   // so the whole table regenerates in minutes.
   LO.ConflictBudget = 400000;
+  LO.Threads = PortfolioThreads;
   LocalizationReport Rep = localizeFault(TF, Input, S, LO);
   Row.Seconds = T.seconds();
   Row.Faults = Rep.AllLines.size();
@@ -187,7 +192,9 @@ void printRow(int N, const char *Name, const char *Reduction,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I)
+    matchThreadsFlag(argc, argv, I, PortfolioThreads);
   std::printf("Table 3: BugAssist on larger benchmark programs "
               "(S=slice, C=concretize, D=ddmin)\n\n");
   std::printf("%-16s %4s %6s  %-4s %8s %8s %9s %9s %9s %9s %7s %5s %9s\n",

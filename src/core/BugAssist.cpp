@@ -7,6 +7,7 @@
 #include "core/BugAssist.h"
 
 #include "bmc/Encoder.h"
+#include "maxsat/Portfolio.h"
 #include "sat/Solver.h"
 
 #include <algorithm>
@@ -26,9 +27,22 @@ LocalizationReport bugassist::enumerateCoMSSes(MaxSatInstance Inst,
 
   // Algorithm 1, lines 7-14, on ONE incremental MaxSAT session: the solver
   // (hard formula, learned clauses, heuristic state) persists across
-  // diagnoses, and each blocking clause beta is added incrementally.
-  std::unique_ptr<MaxSatSession> Session =
-      makeMaxSatSession(Inst, Opts.Weighted, Opts.ConflictBudget);
+  // diagnoses, and each blocking clause beta is added incrementally. With
+  // Threads > 1 the session is a portfolio of diversified persistent
+  // workers racing each solve. Either way the sessions canonicalize their
+  // optima, so the enumeration is deterministic and identical at every
+  // thread count.
+  std::unique_ptr<MaxSatSession> Session;
+  PortfolioSession *Portfolio = nullptr;
+  if (Opts.Threads > 1) {
+    auto P = makePortfolioSession(Inst, Opts.Weighted, Opts.Threads,
+                                  Opts.ConflictBudget);
+    Portfolio = P.get();
+    Session = std::move(P);
+  } else {
+    Session = makeMaxSatSession(Inst, Opts.Weighted, Opts.ConflictBudget,
+                                Solver::Options(), /*Canonical=*/true);
+  }
   while (Report.Diagnoses.size() < Opts.MaxDiagnoses) {
     MaxSatResult R = Session->solve();
     Report.SatCalls += R.SatCalls;
@@ -85,6 +99,8 @@ LocalizationReport bugassist::enumerateCoMSSes(MaxSatInstance Inst,
     Session->addHardClause(Blocking);
   }
 
+  if (Portfolio)
+    Report.PortfolioWins = Portfolio->portfolioStats().WinsByWorker;
   Report.AllLines.assign(AllLines.begin(), AllLines.end());
   return Report;
 }

@@ -60,8 +60,12 @@ struct LocalizationReport {
   bool Exhausted = false;
   uint64_t SatCalls = 0;
   /// Cumulative statistics of the incremental MaxSAT session's solver
-  /// (conflicts, propagations, ...) over the whole enumeration.
+  /// (conflicts, propagations, ...) over the whole enumeration; for a
+  /// portfolio run, summed over all workers (including the clause-exchange
+  /// counters ClausesExported / ClausesImported).
   SolverStats Search;
+  /// Portfolio runs only: races won per worker (empty when Threads == 1).
+  std::vector<uint64_t> PortfolioWins;
 };
 
 struct LocalizeOptions {
@@ -71,6 +75,11 @@ struct LocalizeOptions {
   bool Weighted = false;
   /// Per-SAT-call conflict budget (0 = unlimited).
   uint64_t ConflictBudget = 0;
+  /// Portfolio width: > 1 races this many diversified persistent MaxSAT
+  /// sessions per solve with learnt-clause sharing (maxsat/Portfolio.h).
+  /// Sessions canonicalize their optima, so diagnoses of unbudgeted runs
+  /// are identical at every thread count.
+  size_t Threads = 1;
 };
 
 /// Algorithm 1's enumeration loop on a prebuilt instance whose soft

@@ -20,6 +20,7 @@
 
 #include "maxsat/MaxSat.h"
 
+#include "maxsat/Canonical.h"
 #include "maxsat/Cardinality.h"
 #include "sat/Solver.h"
 
@@ -60,8 +61,9 @@ void collectFalsifiedSoft(const std::vector<SoftClause> &Soft,
 class FuMalikSessionImpl final : public MaxSatSession {
 public:
   FuMalikSessionImpl(const MaxSatInstance &Inst, uint64_t ConflictBudget,
-                     const Solver::Options &SolverOpts)
-      : S(SolverOpts), NumOrigVars(Inst.NumVars), Soft(Inst.Soft) {
+                     const Solver::Options &SolverOpts, bool Canonical)
+      : S(SolverOpts), NumOrigVars(Inst.NumVars), Soft(Inst.Soft),
+        Canonical(Canonical) {
     S.ensureVars(Inst.NumVars);
     for (const Clause &C : Inst.Hard)
       if (!S.addClause(C)) {
@@ -95,6 +97,8 @@ public:
 
   const SolverStats &stats() const override { return S.stats(); }
 
+  Solver &solver() override { return S; }
+
   MaxSatResult solve() override {
     MaxSatResult Res;
     for (; !HardBroken;) {
@@ -119,6 +123,8 @@ public:
         Res.Model.resize(NumOrigVars);
         for (Var V = 0; V < NumOrigVars; ++V)
           Res.Model[V] = S.modelValue(V);
+        if (Canonical && Rounds > 0)
+          canonicalize(Assumptions, Res);
         collectFalsifiedSoft(Soft, Res);
         // Fu-Malik invariant: relaxation rounds == optimal cost for unit
         // weights. Holds across incremental blocking clauses too, since
@@ -182,6 +188,61 @@ public:
   }
 
 private:
+  /// Canonicalizes the optimum (see Canonical.h). Probes run under the
+  /// live guards: any guard-satisfying model falsifies exactly Rounds soft
+  /// clauses -- each relaxation round's exactly-one constraint activates
+  /// one relaxation literal, capping falsification at Rounds, while the
+  /// optimum bounds it from below -- so no explicit cost bound is needed.
+  ///
+  /// Probe answers are a pure function of (hard clauses, optimum), not of
+  /// this session's relaxation history, which is what makes the canonical
+  /// set identical across diversified portfolio workers: every
+  /// original-optimal falsified set F is representable in ANY terminal
+  /// relaxation structure. Inductively, a partial witness falsifying the
+  /// unmatched remainder G of F (guards of G off, earlier elements of F
+  /// matched to earlier rounds) would satisfy the next core's formula
+  /// outright if that core missed G -- contradicting the core's
+  /// unsatisfiability -- so each round's core intersects G, one element of
+  /// F moves onto the fresh relaxation literal, and after Rounds rounds F
+  /// has a perfect matching into the rounds (Hall's condition holds).
+  void canonicalize(const std::vector<Lit> &Guards, MaxSatResult &Res) {
+    CanonicalHooks Hooks;
+    Hooks.Probe = [&](const std::vector<Lit> &Extra) -> LBool {
+      std::vector<Lit> Assumptions = Guards;
+      Assumptions.insert(Assumptions.end(), Extra.begin(), Extra.end());
+      for (Var V : PreferTrue)
+        S.setPolarity(V, true);
+      ++Res.SatCalls;
+      LBool R = S.solve(Assumptions);
+      if (R == LBool::True)
+        for (Var V = 0; V < NumOrigVars; ++V)
+          Res.Model[V] = S.modelValue(V);
+      return R;
+    };
+    Hooks.SatisfyLit = [&](size_t J) { return satisfyLit(J); };
+    Res.CanonicalTruncated = !greedyCanonicalize(Soft, Hooks, Res.Model);
+  }
+
+  /// A literal that, assumed true, forces original soft clause \p J to be
+  /// satisfied: the clause's own literal when it is unit (the localization
+  /// case), otherwise a lazily created selector T with (C_J \/ ~T). The
+  /// selector clause is inert when T is unassumed, so it never perturbs
+  /// ordinary rounds.
+  Lit satisfyLit(size_t J) {
+    if (Soft[J].Lits.size() == 1)
+      return Soft[J].Lits[0];
+    if (SatisfySelector.empty())
+      SatisfySelector.assign(Soft.size(), NullVar);
+    if (SatisfySelector[J] == NullVar) {
+      Var T = S.newVar();
+      Clause C = Soft[J].Lits;
+      C.push_back(mkLit(T, /*Negated=*/true));
+      S.addClause(std::move(C));
+      SatisfySelector[J] = T;
+    }
+    return mkLit(SatisfySelector[J]);
+  }
+
   Var newGuard(size_t SoftIdx) {
     Var A = S.newVar();
     if (static_cast<Var>(SoftIdxOfVar.size()) <= A)
@@ -197,7 +258,9 @@ private:
   std::vector<Clause> WorkingSoft;  ///< soft + accumulated relaxation lits
   std::vector<Var> GuardOf;         ///< soft idx -> live guard variable
   std::vector<int32_t> SoftIdxOfVar; ///< guard var -> soft idx, -1 otherwise
+  std::vector<Var> SatisfySelector; ///< soft idx -> canonicalization selector
   uint64_t Rounds = 0;
+  bool Canonical;
   bool HardBroken = false;
 };
 
@@ -206,12 +269,16 @@ private:
 std::unique_ptr<MaxSatSession>
 bugassist::makeFuMalikSession(const MaxSatInstance &Inst,
                               uint64_t ConflictBudget,
-                              const Solver::Options &SolverOpts) {
-  return std::make_unique<FuMalikSessionImpl>(Inst, ConflictBudget, SolverOpts);
+                              const Solver::Options &SolverOpts,
+                              bool Canonical) {
+  return std::make_unique<FuMalikSessionImpl>(Inst, ConflictBudget, SolverOpts,
+                                              Canonical);
 }
 
 MaxSatResult bugassist::solveFuMalik(const MaxSatInstance &Inst,
                                      uint64_t ConflictBudget,
                                      const Solver::Options &SolverOpts) {
-  return FuMalikSessionImpl(Inst, ConflictBudget, SolverOpts).solve();
+  return FuMalikSessionImpl(Inst, ConflictBudget, SolverOpts,
+                            /*Canonical=*/false)
+      .solve();
 }

@@ -2,25 +2,34 @@
 //
 // Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
 //
-// SAT-UNSAT linear search: relax every soft clause with a fresh literal,
-// find any model, then repeatedly demand a strictly cheaper model until
-// UNSAT; the last model is optimal. This is the weighted engine behind the
-// loop-diagnosis extension (paper Section 5.2), whose soft selector
-// weights alpha + eta - kappa prioritize early loop iterations.
+// Lower-bound-guided model search: the session tracks a proven lower bound
+// on the optimum (0 for a fresh instance; the previous optimum after a
+// blocking clause, since added hard clauses can only raise the optimum).
+// Each solve() first probes exactly at that bound -- a SAT answer is
+// optimal immediately, with no descent and no bound-tightening calls. Only
+// when the probe is UNSAT does the session fall back to one unbounded
+// model (an upper bound) and a binary search between the two. This is the
+// weighted engine behind the loop-diagnosis extension (paper Section 5.2),
+// whose soft selector weights alpha + eta - kappa prioritize early loop
+// iterations.
 //
 // Incremental: ONE solver lives for the whole session. The relaxed
-// formula is loaded once, a saturating sequential weighted counter over
-// the relaxation literals is encoded once (and lazily extended when a
-// later blocking clause pushes the optimum past its range), and each
-// improvement step tightens the bound "sum <= K" purely by assuming the
-// negation of the counter output for threshold K+1 -- no re-encoding, so
-// learned clauses and heuristic state survive every step and every
-// blocking clause of the CoMSS enumeration.
+// formula is loaded once, and bounds "sum <= K" are enforced purely by
+// assumptions: K == 0 assumes every relaxation literal off (no counter at
+// all -- the common localization round costs two propagation-only SAT
+// calls), K >= 1 assumes the negation of a saturating sequential weighted
+// counter output (Martins et al. style incremental cardinality). The
+// counter is encoded lazily at the width the first UNSAT bound demands and
+// only widened when a later blocking clause pushes the optimum past its
+// range -- never re-encoded per step, so learned clauses and heuristic
+// state survive every step and every blocking clause of the CoMSS
+// enumeration.
 //
 //===----------------------------------------------------------------------===//
 
 #include "maxsat/MaxSat.h"
 
+#include "maxsat/Canonical.h"
 #include "maxsat/Cardinality.h"
 #include "sat/Solver.h"
 
@@ -80,6 +89,8 @@ public:
 
   const SolverStats &stats() const override { return S.stats(); }
 
+  Solver &solver() override { return S; }
+
   MaxSatResult solve() override {
     MaxSatResult Res;
     if (HardBroken) {
@@ -88,49 +99,84 @@ public:
       return Res;
     }
 
-    std::vector<LBool> BestModel;
-    bool HaveModel = false;
-    uint64_t BestCost = 0;
-    std::vector<Lit> Assumptions; // empty, then {~Out[BestCost]} per step
-
-    for (;;) {
-      // Phase saving overwrites polarities during search; re-seed the
-      // "program as written" bias so every descent starts from it, exactly
-      // as the per-round solver rebuild used to.
+    // Phase saving overwrites polarities during search; re-seed the
+    // "program as written" bias before every descent, exactly as the
+    // per-round solver rebuild used to.
+    auto SolveWith = [&](const std::vector<Lit> &Assumptions) {
       for (Var V : PreferTrue)
         S.setPolarity(V, true);
       ++Res.SatCalls;
-      LBool R = S.solve(Assumptions);
-      if (R == LBool::Undef) {
-        Res.Status = MaxSatStatus::Unknown;
+      return S.solve(Assumptions);
+    };
+    // Bound "relax-weight sum <= K" as assumptions only: all relaxation
+    // literals off for K == 0 (no counter needed), a counter output
+    // otherwise (encoded lazily at exactly the width this bound demands).
+    auto BoundAssumptions = [&](uint64_t K) {
+      std::vector<Lit> A;
+      if (K == 0) {
+        A.reserve(RelaxLits.size());
+        for (Lit RL : RelaxLits)
+          A.push_back(~RL);
+      } else {
+        ensureCounter(K + 1);
+        A.push_back(~CounterOut[K]);
+      }
+      return A;
+    };
+    auto ExtractModel = [&](std::vector<LBool> &Model) {
+      Model.resize(NumOrigVars);
+      for (Var V = 0; V < NumOrigVars; ++V)
+        Model[V] = S.modelValue(V);
+    };
+    auto Unknown = [&]() {
+      Res.Status = MaxSatStatus::Unknown;
+      Res.Search = S.stats();
+      return Res;
+    };
+
+    std::vector<LBool> BestModel;
+    uint64_t BestCost = 0;
+
+    // Probe exactly at the proven lower bound: SAT here is optimal with no
+    // descent and no bound-tightening call.
+    LBool R = SolveWith(BoundAssumptions(LowerBound));
+    if (R == LBool::Undef)
+      return Unknown();
+    if (R == LBool::True) {
+      ExtractModel(BestModel);
+      BestCost = modelCost(Soft, BestModel);
+      // relax-sum <= LB forces cost <= LB; optimum >= LB pins equality.
+      assert(BestCost == LowerBound && "LB-probe model must be optimal");
+    } else {
+      // Optimum > LowerBound (or the hard part became UNSAT): take one
+      // unbounded model as an upper bound, then binary-search between.
+      LowerBound += 1;
+      R = SolveWith({});
+      if (R == LBool::Undef)
+        return Unknown();
+      if (R == LBool::False) {
+        Res.Status = MaxSatStatus::HardUnsat;
         Res.Search = S.stats();
         return Res;
       }
-      if (R == LBool::False) {
-        if (!HaveModel) {
-          Res.Status = MaxSatStatus::HardUnsat;
-          Res.Search = S.stats();
-          return Res;
+      ExtractModel(BestModel);
+      BestCost = modelCost(Soft, BestModel);
+      assert(BestCost >= LowerBound && "model beat the proven lower bound");
+      while (BestCost > LowerBound) {
+        uint64_t Mid = LowerBound + (BestCost - LowerBound) / 2;
+        R = SolveWith(BoundAssumptions(Mid));
+        if (R == LBool::Undef)
+          return Unknown();
+        if (R == LBool::False) {
+          LowerBound = Mid + 1;
+          continue;
         }
-        break; // BestModel is optimal
+        ExtractModel(BestModel);
+        BestCost = modelCost(Soft, BestModel);
+        assert(BestCost <= Mid && "bound assumption did not hold");
       }
-
-      std::vector<LBool> Model(NumOrigVars);
-      for (Var V = 0; V < NumOrigVars; ++V)
-        Model[V] = S.modelValue(V);
-      uint64_t Cost = modelCost(Soft, Model);
-      assert((!HaveModel || Cost < BestCost) &&
-             "linear search failed to improve");
-      BestModel = std::move(Model);
-      BestCost = Cost;
-      HaveModel = true;
-      if (BestCost == 0)
-        break;
-      // Tighten to "sum of relaxation weights <= BestCost - 1" by assuming
-      // the counter output for threshold BestCost false.
-      ensureCounter(BestCost);
-      Assumptions = {~CounterOut[BestCost - 1]};
     }
+    LowerBound = BestCost; // optima are monotone under added hard clauses
 
     if (BestCost > 0 && !RelaxLits.empty())
       canonicalize(BestModel, BestCost, Res);
@@ -146,31 +192,18 @@ public:
   }
 
 private:
-  /// Canonicalizes the optimum: among minimum-weight models, greedily
-  /// prefer keeping soft clauses satisfied in index (program) order, so
-  /// falsification lands on the latest statements. This pins the reported
-  /// CoMSS deterministically regardless of search-heuristic history --
-  /// essential now that heuristic state persists across improvement steps
-  /// and blocking clauses.
-  ///
-  /// A clause satisfied by the current witness model commits for free: its
-  /// relaxation literal can always be lowered to false (relaxation and
-  /// counter clauses only constrain it upward), so the witness extends.
-  /// Each falsified position is then located by a galloping binary search
-  /// over the maximal additionally-satisfiable prefix ("satisfy [Begin, E)
-  /// too" is monotone in E), which costs O(log N) incremental solves per
-  /// falsified clause instead of crawling one re-solve per position.
+  /// Canonicalizes the optimum (see Canonical.h): probes run under the
+  /// counter bound "sum <= Cost", and soft clause J is forced satisfied by
+  /// assuming its relaxation literal off (relaxation and counter clauses
+  /// only constrain it upward, so a satisfied clause can always lower it).
   void canonicalize(std::vector<LBool> &Model, uint64_t Cost,
                     MaxSatResult &Res) {
     ensureCounter(Cost + 1);
-    const size_t N = RelaxLits.size();
-    std::vector<Lit> Committed = {~CounterOut[Cost]}; // hold sum <= Cost
-    // Probe(E): can clauses [Begin, E) be satisfied on top of Committed?
-    // On success the witness Model is refreshed.
-    auto Probe = [&](size_t Begin, size_t E) -> LBool {
-      std::vector<Lit> Assumptions = Committed;
-      for (size_t J = Begin; J < E; ++J)
-        Assumptions.push_back(~RelaxLits[J]);
+    Lit HoldOptimum = ~CounterOut[Cost]; // hold sum <= Cost
+    CanonicalHooks Hooks;
+    Hooks.Probe = [&](const std::vector<Lit> &Extra) -> LBool {
+      std::vector<Lit> Assumptions = {HoldOptimum};
+      Assumptions.insert(Assumptions.end(), Extra.begin(), Extra.end());
       for (Var V : PreferTrue)
         S.setPolarity(V, true);
       ++Res.SatCalls;
@@ -180,43 +213,8 @@ private:
           Model[V] = S.modelValue(V);
       return R;
     };
-
-    size_t Begin = 0; // clauses [0, Begin) are committed satisfied
-    while (Begin < N) {
-      if (clauseSatisfied(Soft[Begin].Lits, Model)) {
-        Committed.push_back(~RelaxLits[Begin]); // free commit
-        ++Begin;
-        continue;
-      }
-      // Model falsifies clause Begin. Binary search the largest E with
-      // [Begin, E) satisfiable; E == Begin (the current witness) is SAT,
-      // E == N is UNSAT (the optimum falsifies something >= Begin).
-      size_t Lo = Begin, Hi = N;
-      while (Lo + 1 < Hi) {
-        size_t Mid = Lo + (Hi - Lo + 1) / 2;
-        LBool R = Probe(Begin, Mid);
-        if (R == LBool::Undef)
-          return; // budget exhausted: keep the optimum found so far
-        if (R == LBool::False) {
-          Hi = Mid;
-          continue;
-        }
-        // Gallop: the fresh witness may satisfy well past Mid.
-        Lo = Mid;
-        while (Lo < Hi - 1 && clauseSatisfied(Soft[Lo].Lits, Model))
-          ++Lo;
-      }
-      // [Begin, Lo) satisfiable, [Begin, Lo + 1) not: Lo stays falsified.
-      // Re-probe only if the current witness lost it (a failed probe does
-      // not restore the earlier model).
-      if (Lo > Begin && !clauseSatisfied(Soft[Lo - 1].Lits, Model)) {
-        if (Probe(Begin, Lo) != LBool::True)
-          return; // budget exhausted mid-search
-      }
-      for (size_t J = Begin; J < Lo; ++J)
-        Committed.push_back(~RelaxLits[J]);
-      Begin = Lo + 1;
-    }
+    Hooks.SatisfyLit = [&](size_t J) { return ~RelaxLits[J]; };
+    Res.CanonicalTruncated = !greedyCanonicalize(Soft, Hooks, Model);
   }
 
   /// Makes counter outputs available for thresholds 1..MaxNeeded. Encoded
@@ -239,6 +237,11 @@ private:
   std::vector<Lit> RelaxLits;
   std::vector<uint64_t> Weights;
   std::vector<Lit> CounterOut; ///< CounterOut[J-1] <=> relax-weight sum >= J
+  /// Proven lower bound on the current optimum: 0 initially, then the last
+  /// optimum (added hard clauses can only raise it). solve() probes here
+  /// first, so a re-optimization whose optimum is unchanged costs one SAT
+  /// call and no bound tightening.
+  uint64_t LowerBound = 0;
   bool HardBroken = false;
 };
 

@@ -31,12 +31,15 @@
 ///    copy and the working formula equals the classic per-round rebuild.
 ///
 ///  * Linear search (weighted): soft clauses are relaxed once with fresh
-///    literals, a *saturating* sequential weighted counter over the
-///    relaxation literals is encoded once (lazily extended), and the
-///    model-improving bound "sum <= K" is tightened per improvement step
-///    purely by assuming ~Out_{K+1} on the counter's output literals
-///    (incremental cardinality in the style of Martins et al.), never by
-///    re-encoding.
+///    literals and the session tracks a proven lower bound on the optimum
+///    (the previous optimum, across blocking clauses). Each solve() probes
+///    at that bound first -- SAT is optimal immediately -- and only falls
+///    back to an unbounded model plus a binary search when the optimum
+///    moved. Bounds "sum <= K" are pure assumptions: all relaxation
+///    literals off for K = 0, otherwise ~Out_{K+1} on a *saturating*
+///    sequential weighted counter encoded lazily at the width the first
+///    UNSAT bound demands (incremental cardinality in the style of
+///    Martins et al.), never re-encoded per step.
 ///
 /// Algorithm 1's CoMSS enumeration keeps one session alive across
 /// diagnoses: each blocking clause beta is added incrementally through
@@ -91,6 +94,13 @@ struct MaxSatResult {
   std::vector<size_t> FalsifiedSoft;
   /// SAT calls issued during this solve().
   uint64_t SatCalls = 0;
+  /// True when a conflict budget truncated the canonicalization pass: the
+  /// optimum (cost) is still proven, but FalsifiedSoft may not be the
+  /// canonical set. A portfolio never lets such a result win a race; note
+  /// that budgeted runs are best-effort regardless -- where a budget bites
+  /// under clause exchange is timing-dependent -- so the byte-identical
+  /// thread-count guarantee applies to unbudgeted runs.
+  bool CanonicalTruncated = false;
   /// Cumulative statistics of the underlying solver (for a session, totals
   /// since the session was created; for one-shot calls, totals of the call).
   SolverStats Search;
@@ -116,18 +126,31 @@ public:
   /// gauges, restart/blocked-restart counters and average LBD. The same
   /// totals are snapshotted into MaxSatResult::Search by solve().
   virtual const SolverStats &stats() const = 0;
+
+  /// The persistent solver behind this session. Exposed so a portfolio can
+  /// interrupt a racing worker, install clause-exchange hooks, and
+  /// aggregate solver state; ordinary callers should not steer the solver
+  /// mid-session.
+  virtual Solver &solver() = 0;
 };
 
 /// Creates a Fu-Malik core-guided session (unweighted; weights ignored).
 /// \p ConflictBudget bounds each underlying SAT call (0 = unlimited);
 /// \p SolverOpts selects the persistent solver's search policies (defaults
 /// to the Glucose-style LBD retention + EMA restarts; pass
-/// Solver::Options::seed() to pin the original behavior).
+/// Solver::Options::seed() to pin the original behavior). With
+/// \p Canonical the reported optimum is canonicalized (greedily prefer
+/// satisfying soft clauses in index order, see Canonical.h), making the
+/// reported CoMSS independent of search history -- the localization
+/// drivers and every portfolio worker enable this so results are
+/// byte-identical at any thread count.
 std::unique_ptr<MaxSatSession>
 makeFuMalikSession(const MaxSatInstance &Inst, uint64_t ConflictBudget = 0,
-                   const Solver::Options &SolverOpts = Solver::Options());
+                   const Solver::Options &SolverOpts = Solver::Options(),
+                   bool Canonical = false);
 
 /// Creates a weighted linear-search session with an incremental PB bound.
+/// Linear-search results are always canonical.
 std::unique_ptr<MaxSatSession>
 makeLinearSession(const MaxSatInstance &Inst, uint64_t ConflictBudget = 0,
                   const Solver::Options &SolverOpts = Solver::Options());
@@ -136,9 +159,11 @@ makeLinearSession(const MaxSatInstance &Inst, uint64_t ConflictBudget = 0,
 inline std::unique_ptr<MaxSatSession>
 makeMaxSatSession(const MaxSatInstance &Inst, bool Weighted,
                   uint64_t ConflictBudget = 0,
-                  const Solver::Options &SolverOpts = Solver::Options()) {
+                  const Solver::Options &SolverOpts = Solver::Options(),
+                  bool Canonical = false) {
   return Weighted ? makeLinearSession(Inst, ConflictBudget, SolverOpts)
-                  : makeFuMalikSession(Inst, ConflictBudget, SolverOpts);
+                  : makeFuMalikSession(Inst, ConflictBudget, SolverOpts,
+                                       Canonical);
 }
 
 /// Fu-Malik core-guided partial MaxSAT (unweighted; weights ignored).

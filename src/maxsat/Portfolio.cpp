@@ -1,0 +1,311 @@
+//===- Portfolio.cpp - Parallel portfolio MaxSAT / SAT -----------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+// Racing protocol: every worker runs on its own thread; the first thread
+// whose session produces a decided result (not Unknown) takes the win
+// under the race mutex and interrupts everyone else. Losers return
+// promptly (Solver::interrupt is polled once per search iteration), their
+// sessions stay internally consistent, and all threads are joined before
+// solve() returns -- so between rounds the portfolio is single-threaded
+// and the exchange cursors, stats, and session state can be read freely.
+//
+// A decided loser result is impossible by construction: a worker is only
+// interrupted after the winner claimed the race, so any later-finishing
+// worker's result is discarded. Unknown results never claim the win; if
+// every worker exhausts its conflict budget, worker 0's Unknown is
+// returned.
+//
+//===----------------------------------------------------------------------===//
+
+#include "maxsat/Portfolio.h"
+
+#include "sat/Solver.h"
+
+#include <cassert>
+#include <thread>
+
+using namespace bugassist;
+
+// --- ClauseExchange ---------------------------------------------------------
+
+ClauseExchange::ClauseExchange(size_t NumWorkers, size_t Capacity)
+    : Cursor(NumWorkers, 0), Capacity(Capacity ? Capacity : 1) {}
+
+void ClauseExchange::publish(size_t Worker, const std::vector<Lit> &Lits,
+                             uint32_t Lbd) {
+  std::lock_guard<std::mutex> G(M);
+  assert(Worker < Cursor.size() && "unknown worker");
+  Buf.push_back({Lits, Lbd, Worker});
+  ++Published;
+  while (Buf.size() > Capacity) {
+    Buf.pop_front();
+    ++BaseSeq;
+    ++Dropped;
+  }
+}
+
+bool ClauseExchange::fetch(size_t Worker, std::vector<Lit> &Lits,
+                           uint32_t &Lbd) {
+  std::lock_guard<std::mutex> G(M);
+  assert(Worker < Cursor.size() && "unknown worker");
+  uint64_t Seq = std::max(Cursor[Worker], BaseSeq); // dropped entries skipped
+  uint64_t EndSeq = BaseSeq + Buf.size();
+  while (Seq < EndSeq) {
+    const Entry &E = Buf[static_cast<size_t>(Seq - BaseSeq)];
+    ++Seq;
+    if (E.Source == Worker)
+      continue; // never hand a worker its own clause back
+    Lits = E.Lits;
+    Lbd = E.Lbd;
+    Cursor[Worker] = Seq;
+    return true;
+  }
+  Cursor[Worker] = Seq;
+  return false;
+}
+
+uint64_t ClauseExchange::published() const {
+  std::lock_guard<std::mutex> G(M);
+  return Published;
+}
+
+uint64_t ClauseExchange::dropped() const {
+  std::lock_guard<std::mutex> G(M);
+  return Dropped;
+}
+
+// --- diversification --------------------------------------------------------
+
+Solver::Options bugassist::diversifiedOptions(const Solver::Options &Base,
+                                              size_t WorkerId) {
+  Solver::Options O = Base;
+  if (WorkerId == 0)
+    return O; // the anchor: exactly the base configuration
+  // Distinct seeds decorrelate the random decisions and random phases even
+  // between workers that share a policy mix.
+  O.RandSeed = Base.RandSeed + 0x9e3779b97f4a7c15ull * WorkerId;
+  switch (WorkerId % 8) {
+  case 1: // model-hunter: positive phases, eager EMA restarts
+    O.InitPhase = Solver::Options::PhaseInit::True;
+    O.RestartMargin = 1.1;
+    break;
+  case 2: // Luby fast restarts with extra random branching
+    O.Restart = Solver::Options::RestartPolicy::Luby;
+    O.LubyUnit = 100;
+    O.RandomBranchFreq = 0.05;
+    break;
+  case 3: // the seed retention policy under EMA restarts, random phases
+    O.Retention = Solver::Options::RetentionPolicy::ActivityHalving;
+    O.InitPhase = Solver::Options::PhaseInit::Random;
+    break;
+  case 4: // wide tiers, heavy randomization
+    O.RandomBranchFreq = 0.1;
+    O.CoreLbdCut = 4;
+    O.MidLbdCut = 8;
+    break;
+  case 5: // Luby slow restarts, positive phases (deep SAT dives)
+    O.Restart = Solver::Options::RestartPolicy::Luby;
+    O.LubyUnit = 512;
+    O.InitPhase = Solver::Options::PhaseInit::True;
+    break;
+  case 6: // conservative EMA restarts, random phases
+    O.RestartMargin = 1.4;
+    O.BlockMargin = 1.2;
+    O.InitPhase = Solver::Options::PhaseInit::Random;
+    O.RandomBranchFreq = 0.05;
+    break;
+  case 7: // the full seed-policy solver (Luby + activity halving)
+    O.Restart = Solver::Options::RestartPolicy::Luby;
+    O.Retention = Solver::Options::RetentionPolicy::ActivityHalving;
+    break;
+  default: // 0 mod 8 beyond the anchor: base policies, fresh seed
+    break;
+  }
+  return O;
+}
+
+namespace {
+
+/// Wires one worker's solver into the exchange. The exchange must outlive
+/// the solver: the installed lambdas hold a reference to it.
+void installShareHooks(Solver &S, ClauseExchange &Ex, size_t Id,
+                       Var ShareVarLimit) {
+  S.setShareHooks(
+      [&Ex, Id](const std::vector<Lit> &L, uint32_t Lbd) {
+        Ex.publish(Id, L, Lbd);
+      },
+      [&Ex, Id](std::vector<Lit> &L, uint32_t &Lbd) {
+        return Ex.fetch(Id, L, Lbd);
+      },
+      ShareVarLimit);
+}
+
+} // namespace
+
+// --- plain-SAT racing -------------------------------------------------------
+
+SatRaceResult bugassist::racePortfolioSat(const std::vector<Clause> &Clauses,
+                                          int NumVars, size_t Threads,
+                                          const Solver::Options &Base) {
+  SatRaceResult Race;
+  size_t N = Threads ? Threads : 1;
+
+  ClauseExchange Exchange(N); // declared first: the hooks reference it
+  std::vector<std::unique_ptr<Solver>> Solvers;
+  Solvers.reserve(N);
+  for (size_t Id = 0; Id < N; ++Id) {
+    auto S = std::make_unique<Solver>(diversifiedOptions(Base, Id));
+    S->ensureVars(NumVars);
+    for (const Clause &C : Clauses)
+      if (!S->addClause(C))
+        break; // root-level UNSAT: solve() will report False immediately
+    if (N > 1)
+      installShareHooks(*S, Exchange, Id, /*ShareVarLimit=*/NumVars);
+    Solvers.push_back(std::move(S));
+  }
+
+  if (N == 1) {
+    Race.Result = Solvers[0]->solve();
+    Race.Winner = Race.Result == LBool::Undef ? -1 : 0;
+  } else {
+    std::mutex RaceM;
+    int Winner = -1;
+    auto Body = [&](size_t Id) {
+      LBool R = Solvers[Id]->solve();
+      std::lock_guard<std::mutex> G(RaceM);
+      if (R != LBool::Undef && Winner < 0) {
+        Winner = static_cast<int>(Id);
+        Race.Result = R;
+        for (size_t J = 0; J < N; ++J)
+          if (J != Id)
+            Solvers[J]->interrupt();
+      }
+    };
+    std::vector<std::thread> Pool;
+    Pool.reserve(N);
+    for (size_t Id = 0; Id < N; ++Id)
+      Pool.emplace_back(Body, Id);
+    for (std::thread &T : Pool)
+      T.join();
+    Race.Winner = Winner;
+  }
+
+  for (auto &S : Solvers) {
+    S->clearInterrupt();
+    Race.PerWorker.push_back(S->stats());
+    Race.Aggregate += S->stats();
+  }
+  return Race;
+}
+
+// --- PortfolioSession -------------------------------------------------------
+
+PortfolioSession::PortfolioSession(const MaxSatInstance &Inst, bool Weighted,
+                                   size_t Threads, uint64_t ConflictBudget,
+                                   const Solver::Options &Base) {
+  size_t N = Threads ? Threads : 1;
+  Exchange = std::make_unique<ClauseExchange>(N);
+  PStats.WinsByWorker.assign(N, 0);
+  Workers.reserve(N);
+  for (size_t Id = 0; Id < N; ++Id) {
+    // Every worker canonicalizes, so the race winner's diagnosis is the
+    // same set any other worker would have reported.
+    auto Sess = makeMaxSatSession(Inst, Weighted, ConflictBudget,
+                                  diversifiedOptions(Base, Id),
+                                  /*Canonical=*/true);
+    if (N > 1) {
+      // Only clauses over the original variables travel between workers:
+      // every session's auxiliary encoding is a conservative extension of
+      // the shared hard clauses, so these clauses are implied by the hard
+      // clauses alone and sound everywhere.
+      installShareHooks(Sess->solver(), *Exchange, Id,
+                        /*ShareVarLimit=*/Inst.NumVars);
+    }
+    Workers.push_back(std::move(Sess));
+  }
+}
+
+PortfolioSession::~PortfolioSession() = default;
+
+MaxSatResult PortfolioSession::solve() {
+  MaxSatResult Winning;
+  if (Workers.size() == 1) {
+    Winning = Workers[0]->solve();
+    PStats.LastWinner = Winning.Status == MaxSatStatus::Unknown ? -1 : 0;
+    if (PStats.LastWinner == 0)
+      ++PStats.WinsByWorker[0];
+  } else {
+    for (auto &W : Workers)
+      W->solver().clearInterrupt();
+
+    std::mutex RaceM;
+    int Winner = -1;
+    auto Body = [&](size_t Id) {
+      MaxSatResult R = Workers[Id]->solve();
+      std::lock_guard<std::mutex> G(RaceM);
+      // First *fully decided* answer wins; anyone interrupted after this
+      // point returns Unknown and is discarded, so a stale (pre-interrupt)
+      // decided result can never leak out of a loser. A budget-truncated
+      // canonicalization never wins either -- which worker ran out of
+      // budget mid-canonicalization is timing-dependent, and letting it
+      // win would make the reported diagnosis timing-dependent too.
+      if (R.Status != MaxSatStatus::Unknown && !R.CanonicalTruncated &&
+          Winner < 0) {
+        Winner = static_cast<int>(Id);
+        Winning = std::move(R);
+        for (size_t J = 0; J < Workers.size(); ++J)
+          if (J != Id)
+            Workers[J]->solver().interrupt();
+      } else if (Winner < 0 && Id == 0) {
+        // No winner yet: remember the anchor worker's result. If nobody
+        // ever wins (every worker truncated or exhausted its budget), the
+        // anchor's deterministic-configuration answer is still the best
+        // fallback -- possibly a proven optimum with a non-canonical set.
+        Winning = std::move(R);
+      }
+    };
+    std::vector<std::thread> Pool;
+    Pool.reserve(Workers.size());
+    for (size_t Id = 0; Id < Workers.size(); ++Id)
+      Pool.emplace_back(Body, Id);
+    for (std::thread &T : Pool)
+      T.join();
+
+    for (auto &W : Workers)
+      W->solver().clearInterrupt();
+    PStats.LastWinner = Winner;
+    if (Winner >= 0)
+      ++PStats.WinsByWorker[static_cast<size_t>(Winner)];
+    // No winner: Winning holds worker 0's fallback result (Unknown, or a
+    // budget-truncated optimum) untouched.
+  }
+  PStats.ClausesPublished = Exchange->published();
+  PStats.ClausesDropped = Exchange->dropped();
+  Winning.Search = stats(); // surface the whole fleet's work
+  return Winning;
+}
+
+bool PortfolioSession::addHardClause(const Clause &C) {
+  bool Ok = true;
+  for (auto &W : Workers)
+    Ok = W->addHardClause(C) && Ok;
+  return Ok;
+}
+
+const SolverStats &PortfolioSession::stats() const {
+  Agg = SolverStats{};
+  for (const auto &W : Workers)
+    Agg += W->stats();
+  return Agg;
+}
+
+Solver &PortfolioSession::solver() { return Workers[0]->solver(); }
+
+std::unique_ptr<PortfolioSession>
+bugassist::makePortfolioSession(const MaxSatInstance &Inst, bool Weighted,
+                                size_t Threads, uint64_t ConflictBudget,
+                                const Solver::Options &Base) {
+  return std::make_unique<PortfolioSession>(Inst, Weighted, Threads,
+                                            ConflictBudget, Base);
+}

@@ -27,7 +27,11 @@
 
 using namespace bugassist;
 
-Solver::Solver(const Options &O) : Opts(O) {}
+Solver::Solver(const Options &O) : Opts(O) {
+  RandState = O.RandSeed | 1;
+  double Freq = std::min(1.0, std::max(0.0, O.RandomBranchFreq));
+  RandBranchThreshold = static_cast<uint32_t>(Freq * 1024.0);
+}
 
 float Solver::clauseActivity(ClauseRef CR) const {
   float A;
@@ -49,11 +53,24 @@ Var Solver::newVar() {
   Reason.push_back(InvalidClause);
   Activity.push_back(0.0);
   HeapIndex.push_back(-1);
-  SavedPhase.push_back(false);
+  bool Phase = false;
+  switch (Opts.InitPhase) {
+  case Options::PhaseInit::False:
+    break;
+  case Options::PhaseInit::True:
+    Phase = true;
+    break;
+  case Options::PhaseInit::Random:
+    Phase = nextRand() & 1;
+    break;
+  }
+  SavedPhase.push_back(Phase);
   Released.push_back(false);
   Seen.push_back(0);
   Watches.emplace_back(); // positive literal
   Watches.emplace_back(); // negative literal
+  BinWatches.emplace_back();
+  BinWatches.emplace_back();
   heapInsert(V);
   return V;
 }
@@ -142,11 +159,33 @@ Solver::ClauseRef Solver::allocClause(const std::vector<Lit> &Lits,
 void Solver::attachClause(ClauseRef CR) {
   const Lit *CL = clauseLits(CR);
   assert(clauseSize(CR) >= 2 && "cannot watch unit clause");
-  Watches[(~CL[0]).code()].push_back({CR, CL[1]});
-  Watches[(~CL[1]).code()].push_back({CR, CL[0]});
+  // Size-2 clauses live in the dedicated binary lists: the Blocker IS the
+  // implied literal, so propagation needs no arena access at all.
+  auto &Lists = clauseSize(CR) == 2 ? BinWatches : Watches;
+  Lists[(~CL[0]).code()].push_back({CR, CL[1]});
+  Lists[(~CL[1]).code()].push_back({CR, CL[0]});
 }
 
 void Solver::detachClause(ClauseRef CR) {
+  const Lit *CL = clauseLits(CR);
+  auto &Lists = clauseSize(CR) == 2 ? BinWatches : Watches;
+  for (int I = 0; I < 2; ++I) {
+    auto &WL = Lists[(~CL[I]).code()];
+    for (size_t J = 0; J < WL.size(); ++J) {
+      if (WL[J].CRef == CR) {
+        WL[J] = WL.back();
+        WL.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+void Solver::rewatchAsBinary(ClauseRef CR) {
+  // A clause that root-level trimming shrank to two literals migrates from
+  // the long-clause watches into the binary lists (invariant: size 2 <=>
+  // watched in BinWatches). The watched literals themselves are untouched
+  // by trimming, so the stale entries are exactly at (~CL[0]) and (~CL[1]).
   const Lit *CL = clauseLits(CR);
   for (int I = 0; I < 2; ++I) {
     auto &WL = Watches[(~CL[I]).code()];
@@ -158,11 +197,17 @@ void Solver::detachClause(ClauseRef CR) {
       }
     }
   }
+  attachClause(CR);
 }
 
 bool Solver::isLocked(ClauseRef CR) const {
-  Lit First = clauseLits(CR)[0];
-  return value(First) == LBool::True && Reason[First.var()] == CR;
+  // Binary clauses skip propagate()'s normalizing swap, so the implied
+  // literal may sit at either position.
+  const Lit *CL = clauseLits(CR);
+  if (value(CL[0]) == LBool::True && Reason[CL[0].var()] == CR)
+    return true;
+  return clauseSize(CR) == 2 && value(CL[1]) == LBool::True &&
+         Reason[CL[1].var()] == CR;
 }
 
 void Solver::removeClause(ClauseRef CR) {
@@ -186,6 +231,25 @@ Solver::ClauseRef Solver::propagate() {
   while (PropagationHead < static_cast<int>(Trail.size())) {
     Lit P = Trail[PropagationHead++];
     ++Stats.Propagations;
+
+    // Binary fast path: the Blocker is the whole remaining clause, so each
+    // watcher resolves with one value() lookup -- no header load, no
+    // literal scan, no watch-list surgery.
+    auto &BWL = BinWatches[P.code()];
+    for (const Watcher &BW : BWL) {
+      LBool BV = value(BW.Blocker);
+      if (BV == LBool::False) {
+        Confl = BW.CRef;
+        break;
+      }
+      if (BV == LBool::Undef)
+        uncheckedEnqueue(BW.Blocker, BW.CRef);
+    }
+    if (Confl != InvalidClause) {
+      PropagationHead = static_cast<int>(Trail.size());
+      break;
+    }
+
     auto &WL = Watches[P.code()];
     size_t I = 0, J = 0;
     while (I < WL.size()) {
@@ -268,6 +332,8 @@ void Solver::analyze(ClauseRef Confl, std::vector<Lit> &OutLearnt,
 
   do {
     assert(Confl != InvalidClause && "no reason for implied literal");
+    if (P != NullLit)
+      normalizeBinaryReason(Confl, P);
     if (clauseLearnt(Confl)) {
       claBumpActivity(Confl);
       // Glucose: a learnt clause participating in conflict analysis gets
@@ -319,6 +385,7 @@ void Solver::analyze(ClauseRef Confl, std::vector<Lit> &OutLearnt,
     ClauseRef R = Reason[L.var()];
     bool Redundant = false;
     if (R != InvalidClause) {
+      normalizeBinaryReason(R, ~L); // ~L is the literal R implied
       Redundant = true;
       const Lit *RC = clauseLits(R);
       uint32_t RSize = clauseSize(R);
@@ -374,6 +441,7 @@ void Solver::analyzeFinal(Lit P) {
       assert(level(V) > 0 && "level-0 decision in final analysis");
       ConflictCore.push_back(Trail[I]);
     } else {
+      normalizeBinaryReason(Reason[V], Trail[I]);
       const Lit *CL = clauseLits(Reason[V]);
       uint32_t Size = clauseSize(Reason[V]);
       for (uint32_t J = 1; J < Size; ++J)
@@ -401,8 +469,9 @@ void Solver::cancelUntil(int Level) {
 
 Lit Solver::pickBranchLit() {
   Var Next = NullVar;
-  // Occasional random decisions diversify restarts.
-  if ((nextRand() & 1023) < 20 && !heapEmpty()) {
+  // Occasional random decisions diversify restarts (and, in a portfolio,
+  // decorrelate workers; the frequency is an Options knob).
+  if ((nextRand() & 1023) < RandBranchThreshold && !heapEmpty()) {
     Var Cand = Heap[nextRand() % Heap.size()];
     if (value(Cand) == LBool::Undef)
       Next = Cand;
@@ -503,6 +572,8 @@ LBool Solver::search() {
   uint32_t Lbd = 0;
 
   for (;;) {
+    if (InterruptRequested.load(std::memory_order_relaxed))
+      return LBool::Undef; // cooperative cancellation (portfolio racing)
     ClauseRef Confl = propagate();
     if (Confl != InvalidClause) {
       // Conflict.
@@ -525,6 +596,22 @@ LBool Solver::search() {
         claBumpActivity(CR);
         uncheckedEnqueue(Learnt[0], CR);
         ++Stats.LearnedClauses;
+      }
+      if (Export && Lbd <= Opts.ShareLbdMax &&
+          Learnt.size() <= Opts.ShareMaxSize) {
+        // Only clauses over the shared variable prefix travel: learnts
+        // touching session-local auxiliaries stay private (they are only
+        // implied by this worker's guard/counter structure).
+        bool Shareable = true;
+        for (Lit L : Learnt)
+          if (L.var() >= ShareVarLimit) {
+            Shareable = false;
+            break;
+          }
+        if (Shareable) {
+          Export(Learnt, Lbd);
+          ++Stats.ClausesExported;
+        }
       }
       varDecayActivity();
       claDecayActivity();
@@ -579,6 +666,7 @@ LBool Solver::solve(const std::vector<Lit> &Assumptions) {
       Opts.MaxLearntsBase, static_cast<double>(ProblemClauses.size()) / 3.0);
 
   simplifyLevel0();
+  importSharedClauses(); // foreign clauses land at the root, like restarts
   if (!Ok) {
     CurAssumptions.clear();
     return LBool::False;
@@ -591,9 +679,18 @@ LBool Solver::solve(const std::vector<Lit> &Assumptions) {
     ConflictsSinceRestart = 0;
     Result = search();
     if (Result == LBool::Undef) {
+      if (InterruptRequested.load(std::memory_order_relaxed))
+        break; // interrupted: hand back Undef without counting a restart
       ++Stats.Restarts;
       if (ConflictBudget != 0 && ConflictsThisSolve >= ConflictBudget)
         break;
+      // Restart boundary: the solver is at decision level 0, the one place
+      // foreign clauses can be injected soundly and attached watchable.
+      importSharedClauses();
+      if (!Ok) {
+        Result = LBool::False;
+        break;
+      }
     }
   }
 
@@ -647,8 +744,11 @@ void Solver::simplifyLevel0() {
             ++K;
           }
         }
-        if (NewSize != Size)
+        if (NewSize != Size) {
           setClauseSize(CR, NewSize);
+          if (NewSize == 2)
+            rewatchAsBinary(CR); // keep the size-2 <=> BinWatches invariant
+        }
       }
       Set[J++] = CR;
     }
@@ -790,6 +890,55 @@ std::vector<uint32_t> Solver::learntLbds() const {
   return Lbds;
 }
 
+// --- portfolio clause exchange ----------------------------------------------
+
+void Solver::importSharedClauses() {
+  if (!Import || !Ok)
+    return;
+  assert(decisionLevel() == 0 && "imports only at the root level");
+  std::vector<Lit> C;
+  uint32_t Lbd = 0;
+  bool Any = false;
+  while (Ok && Import(C, Lbd)) {
+    addImportedClause(C, Lbd);
+    Any = true;
+  }
+  if (Ok && Any && propagate() != InvalidClause)
+    Ok = false;
+}
+
+void Solver::addImportedClause(const std::vector<Lit> &Lits, uint32_t Lbd) {
+  // Root-level simplification mirrors addClause, but the clause enters the
+  // learnt tiers under its advertised LBD instead of the problem set: an
+  // imported clause is a lemma, and the retention policy may drop it again.
+  std::vector<Lit> C(Lits);
+  for (Lit L : C)
+    ensureVars(L.var() + 1);
+  std::sort(C.begin(), C.end());
+  std::vector<Lit> Simplified;
+  Lit Prev = NullLit;
+  for (Lit L : C) {
+    if (value(L) == LBool::True || L == ~Prev)
+      return; // satisfied at the root or tautological
+    if (value(L) == LBool::False || L == Prev)
+      continue;
+    Simplified.push_back(L);
+    Prev = L;
+  }
+  if (Simplified.empty()) {
+    Ok = false; // shared clauses are implied: the formula is UNSAT
+    return;
+  }
+  ++Stats.ClausesImported;
+  if (Simplified.size() == 1) {
+    uncheckedEnqueue(Simplified[0], InvalidClause);
+    return; // caller propagates after the batch
+  }
+  ClauseRef CR = allocClause(Simplified, /*Learnt=*/true);
+  pushLearnt(CR, std::max<uint32_t>(Lbd, 1));
+  attachClause(CR);
+}
+
 // --- arena garbage collection ----------------------------------------------
 
 void Solver::checkGarbage() {
@@ -823,6 +972,9 @@ void Solver::garbageCollect() {
   };
 
   for (auto &WL : Watches)
+    for (Watcher &W : WL)
+      Reloc(W.CRef);
+  for (auto &WL : BinWatches)
     for (Watcher &W : WL)
       Reloc(W.CRef);
   for (Lit L : Trail)

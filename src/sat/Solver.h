@@ -41,6 +41,17 @@
 /// ClauseAllocator: header + activity + LBD words with inline literals,
 /// addressed by a 32-bit ClauseRef), so propagation walks contiguous memory
 /// and deleted clauses are reclaimed by relocating garbage collection.
+/// Binary clauses are watched in dedicated lists whose Watcher carries the
+/// whole clause (the Blocker is the other literal), so the propagation fast
+/// path over them never touches the arena.
+///
+/// For portfolio solving (maxsat/Portfolio.h) the solver additionally
+/// supports cooperative cancellation -- interrupt() raises an atomic flag
+/// polled once per search-loop iteration -- and glucose-syrup-style learnt
+/// sharing: export/import hooks push low-LBD learnts over a shared variable
+/// prefix into an exchange buffer and inject foreign clauses at restart
+/// boundaries. Diversification knobs (RNG seed, random-branch frequency,
+/// initial phase, plus the restart/retention policy mix) live in Options.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -49,7 +60,10 @@
 
 #include "cnf/Lit.h"
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 namespace bugassist {
@@ -69,6 +83,9 @@ struct SolverStats {
   uint64_t LbdSum = 0;   ///< sum of learn-time LBDs over all conflicts
   uint64_t LbdCount = 0; ///< conflicts that recorded an LBD (incl. units)
   uint64_t LbdTightened = 0; ///< reason-clause LBDs improved during analysis
+  // Portfolio clause exchange (0 unless share hooks are installed).
+  uint64_t ClausesExported = 0; ///< learnts pushed through the export hook
+  uint64_t ClausesImported = 0; ///< foreign clauses injected at restarts
   // Live tier gauges (LbdTiers retention; seed policy reports all as Local).
   uint64_t CoreLearnts = 0;
   uint64_t MidLearnts = 0;
@@ -80,6 +97,30 @@ struct SolverStats {
     return LbdCount
                ? static_cast<double>(LbdSum) / static_cast<double>(LbdCount)
                : 0.0;
+  }
+
+  /// Field-complete summation, kept next to the field list so a new
+  /// counter cannot silently go missing from portfolio aggregates. (The
+  /// tier gauges are instantaneous counts; summing them reads as the
+  /// fleet-wide live-clause population.)
+  SolverStats &operator+=(const SolverStats &O) {
+    Conflicts += O.Conflicts;
+    Decisions += O.Decisions;
+    Propagations += O.Propagations;
+    Restarts += O.Restarts;
+    RestartsBlocked += O.RestartsBlocked;
+    LearnedClauses += O.LearnedClauses;
+    DeletedClauses += O.DeletedClauses;
+    GcRuns += O.GcRuns;
+    LbdSum += O.LbdSum;
+    LbdCount += O.LbdCount;
+    LbdTightened += O.LbdTightened;
+    ClausesExported += O.ClausesExported;
+    ClausesImported += O.ClausesImported;
+    CoreLearnts += O.CoreLearnts;
+    MidLearnts += O.MidLearnts;
+    LocalLearnts += O.LocalLearnts;
+    return *this;
   }
 };
 
@@ -105,9 +146,23 @@ public:
       ActivityHalving, ///< drop the lowest-activity half (seed behavior)
       LbdTiers         ///< core/mid/local tiers keyed by LBD
     };
+    enum class PhaseInit : uint8_t {
+      False, ///< MiniSAT default: fresh variables start negative
+      True,  ///< fresh variables start positive
+      Random ///< fresh variables draw their phase from the solver RNG
+    };
 
     RestartPolicy Restart = RestartPolicy::GlucoseEma;
     RetentionPolicy Retention = RetentionPolicy::LbdTiers;
+
+    // -- portfolio diversification ----
+    uint64_t RandSeed = 0x1234567890abcdefull; ///< decision/phase RNG seed
+    double RandomBranchFreq = 0.02; ///< fraction of random decisions [0, 1]
+    PhaseInit InitPhase = PhaseInit::False; ///< saved phase of fresh vars
+
+    // -- learnt-clause sharing (only consulted once hooks are set) ----
+    uint32_t ShareLbdMax = 2;   ///< export learnts with LBD <= this
+    uint32_t ShareMaxSize = 32; ///< never export clauses longer than this
 
     // -- Luby restarts ----
     uint64_t LubyUnit = 100; ///< conflicts per Luby step
@@ -192,6 +247,47 @@ public:
   /// Limits the next solve() calls to \p MaxConflicts conflicts
   /// (0 = unlimited). When exhausted, solve returns Undef.
   void setConflictBudget(uint64_t MaxConflicts) { ConflictBudget = MaxConflicts; }
+
+  // --- cooperative cancellation (portfolio racing) -------------------------
+
+  /// Asks a running solve() to stop at the next search-loop iteration; the
+  /// call returns Undef. Safe to call from any thread; the flag is sticky
+  /// until clearInterrupt(), so a solve() that has not started yet returns
+  /// promptly too.
+  void interrupt() { InterruptRequested.store(true, std::memory_order_relaxed); }
+
+  /// Re-arms the solver after an interrupt. Call between solve()s only.
+  void clearInterrupt() {
+    InterruptRequested.store(false, std::memory_order_relaxed);
+  }
+
+  bool interrupted() const {
+    return InterruptRequested.load(std::memory_order_relaxed);
+  }
+
+  // --- learnt-clause sharing (glucose-syrup-style portfolio exchange) ------
+
+  /// Export hook: receives each learnt clause (post-minimization) with
+  /// LBD <= Options::ShareLbdMax whose variables are all < ShareVarLimit.
+  using ExportFn = std::function<void(const std::vector<Lit> &, uint32_t Lbd)>;
+  /// Import hook: pulls one foreign clause at a time (returns false when
+  /// drained). Drained at solve() entry and at every restart boundary, at
+  /// decision level 0; imported clauses enter the learnt tiers with the
+  /// advertised LBD. Hooks may be called from the solving thread only, but
+  /// their implementations (e.g. ClauseExchange) are expected to be
+  /// thread-safe so several solvers can share one buffer.
+  using ImportFn = std::function<bool(std::vector<Lit> &, uint32_t &Lbd)>;
+
+  /// Installs the exchange hooks. Only clauses whose variables are all
+  /// below \p ShareVarLimit are exported -- portfolio sessions pass the
+  /// number of *original* problem variables, so clauses over session-local
+  /// auxiliaries (guards, relaxation selectors, counter internals) never
+  /// leak into solvers where they would be unsound.
+  void setShareHooks(ExportFn Export, ImportFn Import, Var ShareVarLimit) {
+    this->Export = std::move(Export);
+    this->Import = std::move(Import);
+    this->ShareVarLimit = ShareVarLimit;
+  }
 
   const SolverStats &stats() const { return Stats; }
 
@@ -310,7 +406,18 @@ private:
   ClauseRef allocClause(const std::vector<Lit> &Lits, bool Learnt);
   void attachClause(ClauseRef CR);
   void detachClause(ClauseRef CR);
+  void rewatchAsBinary(ClauseRef CR);
   void removeClause(ClauseRef CR);
+  void importSharedClauses();
+  void addImportedClause(const std::vector<Lit> &Lits, uint32_t Lbd);
+  /// The binary fast path never normalizes clause literals during
+  /// propagation, so a binary reason clause may have the implied literal at
+  /// either position; callers reading reasons positionally fix it up here.
+  void normalizeBinaryReason(ClauseRef CR, Lit Implied) {
+    Lit *CL = clauseLits(CR);
+    if (clauseSize(CR) == 2 && CL[0] != Implied)
+      std::swap(CL[0], CL[1]);
+  }
   bool isLocked(ClauseRef CR) const;
   void pushLearnt(ClauseRef CR, uint32_t Lbd);
   size_t reducibleLearnts() const;
@@ -361,7 +468,11 @@ private:
   std::vector<ClauseRef> CoreLearnts;
   std::vector<ClauseRef> MidLearnts;
   std::vector<ClauseRef> LocalLearnts;
-  std::vector<std::vector<Watcher>> Watches; // indexed by Lit code
+  std::vector<std::vector<Watcher>> Watches; // indexed by Lit code, size >= 3
+  // Binary clauses get their own watch lists: the Watcher's Blocker IS the
+  // other literal, so propagation over them never touches the arena (no
+  // header load, no literal scan) -- see the fast path in propagate().
+  std::vector<std::vector<Watcher>> BinWatches; // indexed by Lit code
   std::vector<LBool> Assigns;
   std::vector<int> VarLevel;
   std::vector<ClauseRef> Reason;
@@ -404,6 +515,12 @@ private:
   double TrailEma = 0;
   double TrailBias = 0;
   uint64_t RandState = 0x1234567890abcdefull;
+  uint32_t RandBranchThreshold = 20; // random decisions per 1024 (from Opts)
+
+  std::atomic<bool> InterruptRequested{false};
+  ExportFn Export;
+  ImportFn Import;
+  Var ShareVarLimit = 0; // only clauses with all vars below this are exported
 
   SolverStats Stats;
 };
