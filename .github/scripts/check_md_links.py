@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Fail the build on broken relative links in README.md / docs/*.md.
+
+Checks every markdown link and image target in the repo's top-level
+README.md and everything under docs/. External links (http/https/mailto),
+pure in-page anchors (#...), and site-relative GitHub URLs that escape the
+repository root (e.g. the ../../actions/... badge link) are skipped;
+everything else must resolve to an existing file or directory.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+# [text](target) and ![alt](target); target may carry a #fragment.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Fenced code blocks must not contribute false links.
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def iter_md_files():
+    readme = REPO / "README.md"
+    if readme.exists():
+        yield readme
+    docs = REPO / "docs"
+    if docs.is_dir():
+        yield from sorted(docs.rglob("*.md"))
+
+
+def check_file(md):
+    broken = []
+    in_fence = False
+    for lineno, line in enumerate(md.read_text().splitlines(), start=1):
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            try:
+                resolved.relative_to(REPO)
+            except ValueError:
+                continue  # site-relative GitHub URL (escapes the repo)
+            if not resolved.exists():
+                broken.append((lineno, target))
+    return broken
+
+
+def main():
+    files = list(iter_md_files())
+    if not files:
+        print("check_md_links: no markdown files found", file=sys.stderr)
+        return 1
+    failures = 0
+    for md in files:
+        for lineno, target in check_file(md):
+            rel = md.relative_to(REPO)
+            print(f"{rel}:{lineno}: broken link: {target}", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"check_md_links: {failures} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"check_md_links: {len(files)} file(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

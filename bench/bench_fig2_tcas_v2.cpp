@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/BugAssist.h"
+#include "core/Pipeline.h"
 #include "core/Ranking.h"
 #include "lang/Sema.h"
 #include "programs/Tcas.h"
@@ -35,19 +36,11 @@ int main() {
     return 1;
   }
 
-  Interpreter GI(*Golden, tcasExecOptions());
-  Interpreter FI(*Faulty, tcasExecOptions());
-  std::vector<InputVector> Failing;
-  std::vector<int64_t> Goldens;
-  for (const InputVector &In : tcasTestPool(1600)) {
-    int64_t Want = GI.run("main", In).ReturnValue;
-    if (FI.run("main", In).ReturnValue != Want) {
-      Failing.push_back(In);
-      Goldens.push_back(Want);
-    }
-  }
-  std::printf("failing tests: %zu (the paper's v2 had 69)\n", Failing.size());
-  if (Failing.empty())
+  FailingTests Failing = segregateFailingTests(
+      *Golden, *Faulty, tcasTestPool(1600), "main", tcasExecOptions());
+  std::printf("failing tests: %zu (the paper's v2 had 69)\n",
+              Failing.Inputs.size());
+  if (Failing.Inputs.empty())
     return 1;
 
   BugAssistDriver Driver(*Faulty, "main", tcasUnrollOptions());
@@ -57,8 +50,8 @@ int main() {
   S.CheckObligations = false;
 
   Timer T;
-  RankingReport R =
-      rankSuspects(Driver.formula(), Failing, S, &Goldens, LO);
+  RankingReport R = rankSuspects(Driver.formula(), Failing.Inputs, S,
+                                 &Failing.Goldens, LO);
   double Elapsed = T.seconds();
 
   std::printf("\nunion of reported lines over %zu runs: %zu locations "

@@ -19,7 +19,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchArgs.h"
+#include "cnf/DimacsReader.h"
 #include "core/BugAssist.h"
+#include "core/Pipeline.h"
 #include "lang/Sema.h"
 #include "maxsat/MaxSat.h"
 #include "maxsat/Portfolio.h"
@@ -30,9 +32,11 @@
 #include "support/Rng.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <dirent.h>
 #include <set>
 #include <string>
 #include <vector>
@@ -263,6 +267,98 @@ void benchMaxSat(const std::string &Name, const MaxSatInstance &Inst, Fn Solve) 
   record(std::move(W));
 }
 
+// --- external DIMACS / WCNF instances (--wcnf DIR) --------------------------
+
+/// Sweeps every *.cnf / *.wcnf file in \p Dir (sorted by name) through the
+/// solver substrate: CNF instances are decided (raced over the portfolio
+/// when Threads > 1), WCNF instances are optimized with the auto-selected
+/// MaxSAT engine. This is how MaxSAT-Evaluation benchmark directories
+/// become bench workloads without any code changes.
+void benchWcnfSweep(const std::string &Dir, size_t Threads) {
+  std::vector<std::string> Files;
+  DIR *D = opendir(Dir.c_str());
+  if (!D) {
+    std::printf("--wcnf: cannot open directory '%s'\n", Dir.c_str());
+    return;
+  }
+  while (dirent *E = readdir(D)) {
+    std::string Name = E->d_name;
+    auto EndsWith = [&](const char *Suffix) {
+      size_t L = std::strlen(Suffix);
+      return Name.size() >= L &&
+             Name.compare(Name.size() - L, L, Suffix) == 0;
+    };
+    if (EndsWith(".cnf") || EndsWith(".wcnf"))
+      Files.push_back(std::move(Name));
+  }
+  closedir(D);
+  std::sort(Files.begin(), Files.end());
+  if (Files.empty()) {
+    std::printf("--wcnf: no .cnf/.wcnf files in '%s'\n", Dir.c_str());
+    return;
+  }
+
+  for (const std::string &Name : Files) {
+    DimacsParseError Err;
+    auto Parsed = readDimacsFile(Dir + "/" + Name, Err);
+    if (!Parsed) {
+      std::printf("%-44s skipped: %s\n", Name.c_str(), Err.render().c_str());
+      continue;
+    }
+    WorkloadResult W;
+    W.Name = "dimacs_" + Name;
+    if (Threads > 1)
+      W.Name += "_t" + std::to_string(Threads);
+
+    if (Parsed->Soft.empty()) {
+      Timer T;
+      if (Threads > 1) {
+        SatRaceResult R =
+            racePortfolioSat(Parsed->Hard, Parsed->NumVars, Threads);
+        W.SatCalls = 1;
+        recordRace(W, R);
+        W.Extra = R.Result == LBool::True;
+      } else {
+        Solver S;
+        S.ensureVars(Parsed->NumVars);
+        bool Ok = true;
+        for (const Clause &C : Parsed->Hard)
+          Ok = Ok && S.addClause(C);
+        W.Extra = Ok && S.solve() == LBool::True;
+        W.SatCalls = 1;
+        W.addSearch(S.stats());
+      }
+      W.WallSeconds = T.seconds();
+      W.ExtraKey = "sat";
+    } else {
+      bool AnyWeight = false;
+      MaxSatInstance Inst = toMaxSatInstance(std::move(*Parsed), &AnyWeight);
+      Timer T;
+      MaxSatResult R;
+      if (Threads > 1) {
+        auto Session = makePortfolioSession(Inst, AnyWeight, Threads);
+        R = Session->solve();
+        const PortfolioStats &PS = Session->portfolioStats();
+        W.Wins = PS.WinsByWorker;
+        W.Winner = PS.LastWinner;
+      } else {
+        auto Session = makeMaxSatSession(Inst, AnyWeight,
+                                         /*ConflictBudget=*/0,
+                                         Solver::Options(),
+                                         /*Canonical=*/true);
+        R = Session->solve();
+      }
+      W.WallSeconds = T.seconds();
+      W.SatCalls = R.SatCalls;
+      W.addSearch(R.Search);
+      W.Extra = R.Status == MaxSatStatus::Optimum ? R.Cost : 0;
+      W.ExtraKey =
+          R.Status == MaxSatStatus::Optimum ? "cost" : "hard_unsat";
+    }
+    record(std::move(W));
+  }
+}
+
 // --- the TCAS Fu-Malik localization workload --------------------------------
 
 /// Algorithm 1's enumeration with the seed engine: the whole MaxSAT is
@@ -323,12 +419,8 @@ void benchTcasLocalization(size_t NumMutants, size_t TestsPerMutant,
     std::printf("golden TCAS failed to compile\n");
     return;
   }
-  Interpreter GI(*Golden, tcasExecOptions());
   auto Pool = tcasTestPool(400);
-  std::vector<int64_t> GoldenOut;
-  GoldenOut.reserve(Pool.size());
-  for (const InputVector &In : Pool)
-    GoldenOut.push_back(GI.run("main", In).ReturnValue);
+  auto GoldenOut = goldenOutputs(*Golden, Pool, "main", tcasExecOptions());
 
   WorkloadResult Inc, Pf, Lbd, Seed, Reb;
   Inc.Name = "tcas_fumalik_localize_incremental";
@@ -350,26 +442,22 @@ void benchTcasLocalization(size_t NumMutants, size_t TestsPerMutant,
     auto Faulty = parseAndAnalyze(M.Source, D2);
     if (!Faulty)
       continue;
-    Interpreter FI(*Faulty, tcasExecOptions());
-    std::vector<size_t> FailingIdx;
-    for (size_t I = 0; I < Pool.size() && FailingIdx.size() < TestsPerMutant;
-         ++I)
-      if (FI.run("main", Pool[I]).ReturnValue != GoldenOut[I])
-        FailingIdx.push_back(I);
-    if (FailingIdx.empty())
+    FailingTests Failing = segregateFailingTests(
+        GoldenOut, *Faulty, Pool, "main", tcasExecOptions(), TestsPerMutant);
+    if (Failing.Inputs.empty())
       continue;
     ++MutantsUsed;
 
     BugAssistDriver Driver(*Faulty, "main", tcasUnrollOptions());
-    for (size_t Idx : FailingIdx) {
+    for (size_t Idx = 0; Idx < Failing.Inputs.size(); ++Idx) {
       Spec S;
       S.CheckObligations = false;
-      S.GoldenReturn = GoldenOut[Idx];
+      S.GoldenReturn = Failing.Goldens[Idx];
 
       LocalizeOptions LO;
       LO.MaxDiagnoses = MaxDiagnoses;
       Timer T1;
-      LocalizationReport Rep = Driver.localize(Pool[Idx], S, LO);
+      LocalizationReport Rep = Driver.localize(Failing.Inputs[Idx], S, LO);
       Inc.WallSeconds += T1.seconds();
       Inc.SatCalls += Rep.SatCalls;
       Inc.addSearch(Rep.Search);
@@ -379,7 +467,7 @@ void benchTcasLocalization(size_t NumMutants, size_t TestsPerMutant,
         LocalizeOptions PLO = LO;
         PLO.Threads = Threads;
         Timer TP;
-        LocalizationReport PRep = Driver.localize(Pool[Idx], S, PLO);
+        LocalizationReport PRep = Driver.localize(Failing.Inputs[Idx], S, PLO);
         Pf.WallSeconds += TP.seconds();
         Pf.SatCalls += PRep.SatCalls;
         Pf.addSearch(PRep.Search);
@@ -391,7 +479,7 @@ void benchTcasLocalization(size_t NumMutants, size_t TestsPerMutant,
       }
 
       MaxSatInstance Inst =
-          Driver.formula().localizationInstance(Pool[Idx], S);
+          Driver.formula().localizationInstance(Failing.Inputs[Idx], S);
       const CnfFormula &F = Driver.formula().encoded().Formula;
 
       Timer T2;
@@ -485,17 +573,29 @@ void writeJson(const char *Path) {
 
 int main(int argc, char **argv) {
   const char *JsonPath = "BENCH_solvers.json";
+  const char *WcnfDir = nullptr;
   bool Quick = false, Smoke = false;
   size_t Threads = 4; // portfolio width for the *_portfolio workloads
   for (int I = 1; I < argc; ++I) {
     if (std::strncmp(argv[I], "--json=", 7) == 0)
       JsonPath = argv[I] + 7;
+    else if (std::strncmp(argv[I], "--wcnf=", 7) == 0)
+      WcnfDir = argv[I] + 7;
+    else if (std::strcmp(argv[I], "--wcnf") == 0 && I + 1 < argc)
+      WcnfDir = argv[++I];
     else if (std::strcmp(argv[I], "--quick") == 0)
       Quick = true;
     else if (std::strcmp(argv[I], "--smoke") == 0)
       Smoke = Quick = true; // smoke: CI-sized subset of the quick run
     else
       matchThreadsFlag(argc, argv, I, Threads);
+  }
+
+  // Sweep mode: external DIMACS/WCNF instances are the whole workload.
+  if (WcnfDir) {
+    benchWcnfSweep(WcnfDir, Threads);
+    writeJson(JsonPath);
+    return 0;
   }
 
   int PhaseVars = Smoke ? 60 : 100;

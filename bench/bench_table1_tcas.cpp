@@ -22,6 +22,7 @@
 
 #include "BenchArgs.h"
 #include "core/BugAssist.h"
+#include "core/Pipeline.h"
 #include "lang/Sema.h"
 #include "programs/Tcas.h"
 #include "programs/TcasMutants.h"
@@ -78,12 +79,9 @@ int main(int argc, char **argv) {
     std::printf("golden TCAS failed to compile:\n%s", Diags.render().c_str());
     return 1;
   }
-  Interpreter GI(*Golden, tcasExecOptions());
   auto Pool = tcasTestPool(1600);
-  std::vector<int64_t> GoldenOut;
-  GoldenOut.reserve(Pool.size());
-  for (const InputVector &In : Pool)
-    GoldenOut.push_back(GI.run("main", In).ReturnValue);
+  // Golden outputs once; every version screens against them.
+  auto GoldenOut = goldenOutputs(*Golden, Pool, "main", tcasExecOptions());
 
   const size_t Loc = countLines(tcasSource()) - 1;
   std::printf("Table 1: BugAssist on the TCAS task (pool=1600, LOC=%zu, "
@@ -100,15 +98,11 @@ int main(int argc, char **argv) {
       std::printf("v%-4d failed to compile\n", M.Version);
       continue;
     }
-    Interpreter FI(*Faulty, tcasExecOptions());
+    // Segregate failing tests against the golden outputs (Section 6.1).
+    FailingTests Failing = segregateFailingTests(GoldenOut, *Faulty, Pool,
+                                                 "main", tcasExecOptions());
 
-    // Segregate failing tests against the golden outputs.
-    std::vector<size_t> FailingIdx;
-    for (size_t I = 0; I < Pool.size(); ++I)
-      if (FI.run("main", Pool[I]).ReturnValue != GoldenOut[I])
-        FailingIdx.push_back(I);
-
-    if (FailingIdx.empty()) {
+    if (Failing.Inputs.empty()) {
       std::printf("v%-4d %5d %7d %8s %10s %9s  %s   (no failing tests; "
                   "omitted from the paper's table)\n",
                   M.Version, 0, M.ErrorCount, "-", "-", "-",
@@ -121,17 +115,16 @@ int main(int argc, char **argv) {
     LO.MaxDiagnoses = 24;
     LO.Threads = Threads; // >1: portfolio per MaxSAT query (same results)
 
-    size_t Runs = std::min(TestCap, FailingIdx.size());
+    size_t Runs = std::min(TestCap, Failing.Inputs.size());
     size_t Detect = 0;
     double TotalTime = 0;
     double TotalSuspects = 0;
     for (size_t R = 0; R < Runs; ++R) {
-      size_t Idx = FailingIdx[R];
       Spec S;
       S.CheckObligations = false;
-      S.GoldenReturn = GoldenOut[Idx];
+      S.GoldenReturn = Failing.Goldens[R];
       Timer T;
-      LocalizationReport Rep = Driver.localize(Pool[Idx], S, LO);
+      LocalizationReport Rep = Driver.localize(Failing.Inputs[R], S, LO);
       TotalTime += T.seconds();
       TotalSuspects += static_cast<double>(Rep.AllLines.size());
       bool Hit = false;
@@ -144,7 +137,7 @@ int main(int argc, char **argv) {
     TotalDetect += Detect;
 
     std::printf("v%-4d %5zu %7d %5zu/%-2zu %9.1f%% %8.3fs  %s\n", M.Version,
-                FailingIdx.size(), M.ErrorCount, Detect, Runs,
+                Failing.Inputs.size(), M.ErrorCount, Detect, Runs,
                 100.0 * TotalSuspects / (static_cast<double>(Runs) *
                                          static_cast<double>(Loc)),
                 TotalTime / static_cast<double>(Runs),

@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/BugAssist.h"
+#include "core/Pipeline.h"
 #include "core/Ranking.h"
 #include "lang/Sema.h"
 #include "programs/Tcas.h"
@@ -45,35 +46,27 @@ int main(int argc, char **argv) {
   }
 
   // Golden outputs + failing-test segregation (Section 6.1 methodology).
-  Interpreter GI(*Golden, tcasExecOptions());
-  Interpreter FI(*Faulty, tcasExecOptions());
-  std::vector<InputVector> Failing;
-  std::vector<int64_t> Goldens;
-  for (const InputVector &In : tcasTestPool(1600)) {
-    int64_t Want = GI.run("main", In).ReturnValue;
-    if (FI.run("main", In).ReturnValue != Want) {
-      Failing.push_back(In);
-      Goldens.push_back(Want);
-    }
-  }
-  std::printf("failing tests: %zu of 1600\n", Failing.size());
-  if (Failing.empty()) {
+  FailingTests Failing = segregateFailingTests(
+      *Golden, *Faulty, tcasTestPool(1600), "main", tcasExecOptions());
+  std::printf("failing tests: %zu of %zu\n", Failing.Inputs.size(),
+              Failing.PoolSize);
+  if (Failing.Inputs.empty()) {
     std::printf("this version is indistinguishable on the pool "
                 "(v33/v38 are designed that way).\n");
     return 0;
   }
 
   // Localize a handful of failures and rank lines by frequency.
-  size_t Runs = std::min<size_t>(Failing.size(), 8);
-  Failing.resize(Runs);
-  Goldens.resize(Runs);
+  size_t Runs = std::min<size_t>(Failing.Inputs.size(), 8);
+  Failing.Inputs.resize(Runs);
+  Failing.Goldens.resize(Runs);
   BugAssistDriver Driver(*Faulty, "main", tcasUnrollOptions());
   Spec S;
   S.CheckObligations = false;
   LocalizeOptions LO;
   LO.MaxDiagnoses = 24;
-  RankingReport R =
-      rankSuspects(Driver.formula(), Failing, S, &Goldens, LO);
+  RankingReport R = rankSuspects(Driver.formula(), Failing.Inputs, S,
+                                 &Failing.Goldens, LO);
 
   std::printf("\nline  freq   (over %zu failing runs)\n", R.Runs);
   for (const RankedLine &RL : R.Ranked) {

@@ -1,0 +1,258 @@
+//===- DimacsReader.cpp - DIMACS / WCNF parsing -----------------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cnf/DimacsReader.h"
+
+#include "support/FileUtil.h"
+
+#include <charconv>
+#include <limits>
+
+using namespace bugassist;
+
+std::string DimacsParseError::render() const {
+  if (Line == 0)
+    return Message;
+  return "line " + std::to_string(Line) + ": " + Message;
+}
+
+namespace {
+
+/// Upper bound on declared variables / clause literals: a corrupt header
+/// must not turn into a multi-gigabyte solver allocation.
+constexpr long MaxReasonableVar = 1L << 28;
+
+/// One whitespace-delimited token with the line it started on.
+struct Token {
+  std::string_view Text;
+  size_t Line = 0;
+};
+
+/// Whitespace/comment-skipping tokenizer over the raw file text. A 'c' as
+/// the first token of a line introduces a comment running to end of line
+/// (DIMACS comments are whole lines; 'c' elsewhere -- e.g. inside the
+/// "p cnf" header -- is ordinary token text).
+class Scanner {
+public:
+  explicit Scanner(std::string_view Text) : Text(Text) {}
+
+  /// Reads the next token. \returns false at end of input.
+  bool next(Token &T) {
+    for (;;) {
+      while (Pos < Text.size() && isSpace(Text[Pos]))
+        advance();
+      if (Pos >= Text.size())
+        return false;
+      if (Text[Pos] == 'c' && !LineHasToken) { // comment line
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+        continue;
+      }
+      break;
+    }
+    size_t Start = Pos;
+    T.Line = Line;
+    LineHasToken = true;
+    while (Pos < Text.size() && !isSpace(Text[Pos]))
+      ++Pos;
+    T.Text = Text.substr(Start, Pos - Start);
+    return true;
+  }
+
+private:
+  static bool isSpace(char C) {
+    return C == ' ' || C == '\t' || C == '\r' || C == '\n' || C == '\f' ||
+           C == '\v';
+  }
+  void advance() {
+    if (Text[Pos] == '\n') {
+      ++Line;
+      LineHasToken = false;
+    }
+    ++Pos;
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  size_t Line = 1;
+  bool LineHasToken = false;
+};
+
+bool parseInt64(std::string_view T, int64_t &Out) {
+  const char *B = T.data(), *E = T.data() + T.size();
+  auto [P, Ec] = std::from_chars(B, E, Out);
+  return Ec == std::errc() && P == E;
+}
+
+bool parseUint64(std::string_view T, uint64_t &Out, bool &Overflow) {
+  const char *B = T.data(), *E = T.data() + T.size();
+  auto [P, Ec] = std::from_chars(B, E, Out);
+  Overflow = Ec == std::errc::result_out_of_range;
+  return Ec == std::errc() && P == E;
+}
+
+} // namespace
+
+std::optional<DimacsInstance> bugassist::parseDimacs(std::string_view Text,
+                                                     DimacsParseError &Err) {
+  Scanner S(Text);
+  DimacsInstance Inst;
+  bool HaveHeader = false;
+  bool NewFormat = false; // 2022+ p-line-less WCNF ('h' marks hard clauses)
+  // True only when the header carried an actual top weight. The dialects
+  // whose Top is the UINT64_MAX sentinel (old-style 'p wcnf V C', new
+  // format) have no weight threshold: no weight, however large, is hard.
+  bool HasRealTop = false;
+  size_t DeclaredClauses = 0;
+  long MaxVarSeen = 0;
+
+  auto fail = [&](size_t Line, std::string Msg) {
+    Err.Line = Line;
+    Err.Message = std::move(Msg);
+    return std::nullopt;
+  };
+
+  Token T;
+  bool HavePending = S.next(T); // lookahead: first token of the next clause
+  if (!HavePending)
+    return fail(0, "empty input: no header or clauses");
+
+  if (T.Text == "p") {
+    size_t HdrLine = T.Line;
+    Token Fmt;
+    if (!S.next(Fmt) || (Fmt.Text != "cnf" && Fmt.Text != "wcnf"))
+      return fail(HdrLine, "bad header: expected 'p cnf' or 'p wcnf'");
+    Inst.Weighted = Fmt.Text == "wcnf";
+
+    Token VarsT, ClausesT;
+    int64_t Vars = 0, Clauses = 0;
+    if (!S.next(VarsT) || !parseInt64(VarsT.Text, Vars) || Vars < 0 ||
+        !S.next(ClausesT) || !parseInt64(ClausesT.Text, Clauses) ||
+        Clauses < 0)
+      return fail(HdrLine,
+                  "bad header: expected non-negative variable and clause "
+                  "counts after 'p " +
+                      std::string(Fmt.Text) + "'");
+    if (Vars > MaxReasonableVar)
+      return fail(HdrLine, "bad header: variable count " +
+                               std::string(VarsT.Text) + " is unreasonable");
+    Inst.NumVars = static_cast<int>(Vars);
+    DeclaredClauses = static_cast<size_t>(Clauses);
+
+    HavePending = S.next(T);
+    if (Inst.Weighted) {
+      // Classic format carries TOP as a fourth header field; the older
+      // weighted (non-partial) dialect omits it -- then nothing is hard.
+      uint64_t Top = 0;
+      bool Overflow = false;
+      if (HavePending && T.Line == HdrLine &&
+          parseUint64(T.Text, Top, Overflow)) {
+        if (Top == 0)
+          return fail(HdrLine, "bad header: top weight must be positive");
+        Inst.Top = Top;
+        HasRealTop = true;
+        HavePending = S.next(T);
+      } else if (Overflow) {
+        return fail(HdrLine, "bad header: top weight overflows");
+      } else {
+        Inst.Top = std::numeric_limits<uint64_t>::max();
+      }
+    }
+    HaveHeader = true;
+  } else {
+    // No p-line: the 2022+ MaxSAT-Evaluation WCNF format.
+    NewFormat = true;
+    Inst.Weighted = true;
+    Inst.Top = std::numeric_limits<uint64_t>::max();
+  }
+
+  while (HavePending) {
+    size_t ClauseLine = T.Line;
+    bool IsHard = !Inst.Weighted;
+    uint64_t Weight = 0;
+    if (Inst.Weighted) {
+      if (T.Text == "h") {
+        if (!NewFormat)
+          return fail(ClauseLine,
+                      "'h' hard-clause marker is only valid without a "
+                      "'p wcnf' header (new-format WCNF)");
+        IsHard = true;
+      } else {
+        bool Overflow = false;
+        if (!parseUint64(T.Text, Weight, Overflow))
+          return fail(ClauseLine,
+                      Overflow ? "clause weight '" + std::string(T.Text) +
+                                     "' overflows"
+                               : "expected clause weight, got '" +
+                                     std::string(T.Text) + "'");
+        if (Weight == 0)
+          return fail(ClauseLine, "clause weight must be positive");
+        IsHard = HasRealTop && Weight >= Inst.Top;
+      }
+    }
+
+    Clause C;
+    // In weighted inputs T held the clause's weight (or 'h') and has been
+    // consumed; in plain CNF it already holds the first literal.
+    bool UsePending = !Inst.Weighted;
+    for (;;) {
+      if (UsePending)
+        UsePending = false;
+      else if (!S.next(T))
+        return fail(ClauseLine, "clause missing terminating 0");
+      int64_t LitVal;
+      if (!parseInt64(T.Text, LitVal))
+        return fail(T.Line,
+                    "expected literal, got '" + std::string(T.Text) + "'");
+      if (LitVal == 0)
+        break;
+      long V = LitVal < 0 ? -LitVal : LitVal;
+      if (V > MaxReasonableVar)
+        return fail(T.Line, "literal " + std::string(T.Text) +
+                                " out of any reasonable range");
+      if (HaveHeader && V > Inst.NumVars)
+        return fail(T.Line, "literal " + std::string(T.Text) +
+                                " out of range: header declares " +
+                                std::to_string(Inst.NumVars) + " variables");
+      if (V > MaxVarSeen)
+        MaxVarSeen = V;
+      C.push_back(mkLit(static_cast<Var>(V - 1), LitVal < 0));
+    }
+
+    if (HaveHeader && Inst.Hard.size() + Inst.Soft.size() == DeclaredClauses)
+      return fail(ClauseLine, "more clauses than the " +
+                                  std::to_string(DeclaredClauses) +
+                                  " declared in the header");
+    if (IsHard)
+      Inst.Hard.push_back(std::move(C));
+    else
+      Inst.Soft.push_back({std::move(C), Weight});
+
+    HavePending = S.next(T);
+  }
+
+  if (HaveHeader &&
+      Inst.Hard.size() + Inst.Soft.size() != DeclaredClauses)
+    return fail(0, "header declares " + std::to_string(DeclaredClauses) +
+                       " clauses but the file contains " +
+                       std::to_string(Inst.Hard.size() + Inst.Soft.size()));
+  if (!HaveHeader) {
+    if (Inst.Hard.empty() && Inst.Soft.empty())
+      return fail(0, "empty input: no header or clauses");
+    Inst.NumVars = static_cast<int>(MaxVarSeen);
+  }
+  return Inst;
+}
+
+std::optional<DimacsInstance>
+bugassist::readDimacsFile(const std::string &Path, DimacsParseError &Err) {
+  std::optional<std::string> Text = readFileToString(Path);
+  if (!Text) {
+    Err = {0, "cannot open '" + Path + "'"};
+    return std::nullopt;
+  }
+  return parseDimacs(*Text, Err);
+}

@@ -1,0 +1,90 @@
+//===- DimacsReader.h - DIMACS / WCNF parsing -------------------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the standard DIMACS CNF format and the MaxSAT-Evaluation WCNF
+/// formats, so external benchmark instances can be fed straight into the
+/// solver substrate (the `bugassist sat` / `bugassist maxsat` subcommands
+/// and the bench_solvers `--wcnf` sweep). The inverse of DimacsWriter.
+///
+/// Accepted inputs:
+///
+///  * `p cnf V C` -- plain CNF; every clause is hard.
+///  * `p wcnf V C TOP` -- classic partial (weighted) MaxSAT: each clause
+///    line starts with its weight; weight >= TOP means hard.
+///  * `p wcnf V C` -- old-style weighted MaxSAT with no hard clauses.
+///  * the 2022+ MaxSAT-Evaluation format with no p-line: clause lines
+///    start with `h` (hard) or an integer weight (soft).
+///
+/// Comment lines (`c ...`) are skipped everywhere; clauses may span lines
+/// (each must still end in the terminating 0). Parsing is strict about
+/// everything the solver would otherwise mis-read silently: literals out
+/// of the declared range, zero/overflowing weights, a clause missing its
+/// terminating 0, clause-count mismatches against the header, and trailing
+/// garbage all produce a diagnostic carrying the 1-based source line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_CNF_DIMACSREADER_H
+#define BUGASSIST_CNF_DIMACSREADER_H
+
+#include "cnf/Cnf.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bugassist {
+
+/// One parsed soft clause (weight >= 1).
+struct DimacsSoftClause {
+  Clause Lits;
+  uint64_t Weight = 1;
+};
+
+/// A parsed DIMACS instance. For CNF inputs Soft is empty and Top is 0;
+/// for WCNF inputs Top is the hard-clause threshold (UINT64_MAX for the
+/// p-line-less 2022 format, whose hard marker is `h`).
+struct DimacsInstance {
+  bool Weighted = false; ///< came from a WCNF (either dialect)
+  int NumVars = 0;       ///< declared by the p-line, or max var seen
+  uint64_t Top = 0;
+  std::vector<Clause> Hard;
+  std::vector<DimacsSoftClause> Soft;
+
+  /// Sum of soft weights; the cost of falsifying everything.
+  uint64_t softWeightSum() const {
+    uint64_t S = 0;
+    for (const DimacsSoftClause &C : Soft)
+      S += C.Weight;
+    return S;
+  }
+};
+
+/// Diagnostic for a rejected input.
+struct DimacsParseError {
+  size_t Line = 0; ///< 1-based source line (0: file-level problem)
+  std::string Message;
+
+  /// "line N: message" (or just the message for file-level errors).
+  std::string render() const;
+};
+
+/// Parses \p Text. \returns the instance, or std::nullopt with \p Err
+/// filled in.
+std::optional<DimacsInstance> parseDimacs(std::string_view Text,
+                                          DimacsParseError &Err);
+
+/// Reads and parses \p Path (file-level failures are reported with
+/// Line == 0).
+std::optional<DimacsInstance> readDimacsFile(const std::string &Path,
+                                             DimacsParseError &Err);
+
+} // namespace bugassist
+
+#endif // BUGASSIST_CNF_DIMACSREADER_H

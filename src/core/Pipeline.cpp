@@ -1,0 +1,388 @@
+//===- Pipeline.cpp - End-to-end localization pipeline ----------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+#include "interp/Interpreter.h"
+
+#include <algorithm>
+#include <charconv>
+#include <map>
+
+using namespace bugassist;
+
+namespace {
+
+/// Interpreter options agreeing with the encoding the pipeline builds:
+/// same bit width, same bounds checking. Division-by-zero trapping follows
+/// the obligation setting (the encoder emits obligations for both).
+ExecOptions execOptionsFor(const PipelineRequest &R) {
+  ExecOptions EO;
+  EO.BitWidth = R.Unroll.BitWidth;
+  EO.CheckArrayBounds = R.Unroll.CheckArrayBounds && R.CheckObligations;
+  EO.CheckDivByZero = R.CheckObligations;
+  return EO;
+}
+
+/// Does \p Run violate the spec of \p R?
+bool violatesSpec(const ExecResult &Run, const PipelineRequest &R) {
+  if (R.CheckObligations && Run.failed())
+    return true;
+  if (R.GoldenReturn && Run.Status == ExecStatus::Ok &&
+      Run.ReturnValue != *R.GoldenReturn)
+    return true;
+  return false;
+}
+
+void appendDiagnosisLines(std::string &Out, const Diagnosis &D) {
+  for (size_t J = 0; J < D.Lines.size(); ++J) {
+    Out += ' ';
+    Out += std::to_string(D.Lines[J]);
+    if (J < D.Unwindings.size() && D.Unwindings[J] != 0) {
+      Out += '@';
+      Out += std::to_string(D.Unwindings[J]);
+    }
+  }
+}
+
+/// Per-line hit counts over all diagnoses, ordered by hits descending then
+/// line ascending -- the single-run analogue of core/Ranking.h.
+std::vector<std::pair<uint32_t, size_t>>
+lineHits(const LocalizationReport &R) {
+  std::map<uint32_t, size_t> Hits;
+  for (const Diagnosis &D : R.Diagnoses) {
+    std::vector<uint32_t> Unique(D.Lines);
+    std::sort(Unique.begin(), Unique.end());
+    Unique.erase(std::unique(Unique.begin(), Unique.end()), Unique.end());
+    for (uint32_t L : Unique)
+      ++Hits[L];
+  }
+  std::vector<std::pair<uint32_t, size_t>> Order(Hits.begin(), Hits.end());
+  std::sort(Order.begin(), Order.end(),
+            [](const auto &A, const auto &B) {
+              return A.second != B.second ? A.second > B.second
+                                          : A.first < B.first;
+            });
+  return Order;
+}
+
+} // namespace
+
+PipelineResult bugassist::runLocalizePipeline(const Program &Prog,
+                                              const PipelineRequest &R) {
+  PipelineResult Res;
+  Res.SpecUsed.CheckObligations = R.CheckObligations;
+  Res.SpecUsed.GoldenReturn = R.GoldenReturn;
+
+  BugAssistDriver Driver(Prog, R.Entry, R.Unroll, R.Encode);
+
+  if (R.Input) {
+    // Sanity-check the given input concretely before blaming anything:
+    // a passing input would make the MaxSAT instance satisfiable at cost
+    // zero and the report vacuous.
+    Interpreter I(Prog, execOptionsFor(R));
+    ExecResult Run = I.run(R.Entry, *R.Input);
+    if (Run.Status == ExecStatus::SetupError) {
+      Res.Status = PipelineStatus::InputNotFailing;
+      Res.Message = "input does not match the entry function's parameters";
+      return Res;
+    }
+    if (Run.Status == ExecStatus::AssumeFail) {
+      Res.Status = PipelineStatus::InputNotFailing;
+      Res.Message = "input rejected by an assume(): execution infeasible";
+      return Res;
+    }
+    if (!violatesSpec(Run, R)) {
+      Res.Status = PipelineStatus::InputNotFailing;
+      if (Run.Status != ExecStatus::Ok) {
+        // Reachable only when the run aborted but obligations are not
+        // part of the spec (or the step limit hit): there is no return
+        // value to judge and nothing this spec blames.
+        const char *Kind = Run.Status == ExecStatus::AssertFail
+                               ? "an assert failure"
+                               : Run.Status == ExecStatus::BoundsFail
+                                     ? "an out-of-bounds access"
+                                     : Run.Status == ExecStatus::DivByZero
+                                           ? "a division by zero"
+                                           : "the step limit";
+        Res.Message = std::string("input stops on ") + Kind +
+                      ", which the requested spec does not count as a "
+                      "failure";
+      } else if (R.GoldenReturn) {
+        Res.Message = "input returns " + std::to_string(Run.ReturnValue) +
+                      ", matching the golden value; the spec holds";
+      } else {
+        Res.Message = "input satisfies every obligation; the spec holds";
+      }
+      return Res;
+    }
+    Res.FailingInput = *R.Input;
+  } else {
+    // No input given: find one by bounded model checking (Section 4.1).
+    auto Cex = Driver.findCounterexample(Res.SpecUsed, R.BmcConflictBudget);
+    if (!Cex) {
+      Res.Status = PipelineStatus::NoCounterexample;
+      Res.Message = "no spec violation found within the unwinding bounds";
+      return Res;
+    }
+    Res.FailingInput = *Cex;
+  }
+
+  Res.Report = Driver.localize(Res.FailingInput, Res.SpecUsed, R.Localize);
+  Res.Status = PipelineStatus::Localized;
+  return Res;
+}
+
+PipelineResult bugassist::runLocalizePipeline(std::string_view Source,
+                                              const PipelineRequest &R) {
+  DiagEngine Diags;
+  std::unique_ptr<Program> Prog = parseAndAnalyze(Source, Diags);
+  if (!Prog) {
+    PipelineResult Res;
+    Res.Status = PipelineStatus::CompileError;
+    Res.Message = Diags.render();
+    return Res;
+  }
+  return runLocalizePipeline(*Prog, R);
+}
+
+std::vector<int64_t> bugassist::goldenOutputs(
+    const Program &Golden, const std::vector<InputVector> &Pool,
+    const std::string &Entry, const ExecOptions &EO) {
+  Interpreter GI(Golden, EO);
+  std::vector<int64_t> Out;
+  Out.reserve(Pool.size());
+  for (const InputVector &In : Pool)
+    Out.push_back(GI.run(Entry, In).ReturnValue);
+  return Out;
+}
+
+FailingTests bugassist::segregateFailingTests(
+    const Program &Golden, const Program &Faulty,
+    const std::vector<InputVector> &Pool, const std::string &Entry,
+    const ExecOptions &EO, size_t MaxTests) {
+  FailingTests Out;
+  Out.PoolSize = Pool.size();
+  Interpreter GI(Golden, EO);
+  Interpreter FI(Faulty, EO);
+  for (const InputVector &In : Pool) {
+    if (Out.Inputs.size() >= MaxTests)
+      break;
+    int64_t Want = GI.run(Entry, In).ReturnValue;
+    if (FI.run(Entry, In).ReturnValue != Want) {
+      Out.Inputs.push_back(In);
+      Out.Goldens.push_back(Want);
+    }
+  }
+  return Out;
+}
+
+FailingTests bugassist::segregateFailingTests(
+    const std::vector<int64_t> &GoldenOut, const Program &Faulty,
+    const std::vector<InputVector> &Pool, const std::string &Entry,
+    const ExecOptions &EO, size_t MaxTests) {
+  FailingTests Out;
+  Out.PoolSize = Pool.size();
+  Interpreter FI(Faulty, EO);
+  for (size_t I = 0; I < Pool.size(); ++I) {
+    if (Out.Inputs.size() >= MaxTests)
+      break;
+    if (FI.run(Entry, Pool[I]).ReturnValue != GoldenOut[I]) {
+      Out.Inputs.push_back(Pool[I]);
+      Out.Goldens.push_back(GoldenOut[I]);
+    }
+  }
+  return Out;
+}
+
+std::string bugassist::renderInputVector(const InputVector &In) {
+  std::string Out;
+  for (size_t I = 0; I < In.size(); ++I) {
+    if (I)
+      Out += ',';
+    if (In[I].IsArray) {
+      Out += '[';
+      for (size_t J = 0; J < In[I].Array.size(); ++J) {
+        if (J)
+          Out += ',';
+        Out += std::to_string(In[I].Array[J]);
+      }
+      Out += ']';
+    } else {
+      Out += std::to_string(In[I].Scalar);
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+bool parseScalar(std::string_view T, int64_t &Out) {
+  // Trim surrounding whitespace; from_chars is strict about the rest.
+  while (!T.empty() && (T.front() == ' ' || T.front() == '\t'))
+    T.remove_prefix(1);
+  while (!T.empty() && (T.back() == ' ' || T.back() == '\t'))
+    T.remove_suffix(1);
+  if (T.empty())
+    return false;
+  const char *B = T.data(), *E = T.data() + T.size();
+  auto [P, Ec] = std::from_chars(B, E, Out);
+  return Ec == std::errc() && P == E;
+}
+
+} // namespace
+
+std::optional<InputVector> bugassist::parseInputVector(std::string_view Text,
+                                                       std::string &Error) {
+  InputVector Out;
+  size_t Pos = 0;
+  auto skipWs = [&] {
+    while (Pos < Text.size() && (Text[Pos] == ' ' || Text[Pos] == '\t'))
+      ++Pos;
+  };
+  skipWs();
+  if (Pos == Text.size())
+    return Out; // empty vector: entry with no parameters
+  for (;;) {
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == '[') {
+      size_t Close = Text.find(']', Pos);
+      if (Close == std::string_view::npos) {
+        Error = "unterminated '[' in input";
+        return std::nullopt;
+      }
+      std::vector<int64_t> Elems;
+      std::string_view Inner = Text.substr(Pos + 1, Close - Pos - 1);
+      size_t Start = 0;
+      bool Empty = true;
+      for (size_t I = 0; I <= Inner.size(); ++I) {
+        if (I == Inner.size() || Inner[I] == ',') {
+          std::string_view Item = Inner.substr(Start, I - Start);
+          bool Blank = true;
+          for (char C : Item)
+            Blank = Blank && (C == ' ' || C == '\t');
+          if (!Blank) {
+            int64_t V;
+            if (!parseScalar(Item, V)) {
+              Error = "bad array element '" + std::string(Item) + "'";
+              return std::nullopt;
+            }
+            Elems.push_back(V);
+            Empty = false;
+          } else if (!Empty || I != Inner.size()) {
+            Error = "empty array element";
+            return std::nullopt;
+          }
+          Start = I + 1;
+        }
+      }
+      Out.push_back(InputValue::array(std::move(Elems)));
+      Pos = Close + 1;
+    } else {
+      size_t End = Pos;
+      while (End < Text.size() && Text[End] != ',')
+        ++End;
+      int64_t V;
+      if (!parseScalar(Text.substr(Pos, End - Pos), V)) {
+        Error = "bad input value '" +
+                std::string(Text.substr(Pos, End - Pos)) + "'";
+        return std::nullopt;
+      }
+      Out.push_back(InputValue::scalar(V));
+      Pos = End;
+    }
+    skipWs();
+    if (Pos == Text.size())
+      break;
+    if (Text[Pos] != ',') {
+      Error = std::string("expected ',' before '") + Text[Pos] + "'";
+      return std::nullopt;
+    }
+    ++Pos;
+  }
+  return Out;
+}
+
+std::string bugassist::renderLocalizationReport(const LocalizationReport &R) {
+  std::string Out;
+  for (size_t I = 0; I < R.Diagnoses.size(); ++I) {
+    const Diagnosis &D = R.Diagnoses[I];
+    Out += "diagnosis " + std::to_string(I + 1) + " (cost " +
+           std::to_string(D.Cost) + "): line" +
+           (D.Lines.size() > 1 ? "s" : "");
+    appendDiagnosisLines(Out, D);
+    Out += '\n';
+  }
+  Out += "suspect lines:";
+  for (uint32_t L : R.AllLines)
+    Out += ' ' + std::to_string(L);
+  Out += '\n';
+  if (!R.Diagnoses.empty()) {
+    Out += "line  hits\n";
+    for (const auto &[Line, Hits] : lineHits(R))
+      Out += "  " + std::to_string(Line) + "  " + std::to_string(Hits) + "/" +
+             std::to_string(R.Diagnoses.size()) + "\n";
+  }
+  if (R.Exhausted)
+    Out += "no more suspects (enumeration exhausted after " +
+           std::to_string(R.Diagnoses.size()) + " diagnoses)\n";
+  else
+    Out += "diagnosis cap reached (" + std::to_string(R.Diagnoses.size()) +
+           " diagnoses; more may exist)\n";
+  return Out;
+}
+
+std::string bugassist::renderLocalizationJson(const LocalizationReport &R) {
+  std::string Out = "{\n  \"diagnoses\": [";
+  for (size_t I = 0; I < R.Diagnoses.size(); ++I) {
+    const Diagnosis &D = R.Diagnoses[I];
+    Out += I ? ",\n    " : "\n    ";
+    Out += "{\"cost\": " + std::to_string(D.Cost) + ", \"lines\": [";
+    for (size_t J = 0; J < D.Lines.size(); ++J)
+      Out += (J ? ", " : "") + std::to_string(D.Lines[J]);
+    Out += "], \"unwindings\": [";
+    for (size_t J = 0; J < D.Unwindings.size(); ++J)
+      Out += (J ? ", " : "") + std::to_string(D.Unwindings[J]);
+    Out += "]}";
+  }
+  Out += R.Diagnoses.empty() ? "],\n" : "\n  ],\n";
+  Out += "  \"suspect_lines\": [";
+  for (size_t I = 0; I < R.AllLines.size(); ++I)
+    Out += (I ? ", " : "") + std::to_string(R.AllLines[I]);
+  Out += "],\n  \"line_hits\": [";
+  auto Hits = lineHits(R);
+  for (size_t I = 0; I < Hits.size(); ++I)
+    Out += std::string(I ? ", " : "") + "{\"line\": " +
+           std::to_string(Hits[I].first) +
+           ", \"hits\": " + std::to_string(Hits[I].second) + "}";
+  Out += "],\n  \"exhausted\": ";
+  Out += R.Exhausted ? "true" : "false";
+  Out += "\n}\n";
+  return Out;
+}
+
+std::string bugassist::renderSearchStats(const LocalizationReport &R) {
+  const SolverStats &S = R.Search;
+  std::string Out;
+  Out += "sat calls:    " + std::to_string(R.SatCalls) + "\n";
+  Out += "conflicts:    " + std::to_string(S.Conflicts) + "\n";
+  Out += "decisions:    " + std::to_string(S.Decisions) + "\n";
+  Out += "propagations: " + std::to_string(S.Propagations) + "\n";
+  Out += "restarts:     " + std::to_string(S.Restarts) + " (+" +
+         std::to_string(S.RestartsBlocked) + " blocked)\n";
+  Out += "learnts:      " + std::to_string(S.LearnedClauses) + " learned, " +
+         std::to_string(S.DeletedClauses) + " deleted\n";
+  if (S.ClausesExported || S.ClausesImported)
+    Out += "exchange:     " + std::to_string(S.ClausesExported) +
+           " exported, " + std::to_string(S.ClausesImported) + " imported\n";
+  if (!R.PortfolioWins.empty()) {
+    Out += "races won:   ";
+    for (uint64_t W : R.PortfolioWins)
+      Out += ' ' + std::to_string(W);
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,149 @@
+//===- Pipeline.h - End-to-end localization pipeline ------------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one driver seam behind every front-end: the `bugassist` CLI, the
+/// examples, and the bench harnesses all run source -> parse -> sema ->
+/// unroll -> trace formula -> CoMSS enumeration through
+/// runLocalizePipeline instead of each wiring the stages by hand.
+///
+/// The pipeline also owns the two workflow conveniences the paper's
+/// Section 6.1 methodology needs around the core algorithm:
+///
+///  * segregateFailingTests -- judge a test pool against a golden program
+///    version and collect the failing inputs with their expected outputs;
+///  * renderLocalizationReport / renderLocalizationJson -- the canonical
+///    serializations of a LocalizationReport. The CLI prints these
+///    verbatim, so a library caller can diff its own report against CLI
+///    output byte for byte (the reports are deterministic at every
+///    portfolio width; solver statistics, which are not, are rendered
+///    separately via renderSearchStats).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_CORE_PIPELINE_H
+#define BUGASSIST_CORE_PIPELINE_H
+
+#include "core/BugAssist.h"
+#include "lang/Sema.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bugassist {
+
+/// Everything runLocalizePipeline needs besides the program itself.
+struct PipelineRequest {
+  std::string Entry = "main";
+  UnrollOptions Unroll;
+  EncodeOptions Encode; ///< BitWidth is synced from Unroll by the driver
+  /// The failing input. When absent, the pipeline finds a counterexample
+  /// to the spec by bounded model checking (Section 4.1) -- only possible
+  /// for obligation specs, since a golden return is input-specific.
+  std::optional<InputVector> Input;
+  /// Expected return value for Input: the spec becomes "returns this"
+  /// (the wrong-output failures of the TCAS methodology).
+  std::optional<int64_t> GoldenReturn;
+  /// Check assert/bounds obligations as part of the spec.
+  bool CheckObligations = true;
+  LocalizeOptions Localize;
+  /// Conflict budget for the BMC counterexample search (0 = unlimited).
+  uint64_t BmcConflictBudget = 0;
+};
+
+enum class PipelineStatus {
+  Localized,      ///< Report holds the diagnoses
+  CompileError,   ///< parse/sema failed; Message holds the diagnostics
+  NoCounterexample, ///< BMC found no failing input within bounds
+  InputNotFailing ///< the given input satisfies the spec; nothing to blame
+};
+
+struct PipelineResult {
+  PipelineStatus Status = PipelineStatus::CompileError;
+  /// Diagnostics (CompileError) or a human-readable explanation for the
+  /// other non-Localized statuses.
+  std::string Message;
+  /// The input that was localized (the given one, or the BMC-found one).
+  InputVector FailingInput;
+  /// The spec the failing input violates.
+  Spec SpecUsed;
+  LocalizationReport Report;
+};
+
+/// Runs the full pipeline on an analyzed program (\p Prog must have passed
+/// Sema). Never returns CompileError.
+PipelineResult runLocalizePipeline(const Program &Prog,
+                                   const PipelineRequest &R);
+
+/// Runs the full pipeline from source text (parse + sema included).
+PipelineResult runLocalizePipeline(std::string_view Source,
+                                   const PipelineRequest &R);
+
+/// The failing subset of a test pool, judged against a golden program
+/// version (Section 6.1: run both, keep inputs where the outputs differ).
+struct FailingTests {
+  std::vector<InputVector> Inputs;
+  /// Expected (golden) return value per failing input, parallel to Inputs.
+  std::vector<int64_t> Goldens;
+  /// Size of the pool that was screened.
+  size_t PoolSize = 0;
+};
+
+/// Runs \p Entry of \p Golden on every pool input and returns the return
+/// values. Compute this once when screening many faulty versions against
+/// the same pool (the Table 1 benches), then use the GoldenOut overload
+/// of segregateFailingTests below.
+std::vector<int64_t> goldenOutputs(const Program &Golden,
+                                   const std::vector<InputVector> &Pool,
+                                   const std::string &Entry,
+                                   const ExecOptions &EO);
+
+/// Screens \p Pool: runs \p Entry of both programs on every input and
+/// collects up to \p MaxTests inputs where the faulty return differs from
+/// the golden one.
+FailingTests segregateFailingTests(const Program &Golden,
+                                   const Program &Faulty,
+                                   const std::vector<InputVector> &Pool,
+                                   const std::string &Entry,
+                                   const ExecOptions &EO,
+                                   size_t MaxTests = SIZE_MAX);
+
+/// Same screening against precomputed golden outputs (parallel to
+/// \p Pool), saving the golden re-interpretation per faulty version.
+FailingTests segregateFailingTests(const std::vector<int64_t> &GoldenOut,
+                                   const Program &Faulty,
+                                   const std::vector<InputVector> &Pool,
+                                   const std::string &Entry,
+                                   const ExecOptions &EO,
+                                   size_t MaxTests = SIZE_MAX);
+
+/// Renders an input vector as the CLI's `--input` syntax: scalars
+/// comma-separated, arrays bracketed (`3,[1,2,4],0`).
+std::string renderInputVector(const InputVector &In);
+
+/// Parses the `--input` syntax back into an InputVector. \returns
+/// std::nullopt and fills \p Error on malformed input.
+std::optional<InputVector> parseInputVector(std::string_view Text,
+                                            std::string &Error);
+
+/// Canonical text form of a report: one line per diagnosis, the suspect
+/// union, per-line hit counts, and the termination reason. Deterministic
+/// at every thread count (no solver statistics).
+std::string renderLocalizationReport(const LocalizationReport &R);
+
+/// Canonical JSON form of the same data.
+std::string renderLocalizationJson(const LocalizationReport &R);
+
+/// Solver statistics block (conflicts, propagations, portfolio wins...).
+/// NOT deterministic across thread counts or machines; kept out of the
+/// canonical report so that byte-for-byte comparisons stay meaningful.
+std::string renderSearchStats(const LocalizationReport &R);
+
+} // namespace bugassist
+
+#endif // BUGASSIST_CORE_PIPELINE_H

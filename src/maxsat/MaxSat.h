@@ -50,11 +50,13 @@
 #ifndef BUGASSIST_MAXSAT_MAXSAT_H
 #define BUGASSIST_MAXSAT_MAXSAT_H
 
+#include "cnf/DimacsReader.h"
 #include "cnf/Lit.h"
 #include "sat/Solver.h"
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 namespace bugassist {
@@ -76,6 +78,27 @@ struct MaxSatInstance {
   /// from "the program as written" instead of "every statement disabled".
   std::vector<Var> PreferTrue;
 };
+
+/// Converts a parsed DIMACS/WCNF instance (cnf/DimacsReader.h) into a
+/// MaxSAT instance -- the one bridge used by the CLI, the bench sweep and
+/// the tests. \p AnyNonUnitWeight (optional) receives whether any soft
+/// weight differs from 1, the cue that Fu-Malik (which ignores weights)
+/// is the wrong engine for the instance.
+inline MaxSatInstance toMaxSatInstance(DimacsInstance D,
+                                       bool *AnyNonUnitWeight = nullptr) {
+  MaxSatInstance Inst;
+  Inst.NumVars = D.NumVars;
+  Inst.Hard = std::move(D.Hard);
+  Inst.Soft.reserve(D.Soft.size());
+  bool AnyWeight = false;
+  for (DimacsSoftClause &C : D.Soft) {
+    AnyWeight = AnyWeight || C.Weight != 1;
+    Inst.Soft.push_back({std::move(C.Lits), C.Weight});
+  }
+  if (AnyNonUnitWeight)
+    *AnyNonUnitWeight = AnyWeight;
+  return Inst;
+}
 
 enum class MaxSatStatus {
   Optimum,   ///< optimal model found
@@ -109,6 +132,21 @@ struct MaxSatResult {
 /// An incremental MaxSAT session: one persistent solver, repeatedly
 /// re-optimized as hard (blocking) clauses are added. This is the engine
 /// behind Algorithm 1's CoMSS enumeration.
+///
+/// Contract (all implementations):
+///  * solve() and addHardClause() may be interleaved freely and called
+///    any number of times; each solve() optimizes the initial instance
+///    plus every clause added so far, and engine state (learnt clauses,
+///    activities, relaxations, PB bounds) carries over between calls.
+///  * Calls must come from one thread at a time; a session is not
+///    internally synchronized. (PortfolioSession is itself a
+///    MaxSatSession and manages its workers' threads internally.)
+///  * After addHardClause() returns false -- or solve() reports
+///    HardUnsat -- the hard formula is permanently unsatisfiable; further
+///    solve() calls keep reporting HardUnsat.
+///  * Soft clauses are fixed at creation; "removing" one (Algorithm 1's
+///    deviation, see core/BugAssist.cpp) is expressed through hard
+///    blocking clauses instead, which keeps reported costs honest.
 class MaxSatSession {
 public:
   virtual ~MaxSatSession() = default;

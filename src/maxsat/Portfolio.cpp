@@ -191,6 +191,14 @@ SatRaceResult bugassist::racePortfolioSat(const std::vector<Clause> &Clauses,
     Race.Winner = Winner;
   }
 
+  // All threads are joined: reading the winner's model is race-free.
+  if (Race.Result == LBool::True && Race.Winner >= 0) {
+    const Solver &W = *Solvers[static_cast<size_t>(Race.Winner)];
+    Race.Model.reserve(static_cast<size_t>(NumVars));
+    for (Var V = 0; V < NumVars; ++V)
+      Race.Model.push_back(W.modelValue(V));
+  }
+
   for (auto &S : Solvers) {
     S->clearInterrupt();
     Race.PerWorker.push_back(S->stats());

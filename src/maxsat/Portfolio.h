@@ -55,6 +55,24 @@ namespace bugassist {
 /// (per-worker cursors over a monotone sequence). The buffer is a bounded
 /// FIFO: when full, the oldest entries are dropped -- a slow consumer loses
 /// old glue clauses instead of stalling the producers.
+///
+/// Invariants:
+///  * Every published entry carries a monotonically increasing sequence
+///    number; a worker's cursor only moves forward, so no clause is ever
+///    delivered twice to the same worker and a worker never sees its own
+///    publications (entries record their Source).
+///  * Dropping only evicts from the front (the oldest sequence numbers);
+///    a cursor lagging behind the new front is clamped forward at its
+///    next fetch and the loss is counted in dropped(). Delivery is
+///    therefore at-most-once, never out of order.
+///  * Soundness of what flows through here is the *publisher's* burden:
+///    portfolio sessions only export clauses over the original-variable
+///    prefix (Solver::setShareHooks ShareVarLimit), which are implied by
+///    the shared hard clauses alone -- see the file comment. The exchange
+///    itself never inspects clause contents.
+///  * All methods are safe to call concurrently from any thread; each
+///    takes one short critical section (no allocation while locked beyond
+///    the entry copy).
 class ClauseExchange {
 public:
   explicit ClauseExchange(size_t NumWorkers, size_t Capacity = 4096);
@@ -97,6 +115,9 @@ Solver::Options diversifiedOptions(const Solver::Options &Base,
 struct SatRaceResult {
   LBool Result = LBool::Undef;
   int Winner = -1; ///< worker that produced the decision (-1: none)
+  /// The winning worker's model over the original variables [0, NumVars);
+  /// empty unless Result is True.
+  std::vector<LBool> Model;
   SolverStats Aggregate; ///< summed over all workers (incl. export/import)
   std::vector<SolverStats> PerWorker;
 };
@@ -118,6 +139,15 @@ struct PortfolioStats {
 };
 
 /// N racing persistent MaxSAT sessions behind the MaxSatSession interface.
+///
+/// Threading contract: solve() spawns one thread per worker and joins all
+/// of them before returning, so *between* calls the portfolio is plain
+/// single-threaded state -- addHardClause, stats, and portfolioStats must
+/// only be used between solves (the MaxSatSession one-caller rule).
+/// Because addHardClause broadcasts to every worker before any further
+/// solve, all workers always optimize the same formula; an interrupted
+/// loser resumes from consistent engine state on the next round rather
+/// than restarting.
 class PortfolioSession final : public MaxSatSession {
 public:
   /// \p Threads workers race each solve(); \p Base seeds the

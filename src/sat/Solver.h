@@ -137,6 +137,25 @@ public:
   /// Search-policy knobs. Defaults are the Glucose-style policies; seed()
   /// pins the original Luby + activity-halving behavior for the reference
   /// engines and differential tests.
+  ///
+  /// Orientation for tuners:
+  ///  * Restart/Retention select the *policies*; the grouped scalars below
+  ///    them only apply to the selected policy.
+  ///  * The EMA restart scalars trade restart frequency against model
+  ///    finding: a lower RestartMargin restarts more eagerly (good on
+  ///    UNSAT-heavy refutations), a lower BlockMargin blocks restarts
+  ///    sooner when the trail grows (good for the SAT-heavy linear-search
+  ///    phase of MaxSAT).
+  ///  * The LBD tier cuts trade memory against re-learning: raising
+  ///    CoreLbdCut keeps more clauses forever; raising MidMaxAge gives
+  ///    mid-tier clauses more reductions to prove themselves.
+  ///  * The diversification knobs (RandSeed / RandomBranchFreq /
+  ///    InitPhase) exist so portfolio workers explore different parts of
+  ///    the search space; diversifiedOptions (maxsat/Portfolio.h) is the
+  ///    fixed 8-way recipe over them and is the intended way to set them.
+  ///  * The share knobs only matter once setShareHooks installed an
+  ///    exchange; ShareLbdMax = 2 exports "glue" clauses only, which is
+  ///    the Glucose-syrup sweet spot between traffic and usefulness.
   struct Options {
     enum class RestartPolicy : uint8_t {
       Luby,      ///< fixed Luby sequence scaled by LubyUnit (seed behavior)

@@ -1,0 +1,43 @@
+//===- FileUtil.h - tiny file helpers ---------------------------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The whole-file slurp shared by the DIMACS reader and the CLI. Kept
+/// deliberately minimal: binary-mode stdio, no size limit (inputs are
+/// benchmark instances and source files the caller chose).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_SUPPORT_FILEUTIL_H
+#define BUGASSIST_SUPPORT_FILEUTIL_H
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+namespace bugassist {
+
+/// Reads all of \p Path. \returns std::nullopt when the file cannot be
+/// opened or a read error occurs.
+inline std::optional<std::string> readFileToString(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return std::nullopt;
+  std::string Text;
+  char Buf[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  bool Bad = std::ferror(F) != 0;
+  std::fclose(F);
+  if (Bad)
+    return std::nullopt;
+  return Text;
+}
+
+} // namespace bugassist
+
+#endif // BUGASSIST_SUPPORT_FILEUTIL_H

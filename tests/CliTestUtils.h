@@ -1,0 +1,49 @@
+//===- CliTestUtils.h - shared helpers for CLI-driving tests ----*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The popen helper and build-time paths shared by the test suites that
+/// exec the `bugassist` binary (cli_test, dimacs_test). CMake injects
+/// BUGASSIST_CLI_PATH / BUGASSIST_INSTANCE_DIR into every test target.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_TESTS_CLITESTUTILS_H
+#define BUGASSIST_TESTS_CLITESTUTILS_H
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace bugassist {
+namespace clitest {
+
+inline const std::string Cli = BUGASSIST_CLI_PATH;
+inline const std::string Instances = BUGASSIST_INSTANCE_DIR;
+
+/// Runs \p Cmd through the shell, captures stdout, and stores the raw
+/// pclose() status (0 on a clean exit) in \p ExitCode.
+inline std::string runCommand(const std::string &Cmd, int &ExitCode) {
+  std::string Out;
+  std::FILE *P = popen(Cmd.c_str(), "r");
+  EXPECT_NE(P, nullptr) << "popen failed for: " << Cmd;
+  if (!P) {
+    ExitCode = -1;
+    return Out;
+  }
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), P)) > 0)
+    Out.append(Buf, N);
+  ExitCode = pclose(P);
+  return Out;
+}
+
+} // namespace clitest
+} // namespace bugassist
+
+#endif // BUGASSIST_TESTS_CLITESTUTILS_H

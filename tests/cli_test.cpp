@@ -1,0 +1,195 @@
+//===- cli_test.cpp - bugassist CLI end-to-end tests --------------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+// Drives the installed `bugassist` binary and holds it to the PR's
+// acceptance bar: `bugassist localize` on a TCAS mutant reproduces the
+// library-driver diagnosis byte for byte at every --threads width, and
+// the input/report serializations of core/Pipeline.h are exactly what the
+// CLI prints. Also covers the input-vector syntax and the sat subcommand.
+//
+//===----------------------------------------------------------------------===//
+
+#include "CliTestUtils.h"
+#include "core/Pipeline.h"
+#include "programs/Tcas.h"
+#include "programs/TcasMutants.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+
+using namespace bugassist;
+
+using clitest::Cli;
+using clitest::Instances;
+using clitest::runCommand;
+
+namespace {
+
+/// Writes \p Text to a fresh temp file and returns its path.
+std::string writeTempFile(const std::string &Text) {
+  char Path[] = "/tmp/bugassist_cli_XXXXXX";
+  int Fd = mkstemp(Path);
+  EXPECT_GE(Fd, 0);
+  EXPECT_EQ(write(Fd, Text.data(), Text.size()),
+            static_cast<ssize_t>(Text.size()));
+  close(Fd);
+  return Path;
+}
+
+} // namespace
+
+// --- input-vector syntax ------------------------------------------------------
+
+TEST(InputVector, RendersAndParsesScalarsAndArrays) {
+  InputVector In = {InputValue::scalar(3), InputValue::array({1, -2, 4}),
+                    InputValue::scalar(-7)};
+  std::string Text = renderInputVector(In);
+  EXPECT_EQ(Text, "3,[1,-2,4],-7");
+  std::string Error;
+  auto Back = parseInputVector(Text, Error);
+  ASSERT_TRUE(Back.has_value()) << Error;
+  EXPECT_EQ(*Back, In);
+}
+
+TEST(InputVector, ParsesEmptyAndWhitespace) {
+  std::string Error;
+  auto Empty = parseInputVector("", Error);
+  ASSERT_TRUE(Empty.has_value());
+  EXPECT_TRUE(Empty->empty());
+
+  auto Spaced = parseInputVector(" 1 , [ 2 , 3 ] ", Error);
+  ASSERT_TRUE(Spaced.has_value()) << Error;
+  ASSERT_EQ(Spaced->size(), 2u);
+  EXPECT_EQ((*Spaced)[1].Array, (std::vector<int64_t>{2, 3}));
+
+  auto EmptyArray = parseInputVector("[]", Error);
+  ASSERT_TRUE(EmptyArray.has_value()) << Error;
+  EXPECT_TRUE((*EmptyArray)[0].Array.empty());
+}
+
+TEST(InputVector, RejectsMalformedInput) {
+  std::string Error;
+  EXPECT_FALSE(parseInputVector("1,,2", Error).has_value());
+  EXPECT_FALSE(parseInputVector("[1,2", Error).has_value());
+  EXPECT_FALSE(parseInputVector("abc", Error).has_value());
+  EXPECT_FALSE(parseInputVector("1 2", Error).has_value());
+  EXPECT_FALSE(parseInputVector("[1,x]", Error).has_value());
+}
+
+// --- localize: byte-for-byte parity with the library driver -------------------
+
+TEST(BugassistCli, LocalizeMatchesLibraryDriverAtEveryThreadCount) {
+  // TCAS v2, the Figure 2 fault. Find one failing test the library way.
+  DiagEngine Diags;
+  auto Golden = parseAndAnalyze(tcasSource(), Diags);
+  auto Faulty = parseAndAnalyze(tcasMutants()[1].Source, Diags);
+  ASSERT_TRUE(Golden && Faulty) << Diags.render();
+  FailingTests Failing =
+      segregateFailingTests(*Golden, *Faulty, tcasTestPool(1600), "main",
+                            tcasExecOptions(), /*MaxTests=*/1);
+  ASSERT_EQ(Failing.Inputs.size(), 1u);
+
+  // The library-driver diagnosis through the pipeline seam.
+  PipelineRequest R;
+  R.Unroll = tcasUnrollOptions();
+  R.Input = Failing.Inputs[0];
+  R.GoldenReturn = Failing.Goldens[0];
+  R.CheckObligations = false;
+  R.Localize.MaxDiagnoses = 24;
+  PipelineResult Lib = runLocalizePipeline(*Faulty, R);
+  ASSERT_EQ(Lib.Status, PipelineStatus::Localized);
+  ASSERT_FALSE(Lib.Report.Diagnoses.empty());
+  std::string Expected = "failing input: " +
+                         renderInputVector(Lib.FailingInput) + "\n" +
+                         renderLocalizationReport(Lib.Report);
+
+  // The same run through the CLI, at several portfolio widths. HardLines
+  // 69-84 is exactly tcasUnrollOptions()'s harness pinning.
+  std::string Source = writeTempFile(tcasMutants()[1].Source);
+  std::string Base =
+      Cli + " localize " + Source + " --input \"" +
+      renderInputVector(Failing.Inputs[0]) + "\" --golden " +
+      std::to_string(Failing.Goldens[0]) +
+      " --no-obligations --no-bounds --bitwidth 16 --hard-lines 69-84"
+      " --max-diagnoses 24";
+  std::string First;
+  for (size_t Threads : {1u, 2u, 4u}) {
+    int Exit = 0;
+    std::string Out =
+        runCommand(Base + " --threads " + std::to_string(Threads), Exit);
+    EXPECT_EQ(Exit, 0);
+    EXPECT_EQ(Out, Expected) << "CLI diverged at --threads " << Threads;
+    if (First.empty())
+      First = Out;
+    else
+      EXPECT_EQ(Out, First) << "thread-count nondeterminism at " << Threads;
+  }
+
+  // The injected fault line must be among the suspects (Detect# = hit).
+  for (uint32_t BugLine : tcasMutants()[1].BugLines)
+    EXPECT_NE(First.find(" " + std::to_string(BugLine)), std::string::npos);
+
+  std::remove(Source.c_str());
+}
+
+TEST(BugassistCli, LocalizeJsonContainsReport) {
+  std::string Prog = writeTempFile("int Array[3];\n"
+                                   "int main(int index) {\n"
+                                   "  if (index != 1)\n"
+                                   "    index = 2;\n"
+                                   "  else\n"
+                                   "    index = index + 2;\n"
+                                   "  int i = index;\n"
+                                   "  assert(i >= 0 && i < 3);\n"
+                                   "  return Array[i];\n"
+                                   "}\n");
+  int Exit = 0;
+  std::string Out = runCommand(Cli + " localize " + Prog + " --json", Exit);
+  EXPECT_EQ(Exit, 0);
+  EXPECT_NE(Out.find("\"input\": \"1\""), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"suspect_lines\""), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"exhausted\": true"), std::string::npos) << Out;
+  std::remove(Prog.c_str());
+}
+
+TEST(BugassistCli, LocalizeRejectsNonFailingInput) {
+  std::string Prog = writeTempFile("int main(int x) {\n"
+                                   "  assert(x >= 0 || x < 0);\n"
+                                   "  return x;\n"
+                                   "}\n");
+  int Exit = 0;
+  runCommand(Cli + " localize " + Prog + " --input \"5\" 2>/dev/null", Exit);
+  EXPECT_NE(Exit, 0); // nothing to localize: the spec holds
+  std::remove(Prog.c_str());
+}
+
+// --- sat / dump-tcas ----------------------------------------------------------
+
+TEST(BugassistCli, SatDecidesCheckedInInstances) {
+  int Exit = 0;
+  std::string Out =
+      runCommand(Cli + " sat " + Instances + "/mini.cnf", Exit);
+  EXPECT_EQ(Exit, 0);
+  EXPECT_NE(Out.find("s SATISFIABLE\n"), std::string::npos) << Out;
+
+  Out = runCommand(Cli + " sat " + Instances + "/mini_unsat.cnf --threads 2",
+                   Exit);
+  EXPECT_EQ(Exit, 0);
+  EXPECT_NE(Out.find("s UNSATISFIABLE\n"), std::string::npos) << Out;
+}
+
+TEST(BugassistCli, DumpTcasRoundTripsThroughTheParser) {
+  int Exit = 0;
+  std::string Out = runCommand(Cli + " dump-tcas 2", Exit);
+  EXPECT_EQ(Exit, 0);
+  EXPECT_EQ(Out, tcasMutants()[1].Source);
+
+  Out = runCommand(Cli + " dump-tcas 0", Exit);
+  EXPECT_EQ(Exit, 0);
+  EXPECT_EQ(Out, tcasSource());
+}

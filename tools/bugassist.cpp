@@ -1,0 +1,496 @@
+//===- bugassist.cpp - The BugAssist command-line tool ------------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+// The user-facing entry point to the pipeline (docs/CLI.md is the full
+// reference):
+//
+//   bugassist localize <prog.ba> [--input "..."] [--golden N] ...
+//       parse -> sema -> unroll -> trace formula -> CoMSS enumeration on a
+//       mini-C source file; prints the ranked per-line report (text or
+//       --json). Without --input, a failing input is found by BMC.
+//
+//   bugassist maxsat <file.wcnf> [--threads N]
+//       partial (weighted) MaxSAT on a DIMACS/WCNF instance, MaxSAT-
+//       Evaluation-style output (o/s/v lines).
+//
+//   bugassist sat <file.cnf> [--threads N]
+//       plain SAT, raced over the portfolio when --threads > 1.
+//
+//   bugassist dump-tcas [N | --list]
+//       prints the checked-in TCAS sources (0 = correct version, 1..41 =
+//       the faulty Siemens-style mutants) so they can be fed back into
+//       `bugassist localize`.
+//
+// The localize report is byte-identical at every --threads width: the
+// portfolio canonicalizes its optima (see maxsat/Canonical.h), and solver
+// statistics -- the only nondeterministic output -- are printed only under
+// --stats.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cnf/DimacsReader.h"
+#include "core/Pipeline.h"
+#include "maxsat/MaxSat.h"
+#include "maxsat/Portfolio.h"
+#include "programs/Tcas.h"
+#include "programs/TcasMutants.h"
+#include "support/FileUtil.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace bugassist;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <command> [args]\n"
+      "\n"
+      "commands:\n"
+      "  localize <prog.ba> [options]   fault-localize a mini-C program\n"
+      "    --entry NAME          entry function (default: main)\n"
+      "    --input \"V,[A,B],..\"  failing input; omitted: find one by BMC\n"
+      "    --golden N            expected return value for --input\n"
+      "    --no-obligations      ignore assert/bounds obligations\n"
+      "    --no-bounds           do not encode array-bounds obligations\n"
+      "    --unwind N            loop unwinding bound (default: 16)\n"
+      "    --bitwidth W          word width in bits (default: 16)\n"
+      "    --hard-lines SPEC     never-blamed lines, e.g. 3,10-12\n"
+      "    --max-diagnoses N     CoMSS cap (default: 16)\n"
+      "    --weighted            weighted linear-search MaxSAT engine\n"
+      "    --threads N           portfolio width (default: 1)\n"
+      "    --json                JSON report instead of text\n"
+      "    --stats               append solver statistics (nondeterministic)\n"
+      "  maxsat <file.wcnf> [--threads N] [--engine fumalik|linear]\n"
+      "                     [--no-model] [--stats]\n"
+      "  sat <file.cnf> [--threads N] [--no-model]\n"
+      "  dump-tcas [N]      print TCAS source (0: correct, 1..41: mutants)\n"
+      "  dump-tcas --list   list the mutant catalog\n",
+      Argv0);
+  return 1;
+}
+
+/// `--flag value` / `--flag=value` matcher over argv. On a match the value
+/// is stored and \p I advanced past whatever was consumed.
+bool matchValueFlag(int Argc, char **Argv, int &I, const char *Name,
+                    std::string &Out) {
+  size_t Len = std::strlen(Name);
+  if (std::strncmp(Argv[I], Name, Len) != 0)
+    return false;
+  if (Argv[I][Len] == '=') {
+    Out = Argv[I] + Len + 1;
+    return true;
+  }
+  if (Argv[I][Len] == '\0' && I + 1 < Argc) {
+    Out = Argv[++I];
+    return true;
+  }
+  return false;
+}
+
+bool parseSizeT(const std::string &S, size_t &Out) {
+  // strtoull silently negates "-N"; reject any sign explicitly.
+  if (S.empty() || S[0] == '-' || S[0] == '+')
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  unsigned long long V = std::strtoull(S.c_str(), &End, 10);
+  if (End != S.c_str() + S.size() || errno == ERANGE)
+    return false;
+  Out = static_cast<size_t>(V);
+  return true;
+}
+
+bool parseInt64(const std::string &S, int64_t &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  long long V = std::strtoll(S.c_str(), &End, 10);
+  if (End != S.c_str() + S.size())
+    return false;
+  Out = V;
+  return true;
+}
+
+/// Parses a hard-lines spec: comma-separated line numbers or A-B ranges.
+/// Line numbers are capped at 1e6 -- far above any real source file, and
+/// low enough that a typo'd range cannot hang the CLI or wrap uint32_t.
+bool parseHardLines(const std::string &Spec, std::set<uint32_t> &Out) {
+  constexpr int64_t MaxLine = 1000000;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t End = Spec.find(',', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Item = Spec.substr(Pos, End - Pos);
+    if (Item.empty())
+      return false;
+    size_t Dash = Item.find('-');
+    int64_t Lo = 0, Hi = 0;
+    if (Dash == std::string::npos) {
+      if (!parseInt64(Item, Lo) || Lo < 1 || Lo > MaxLine)
+        return false;
+      Hi = Lo;
+    } else {
+      if (!parseInt64(Item.substr(0, Dash), Lo) ||
+          !parseInt64(Item.substr(Dash + 1), Hi) || Lo < 1 || Hi < Lo ||
+          Hi > MaxLine)
+        return false;
+    }
+    for (int64_t L = Lo; L <= Hi; ++L)
+      Out.insert(static_cast<uint32_t>(L));
+    Pos = End + 1;
+    if (End == Spec.size())
+      break;
+  }
+  return true;
+}
+
+// --- localize ----------------------------------------------------------------
+
+int cmdLocalize(int Argc, char **Argv, const char *Argv0) {
+  if (Argc < 1)
+    return usage(Argv0);
+  std::string Path = Argv[0];
+  PipelineRequest R;
+  R.CheckObligations = true;
+  bool Json = false, Stats = false;
+  std::string V;
+  for (int I = 1; I < Argc; ++I) {
+    if (matchValueFlag(Argc, Argv, I, "--entry", V)) {
+      R.Entry = V;
+    } else if (matchValueFlag(Argc, Argv, I, "--input", V)) {
+      std::string Error;
+      auto In = parseInputVector(V, Error);
+      if (!In) {
+        std::fprintf(stderr, "bugassist: bad --input: %s\n", Error.c_str());
+        return 1;
+      }
+      R.Input = std::move(*In);
+    } else if (matchValueFlag(Argc, Argv, I, "--golden", V)) {
+      int64_t G;
+      if (!parseInt64(V, G)) {
+        std::fprintf(stderr, "bugassist: bad --golden value '%s'\n",
+                     V.c_str());
+        return 1;
+      }
+      R.GoldenReturn = G;
+    } else if (std::strcmp(Argv[I], "--no-obligations") == 0) {
+      R.CheckObligations = false;
+    } else if (std::strcmp(Argv[I], "--no-bounds") == 0) {
+      R.Unroll.CheckArrayBounds = false;
+    } else if (matchValueFlag(Argc, Argv, I, "--unwind", V)) {
+      size_t N;
+      // Capped well below INT_MAX: the unrolled trace grows linearly in
+      // the bound, so anything bigger is a typo, not a request.
+      if (!parseSizeT(V, N) || N < 1 || N > 1000000) {
+        std::fprintf(stderr, "bugassist: bad --unwind value '%s'\n",
+                     V.c_str());
+        return 1;
+      }
+      R.Unroll.MaxLoopUnwind = static_cast<int>(N);
+    } else if (matchValueFlag(Argc, Argv, I, "--bitwidth", V)) {
+      size_t W;
+      if (!parseSizeT(V, W) || W < 1 || W > 64) {
+        std::fprintf(stderr, "bugassist: bad --bitwidth value '%s'\n",
+                     V.c_str());
+        return 1;
+      }
+      R.Unroll.BitWidth = static_cast<int>(W);
+    } else if (matchValueFlag(Argc, Argv, I, "--hard-lines", V)) {
+      if (!parseHardLines(V, R.Unroll.HardLines)) {
+        std::fprintf(stderr, "bugassist: bad --hard-lines spec '%s'\n",
+                     V.c_str());
+        return 1;
+      }
+    } else if (matchValueFlag(Argc, Argv, I, "--max-diagnoses", V)) {
+      size_t N;
+      if (!parseSizeT(V, N) || N < 1) {
+        std::fprintf(stderr, "bugassist: bad --max-diagnoses value '%s'\n",
+                     V.c_str());
+        return 1;
+      }
+      R.Localize.MaxDiagnoses = N;
+    } else if (std::strcmp(Argv[I], "--weighted") == 0) {
+      R.Localize.Weighted = true;
+    } else if (matchValueFlag(Argc, Argv, I, "--threads", V)) {
+      size_t N;
+      if (!parseSizeT(V, N) || N < 1 || N > 64) {
+        std::fprintf(stderr, "bugassist: bad --threads value '%s'\n",
+                     V.c_str());
+        return 1;
+      }
+      R.Localize.Threads = N;
+    } else if (std::strcmp(Argv[I], "--json") == 0) {
+      Json = true;
+    } else if (std::strcmp(Argv[I], "--stats") == 0) {
+      Stats = true;
+    } else {
+      std::fprintf(stderr, "bugassist: unknown localize option '%s'\n",
+                   Argv[I]);
+      return 1;
+    }
+  }
+  auto Source = readFileToString(Path);
+  if (!Source) {
+    std::fprintf(stderr, "bugassist: cannot read '%s'\n", Path.c_str());
+    return 1;
+  }
+
+  PipelineResult Res = runLocalizePipeline(*Source, R);
+  switch (Res.Status) {
+  case PipelineStatus::CompileError:
+    std::fprintf(stderr, "bugassist: %s does not compile:\n%s", Path.c_str(),
+                 Res.Message.c_str());
+    return 1;
+  case PipelineStatus::InputNotFailing:
+    std::fprintf(stderr, "bugassist: nothing to localize: %s\n",
+                 Res.Message.c_str());
+    return 1;
+  case PipelineStatus::NoCounterexample:
+    std::printf("%s\n", Res.Message.c_str());
+    return 0;
+  case PipelineStatus::Localized:
+    break;
+  }
+
+  if (Json) {
+    std::printf("{\n  \"input\": \"%s\",\n  \"report\": ",
+                renderInputVector(Res.FailingInput).c_str());
+    std::string Rep = renderLocalizationJson(Res.Report);
+    // Indent the nested object by two spaces to keep the output readable.
+    std::string Indented;
+    for (size_t I = 0; I < Rep.size(); ++I) {
+      Indented += Rep[I];
+      if (Rep[I] == '\n' && I + 1 < Rep.size())
+        Indented += "  ";
+    }
+    std::printf("%s}\n", Indented.c_str());
+  } else {
+    std::printf("failing input: %s\n%s",
+                renderInputVector(Res.FailingInput).c_str(),
+                renderLocalizationReport(Res.Report).c_str());
+  }
+  if (Stats)
+    std::printf("%s", renderSearchStats(Res.Report).c_str());
+  return 0;
+}
+
+// --- maxsat / sat ------------------------------------------------------------
+
+void printModelLine(const std::vector<LBool> &Model, int NumVars,
+                    bool TrailingZero) {
+  std::printf("v");
+  for (int V = 0; V < NumVars; ++V)
+    std::printf(" %s%d", Model[V] == LBool::True ? "" : "-", V + 1);
+  if (TrailingZero)
+    std::printf(" 0");
+  std::printf("\n");
+}
+
+int cmdMaxsat(int Argc, char **Argv, const char *Argv0) {
+  if (Argc < 1)
+    return usage(Argv0);
+  std::string Path = Argv[0], Engine = "auto", V;
+  size_t Threads = 1;
+  bool Model = true, Stats = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (matchValueFlag(Argc, Argv, I, "--threads", V)) {
+      if (!parseSizeT(V, Threads) || Threads < 1 || Threads > 64) {
+        std::fprintf(stderr, "bugassist: bad --threads value '%s'\n",
+                     V.c_str());
+        return 1;
+      }
+    } else if (matchValueFlag(Argc, Argv, I, "--engine", V)) {
+      Engine = V;
+      if (Engine != "fumalik" && Engine != "linear") {
+        std::fprintf(stderr, "bugassist: --engine must be fumalik or "
+                             "linear, got '%s'\n",
+                     Engine.c_str());
+        return 1;
+      }
+    } else if (std::strcmp(Argv[I], "--no-model") == 0) {
+      Model = false;
+    } else if (std::strcmp(Argv[I], "--stats") == 0) {
+      Stats = true;
+    } else {
+      std::fprintf(stderr, "bugassist: unknown maxsat option '%s'\n",
+                   Argv[I]);
+      return 1;
+    }
+  }
+
+  DimacsParseError Err;
+  auto Parsed = readDimacsFile(Path, Err);
+  if (!Parsed) {
+    std::fprintf(stderr, "bugassist: %s: %s\n", Path.c_str(),
+                 Err.render().c_str());
+    return 1;
+  }
+
+  bool FromWcnf = Parsed->Weighted;
+  bool AnyWeight = false;
+  MaxSatInstance Inst = toMaxSatInstance(std::move(*Parsed), &AnyWeight);
+  // Fu-Malik ignores weights, so weighted instances force linear search.
+  bool Weighted = Engine == "linear" || (Engine == "auto" && AnyWeight);
+  if (!Weighted && Engine == "fumalik" && AnyWeight)
+    std::printf("c warning: fumalik engine ignores the non-unit weights\n");
+  std::printf("c %s: %d vars, %zu hard, %zu soft%s, engine=%s, threads=%zu\n",
+              Path.c_str(), Inst.NumVars, Inst.Hard.size(), Inst.Soft.size(),
+              FromWcnf ? "" : " (cnf)",
+              Weighted ? "linear" : "fumalik", Threads);
+
+  MaxSatResult R;
+  if (Threads > 1) {
+    auto Session = makePortfolioSession(Inst, Weighted, Threads);
+    R = Session->solve();
+  } else {
+    auto Session = makeMaxSatSession(Inst, Weighted, /*ConflictBudget=*/0,
+                                     Solver::Options(), /*Canonical=*/true);
+    R = Session->solve();
+  }
+
+  switch (R.Status) {
+  case MaxSatStatus::Optimum:
+    std::printf("o %llu\ns OPTIMUM FOUND\n",
+                static_cast<unsigned long long>(R.Cost));
+    if (Model)
+      printModelLine(R.Model, Inst.NumVars, /*TrailingZero=*/false);
+    break;
+  case MaxSatStatus::HardUnsat:
+    std::printf("s UNSATISFIABLE\n");
+    break;
+  case MaxSatStatus::Unknown:
+    std::printf("s UNKNOWN\n");
+    break;
+  }
+  if (Stats) {
+    const SolverStats &S = R.Search;
+    std::printf("c sat_calls=%llu conflicts=%llu propagations=%llu "
+                "restarts=%llu\n",
+                static_cast<unsigned long long>(R.SatCalls),
+                static_cast<unsigned long long>(S.Conflicts),
+                static_cast<unsigned long long>(S.Propagations),
+                static_cast<unsigned long long>(S.Restarts));
+  }
+  return 0;
+}
+
+int cmdSat(int Argc, char **Argv, const char *Argv0) {
+  if (Argc < 1)
+    return usage(Argv0);
+  std::string Path = Argv[0], V;
+  size_t Threads = 1;
+  bool Model = true;
+  for (int I = 1; I < Argc; ++I) {
+    if (matchValueFlag(Argc, Argv, I, "--threads", V)) {
+      if (!parseSizeT(V, Threads) || Threads < 1 || Threads > 64) {
+        std::fprintf(stderr, "bugassist: bad --threads value '%s'\n",
+                     V.c_str());
+        return 1;
+      }
+    } else if (std::strcmp(Argv[I], "--no-model") == 0) {
+      Model = false;
+    } else {
+      std::fprintf(stderr, "bugassist: unknown sat option '%s'\n", Argv[I]);
+      return 1;
+    }
+  }
+
+  DimacsParseError Err;
+  auto Parsed = readDimacsFile(Path, Err);
+  if (!Parsed) {
+    std::fprintf(stderr, "bugassist: %s: %s\n", Path.c_str(),
+                 Err.render().c_str());
+    return 1;
+  }
+  // Soft clauses of a WCNF are solved as hard here; warn instead of
+  // silently deciding a different formula.
+  std::vector<Clause> Clauses = std::move(Parsed->Hard);
+  if (!Parsed->Soft.empty()) {
+    std::printf("c warning: treating %zu soft clauses as hard (use the "
+                "maxsat command for optimization)\n",
+                Parsed->Soft.size());
+    for (DimacsSoftClause &C : Parsed->Soft)
+      Clauses.push_back(std::move(C.Lits));
+  }
+  std::printf("c %s: %d vars, %zu clauses, threads=%zu\n", Path.c_str(),
+              Parsed->NumVars, Clauses.size(), Threads);
+
+  // Threads <= 1 degenerates to a plain single solver on this thread.
+  SatRaceResult R = racePortfolioSat(Clauses, Parsed->NumVars, Threads);
+  if (R.Result == LBool::True)
+    std::printf("s SATISFIABLE\n");
+  else if (R.Result == LBool::False)
+    std::printf("s UNSATISFIABLE\n");
+  else
+    std::printf("s UNKNOWN\n");
+  if (Threads > 1 && R.Winner >= 0)
+    std::printf("c winner=worker %d\n", R.Winner);
+  if (Model && R.Result == LBool::True)
+    printModelLine(R.Model, Parsed->NumVars, /*TrailingZero=*/true);
+  return 0;
+}
+
+// --- dump-tcas ---------------------------------------------------------------
+
+int cmdDumpTcas(int Argc, char **Argv) {
+  if (Argc >= 1 && std::strcmp(Argv[0], "--list") == 0) {
+    std::printf("%-4s %-7s %-7s %-10s %s\n", "ver", "type", "errors",
+                "bug lines", "description");
+    for (const TcasMutant &M : tcasMutants()) {
+      std::string Lines;
+      for (uint32_t L : M.BugLines)
+        Lines += (Lines.empty() ? "" : ",") + std::to_string(L);
+      std::printf("v%-3d %-7s %-7d %-10s %s\n", M.Version,
+                  errorTypeName(M.Type), M.ErrorCount, Lines.c_str(),
+                  M.Description.c_str());
+    }
+    return 0;
+  }
+  int64_t Version = 0;
+  if (Argc >= 1 && std::strcmp(Argv[0], "golden") != 0 &&
+      (!parseInt64(Argv[0], Version) || Version < 0 || Version > 41)) {
+    std::fprintf(stderr,
+                 "bugassist: dump-tcas takes 0/golden or a version 1..41\n");
+    return 1;
+  }
+  const std::string &Source =
+      Version == 0 ? tcasSource()
+                   : tcasMutants()[static_cast<size_t>(Version - 1)].Source;
+  std::fwrite(Source.data(), 1, Source.size(), stdout);
+  if (!Source.empty() && Source.back() != '\n')
+    std::printf("\n");
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage(argv[0]);
+  const char *Cmd = argv[1];
+  if (std::strcmp(Cmd, "localize") == 0)
+    return cmdLocalize(argc - 2, argv + 2, argv[0]);
+  if (std::strcmp(Cmd, "maxsat") == 0)
+    return cmdMaxsat(argc - 2, argv + 2, argv[0]);
+  if (std::strcmp(Cmd, "sat") == 0)
+    return cmdSat(argc - 2, argv + 2, argv[0]);
+  if (std::strcmp(Cmd, "dump-tcas") == 0)
+    return cmdDumpTcas(argc - 2, argv + 2);
+  if (std::strcmp(Cmd, "--help") == 0 || std::strcmp(Cmd, "-h") == 0 ||
+      std::strcmp(Cmd, "help") == 0) {
+    usage(argv[0]);
+    return 0;
+  }
+  std::fprintf(stderr, "bugassist: unknown command '%s'\n", Cmd);
+  return usage(argv[0]);
+}
