@@ -108,6 +108,7 @@ std::optional<DimacsInstance> bugassist::parseDimacs(std::string_view Text,
   bool HasRealTop = false;
   size_t DeclaredClauses = 0;
   long MaxVarSeen = 0;
+  uint64_t SoftWeightSum = 0; // running total; overflow is diagnosed
 
   auto fail = [&](size_t Line, std::string Msg) {
     Err.Line = Line;
@@ -226,10 +227,19 @@ std::optional<DimacsInstance> bugassist::parseDimacs(std::string_view Text,
       return fail(ClauseLine, "more clauses than the " +
                                   std::to_string(DeclaredClauses) +
                                   " declared in the header");
-    if (IsHard)
+    if (IsHard) {
       Inst.Hard.push_back(std::move(C));
-    else
+    } else {
+      // The total soft weight must fit in uint64_t: MaxSAT engines compare
+      // costs against it (a wrapped sum would silently corrupt optima). A
+      // sum of exactly UINT64_MAX is still legal -- one sentinel-weight
+      // soft clause stays representable.
+      if (Weight > std::numeric_limits<uint64_t>::max() - SoftWeightSum)
+        return fail(ClauseLine,
+                    "total soft clause weight overflows 64 bits");
+      SoftWeightSum += Weight;
       Inst.Soft.push_back({std::move(C), Weight});
+    }
 
     HavePending = S.next(T);
   }

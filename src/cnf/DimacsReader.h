@@ -34,6 +34,7 @@
 #include "cnf/Cnf.h"
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -57,11 +58,16 @@ struct DimacsInstance {
   std::vector<Clause> Hard;
   std::vector<DimacsSoftClause> Soft;
 
-  /// Sum of soft weights; the cost of falsifying everything.
+  /// Sum of soft weights; the cost of falsifying everything. Saturates at
+  /// UINT64_MAX instead of wrapping (the parser rejects inputs whose sum
+  /// would exceed it, so saturation is defensive for hand-built instances).
   uint64_t softWeightSum() const {
     uint64_t S = 0;
-    for (const DimacsSoftClause &C : Soft)
+    for (const DimacsSoftClause &C : Soft) {
+      if (C.Weight > std::numeric_limits<uint64_t>::max() - S)
+        return std::numeric_limits<uint64_t>::max();
       S += C.Weight;
+    }
     return S;
   }
 };

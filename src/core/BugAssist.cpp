@@ -43,6 +43,11 @@ LocalizationReport bugassist::enumerateCoMSSes(MaxSatInstance Inst,
     Session = makeMaxSatSession(Inst, Opts.Weighted, Opts.ConflictBudget,
                                 Solver::Options(), /*Canonical=*/true);
   }
+  // Query-wide resource budget: one deadline / conflict cap / arena cap
+  // covers the whole enumeration. Exhaustion mid-round surfaces as an
+  // Unknown solve(), which flags the report Incomplete below.
+  if (Opts.hasBudget())
+    Session->setBudget(Opts.solverBudget());
   while (Report.Diagnoses.size() < Opts.MaxDiagnoses) {
     MaxSatResult R = Session->solve();
     Report.SatCalls += R.SatCalls;
@@ -51,8 +56,12 @@ LocalizationReport bugassist::enumerateCoMSSes(MaxSatInstance Inst,
       Report.Exhausted = true; // "No more suspects"
       break;
     }
-    if (R.Status != MaxSatStatus::Optimum)
-      break; // budget exhausted
+    if (R.Status != MaxSatStatus::Optimum) {
+      // Budget exhausted: whatever was enumerated so far stands, flagged
+      // incomplete -- the anytime contract of the whole pipeline.
+      Report.Incomplete = true;
+      break;
+    }
     if (R.FalsifiedSoft.empty()) {
       // The formula is satisfiable without removing anything: the test is
       // not failing under this spec.

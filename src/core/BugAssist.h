@@ -58,6 +58,11 @@ struct LocalizationReport {
   /// True when enumeration stopped because the hard part became UNSAT
   /// ("No more suspects") rather than hitting MaxDiagnoses.
   bool Exhausted = false;
+  /// True when a resource budget (timeout / conflict cap / memory cap)
+  /// stopped the enumeration early: Diagnoses holds every CoMSS completed
+  /// before the budget bit, but more may exist. Mutually exclusive with
+  /// Exhausted.
+  bool Incomplete = false;
   uint64_t SatCalls = 0;
   /// Cumulative statistics of the incremental MaxSAT session's solver
   /// (conflicts, propagations, ...) over the whole enumeration; for a
@@ -80,6 +85,32 @@ struct LocalizeOptions {
   /// Sessions canonicalize their optima, so diagnoses of unbudgeted runs
   /// are identical at every thread count.
   size_t Threads = 1;
+  // --- query-wide resource budget (0 = unlimited for each knob) ------------
+  // When any knob is set and the budget is exhausted mid-enumeration, the
+  // report carries the diagnoses completed so far with Incomplete = true
+  // instead of running forever or aborting.
+  /// Wall-clock deadline for the whole enumeration, in seconds.
+  double TimeoutSeconds = 0;
+  /// Total conflict cap across the whole enumeration (unlike
+  /// ConflictBudget, which is per SAT call).
+  uint64_t MaxConflicts = 0;
+  /// Clause-arena cap per solver, in mebibytes.
+  uint64_t MaxMemoryMb = 0;
+
+  /// True when any budget knob is set.
+  bool hasBudget() const {
+    return TimeoutSeconds > 0 || MaxConflicts > 0 || MaxMemoryMb > 0;
+  }
+  /// The Solver::Budget equivalent. The deadline starts ticking at the
+  /// moment of this call.
+  Solver::Budget solverBudget() const {
+    Solver::Budget B;
+    B.MaxConflicts = MaxConflicts;
+    B.MaxArenaBytes = MaxMemoryMb << 20;
+    if (TimeoutSeconds > 0)
+      B.setDeadlineIn(TimeoutSeconds);
+    return B;
+  }
 };
 
 /// Algorithm 1's enumeration loop on a prebuilt instance whose soft

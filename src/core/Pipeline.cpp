@@ -329,6 +329,12 @@ std::string bugassist::renderLocalizationReport(const LocalizationReport &R) {
   if (R.Exhausted)
     Out += "no more suspects (enumeration exhausted after " +
            std::to_string(R.Diagnoses.size()) + " diagnoses)\n";
+  else if (R.Incomplete)
+    // Deterministic at every thread count: only the count of *completed*
+    // diagnoses appears, never the budget-dependent partial state.
+    Out += "INCOMPLETE: resource budget exhausted after " +
+           std::to_string(R.Diagnoses.size()) +
+           " diagnoses (more may exist)\n";
   else
     Out += "diagnosis cap reached (" + std::to_string(R.Diagnoses.size()) +
            " diagnoses; more may exist)\n";
@@ -360,6 +366,8 @@ std::string bugassist::renderLocalizationJson(const LocalizationReport &R) {
            ", \"hits\": " + std::to_string(Hits[I].second) + "}";
   Out += "],\n  \"exhausted\": ";
   Out += R.Exhausted ? "true" : "false";
+  Out += ",\n  \"incomplete\": ";
+  Out += R.Incomplete ? "true" : "false";
   Out += "\n}\n";
   return Out;
 }

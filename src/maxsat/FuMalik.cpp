@@ -116,6 +116,10 @@ public:
 
       if (R == LBool::Undef) {
         Res.Status = MaxSatStatus::Unknown;
+        // Every completed round proved one more soft clause must be
+        // falsified, and all weights are >= 1.
+        Res.LowerBound = Rounds;
+        harvestUpperBound(Res);
         break;
       }
       if (R == LBool::True) {
@@ -183,6 +187,12 @@ public:
     }
     if (HardBroken)
       Res.Status = MaxSatStatus::HardUnsat;
+    if (Res.Status == MaxSatStatus::Optimum) {
+      Res.LowerBound = Res.UpperBound = Res.Cost;
+      Res.BestModel = Res.Model;
+    } else if (Res.Status == MaxSatStatus::HardUnsat) {
+      Res.LowerBound = Res.UpperBound = UINT64_MAX;
+    }
     Res.Search = S.stats();
     return Res;
   }
@@ -221,6 +231,34 @@ private:
     };
     Hooks.SatisfyLit = [&](size_t J) { return satisfyLit(J); };
     Res.CanonicalTruncated = !greedyCanonicalize(Soft, Hooks, Res.Model);
+  }
+
+  /// Anytime upper bound after budget exhaustion: ANY model of the hard
+  /// clauses alone bounds the optimum by its falsified-soft weight, so
+  /// probe without the guard assumptions under a small bounded allowance.
+  /// Only runs when the query budget (not the legacy per-call conflict
+  /// cap) tripped, so unbudgeted flows behave exactly as before.
+  void harvestUpperBound(MaxSatResult &Res) {
+    if (!S.budgetExhausted() || S.interrupted())
+      return;
+    Solver::Budget Saved = S.budget();
+    S.clearBudget();
+    Solver::Budget Allowance;
+    Allowance.MaxConflicts = 1000;
+    S.setBudget(Allowance);
+    ++Res.SatCalls;
+    if (S.solve() == LBool::True) {
+      Res.BestModel.resize(NumOrigVars);
+      for (Var V = 0; V < NumOrigVars; ++V)
+        Res.BestModel[V] = S.modelValue(V);
+      uint64_t Ub = 0;
+      for (const SoftClause &SC : Soft)
+        if (!clauseSatisfied(SC.Lits, Res.BestModel))
+          Ub += SC.Weight;
+      Res.UpperBound = Ub;
+    }
+    S.setBudget(Saved);
+    S.markBudgetExhausted(); // the query budget stays sticky-exhausted
   }
 
   /// A literal that, assumed true, forces original soft clause \p J to be

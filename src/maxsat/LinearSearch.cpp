@@ -95,6 +95,7 @@ public:
     MaxSatResult Res;
     if (HardBroken) {
       Res.Status = MaxSatStatus::HardUnsat;
+      Res.LowerBound = Res.UpperBound = UINT64_MAX;
       Res.Search = S.stats();
       return Res;
     }
@@ -123,19 +124,31 @@ public:
       }
       return A;
     };
+    std::vector<LBool> BestModel;
+    uint64_t BestCost = 0;
+    bool HaveModel = false;
+
     auto ExtractModel = [&](std::vector<LBool> &Model) {
       Model.resize(NumOrigVars);
       for (Var V = 0; V < NumOrigVars; ++V)
         Model[V] = S.modelValue(V);
+      HaveModel = true;
     };
+    // Anytime contract: hand back the proven lower bound plus the best
+    // model seen so far (harvesting one under a bounded allowance when the
+    // budget bit before any model was found).
     auto Unknown = [&]() {
       Res.Status = MaxSatStatus::Unknown;
+      Res.LowerBound = LowerBound;
+      if (HaveModel) {
+        Res.UpperBound = BestCost;
+        Res.BestModel = BestModel;
+      } else {
+        harvestUpperBound(Res);
+      }
       Res.Search = S.stats();
       return Res;
     };
-
-    std::vector<LBool> BestModel;
-    uint64_t BestCost = 0;
 
     // Probe exactly at the proven lower bound: SAT here is optimal with no
     // descent and no bound-tightening call.
@@ -156,6 +169,7 @@ public:
         return Unknown();
       if (R == LBool::False) {
         Res.Status = MaxSatStatus::HardUnsat;
+        Res.LowerBound = Res.UpperBound = UINT64_MAX;
         Res.Search = S.stats();
         return Res;
       }
@@ -184,6 +198,8 @@ public:
     Res.Status = MaxSatStatus::Optimum;
     Res.Model = std::move(BestModel);
     Res.Cost = BestCost;
+    Res.LowerBound = Res.UpperBound = BestCost;
+    Res.BestModel = Res.Model;
     for (size_t I = 0; I < Soft.size(); ++I)
       if (!clauseSatisfied(Soft[I].Lits, Res.Model))
         Res.FalsifiedSoft.push_back(I);
@@ -192,6 +208,31 @@ public:
   }
 
 private:
+  /// Anytime upper bound after budget exhaustion: an unbounded solve under
+  /// a small allowance yields a hard-satisfying model whose cost bounds the
+  /// optimum from above. Only runs when the query budget tripped, so
+  /// unbudgeted flows behave exactly as before.
+  void harvestUpperBound(MaxSatResult &Res) {
+    if (!S.budgetExhausted() || S.interrupted())
+      return;
+    Solver::Budget Saved = S.budget();
+    S.clearBudget();
+    Solver::Budget Allowance;
+    Allowance.MaxConflicts = 1000;
+    S.setBudget(Allowance);
+    for (Var V : PreferTrue)
+      S.setPolarity(V, true);
+    ++Res.SatCalls;
+    if (S.solve() == LBool::True) {
+      Res.BestModel.resize(NumOrigVars);
+      for (Var V = 0; V < NumOrigVars; ++V)
+        Res.BestModel[V] = S.modelValue(V);
+      Res.UpperBound = modelCost(Soft, Res.BestModel);
+    }
+    S.setBudget(Saved);
+    S.markBudgetExhausted(); // the query budget stays sticky-exhausted
+  }
+
   /// Canonicalizes the optimum (see Canonical.h): probes run under the
   /// counter bound "sum <= Cost", and soft clause J is forced satisfied by
   /// assuming its relaxation literal off (relaxation and counter clauses

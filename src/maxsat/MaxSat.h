@@ -124,9 +124,26 @@ struct MaxSatResult {
   /// under clause exchange is timing-dependent -- so the byte-identical
   /// thread-count guarantee applies to unbudgeted runs.
   bool CanonicalTruncated = false;
+  // --- anytime bounds (meaningful on every status) --------------------------
+  // On Optimum both bounds equal Cost and BestModel is the optimal model.
+  // On Unknown (budget exhausted) they are the best-so-far knowledge:
+  // LowerBound is a proven lower bound on the optimum (0 when nothing was
+  // proven), UpperBound is the cost of BestModel when one was found
+  // (UINT64_MAX and an empty BestModel otherwise). On HardUnsat both
+  // bounds are UINT64_MAX.
+  /// Proven lower bound on the optimum cost.
+  uint64_t LowerBound = 0;
+  /// Cost of the best model found so far (UINT64_MAX when none).
+  uint64_t UpperBound = UINT64_MAX;
+  /// Best hard-satisfying model found so far; witnesses UpperBound.
+  std::vector<LBool> BestModel;
   /// Cumulative statistics of the underlying solver (for a session, totals
   /// since the session was created; for one-shot calls, totals of the call).
   SolverStats Search;
+
+  /// True when the run finished (Optimum or HardUnsat) rather than running
+  /// out of budget.
+  bool decided() const { return Status != MaxSatStatus::Unknown; }
 };
 
 /// An incremental MaxSAT session: one persistent solver, repeatedly
@@ -170,6 +187,17 @@ public:
   /// aggregate solver state; ordinary callers should not steer the solver
   /// mid-session.
   virtual Solver &solver() = 0;
+
+  /// Installs a query-wide resource budget (sat/Solver.h's Solver::Budget)
+  /// on the session's solver(s). When it is exhausted mid-solve() the
+  /// session returns an anytime result: Status Unknown with the
+  /// LowerBound/UpperBound/BestModel fields carrying the best-so-far
+  /// knowledge. Re-install (or clear) before each user query; the
+  /// exhausted state is sticky. The default forwards to solver().
+  virtual void setBudget(const Solver::Budget &B) { solver().setBudget(B); }
+
+  /// Removes any budget and clears the exhausted state.
+  virtual void clearBudget() { solver().clearBudget(); }
 };
 
 /// Creates a Fu-Malik core-guided session (unweighted; weights ignored).

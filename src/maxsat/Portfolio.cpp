@@ -12,9 +12,14 @@
 //
 // A decided loser result is impossible by construction: a worker is only
 // interrupted after the winner claimed the race, so any later-finishing
-// worker's result is discarded. Unknown results never claim the win; if
-// every worker exhausts its conflict budget, worker 0's Unknown is
-// returned.
+// worker's result is discarded. Unknown results never claim the win; when
+// every surviving worker exhausts its budget the survivors' anytime
+// bounds are merged deterministically (see PortfolioSession::solve).
+//
+// Fault isolation: an exception escaping a worker's solve() is caught at
+// the thread boundary. The crashed worker is retired for the session's
+// lifetime -- its engine state is indeterminate -- and the race continues
+// (this round and every later round) on the survivors.
 //
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +27,7 @@
 
 #include "sat/Solver.h"
 
+#include <algorithm>
 #include <cassert>
 #include <thread>
 
@@ -147,7 +153,8 @@ void installShareHooks(Solver &S, ClauseExchange &Ex, size_t Id,
 
 SatRaceResult bugassist::racePortfolioSat(const std::vector<Clause> &Clauses,
                                           int NumVars, size_t Threads,
-                                          const Solver::Options &Base) {
+                                          const Solver::Options &Base,
+                                          const Solver::Budget &Bud) {
   SatRaceResult Race;
   size_t N = Threads ? Threads : 1;
 
@@ -162,6 +169,8 @@ SatRaceResult bugassist::racePortfolioSat(const std::vector<Clause> &Clauses,
         break; // root-level UNSAT: solve() will report False immediately
     if (N > 1)
       installShareHooks(*S, Exchange, Id, /*ShareVarLimit=*/NumVars);
+    if (!Bud.unlimited())
+      S->setBudget(Bud);
     Solvers.push_back(std::move(S));
   }
 
@@ -172,7 +181,17 @@ SatRaceResult bugassist::racePortfolioSat(const std::vector<Clause> &Clauses,
     std::mutex RaceM;
     int Winner = -1;
     auto Body = [&](size_t Id) {
-      LBool R = Solvers[Id]->solve();
+      LBool R = LBool::Undef;
+      try {
+        R = Solvers[Id]->solve();
+      } catch (...) {
+        // Fault isolation: the crashed worker is retired and the race
+        // continues on the survivors. Its solver may be mid-search; only
+        // its plain stats counters are read after the join.
+        std::lock_guard<std::mutex> G(RaceM);
+        ++Race.Faults;
+        return;
+      }
       std::lock_guard<std::mutex> G(RaceM);
       if (R != LBool::Undef && Winner < 0) {
         Winner = static_cast<int>(Id);
@@ -215,6 +234,7 @@ PortfolioSession::PortfolioSession(const MaxSatInstance &Inst, bool Weighted,
   size_t N = Threads ? Threads : 1;
   Exchange = std::make_unique<ClauseExchange>(N);
   PStats.WinsByWorker.assign(N, 0);
+  Retired.assign(N, 0);
   Workers.reserve(N);
   for (size_t Id = 0; Id < N; ++Id) {
     // Every worker canonicalizes, so the race winner's diagnosis is the
@@ -238,19 +258,43 @@ PortfolioSession::~PortfolioSession() = default;
 
 MaxSatResult PortfolioSession::solve() {
   MaxSatResult Winning;
+  if (aliveWorkers() == 0) {
+    // Every worker has crashed; there is nothing left to race. Report an
+    // honest Unknown (LowerBound 0, no witness).
+    PStats.LastWinner = -1;
+    Winning.Search = stats();
+    return Winning;
+  }
   if (Workers.size() == 1) {
     Winning = Workers[0]->solve();
     PStats.LastWinner = Winning.Status == MaxSatStatus::Unknown ? -1 : 0;
     if (PStats.LastWinner == 0)
       ++PStats.WinsByWorker[0];
   } else {
-    for (auto &W : Workers)
-      W->solver().clearInterrupt();
+    for (size_t Id = 0; Id < Workers.size(); ++Id)
+      if (!Retired[Id])
+        Workers[Id]->solver().clearInterrupt();
 
     std::mutex RaceM;
     int Winner = -1;
+    // Per-worker round results, kept so the bounds of every survivor can
+    // be merged deterministically when nobody decides.
+    std::vector<MaxSatResult> Round(Workers.size());
+    std::vector<char> HaveResult(Workers.size(), 0);
     auto Body = [&](size_t Id) {
-      MaxSatResult R = Workers[Id]->solve();
+      MaxSatResult R;
+      try {
+        R = Workers[Id]->solve();
+      } catch (...) {
+        // Fault isolation: an escaped exception (std::bad_alloc, an
+        // injected fault) retires this worker permanently -- its engine
+        // state is indeterminate mid-solve -- and the race continues on
+        // the survivors.
+        std::lock_guard<std::mutex> G(RaceM);
+        Retired[Id] = 1;
+        ++PStats.WorkerFaults;
+        return;
+      }
       std::lock_guard<std::mutex> G(RaceM);
       // First *fully decided* answer wins; anyone interrupted after this
       // point returns Unknown and is discarded, so a stale (pre-interrupt)
@@ -263,30 +307,55 @@ MaxSatResult PortfolioSession::solve() {
         Winner = static_cast<int>(Id);
         Winning = std::move(R);
         for (size_t J = 0; J < Workers.size(); ++J)
-          if (J != Id)
+          if (J != Id && !Retired[J])
             Workers[J]->solver().interrupt();
-      } else if (Winner < 0 && Id == 0) {
-        // No winner yet: remember the anchor worker's result. If nobody
-        // ever wins (every worker truncated or exhausted its budget), the
-        // anchor's deterministic-configuration answer is still the best
-        // fallback -- possibly a proven optimum with a non-canonical set.
-        Winning = std::move(R);
+      } else {
+        Round[Id] = std::move(R);
+        HaveResult[Id] = 1;
       }
     };
     std::vector<std::thread> Pool;
     Pool.reserve(Workers.size());
     for (size_t Id = 0; Id < Workers.size(); ++Id)
-      Pool.emplace_back(Body, Id);
+      if (!Retired[Id])
+        Pool.emplace_back(Body, Id);
     for (std::thread &T : Pool)
       T.join();
 
-    for (auto &W : Workers)
-      W->solver().clearInterrupt();
+    for (size_t Id = 0; Id < Workers.size(); ++Id)
+      if (!Retired[Id])
+        Workers[Id]->solver().clearInterrupt();
     PStats.LastWinner = Winner;
-    if (Winner >= 0)
+    if (Winner >= 0) {
       ++PStats.WinsByWorker[static_cast<size_t>(Winner)];
-    // No winner: Winning holds worker 0's fallback result (Unknown, or a
-    // budget-truncated optimum) untouched.
+    } else {
+      // Nobody decided (every survivor truncated or exhausted its budget,
+      // or crashed). Fall back to the lowest-id survivor with a decided
+      // (necessarily truncated-canonicalization) answer -- a proven
+      // optimum beats any Unknown; otherwise merge the survivors' anytime
+      // bounds: tightest proven lower bound, cheapest witnessed upper
+      // bound, the witness taken from the lowest-id worker attaining it
+      // so ties break deterministically.
+      bool Decided = false;
+      for (size_t Id = 0; Id < Workers.size() && !Decided; ++Id)
+        if (HaveResult[Id] && Round[Id].decided()) {
+          Winning = std::move(Round[Id]);
+          Decided = true;
+        }
+      if (!Decided) {
+        for (size_t Id = 0; Id < Workers.size(); ++Id) {
+          if (!HaveResult[Id])
+            continue;
+          const MaxSatResult &R = Round[Id];
+          Winning.LowerBound = std::max(Winning.LowerBound, R.LowerBound);
+          if (R.UpperBound < Winning.UpperBound) {
+            Winning.UpperBound = R.UpperBound;
+            Winning.BestModel = R.BestModel;
+          }
+          Winning.SatCalls += R.SatCalls;
+        }
+      }
+    }
   }
   PStats.ClausesPublished = Exchange->published();
   PStats.ClausesDropped = Exchange->dropped();
@@ -296,12 +365,15 @@ MaxSatResult PortfolioSession::solve() {
 
 bool PortfolioSession::addHardClause(const Clause &C) {
   bool Ok = true;
-  for (auto &W : Workers)
-    Ok = W->addHardClause(C) && Ok;
+  for (size_t Id = 0; Id < Workers.size(); ++Id)
+    if (!Retired[Id])
+      Ok = Workers[Id]->addHardClause(C) && Ok;
   return Ok;
 }
 
 const SolverStats &PortfolioSession::stats() const {
+  // Retired workers are included: their counters record real work done
+  // before the crash and are plain structs, safe to read after the join.
   Agg = SolverStats{};
   for (const auto &W : Workers)
     Agg += W->stats();
@@ -309,6 +381,25 @@ const SolverStats &PortfolioSession::stats() const {
 }
 
 Solver &PortfolioSession::solver() { return Workers[0]->solver(); }
+
+void PortfolioSession::setBudget(const Solver::Budget &B) {
+  for (size_t Id = 0; Id < Workers.size(); ++Id)
+    if (!Retired[Id])
+      Workers[Id]->setBudget(B);
+}
+
+void PortfolioSession::clearBudget() {
+  for (size_t Id = 0; Id < Workers.size(); ++Id)
+    if (!Retired[Id])
+      Workers[Id]->clearBudget();
+}
+
+size_t PortfolioSession::aliveWorkers() const {
+  size_t N = 0;
+  for (char R : Retired)
+    N += R == 0;
+  return N;
+}
 
 std::unique_ptr<PortfolioSession>
 bugassist::makePortfolioSession(const MaxSatInstance &Inst, bool Weighted,

@@ -120,15 +120,23 @@ struct SatRaceResult {
   std::vector<LBool> Model;
   SolverStats Aggregate; ///< summed over all workers (incl. export/import)
   std::vector<SolverStats> PerWorker;
+  /// Workers whose thread died on an escaped exception (fault-isolated;
+  /// the race continued on the survivors).
+  uint64_t Faults = 0;
 };
 
 /// Races \p Threads diversified solvers over \p Clauses; first decision
 /// wins and interrupts the rest. With Threads <= 1 this degenerates to a
-/// plain single solver on the calling thread.
+/// plain single solver on the calling thread. A non-unlimited \p Bud is
+/// installed on every worker; when all survivors exhaust it the race
+/// returns Undef instead of running forever. A worker thread that dies on
+/// an exception (std::bad_alloc, an injected fault) is retired and counted
+/// in SatRaceResult::Faults; the race continues on the rest.
 SatRaceResult
 racePortfolioSat(const std::vector<Clause> &Clauses, int NumVars,
                  size_t Threads,
-                 const Solver::Options &Base = Solver::Options());
+                 const Solver::Options &Base = Solver::Options(),
+                 const Solver::Budget &Bud = Solver::Budget());
 
 /// Aggregate view of a portfolio race, refreshed after every solve().
 struct PortfolioStats {
@@ -136,6 +144,9 @@ struct PortfolioStats {
   int LastWinner = -1;
   uint64_t ClausesPublished = 0; ///< entries accepted by the exchange
   uint64_t ClausesDropped = 0;   ///< entries evicted before full delivery
+  /// Workers permanently retired after an exception escaped their solve()
+  /// (fault isolation; later rounds run on the survivors only).
+  uint64_t WorkerFaults = 0;
 };
 
 /// N racing persistent MaxSAT sessions behind the MaxSatSession interface.
@@ -175,12 +186,22 @@ public:
   /// The anchor worker's solver (worker 0 runs the base configuration).
   Solver &solver() override;
 
+  /// Installs the budget on every surviving worker (retired workers are
+  /// left alone -- they never run again).
+  void setBudget(const Solver::Budget &B) override;
+  void clearBudget() override;
+
   size_t workers() const { return Workers.size(); }
+  /// Workers still in the race (never crashed). A worker whose solve()
+  /// let an exception escape is retired for the session's lifetime.
+  size_t aliveWorkers() const;
+  bool workerRetired(size_t Id) const { return Retired[Id] != 0; }
   const PortfolioStats &portfolioStats() const { return PStats; }
 
 private:
   std::unique_ptr<ClauseExchange> Exchange; // outlives the workers below
   std::vector<std::unique_ptr<MaxSatSession>> Workers;
+  std::vector<char> Retired; ///< 1 = crashed, permanently out of the race
   PortfolioStats PStats;
   mutable SolverStats Agg;
 };

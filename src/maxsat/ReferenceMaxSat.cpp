@@ -96,6 +96,7 @@ MaxSatResult bugassist::referenceSolveFuMalik(const MaxSatInstance &Inst,
     if (!HardOk) {
       accumulate(Res.Search, S.stats());
       Res.Status = MaxSatStatus::HardUnsat;
+      Res.LowerBound = Res.UpperBound = UINT64_MAX;
       return Res;
     }
 
@@ -115,6 +116,7 @@ MaxSatResult bugassist::referenceSolveFuMalik(const MaxSatInstance &Inst,
       // both the guard... impossible since A is fresh; defensive only.
       accumulate(Res.Search, S.stats());
       Res.Status = MaxSatStatus::HardUnsat;
+      Res.LowerBound = Res.UpperBound = UINT64_MAX;
       return Res;
     }
 
@@ -128,6 +130,9 @@ MaxSatResult bugassist::referenceSolveFuMalik(const MaxSatInstance &Inst,
 
     if (R == LBool::Undef) {
       Res.Status = MaxSatStatus::Unknown;
+      // Anytime bounds: each completed round proved one more soft clause
+      // must be falsified, and all weights are >= 1.
+      Res.LowerBound = Rounds;
       return Res;
     }
     if (R == LBool::True) {
@@ -136,6 +141,8 @@ MaxSatResult bugassist::referenceSolveFuMalik(const MaxSatInstance &Inst,
       for (Var V = 0; V < Inst.NumVars; ++V)
         Res.Model[V] = S.modelValue(V);
       collectFalsifiedSoft(Inst, Res);
+      Res.LowerBound = Res.UpperBound = Res.Cost;
+      Res.BestModel = Res.Model;
       // Fu-Malik invariant: rounds of relaxation == optimal cost for
       // unit weights.
       assert(Res.FalsifiedSoft.size() == Rounds &&
@@ -160,6 +167,7 @@ MaxSatResult bugassist::referenceSolveFuMalik(const MaxSatInstance &Inst,
     if (CoreSoft.empty()) {
       // Conflict involves no soft clause: hard part is UNSAT.
       Res.Status = MaxSatStatus::HardUnsat;
+      Res.LowerBound = Res.UpperBound = UINT64_MAX;
       return Res;
     }
 
@@ -226,6 +234,7 @@ MaxSatResult bugassist::referenceSolveLinear(const MaxSatInstance &Inst,
       if (HaveModel)
         break; // previous model is optimal
       Res.Status = MaxSatStatus::HardUnsat;
+      Res.LowerBound = Res.UpperBound = UINT64_MAX;
       return Res;
     }
 
@@ -238,11 +247,19 @@ MaxSatResult bugassist::referenceSolveLinear(const MaxSatInstance &Inst,
     accumulate(Res.Search, S.stats());
     if (SatRes == LBool::Undef) {
       Res.Status = MaxSatStatus::Unknown;
+      // Anytime bounds from the search state: every completed improvement
+      // step proved optimum < BestCost was still open, and BestModel
+      // witnesses the best cost seen.
+      if (HaveModel) {
+        Res.UpperBound = BestCost;
+        Res.BestModel = BestModel;
+      }
       return Res;
     }
     if (SatRes == LBool::False) {
       if (!HaveModel) {
         Res.Status = MaxSatStatus::HardUnsat;
+        Res.LowerBound = Res.UpperBound = UINT64_MAX;
         return Res;
       }
       break; // BestModel is optimal
@@ -264,6 +281,8 @@ MaxSatResult bugassist::referenceSolveLinear(const MaxSatInstance &Inst,
   Res.Status = MaxSatStatus::Optimum;
   Res.Model = std::move(BestModel);
   Res.Cost = BestCost;
+  Res.LowerBound = Res.UpperBound = BestCost;
+  Res.BestModel = Res.Model;
   for (size_t I = 0; I < Inst.Soft.size(); ++I)
     if (!clauseSatisfied(Inst.Soft[I].Lits, Res.Model))
       Res.FalsifiedSoft.push_back(I);

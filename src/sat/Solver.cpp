@@ -19,6 +19,7 @@
 #include "sat/Solver.h"
 
 #include "cnf/Cnf.h"
+#include "support/FaultInject.h"
 
 #include <algorithm>
 #include <cassert>
@@ -142,8 +143,48 @@ bool Solver::releaseVar(Lit L) {
   return addClause({L});
 }
 
+void Solver::setBudget(const Budget &B) {
+  Bud = B;
+  BudgetArmed = !B.unlimited();
+  BudgetExhaustedFlag = false;
+  BudgetStartConflicts = Stats.Conflicts;
+  BudgetStartPropagations = Stats.Propagations;
+  BudgetPollCountdown = 0; // poll on the first search iteration
+}
+
+void Solver::clearBudget() {
+  Bud = Budget();
+  BudgetArmed = false;
+  BudgetExhaustedFlag = false;
+}
+
+bool Solver::pollBudget() {
+  if (!BudgetArmed)
+    return false;
+  if (BudgetExhaustedFlag)
+    return true;
+  if ((Bud.MaxConflicts != 0 &&
+       Stats.Conflicts - BudgetStartConflicts >= Bud.MaxConflicts) ||
+      (Bud.MaxPropagations != 0 &&
+       Stats.Propagations - BudgetStartPropagations >= Bud.MaxPropagations) ||
+      (Bud.MaxArenaBytes != 0 && Arena.size() * sizeof(Lit) > Bud.MaxArenaBytes) ||
+      (Bud.HasDeadline && std::chrono::steady_clock::now() >= Bud.Deadline))
+    BudgetExhaustedFlag = true;
+  return BudgetExhaustedFlag;
+}
+
 Solver::ClauseRef Solver::allocClause(const std::vector<Lit> &Lits,
                                       bool Learnt) {
+  if (faultinject::active() &&
+      faultinject::onEvent(faultinject::Event::Allocation))
+    InterruptRequested.store(true, std::memory_order_relaxed);
+  // The arena cap degrades, never throws: the clause is still allocated
+  // (one-clause overshoot) and the sticky flag makes the search loop hand
+  // back Undef on its next iteration.
+  if (BudgetArmed && Bud.MaxArenaBytes != 0 &&
+      (Arena.size() + HeaderWords + Lits.size()) * sizeof(Lit) >
+          Bud.MaxArenaBytes)
+    BudgetExhaustedFlag = true;
   ClauseRef CR = static_cast<ClauseRef>(Arena.size());
   int32_t Header = static_cast<int32_t>(Lits.size() << 3);
   if (Learnt)
@@ -574,6 +615,11 @@ LBool Solver::search() {
   for (;;) {
     if (InterruptRequested.load(std::memory_order_relaxed))
       return LBool::Undef; // cooperative cancellation (portfolio racing)
+    if (BudgetArmed && (BudgetExhaustedFlag || --BudgetPollCountdown <= 0)) {
+      BudgetPollCountdown = BudgetPollPeriod;
+      if (pollBudget())
+        return LBool::Undef; // budget exhausted: degrade to Unknown
+    }
     ClauseRef Confl = propagate();
     if (Confl != InvalidClause) {
       // Conflict.
@@ -681,6 +727,11 @@ LBool Solver::solve(const std::vector<Lit> &Assumptions) {
     if (Result == LBool::Undef) {
       if (InterruptRequested.load(std::memory_order_relaxed))
         break; // interrupted: hand back Undef without counting a restart
+      if (BudgetExhaustedFlag)
+        break; // budget exhausted: same contract as an interrupt
+      if (faultinject::active() &&
+          faultinject::onEvent(faultinject::Event::Restart))
+        InterruptRequested.store(true, std::memory_order_relaxed);
       ++Stats.Restarts;
       if (ConflictBudget != 0 && ConflictsThisSolve >= ConflictBudget)
         break;

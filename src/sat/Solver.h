@@ -61,6 +61,7 @@
 #include "cnf/Lit.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <utility>
@@ -266,6 +267,59 @@ public:
   /// Limits the next solve() calls to \p MaxConflicts conflicts
   /// (0 = unlimited). When exhausted, solve returns Undef.
   void setConflictBudget(uint64_t MaxConflicts) { ConflictBudget = MaxConflicts; }
+
+  // --- resource budgets (graceful degradation) -----------------------------
+
+  /// A query-wide resource budget. Unlike the per-solve conflict budget
+  /// above, every cap is cumulative across all solve() calls since
+  /// setBudget() -- the MaxSAT sessions install one budget per user query
+  /// and make dozens of solve() calls against it. A zero cap (or an unset
+  /// deadline) means that dimension is unlimited.
+  struct Budget {
+    uint64_t MaxConflicts = 0;    ///< conflicts since setBudget (0 = off)
+    uint64_t MaxPropagations = 0; ///< propagations since setBudget (0 = off)
+    uint64_t MaxArenaBytes = 0;   ///< clause-arena size cap (0 = off)
+    std::chrono::steady_clock::time_point Deadline{};
+    bool HasDeadline = false;
+
+    bool unlimited() const {
+      return MaxConflicts == 0 && MaxPropagations == 0 && MaxArenaBytes == 0 &&
+             !HasDeadline;
+    }
+    /// Sets the deadline to now + \p Seconds on the steady clock.
+    void setDeadlineIn(double Seconds) {
+      Deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(Seconds));
+      HasDeadline = true;
+    }
+  };
+
+  /// Installs \p B and starts counting against it from the solver's current
+  /// cumulative stats. Exhaustion makes solve() return Undef -- never throw,
+  /// never abort: arena growth past MaxArenaBytes is detected at the next
+  /// allocation and degrades to Undef too. The exhausted state is sticky
+  /// (later solve() calls return Undef immediately) until the budget is
+  /// replaced or cleared.
+  void setBudget(const Budget &B);
+
+  /// Removes any budget and clears the exhausted state.
+  void clearBudget();
+
+  const Budget &budget() const { return Bud; }
+
+  /// True once any budget dimension has tripped; sticky until clearBudget()
+  /// or the next setBudget().
+  bool budgetExhausted() const { return BudgetExhaustedFlag; }
+
+  /// Re-latches the exhausted state. The MaxSAT sessions briefly lift an
+  /// exhausted budget to harvest a bounded best-effort witness (the anytime
+  /// upper bound); this restores the sticky Unknown contract afterwards.
+  void markBudgetExhausted() {
+    if (BudgetArmed)
+      BudgetExhaustedFlag = true;
+  }
 
   // --- cooperative cancellation (portfolio racing) -------------------------
 
@@ -519,6 +573,19 @@ private:
   std::vector<LBool> Model;
 
   uint64_t ConflictBudget = 0;
+  // Query-wide resource budget (see Budget above). The search loop keeps
+  // the fast path cheap: one bool test plus a countdown, with the clock
+  // read and counter comparisons amortized over BudgetPollPeriod
+  // iterations (the arena cap additionally flips the sticky flag directly
+  // from allocClause, so it is seen on the very next iteration).
+  static constexpr int BudgetPollPeriod = 1024;
+  bool pollBudget(); // slow path; returns and latches BudgetExhaustedFlag
+  Budget Bud;
+  bool BudgetArmed = false;
+  bool BudgetExhaustedFlag = false;
+  uint64_t BudgetStartConflicts = 0;
+  uint64_t BudgetStartPropagations = 0;
+  int BudgetPollCountdown = 0;
   uint64_t ConflictsThisSolve = 0;
   uint64_t ConflictsSinceRestart = 0;
   uint64_t CurRestartBudget = 0; // Luby policy: conflicts before restart

@@ -1,0 +1,60 @@
+//===- FaultInject.cpp - test-only fault injection hooks --------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInject.h"
+
+#include <new>
+
+namespace bugassist {
+namespace faultinject {
+
+namespace detail {
+
+std::atomic<bool> Armed{false};
+
+namespace {
+std::atomic<uint64_t> Remaining{0};
+std::atomic<uint8_t> ArmedEvent{0};
+std::atomic<uint8_t> ArmedFault{0};
+} // namespace
+
+bool onEventSlow(Event E) {
+  if (static_cast<uint8_t>(E) != ArmedEvent.load(std::memory_order_relaxed))
+    return false;
+  // Decrement without wrapping past zero; only the thread that observes the
+  // 1 -> 0 transition fires the fault, so a concurrent portfolio loses
+  // exactly one worker.
+  uint64_t Cur = Remaining.load(std::memory_order_relaxed);
+  do {
+    if (Cur == 0)
+      return false;
+  } while (!Remaining.compare_exchange_weak(Cur, Cur - 1,
+                                            std::memory_order_relaxed));
+  if (Cur != 1)
+    return false;
+  Armed.store(false, std::memory_order_relaxed);
+  if (static_cast<Fault>(ArmedFault.load(std::memory_order_relaxed)) ==
+      Fault::BadAlloc)
+    throw std::bad_alloc();
+  return true;
+}
+
+} // namespace detail
+
+void arm(Event E, Fault F, uint64_t Nth) {
+  detail::ArmedEvent.store(static_cast<uint8_t>(E), std::memory_order_relaxed);
+  detail::ArmedFault.store(static_cast<uint8_t>(F), std::memory_order_relaxed);
+  detail::Remaining.store(Nth == 0 ? 1 : Nth, std::memory_order_relaxed);
+  detail::Armed.store(true, std::memory_order_relaxed);
+}
+
+void disarm() {
+  detail::Armed.store(false, std::memory_order_relaxed);
+  detail::Remaining.store(0, std::memory_order_relaxed);
+}
+
+} // namespace faultinject
+} // namespace bugassist

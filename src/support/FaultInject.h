@@ -1,0 +1,75 @@
+//===- FaultInject.h - test-only fault injection hooks ----------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-global, one-shot fault injector for robustness tests: arm a
+/// simulated fault (an OOM `std::bad_alloc` or a spurious interrupt) at the
+/// Nth future occurrence of an instrumented event, and the next solver to
+/// reach that event suffers it. The portfolio tests use this to crash
+/// exactly one worker thread mid-race and assert that the survivors still
+/// produce the canonical answer.
+///
+/// The hooks are compiled in unconditionally but cost a single relaxed
+/// atomic load when disarmed (the default), so production paths pay nothing
+/// measurable. Arming is one-shot: the fault fires once and the injector
+/// disarms itself, which under a concurrent portfolio means exactly one
+/// worker is hit. Not intended for use outside tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_SUPPORT_FAULTINJECT_H
+#define BUGASSIST_SUPPORT_FAULTINJECT_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace bugassist {
+namespace faultinject {
+
+/// Instrumented event sites inside the solver.
+enum class Event : uint8_t {
+  Allocation, ///< Solver::allocClause (every clause allocation)
+  Restart     ///< Solver::solve restart boundary
+};
+
+/// What happens when the armed countdown reaches zero.
+enum class Fault : uint8_t {
+  BadAlloc, ///< throw std::bad_alloc from the event site (simulated OOM)
+  Interrupt ///< report "fire" so the site raises a spurious interrupt
+};
+
+/// Arms a one-shot fault: the \p Nth future occurrence of \p E (1-based;
+/// 0 is treated as 1) triggers \p F, after which the injector disarms
+/// itself. Counting is global across all solvers and threads.
+void arm(Event E, Fault F, uint64_t Nth);
+
+/// Disarms without firing. Tests call this in teardown so a fault armed
+/// but never reached cannot leak into the next test.
+void disarm();
+
+namespace detail {
+extern std::atomic<bool> Armed;
+bool onEventSlow(Event E);
+} // namespace detail
+
+/// True while a fault is armed. Single relaxed load; the instrumented
+/// sites use it to skip the slow path entirely in normal operation.
+inline bool active() {
+  return detail::Armed.load(std::memory_order_relaxed);
+}
+
+/// Event-site hook. Counts down the armed fault; on the firing occurrence
+/// either throws std::bad_alloc (Fault::BadAlloc) or returns true
+/// (Fault::Interrupt, the caller raises its own interrupt flag). Returns
+/// false when disarmed, counting, or armed for a different event.
+inline bool onEvent(Event E) {
+  return active() && detail::onEventSlow(E);
+}
+
+} // namespace faultinject
+} // namespace bugassist
+
+#endif // BUGASSIST_SUPPORT_FAULTINJECT_H

@@ -18,6 +18,7 @@
 
 #include <cstdio>
 #include <string>
+#include <sys/wait.h>
 
 namespace bugassist {
 namespace clitest {
@@ -41,6 +42,14 @@ inline std::string runCommand(const std::string &Cmd, int &ExitCode) {
     Out.append(Buf, N);
   ExitCode = pclose(P);
   return Out;
+}
+
+/// The program's actual exit status out of a raw pclose()/runCommand
+/// status (-1 when the program did not exit normally). Use this to assert
+/// the exact documented exit codes (0 complete / 1 input error / 2 budget
+/// exhausted) rather than just zero vs. nonzero.
+inline int exitStatus(int RawStatus) {
+  return WIFEXITED(RawStatus) ? WEXITSTATUS(RawStatus) : -1;
 }
 
 } // namespace clitest

@@ -25,6 +25,7 @@
 using namespace bugassist;
 
 using clitest::Cli;
+using clitest::exitStatus;
 using clitest::Instances;
 using clitest::runCommand;
 
@@ -181,6 +182,139 @@ TEST(BugassistCli, SatDecidesCheckedInInstances) {
                    Exit);
   EXPECT_EQ(Exit, 0);
   EXPECT_NE(Out.find("s UNSATISFIABLE\n"), std::string::npos) << Out;
+}
+
+// --- resource budgets & the exit-code contract --------------------------------
+//
+// Documented contract: 0 complete, 1 input/usage error, 2 budget
+// exhausted (best-so-far result printed).
+
+namespace {
+
+/// DIMACS CNF text of PHP(Holes + 1, Holes) -- UNSAT, and hopeless to
+/// refute within a tiny budget for Holes >= 9.
+std::string pigeonholeCnf(int Holes) {
+  int Pigeons = Holes + 1;
+  auto VarOf = [&](int P, int H) { return P * Holes + H + 1; };
+  std::string Text;
+  int NumClauses = Pigeons + Holes * (Pigeons * (Pigeons - 1) / 2);
+  Text += "p cnf " + std::to_string(Pigeons * Holes) + " " +
+          std::to_string(NumClauses) + "\n";
+  for (int P = 0; P < Pigeons; ++P) {
+    for (int H = 0; H < Holes; ++H)
+      Text += std::to_string(VarOf(P, H)) + " ";
+    Text += "0\n";
+  }
+  for (int H = 0; H < Holes; ++H)
+    for (int P1 = 0; P1 < Pigeons; ++P1)
+      for (int P2 = P1 + 1; P2 < Pigeons; ++P2)
+        Text += "-" + std::to_string(VarOf(P1, H)) + " -" +
+                std::to_string(VarOf(P2, H)) + " 0\n";
+  return Text;
+}
+
+} // namespace
+
+TEST(BugassistCli, BadBudgetFlagValuesExitOneWithNoOutput) {
+  const std::string Wcnf = Instances + "/weighted.wcnf";
+  for (const std::string &Flags :
+       {std::string("--timeout 0"), std::string("--timeout abc"),
+        std::string("--timeout -1"), std::string("--max-conflicts -1"),
+        std::string("--max-conflicts notanumber"),
+        std::string("--max-memory-mb 0"), std::string("--timeout")}) {
+    int Exit = 0;
+    std::string Out = runCommand(
+        Cli + " maxsat " + Wcnf + " " + Flags + " 2>/dev/null", Exit);
+    EXPECT_EQ(exitStatus(Exit), 1) << "flags: " << Flags;
+    EXPECT_TRUE(Out.empty()) << "partial stdout for flags: " << Flags;
+  }
+}
+
+TEST(BugassistCli, SatBudgetExhaustionExitsTwoWithUnknown) {
+  std::string Cnf = writeTempFile(pigeonholeCnf(9));
+  for (int Threads : {1, 2}) {
+    int Exit = 0;
+    std::string Out =
+        runCommand(Cli + " sat " + Cnf + " --timeout 0.05 --threads " +
+                       std::to_string(Threads),
+                   Exit);
+    EXPECT_EQ(exitStatus(Exit), 2) << "threads " << Threads;
+    EXPECT_NE(Out.find("s UNKNOWN\n"), std::string::npos) << Out;
+  }
+  // The same instance without a budget still exits 0 on easy inputs: the
+  // contract is about exhaustion, not about the flags being present.
+  int Exit = 0;
+  std::string Out = runCommand(
+      Cli + " sat " + Instances + "/mini.cnf --timeout 30", Exit);
+  EXPECT_EQ(exitStatus(Exit), 0);
+  EXPECT_NE(Out.find("s SATISFIABLE\n"), std::string::npos) << Out;
+  std::remove(Cnf.c_str());
+}
+
+TEST(BugassistCli, MaxsatBudgetExhaustionIsAnytime) {
+  // budget/budget_hard.wcnf is soft-PHP(10, 9): optimum 1, refutation hopeless.
+  // A tiny deadline must exit 2 and still print an o-line upper bound
+  // with its witnessing v-line, at every width.
+  for (int Threads : {1, 2, 4}) {
+    int Exit = 0;
+    std::string Out =
+        runCommand(Cli + " maxsat " + Instances +
+                       "/budget/budget_hard.wcnf --timeout 0.05 --threads " +
+                       std::to_string(Threads),
+                   Exit);
+    EXPECT_EQ(exitStatus(Exit), 2) << "threads " << Threads;
+    EXPECT_NE(Out.find("\no "), std::string::npos)
+        << "no anytime upper bound, threads " << Threads << "\n" << Out;
+    EXPECT_NE(Out.find("s UNKNOWN\n"), std::string::npos) << Out;
+    EXPECT_NE(Out.find("\nv "), std::string::npos)
+        << "no witness model, threads " << Threads << "\n" << Out;
+  }
+  // A generous budget that never trips leaves complete runs at exit 0.
+  int Exit = 0;
+  std::string Out = runCommand(
+      Cli + " maxsat " + Instances + "/weighted.wcnf --timeout 30", Exit);
+  EXPECT_EQ(exitStatus(Exit), 0);
+  EXPECT_NE(Out.find("o 2\ns OPTIMUM FOUND\n"), std::string::npos) << Out;
+}
+
+TEST(BugassistCli, LocalizePartialReportIdenticalAcrossWidths) {
+  // A microsecond deadline is already expired by the first budget poll in
+  // every worker, so the INCOMPLETE report deterministically carries zero
+  // diagnoses -- which is exactly what makes it byte-identical at every
+  // portfolio width. (A conflict cap would NOT do: small rounds can
+  // complete between the amortized polls, differently per width.)
+  DiagEngine Diags;
+  auto Golden = parseAndAnalyze(tcasSource(), Diags);
+  auto Faulty = parseAndAnalyze(tcasMutants()[1].Source, Diags);
+  ASSERT_TRUE(Golden && Faulty) << Diags.render();
+  FailingTests Failing =
+      segregateFailingTests(*Golden, *Faulty, tcasTestPool(1600), "main",
+                            tcasExecOptions(), /*MaxTests=*/1);
+  ASSERT_EQ(Failing.Inputs.size(), 1u);
+
+  std::string Source = writeTempFile(tcasMutants()[1].Source);
+  std::string Base =
+      Cli + " localize " + Source + " --input \"" +
+      renderInputVector(Failing.Inputs[0]) + "\" --golden " +
+      std::to_string(Failing.Goldens[0]) +
+      " --no-obligations --no-bounds --bitwidth 16 --hard-lines 69-84"
+      " --timeout 0.000001";
+  std::string First;
+  for (size_t Threads : {1u, 2u, 4u}) {
+    int Exit = 0;
+    std::string Out =
+        runCommand(Base + " --threads " + std::to_string(Threads), Exit);
+    EXPECT_EQ(exitStatus(Exit), 2) << "threads " << Threads;
+    EXPECT_NE(Out.find("INCOMPLETE: resource budget exhausted"),
+              std::string::npos)
+        << Out;
+    if (First.empty())
+      First = Out;
+    else
+      EXPECT_EQ(Out, First)
+          << "partial report diverged at --threads " << Threads;
+  }
+  std::remove(Source.c_str());
 }
 
 TEST(BugassistCli, DumpTcasRoundTripsThroughTheParser) {

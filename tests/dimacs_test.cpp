@@ -230,6 +230,31 @@ TEST(DimacsReader, RejectsBadWeights) {
   EXPECT_EQ(E.Line, 2u);
 }
 
+TEST(DimacsReader, RejectsSoftWeightSumOverflow) {
+  // Each weight fits in 64 bits, but their SUM does not: the reader must
+  // diagnose the overflow instead of silently wrapping the optimum.
+  DimacsParseError E = parseBad("p wcnf 1 2\n"
+                                "18446744073709551615 1 0\n"
+                                "1 -1 0\n");
+  EXPECT_EQ(E.Line, 3u);
+  EXPECT_NE(E.Message.find("total soft clause weight"), std::string::npos);
+
+  // Many mid-size weights overflow just the same as one huge one.
+  E = parseBad("p wcnf 1 3\n"
+               "9223372036854775807 1 0\n"
+               "9223372036854775807 -1 0\n"
+               "2 1 0\n");
+  EXPECT_EQ(E.Line, 4u);
+  EXPECT_NE(E.Message.find("overflow"), std::string::npos);
+
+  // A sum of exactly UINT64_MAX is still legal (the new-format
+  // sentinel-weight case below depends on it).
+  DimacsInstance Inst = parseOk("18446744073709551615 1 0\n"
+                                "h -1 0\n");
+  ASSERT_EQ(Inst.Soft.size(), 1u);
+  EXPECT_EQ(Inst.Soft[0].Weight, UINT64_MAX);
+}
+
 TEST(DimacsReader, ReadDimacsFileReportsMissingFile) {
   DimacsParseError Err;
   auto I = readDimacsFile("/nonexistent/definitely_not_here.cnf", Err);

@@ -513,6 +513,151 @@ TEST(Incremental, LinearSessionSurvivesBlockingClauses) {
   EXPECT_EQ(R4.Status, MaxSatStatus::HardUnsat);
 }
 
+// --- anytime bounds under resource budgets -----------------------------------
+
+namespace {
+
+/// Cost of \p Model on \p Inst: sum of soft weights the model falsifies.
+uint64_t modelCost(const MaxSatInstance &Inst,
+                   const std::vector<LBool> &Model) {
+  uint64_t Cost = 0;
+  for (const SoftClause &S : Inst.Soft)
+    if (!clauseSatisfied(S.Lits, Model))
+      Cost += S.Weight;
+  return Cost;
+}
+
+/// N contradictory soft pairs (x_i) / (~x_i), all weight 1: every model
+/// costs exactly N, so the optimum is N and Fu-Malik needs N rounds.
+MaxSatInstance contradictoryPairs(int N) {
+  MaxSatInstance Inst;
+  Inst.NumVars = N;
+  for (int I = 0; I < N; ++I) {
+    Inst.Soft.push_back({{mkLit(I)}, 1});
+    Inst.Soft.push_back({{~mkLit(I)}, 1});
+  }
+  return Inst;
+}
+
+/// Appends PHP(Holes + 1, Holes) with ALL clauses soft (weight 1) on fresh
+/// variables: its minimal relaxation costs exactly 1, but finding the core
+/// requires the full exponential pigeonhole refutation.
+void appendSoftPigeonhole(MaxSatInstance &Inst, int Holes) {
+  int Base = Inst.NumVars;
+  int Pigeons = Holes + 1;
+  auto VarOf = [&](int P, int H) { return Base + P * Holes + H; };
+  Inst.NumVars += Pigeons * Holes;
+  for (int P = 0; P < Pigeons; ++P) {
+    Clause C;
+    for (int H = 0; H < Holes; ++H)
+      C.push_back(mkLit(VarOf(P, H)));
+    Inst.Soft.push_back({std::move(C), 1});
+  }
+  for (int H = 0; H < Holes; ++H)
+    for (int P1 = 0; P1 < Pigeons; ++P1)
+      for (int P2 = P1 + 1; P2 < Pigeons; ++P2)
+        Inst.Soft.push_back(
+            {{~mkLit(VarOf(P1, H)), ~mkLit(VarOf(P2, H))}, 1});
+}
+
+} // namespace
+
+TEST(Anytime, OptimumCarriesTightBoundsAndWitness) {
+  Rng R(9001);
+  for (int Round = 0; Round < 15; ++Round) {
+    MaxSatInstance Inst = randomInstance(R, 7, 6, 9, Round % 2 == 1);
+    auto Res = solveLinear(Inst);
+    if (Res.Status == MaxSatStatus::HardUnsat) {
+      EXPECT_EQ(Res.LowerBound, UINT64_MAX);
+      EXPECT_EQ(Res.UpperBound, UINT64_MAX);
+      continue;
+    }
+    ASSERT_EQ(Res.Status, MaxSatStatus::Optimum);
+    EXPECT_EQ(Res.LowerBound, Res.Cost);
+    EXPECT_EQ(Res.UpperBound, Res.Cost);
+    EXPECT_EQ(Res.BestModel, Res.Model);
+  }
+}
+
+TEST(Anytime, BudgetedFuMalikReturnsSoundBoundsAndRecovers) {
+  // 12 contradictory pairs (each core found in a couple of propagations)
+  // plus a soft pigeonhole whose single core needs the full exponential
+  // refutation. With a 1-conflict cap the cheap pair rounds finish before
+  // the amortized poll (every 1024 search iterations) first fires, then
+  // the pigeonhole round blows well past it: the session must hand back
+  // Unknown with a sound bracket and a hard-satisfying witness.
+  const uint64_t Pairs = 12, Optimum = Pairs + 1;
+  MaxSatInstance Inst = contradictoryPairs(static_cast<int>(Pairs));
+  appendSoftPigeonhole(Inst, /*Holes=*/6);
+  auto Session = makeFuMalikSession(Inst);
+  Solver::Budget B;
+  B.MaxConflicts = 1;
+  Session->setBudget(B);
+  MaxSatResult R = Session->solve();
+  ASSERT_EQ(R.Status, MaxSatStatus::Unknown);
+  EXPECT_GT(R.LowerBound, 0u) << "some rounds should complete before poll";
+  EXPECT_LE(R.LowerBound, Optimum);
+  ASSERT_NE(R.UpperBound, UINT64_MAX) << "harvest produced no witness";
+  ASSERT_FALSE(R.BestModel.empty());
+  EXPECT_EQ(modelCost(Inst, R.BestModel), R.UpperBound);
+  EXPECT_GE(R.UpperBound, Optimum);
+
+  // clearBudget re-arms the SAME session; it must then reach the optimum
+  // inside the bracket it reported while budgeted.
+  Session->clearBudget();
+  MaxSatResult R2 = Session->solve();
+  ASSERT_EQ(R2.Status, MaxSatStatus::Optimum);
+  EXPECT_EQ(R2.Cost, Optimum);
+  EXPECT_GE(R2.Cost, R.LowerBound);
+  EXPECT_LE(R2.Cost, R.UpperBound);
+}
+
+TEST(Anytime, BudgetedBoundsBracketTheTrueOptimumOnRandomSweep) {
+  // Soundness of the anytime contract against the brute-force oracle:
+  // whatever a budget-starved session reports, the true optimum must lie
+  // within [LowerBound, UpperBound] and BestModel must witness UpperBound.
+  Rng R(777);
+  int Exhausted = 0;
+  for (int Round = 0; Round < 20; ++Round) {
+    MaxSatInstance Inst = randomInstance(R, 7, 8, 9, Round % 2 == 1);
+    uint64_t Expected = bruteForceOptimum(Inst);
+    auto Session = makeMaxSatSession(Inst, /*Weighted=*/Round % 2 == 1,
+                                     /*ConflictBudget=*/0, Solver::Options(),
+                                     /*Canonical=*/true);
+    // An already-expired deadline: the optimizing search stops at its very
+    // first poll, so only the harvest pass (which runs budget-free) can
+    // contribute a witness.
+    Solver::Budget B;
+    B.setDeadlineIn(0.0);
+    Session->setBudget(B);
+    MaxSatResult Res = Session->solve();
+    switch (Res.Status) {
+    case MaxSatStatus::Optimum:
+      EXPECT_EQ(Res.Cost, Expected) << "round " << Round;
+      break;
+    case MaxSatStatus::HardUnsat:
+      EXPECT_EQ(Expected, UINT64_MAX) << "round " << Round;
+      break;
+    case MaxSatStatus::Unknown:
+      ++Exhausted;
+      EXPECT_LE(Res.LowerBound, Expected) << "round " << Round;
+      EXPECT_GE(Res.UpperBound, Expected) << "round " << Round;
+      if (Expected == UINT64_MAX) {
+        // Hard part unsatisfiable: no witness can exist.
+        EXPECT_EQ(Res.UpperBound, UINT64_MAX) << "round " << Round;
+        EXPECT_TRUE(Res.BestModel.empty()) << "round " << Round;
+      } else if (Res.UpperBound != UINT64_MAX) {
+        ASSERT_FALSE(Res.BestModel.empty()) << "round " << Round;
+        EXPECT_EQ(modelCost(Inst, Res.BestModel), Res.UpperBound)
+            << "round " << Round;
+      }
+      break;
+    }
+  }
+  // The sweep is only meaningful if the budget actually bit somewhere.
+  EXPECT_GT(Exhausted, 0) << "no round exhausted its budget";
+}
+
 TEST(MaxSat, FalsifiedSoftConsistentWithCost) {
   Rng R(555);
   for (int Round = 0; Round < 20; ++Round) {

@@ -21,6 +21,7 @@
 #include "lang/Sema.h"
 #include "programs/Tcas.h"
 #include "programs/TcasMutants.h"
+#include "support/FaultInject.h"
 #include "support/Rng.h"
 #include "support/Timer.h"
 
@@ -381,4 +382,117 @@ TEST(Portfolio, TcasLocalizationIdenticalAtEveryThreadCount) {
     }
   }
   EXPECT_EQ(MutantsChecked, 2u) << "TCAS suite lost its failing mutants";
+}
+
+// --- fault isolation ---------------------------------------------------------
+
+namespace {
+
+/// PHP(Holes + 1, Holes) with EVERY clause soft (weight 1): optimum 1, but
+/// the first Fu-Malik core requires the full exponential refutation, so
+/// every worker is guaranteed to allocate learnt clauses while solving.
+MaxSatInstance softPigeonhole(int Holes) {
+  MaxSatInstance Inst;
+  Inst.NumVars = (Holes + 1) * Holes;
+  for (Clause &C : pigeonholeClauses(Holes))
+    Inst.Soft.push_back({std::move(C), 1});
+  return Inst;
+}
+
+/// RAII disarm so a failing assertion cannot leak an armed fault into
+/// later tests.
+struct FaultGuard {
+  ~FaultGuard() { faultinject::disarm(); }
+};
+
+} // namespace
+
+TEST(PortfolioFaults, WorkerBadAllocIsIsolatedAndDiagnosisUnchanged) {
+  // Reference: the canonical single-threaded session.
+  MaxSatInstance Inst = softPigeonhole(5);
+  auto Ref = makeMaxSatSession(Inst, /*Weighted=*/false, /*ConflictBudget=*/0,
+                               Solver::Options(), /*Canonical=*/true);
+  MaxSatResult Want = Ref->solve();
+  ASSERT_EQ(Want.Status, MaxSatStatus::Optimum);
+  ASSERT_EQ(Want.Cost, 1u);
+
+  // Portfolio of four; one worker dies of bad_alloc at its first learnt
+  // allocation. The race must finish on the survivors with the same
+  // canonical diagnosis.
+  auto Portfolio = makePortfolioSession(Inst, /*Weighted=*/false, 4);
+  FaultGuard Guard;
+  faultinject::arm(faultinject::Event::Allocation, faultinject::Fault::BadAlloc,
+                   /*Nth=*/1);
+  MaxSatResult Got = Portfolio->solve();
+  faultinject::disarm();
+
+  ASSERT_EQ(Got.Status, MaxSatStatus::Optimum);
+  EXPECT_EQ(Got.Cost, Want.Cost);
+  EXPECT_EQ(Got.FalsifiedSoft, Want.FalsifiedSoft);
+  EXPECT_EQ(Portfolio->portfolioStats().WorkerFaults, 1u);
+  EXPECT_EQ(Portfolio->aliveWorkers(), 3u);
+
+  // The crippled portfolio is still a working session: enumeration
+  // continues on the survivors, in lockstep with the reference.
+  Clause Beta;
+  for (size_t I : Got.FalsifiedSoft)
+    Beta.push_back(Inst.Soft[I].Lits[0]);
+  ASSERT_TRUE(Portfolio->addHardClause(Beta));
+  ASSERT_TRUE(Ref->addHardClause(Beta));
+  MaxSatResult Want2 = Ref->solve();
+  MaxSatResult Got2 = Portfolio->solve();
+  ASSERT_EQ(Got2.Status, Want2.Status);
+  if (Want2.Status == MaxSatStatus::Optimum) {
+    EXPECT_EQ(Got2.Cost, Want2.Cost);
+    EXPECT_EQ(Got2.FalsifiedSoft, Want2.FalsifiedSoft);
+  }
+  EXPECT_EQ(Portfolio->aliveWorkers(), 3u); // no further casualties
+}
+
+TEST(PortfolioFaults, RacedSatSurvivesWorkerCrash) {
+  // The PHP(7, 6) refutation restarts many times, so the armed fault is
+  // guaranteed to kill exactly one racer mid-proof; the answer must still
+  // be UNSAT. (Restart events, unlike allocations, only ever happen on
+  // worker threads -- racePortfolioSat builds its solvers on the caller's
+  // thread, which must NOT be the one to die.)
+  auto Cs = pigeonholeClauses(6);
+  FaultGuard Guard;
+  faultinject::arm(faultinject::Event::Restart, faultinject::Fault::BadAlloc,
+                   /*Nth=*/1);
+  SatRaceResult Race = racePortfolioSat(Cs, 7 * 6, 4);
+  faultinject::disarm();
+  EXPECT_EQ(Race.Result, LBool::False);
+  EXPECT_EQ(Race.Faults, 1u);
+  ASSERT_GE(Race.Winner, 0);
+}
+
+// --- budgets across thread widths (ISSUE acceptance) -------------------------
+
+TEST(PortfolioBudget, SoftPigeonholeDeadlineIsAnytimeAtEveryWidth) {
+  // soft-PHP(10, 9): the first core needs a PHP(10, 9) refutation -- far
+  // beyond any test budget -- but the hard part is empty, so the harvest
+  // model is instant. A 50 ms deadline must yield Unknown with a finite
+  // upper bound and a witness, well under a second, at every width.
+  MaxSatInstance Inst = softPigeonhole(9);
+  for (size_t Threads : {1u, 2u, 4u}) {
+    std::unique_ptr<MaxSatSession> Session;
+    if (Threads == 1)
+      Session = makeMaxSatSession(Inst, /*Weighted=*/false,
+                                  /*ConflictBudget=*/0, Solver::Options(),
+                                  /*Canonical=*/true);
+    else
+      Session = makePortfolioSession(Inst, /*Weighted=*/false, Threads);
+    Solver::Budget B;
+    B.setDeadlineIn(0.05);
+    Session->setBudget(B);
+    Timer T;
+    MaxSatResult R = Session->solve();
+    double Elapsed = T.seconds();
+    ASSERT_EQ(R.Status, MaxSatStatus::Unknown) << "threads " << Threads;
+    EXPECT_NE(R.UpperBound, UINT64_MAX) << "threads " << Threads;
+    ASSERT_FALSE(R.BestModel.empty()) << "threads " << Threads;
+    EXPECT_GE(R.UpperBound, 1u) << "threads " << Threads; // optimum is 1
+    EXPECT_LT(Elapsed, 1.0) << "threads " << Threads
+                            << ": deadline not honored promptly";
+  }
 }

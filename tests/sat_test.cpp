@@ -7,12 +7,16 @@
 #include "sat/Solver.h"
 
 #include "cnf/Cnf.h"
+#include "support/FaultInject.h"
 #include "support/Rng.h"
+#include "support/Timer.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <set>
+#include <thread>
 
 using namespace bugassist;
 
@@ -417,4 +421,202 @@ TEST(Solver, IncrementalStatePersistsAcrossSolves) {
   // solver must still answer positively after repeated UNSAT calls.
   Assumps.pop_back();
   EXPECT_EQ(S.solve(Assumps), LBool::True);
+}
+
+// --- resource budgets --------------------------------------------------------
+
+namespace {
+
+/// Loads PHP(Holes + 1, Holes) -- hard enough that refutation needs real
+/// search for Holes >= 6, far beyond any test deadline for Holes >= 9.
+void loadPigeonhole(Solver &S, int Holes) {
+  int Pigeons = Holes + 1;
+  auto VarOf = [Holes](int P, int H) { return P * Holes + H; };
+  S.ensureVars(Pigeons * Holes);
+  for (int P = 0; P < Pigeons; ++P) {
+    Clause C;
+    for (int H = 0; H < Holes; ++H)
+      C.push_back(mkLit(VarOf(P, H)));
+    ASSERT_TRUE(S.addClause(C));
+  }
+  for (int H = 0; H < Holes; ++H)
+    for (int P1 = 0; P1 < Pigeons; ++P1)
+      for (int P2 = P1 + 1; P2 < Pigeons; ++P2)
+        ASSERT_TRUE(S.addClause({~mkLit(VarOf(P1, H)), ~mkLit(VarOf(P2, H))}));
+}
+
+} // namespace
+
+TEST(SolverBudget, ConflictCapReturnsUndefAndIsSticky) {
+  Solver S;
+  loadPigeonhole(S, 7);
+  Solver::Budget B;
+  B.MaxConflicts = 10;
+  S.setBudget(B);
+  EXPECT_EQ(S.solve(), LBool::Undef);
+  EXPECT_TRUE(S.budgetExhausted());
+  // Exhaustion is sticky: further solves return Undef immediately instead
+  // of burning another 10 conflicts each.
+  uint64_t ConflictsAfterFirst = S.stats().Conflicts;
+  EXPECT_EQ(S.solve(), LBool::Undef);
+  EXPECT_EQ(S.stats().Conflicts, ConflictsAfterFirst);
+  // clearBudget re-arms the solver; the refutation then completes.
+  S.clearBudget();
+  EXPECT_FALSE(S.budgetExhausted());
+  EXPECT_EQ(S.solve(), LBool::False);
+}
+
+TEST(SolverBudget, ReinstallingABudgetResetsTheBaseline) {
+  Solver S;
+  loadPigeonhole(S, 7);
+  Solver::Budget B;
+  B.MaxConflicts = 10;
+  S.setBudget(B);
+  EXPECT_EQ(S.solve(), LBool::Undef);
+  // A fresh setBudget counts conflicts from now, not from construction:
+  // the accumulated spend must not instantly re-exhaust it.
+  Solver::Budget Big;
+  Big.MaxConflicts = 1000000;
+  S.setBudget(Big);
+  EXPECT_FALSE(S.budgetExhausted());
+  EXPECT_EQ(S.solve(), LBool::False);
+}
+
+TEST(SolverBudget, DeadlineStopsALongRefutationPromptly) {
+  // PHP(10, 9) would run for a very long time; a 50 ms deadline must turn
+  // that into a prompt Undef.
+  Solver S;
+  loadPigeonhole(S, 9);
+  Solver::Budget B;
+  B.setDeadlineIn(0.05);
+  S.setBudget(B);
+  Timer T;
+  EXPECT_EQ(S.solve(), LBool::Undef);
+  EXPECT_TRUE(S.budgetExhausted());
+  EXPECT_LT(T.seconds(), 5.0) << "deadline was not honored promptly";
+}
+
+TEST(SolverBudget, PropagationCapReturnsUndef) {
+  Solver S;
+  loadPigeonhole(S, 7);
+  Solver::Budget B;
+  B.MaxPropagations = 100;
+  S.setBudget(B);
+  EXPECT_EQ(S.solve(), LBool::Undef);
+  EXPECT_TRUE(S.budgetExhausted());
+}
+
+TEST(SolverBudget, ArenaCapDegradesToUnknownInsteadOfThrowing) {
+  // A cap far below what the refutation's learnt clauses need: the solver
+  // must hand back Undef (never throw, never wedge) once the arena would
+  // outgrow it. PHP(7)'s problem clauses alone exceed 4 KiB, so the very
+  // first learnt allocation trips the cap.
+  Solver S;
+  loadPigeonhole(S, 7);
+  Solver::Budget B;
+  B.MaxArenaBytes = 4096;
+  S.setBudget(B);
+  EXPECT_EQ(S.solve(), LBool::Undef);
+  EXPECT_TRUE(S.budgetExhausted());
+}
+
+TEST(SolverBudget, UnlimitedBudgetIsANoOp) {
+  Solver S;
+  loadPigeonhole(S, 5);
+  S.setBudget(Solver::Budget()); // all knobs zero: unlimited
+  EXPECT_EQ(S.solve(), LBool::False);
+  EXPECT_FALSE(S.budgetExhausted());
+}
+
+// --- interrupt edge cases ----------------------------------------------------
+
+TEST(SolverInterrupt, InterruptBeforeSolveReturnsUndef) {
+  Solver S;
+  S.ensureVars(2);
+  ASSERT_TRUE(S.addClause({mkLit(0), mkLit(1)}));
+  S.interrupt();
+  EXPECT_EQ(S.solve(), LBool::Undef);
+  EXPECT_TRUE(S.interrupted());
+  // The flag is sticky until cleared; afterwards the solver works again.
+  EXPECT_EQ(S.solve(), LBool::Undef);
+  S.clearInterrupt();
+  EXPECT_EQ(S.solve(), LBool::True);
+}
+
+TEST(SolverInterrupt, InterruptDuringLongImplicationChainPropagation) {
+  // A 30k-step binary implication chain hangs off a pigeonhole core. The
+  // chain is propagated in full inside single search iterations (interrupt
+  // polls sit between iterations, not inside propagate()), so the
+  // interrupt must land cleanly with the trail mid-chain-consistent.
+  const int ChainLen = 30000;
+  const int Holes = 9;
+  Solver S;
+  loadPigeonhole(S, Holes);
+  int Base = (Holes + 1) * Holes;
+  S.ensureVars(Base + ChainLen);
+  ASSERT_TRUE(S.addClause({mkLit(Base)}));
+  for (int I = 0; I < ChainLen - 1; ++I)
+    ASSERT_TRUE(S.addClause({~mkLit(Base + I), mkLit(Base + I + 1)}));
+
+  LBool Result = LBool::True;
+  std::thread Runner([&] { Result = S.solve(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  S.interrupt();
+  Runner.join();
+  EXPECT_EQ(Result, LBool::Undef);
+  // The unit head forces the whole chain at level 0.
+  EXPECT_GE(S.stats().Propagations, static_cast<uint64_t>(ChainLen));
+}
+
+TEST(SolverInterrupt, SolverReuseAfterInterruptKeepsSaneStats) {
+  // interrupt -> solve -> clear -> solve -> solve on ONE solver: the
+  // post-interrupt solve must decide correctly and cumulative stats must
+  // stay monotone across the whole sequence.
+  Solver S;
+  loadPigeonhole(S, 6);
+  S.interrupt();
+  EXPECT_EQ(S.solve(), LBool::Undef);
+  SolverStats After1 = S.stats();
+
+  S.clearInterrupt();
+  EXPECT_FALSE(S.interrupted());
+  EXPECT_EQ(S.solve(), LBool::False);
+  SolverStats After2 = S.stats();
+  EXPECT_GE(After2.Conflicts, After1.Conflicts);
+  EXPECT_GE(After2.Propagations, After1.Propagations);
+  EXPECT_GT(After2.Decisions, After1.Decisions);
+
+  // Root-level UNSAT is cached: a third solve answers instantly and the
+  // counters never move backwards.
+  EXPECT_EQ(S.solve(), LBool::False);
+  EXPECT_GE(S.stats().Conflicts, After2.Conflicts);
+  EXPECT_GE(S.stats().Propagations, After2.Propagations);
+}
+
+// --- fault injection (test-only hook) ----------------------------------------
+
+TEST(SolverFaultInject, SpuriousInterruptAtNthAllocationStopsSolve) {
+  Solver S;
+  loadPigeonhole(S, 7);
+  // The refutation must learn clauses, so allocation events are
+  // guaranteed; the injected fault converts the 3rd one into an interrupt.
+  faultinject::arm(faultinject::Event::Allocation,
+                   faultinject::Fault::Interrupt, 3);
+  LBool R = S.solve();
+  faultinject::disarm();
+  EXPECT_EQ(R, LBool::Undef);
+  EXPECT_TRUE(S.interrupted());
+  S.clearInterrupt();
+  EXPECT_EQ(S.solve(), LBool::False);
+}
+
+TEST(SolverFaultInject, InjectedBadAllocPropagatesOutOfSolve) {
+  // Single solver, no portfolio: the exception must escape solve() (the
+  // thread-boundary isolation lives in the portfolio, not here).
+  Solver S;
+  loadPigeonhole(S, 7);
+  faultinject::arm(faultinject::Event::Allocation, faultinject::Fault::BadAlloc,
+                   1);
+  EXPECT_THROW(S.solve(), std::bad_alloc);
+  faultinject::disarm();
 }

@@ -49,6 +49,14 @@ using namespace bugassist;
 
 namespace {
 
+// Exit-code contract (docs/CLI.md): 0 = the run completed (a decided
+// answer, including UNSATISFIABLE), 1 = input or usage error, 2 = a
+// resource budget stopped the run early (the partial output printed is
+// best-so-far, flagged INCOMPLETE / UNKNOWN).
+constexpr int ExitComplete = 0;
+constexpr int ExitInputError = 1;
+constexpr int ExitBudgetExhausted = 2;
+
 int usage(const char *Argv0) {
   std::fprintf(
       stderr,
@@ -73,7 +81,14 @@ int usage(const char *Argv0) {
       "                     [--no-model] [--stats]\n"
       "  sat <file.cnf> [--threads N] [--no-model]\n"
       "  dump-tcas [N]      print TCAS source (0: correct, 1..41: mutants)\n"
-      "  dump-tcas --list   list the mutant catalog\n",
+      "  dump-tcas --list   list the mutant catalog\n"
+      "\n"
+      "resource budgets (localize, maxsat, sat):\n"
+      "  --timeout SECONDS     wall-clock deadline (fractional ok)\n"
+      "  --max-conflicts N     total conflict cap\n"
+      "  --max-memory-mb N     clause-arena cap per solver, in MiB\n"
+      "on exhaustion the best-so-far result is printed and the exit code\n"
+      "is 2 (0: complete, 1: input/usage error)\n",
       Argv0);
   return 1;
 }
@@ -154,6 +169,74 @@ bool parseHardLines(const std::string &Spec, std::set<uint32_t> &Out) {
   return true;
 }
 
+bool parsePositiveDouble(const std::string &S, double &Out) {
+  if (S.empty() || S[0] == '-' || S[0] == '+')
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  double V = std::strtod(S.c_str(), &End);
+  if (End != S.c_str() + S.size() || errno == ERANGE || !(V > 0) ||
+      V > 1e9) // anything bigger is a typo, not a deadline
+    return false;
+  Out = V;
+  return true;
+}
+
+/// The three budget flags shared by localize / maxsat / sat.
+struct BudgetFlags {
+  double TimeoutSeconds = 0;
+  uint64_t MaxConflicts = 0;
+  uint64_t MaxMemoryMb = 0;
+
+  bool any() const {
+    return TimeoutSeconds > 0 || MaxConflicts > 0 || MaxMemoryMb > 0;
+  }
+  /// The Solver::Budget equivalent; the deadline starts ticking now.
+  Solver::Budget solverBudget() const {
+    Solver::Budget B;
+    B.MaxConflicts = MaxConflicts;
+    B.MaxArenaBytes = MaxMemoryMb << 20;
+    if (TimeoutSeconds > 0)
+      B.setDeadlineIn(TimeoutSeconds);
+    return B;
+  }
+};
+
+/// Tries the budget flags at Argv[I]. \returns 0 when Argv[I] is not a
+/// budget flag, 1 on success, -1 on a bad value (diagnostic printed).
+int matchBudgetFlag(int Argc, char **Argv, int &I, BudgetFlags &B) {
+  std::string V;
+  if (matchValueFlag(Argc, Argv, I, "--timeout", V)) {
+    if (!parsePositiveDouble(V, B.TimeoutSeconds)) {
+      std::fprintf(stderr, "bugassist: bad --timeout value '%s'\n", V.c_str());
+      return -1;
+    }
+    return 1;
+  }
+  if (matchValueFlag(Argc, Argv, I, "--max-conflicts", V)) {
+    size_t N;
+    if (!parseSizeT(V, N) || N < 1) {
+      std::fprintf(stderr, "bugassist: bad --max-conflicts value '%s'\n",
+                   V.c_str());
+      return -1;
+    }
+    B.MaxConflicts = N;
+    return 1;
+  }
+  if (matchValueFlag(Argc, Argv, I, "--max-memory-mb", V)) {
+    size_t N;
+    // Capped so MaxMemoryMb << 20 cannot overflow uint64_t.
+    if (!parseSizeT(V, N) || N < 1 || N > (1ull << 30)) {
+      std::fprintf(stderr, "bugassist: bad --max-memory-mb value '%s'\n",
+                   V.c_str());
+      return -1;
+    }
+    B.MaxMemoryMb = N;
+    return 1;
+  }
+  return 0;
+}
+
 // --- localize ----------------------------------------------------------------
 
 int cmdLocalize(int Argc, char **Argv, const char *Argv0) {
@@ -163,9 +246,13 @@ int cmdLocalize(int Argc, char **Argv, const char *Argv0) {
   PipelineRequest R;
   R.CheckObligations = true;
   bool Json = false, Stats = false;
+  BudgetFlags Budget;
   std::string V;
   for (int I = 1; I < Argc; ++I) {
-    if (matchValueFlag(Argc, Argv, I, "--entry", V)) {
+    if (int M = matchBudgetFlag(Argc, Argv, I, Budget)) {
+      if (M < 0)
+        return ExitInputError;
+    } else if (matchValueFlag(Argc, Argv, I, "--entry", V)) {
       R.Entry = V;
     } else if (matchValueFlag(Argc, Argv, I, "--input", V)) {
       std::string Error;
@@ -245,6 +332,9 @@ int cmdLocalize(int Argc, char **Argv, const char *Argv0) {
     return 1;
   }
 
+  R.Localize.TimeoutSeconds = Budget.TimeoutSeconds;
+  R.Localize.MaxConflicts = Budget.MaxConflicts;
+  R.Localize.MaxMemoryMb = Budget.MaxMemoryMb;
   PipelineResult Res = runLocalizePipeline(*Source, R);
   switch (Res.Status) {
   case PipelineStatus::CompileError:
@@ -281,7 +371,9 @@ int cmdLocalize(int Argc, char **Argv, const char *Argv0) {
   }
   if (Stats)
     std::printf("%s", renderSearchStats(Res.Report).c_str());
-  return 0;
+  // The partial report was still printed (INCOMPLETE-marked); the exit
+  // code tells scripts the enumeration did not finish.
+  return Res.Report.Incomplete ? ExitBudgetExhausted : ExitComplete;
 }
 
 // --- maxsat / sat ------------------------------------------------------------
@@ -302,8 +394,12 @@ int cmdMaxsat(int Argc, char **Argv, const char *Argv0) {
   std::string Path = Argv[0], Engine = "auto", V;
   size_t Threads = 1;
   bool Model = true, Stats = false;
+  BudgetFlags Budget;
   for (int I = 1; I < Argc; ++I) {
-    if (matchValueFlag(Argc, Argv, I, "--threads", V)) {
+    if (int M = matchBudgetFlag(Argc, Argv, I, Budget)) {
+      if (M < 0)
+        return ExitInputError;
+    } else if (matchValueFlag(Argc, Argv, I, "--threads", V)) {
       if (!parseSizeT(V, Threads) || Threads < 1 || Threads > 64) {
         std::fprintf(stderr, "bugassist: bad --threads value '%s'\n",
                      V.c_str());
@@ -348,15 +444,15 @@ int cmdMaxsat(int Argc, char **Argv, const char *Argv0) {
               FromWcnf ? "" : " (cnf)",
               Weighted ? "linear" : "fumalik", Threads);
 
-  MaxSatResult R;
-  if (Threads > 1) {
-    auto Session = makePortfolioSession(Inst, Weighted, Threads);
-    R = Session->solve();
-  } else {
-    auto Session = makeMaxSatSession(Inst, Weighted, /*ConflictBudget=*/0,
-                                     Solver::Options(), /*Canonical=*/true);
-    R = Session->solve();
-  }
+  std::unique_ptr<MaxSatSession> Session;
+  if (Threads > 1)
+    Session = makePortfolioSession(Inst, Weighted, Threads);
+  else
+    Session = makeMaxSatSession(Inst, Weighted, /*ConflictBudget=*/0,
+                                Solver::Options(), /*Canonical=*/true);
+  if (Budget.any())
+    Session->setBudget(Budget.solverBudget());
+  MaxSatResult R = Session->solve();
 
   switch (R.Status) {
   case MaxSatStatus::Optimum:
@@ -369,7 +465,19 @@ int cmdMaxsat(int Argc, char **Argv, const char *Argv0) {
     std::printf("s UNSATISFIABLE\n");
     break;
   case MaxSatStatus::Unknown:
-    std::printf("s UNKNOWN\n");
+    // Anytime output: the o-line reports the best (timing-dependent)
+    // upper bound witnessed before the budget bit, v its model.
+    if (R.UpperBound != UINT64_MAX) {
+      std::printf("o %llu\n", static_cast<unsigned long long>(R.UpperBound));
+      if (R.LowerBound > 0)
+        std::printf("c lower bound %llu\n",
+                    static_cast<unsigned long long>(R.LowerBound));
+      std::printf("s UNKNOWN\n");
+      if (Model && !R.BestModel.empty())
+        printModelLine(R.BestModel, Inst.NumVars, /*TrailingZero=*/false);
+    } else {
+      std::printf("s UNKNOWN\n");
+    }
     break;
   }
   if (Stats) {
@@ -381,7 +489,8 @@ int cmdMaxsat(int Argc, char **Argv, const char *Argv0) {
                 static_cast<unsigned long long>(S.Propagations),
                 static_cast<unsigned long long>(S.Restarts));
   }
-  return 0;
+  return R.Status == MaxSatStatus::Unknown ? ExitBudgetExhausted
+                                           : ExitComplete;
 }
 
 int cmdSat(int Argc, char **Argv, const char *Argv0) {
@@ -390,8 +499,12 @@ int cmdSat(int Argc, char **Argv, const char *Argv0) {
   std::string Path = Argv[0], V;
   size_t Threads = 1;
   bool Model = true;
+  BudgetFlags Budget;
   for (int I = 1; I < Argc; ++I) {
-    if (matchValueFlag(Argc, Argv, I, "--threads", V)) {
+    if (int M = matchBudgetFlag(Argc, Argv, I, Budget)) {
+      if (M < 0)
+        return ExitInputError;
+    } else if (matchValueFlag(Argc, Argv, I, "--threads", V)) {
       if (!parseSizeT(V, Threads) || Threads < 1 || Threads > 64) {
         std::fprintf(stderr, "bugassist: bad --threads value '%s'\n",
                      V.c_str());
@@ -426,7 +539,8 @@ int cmdSat(int Argc, char **Argv, const char *Argv0) {
               Parsed->NumVars, Clauses.size(), Threads);
 
   // Threads <= 1 degenerates to a plain single solver on this thread.
-  SatRaceResult R = racePortfolioSat(Clauses, Parsed->NumVars, Threads);
+  SatRaceResult R = racePortfolioSat(Clauses, Parsed->NumVars, Threads,
+                                     Solver::Options(), Budget.solverBudget());
   if (R.Result == LBool::True)
     std::printf("s SATISFIABLE\n");
   else if (R.Result == LBool::False)
@@ -437,7 +551,7 @@ int cmdSat(int Argc, char **Argv, const char *Argv0) {
     std::printf("c winner=worker %d\n", R.Winner);
   if (Model && R.Result == LBool::True)
     printModelLine(R.Model, Parsed->NumVars, /*TrailingZero=*/true);
-  return 0;
+  return R.Result == LBool::Undef ? ExitBudgetExhausted : ExitComplete;
 }
 
 // --- dump-tcas ---------------------------------------------------------------
