@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Parse a `bugassist serve` output stream into frames.
+
+A frame is a JSON header line, exactly `bytes` body bytes, and a JSON
+stats trailer line (docs/SERVE.md). The serve-smoke CI job uses this to
+compare responses as parsed frames rather than raw streams -- which of
+several same-program requests pays the cache miss, and every timing
+number, is scheduling-dependent, while the (id, status, exit, body)
+tuples are not.
+
+Usage:
+  serve_frames.py OUT               # list id/status/exit/cache per frame
+  serve_frames.py OUT --body-of ID  # print one frame's body verbatim
+  serve_frames.py OUT --require-status ok   # fail unless all match
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def parse_frames(raw: bytes):
+    frames = []
+    pos = 0
+    while pos < len(raw):
+        nl = raw.index(b"\n", pos)
+        header = json.loads(raw[pos:nl])
+        body_len = header["bytes"]
+        body = raw[nl + 1 : nl + 1 + body_len]
+        if len(body) != body_len:
+            raise ValueError(f"truncated body for id {header.get('id')!r}")
+        pos = nl + 1 + body_len
+        nl = raw.index(b"\n", pos)
+        trailer = json.loads(raw[pos:nl])
+        pos = nl + 1
+        frames.append({"header": header, "body": body, "trailer": trailer})
+    return frames
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("stream", type=Path, help="serve stdout capture")
+    ap.add_argument("--body-of", metavar="ID",
+                    help="print the body of the frame with this id")
+    ap.add_argument("--require-status", metavar="STATUS",
+                    help="exit 1 unless every frame has this status")
+    args = ap.parse_args()
+
+    frames = parse_frames(args.stream.read_bytes())
+    if not frames:
+        print("no frames parsed", file=sys.stderr)
+        return 1
+
+    ok = True
+    if args.require_status:
+        for f in frames:
+            h = f["header"]
+            if h["status"] != args.require_status:
+                print(f"frame {h.get('id')!r}: status {h['status']!r} "
+                      f"(error: {h.get('error', '')!r})", file=sys.stderr)
+                ok = False
+
+    if args.body_of is not None:
+        matches = [f for f in frames if f["header"].get("id") == args.body_of]
+        if len(matches) != 1:
+            print(f"{len(matches)} frames with id {args.body_of!r}",
+                  file=sys.stderr)
+            return 1
+        sys.stdout.buffer.write(matches[0]["body"])
+    else:
+        for f in frames:
+            h = f["header"]
+            print(h.get("id", ""), h["cmd"], h["status"], h["exit"],
+                  h.get("cache", "-"))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,28 +45,10 @@ std::vector<Clause> TraceFormula::bindInput(const InputVector &Test) const {
   return Binds;
 }
 
-MaxSatInstance TraceFormula::localizationInstance(const InputVector &Test,
-                                                  const Spec &S) const {
+MaxSatInstance TraceFormula::sharedInstance() const {
   MaxSatInstance Inst;
   Inst.NumVars = EP.Formula.numVars();
   Inst.Hard = EP.Formula.hardClauses();
-
-  // [[test]]: the input equals the failing test (hard).
-  for (Clause &C : bindInput(Test))
-    Inst.Hard.push_back(std::move(C));
-
-  // p: the specification *holds* (hard) -- making the instance UNSAT for a
-  // failing test, which is what CoMSS extraction needs.
-  if (S.CheckObligations)
-    Inst.Hard.push_back({EP.SpecLit});
-  if (S.GoldenReturn) {
-    assert(!EP.RetWord.empty() && "golden spec requires a return value");
-    int64_t G = *S.GoldenReturn;
-    for (size_t B = 0; B < EP.RetWord.size(); ++B) {
-      bool BitSet = (G >> B) & 1;
-      Inst.Hard.push_back({BitSet ? EP.RetWord[B] : ~EP.RetWord[B]});
-    }
-  }
 
   // Phi_S = TF2: one soft unit clause per clause group (selector),
   // weighted per group (Eq. 3 weights in loop-diagnosis mode). Selector
@@ -76,6 +58,39 @@ MaxSatInstance TraceFormula::localizationInstance(const InputVector &Test,
     Inst.Soft.push_back({{mkLit(G.Selector)}, G.Weight});
     Inst.PreferTrue.push_back(G.Selector);
   }
+  return Inst;
+}
+
+std::vector<Clause> TraceFormula::testClauses(const InputVector &Test,
+                                              const Spec &S) const {
+  // [[test]]: the input equals the failing test (hard).
+  std::vector<Clause> Hard = bindInput(Test);
+
+  // p: the specification *holds* (hard) -- making the instance UNSAT for a
+  // failing test, which is what CoMSS extraction needs.
+  if (S.CheckObligations)
+    Hard.push_back({EP.SpecLit});
+  if (S.GoldenReturn) {
+    assert(!EP.RetWord.empty() && "golden spec requires a return value");
+    int64_t G = *S.GoldenReturn;
+    for (size_t B = 0; B < EP.RetWord.size(); ++B) {
+      bool BitSet = (G >> B) & 1;
+      Hard.push_back({BitSet ? EP.RetWord[B] : ~EP.RetWord[B]});
+    }
+  }
+  return Hard;
+}
+
+MaxSatInstance TraceFormula::localizationInstance(const InputVector &Test,
+                                                  const Spec &S) const {
+  MaxSatInstance Inst = sharedInstance();
+  std::vector<Clause> PerTest = testClauses(Test, S);
+  // Keep the historical clause order: TF1, then [[test]] /\ p, with the
+  // soft selector units after NumVars -- sharedInstance already placed the
+  // soft side, so only the hard suffix moves here.
+  Inst.Hard.reserve(Inst.Hard.size() + PerTest.size());
+  for (Clause &C : PerTest)
+    Inst.Hard.push_back(std::move(C));
   return Inst;
 }
 

@@ -49,6 +49,20 @@ public:
   MaxSatInstance localizationInstance(const InputVector &Test,
                                       const Spec &S) const;
 
+  /// The test-independent part of localizationInstance: Hard = TF1 only,
+  /// Soft/PreferTrue = the full selector structure. A MaxSAT session built
+  /// over this instance (and never solved) can be cloned per query and
+  /// completed with testClauses() -- the serve-mode encode-once path.
+  /// Selector guard variables allocated on top of NumVars land at the same
+  /// IDs as in the per-test instance because testClauses adds no variables.
+  MaxSatInstance sharedInstance() const;
+
+  /// The per-test hard clauses ([[test]] /\ p) that localizationInstance
+  /// appends to TF1, in the same order: input bindings, the SpecLit unit,
+  /// then golden-return units. Add them to a clone of a sharedInstance()
+  /// session to obtain the exact per-test instance.
+  std::vector<Clause> testClauses(const InputVector &Test, const Spec &S) const;
+
   /// Searches for an input violating \p S with every statement enabled
   /// (bounded model checking; Section 4.1). \returns the counterexample
   /// input, std::nullopt if none exists within the encoding bounds, and

@@ -16,40 +16,19 @@
 
 using namespace bugassist;
 
-LocalizationReport bugassist::enumerateCoMSSes(MaxSatInstance Inst,
-                                               const CnfFormula &F,
-                                               const LocalizeOptions &Opts) {
+LocalizationReport bugassist::enumerateCoMSSesOn(MaxSatSession &Session,
+                                                 const CnfFormula &F,
+                                                 const LocalizeOptions &Opts) {
   LocalizationReport Report;
-  assert(Inst.Soft.size() == F.numGroups() &&
-         "soft clauses must mirror clause groups");
-
   std::set<uint32_t> AllLines;
 
-  // Algorithm 1, lines 7-14, on ONE incremental MaxSAT session: the solver
-  // (hard formula, learned clauses, heuristic state) persists across
-  // diagnoses, and each blocking clause beta is added incrementally. With
-  // Threads > 1 the session is a portfolio of diversified persistent
-  // workers racing each solve. Either way the sessions canonicalize their
-  // optima, so the enumeration is deterministic and identical at every
-  // thread count.
-  std::unique_ptr<MaxSatSession> Session;
-  PortfolioSession *Portfolio = nullptr;
-  if (Opts.Threads > 1) {
-    auto P = makePortfolioSession(Inst, Opts.Weighted, Opts.Threads,
-                                  Opts.ConflictBudget);
-    Portfolio = P.get();
-    Session = std::move(P);
-  } else {
-    Session = makeMaxSatSession(Inst, Opts.Weighted, Opts.ConflictBudget,
-                                Solver::Options(), /*Canonical=*/true);
-  }
   // Query-wide resource budget: one deadline / conflict cap / arena cap
   // covers the whole enumeration. Exhaustion mid-round surfaces as an
   // Unknown solve(), which flags the report Incomplete below.
   if (Opts.hasBudget())
-    Session->setBudget(Opts.solverBudget());
+    Session.setBudget(Opts.solverBudget());
   while (Report.Diagnoses.size() < Opts.MaxDiagnoses) {
-    MaxSatResult R = Session->solve();
+    MaxSatResult R = Session.solve();
     Report.SatCalls += R.SatCalls;
     Report.Search = R.Search; // cumulative over the session
     if (R.Status == MaxSatStatus::HardUnsat) {
@@ -105,12 +84,40 @@ LocalizationReport bugassist::enumerateCoMSSes(MaxSatInstance Inst,
     // intent ("other combinations of these locations are still allowed")
     // with honest costs; the hard beta still bans the reported CoMSS and
     // all of its supersets.
-    Session->addHardClause(Blocking);
+    Session.addHardClause(Blocking);
   }
 
+  Report.AllLines.assign(AllLines.begin(), AllLines.end());
+  return Report;
+}
+
+LocalizationReport bugassist::enumerateCoMSSes(MaxSatInstance Inst,
+                                               const CnfFormula &F,
+                                               const LocalizeOptions &Opts) {
+  assert(Inst.Soft.size() == F.numGroups() &&
+         "soft clauses must mirror clause groups");
+
+  // Algorithm 1, lines 7-14, on ONE incremental MaxSAT session: the solver
+  // (hard formula, learned clauses, heuristic state) persists across
+  // diagnoses, and each blocking clause beta is added incrementally. With
+  // Threads > 1 the session is a portfolio of diversified persistent
+  // workers racing each solve. Either way the sessions canonicalize their
+  // optima, so the enumeration is deterministic and identical at every
+  // thread count.
+  std::unique_ptr<MaxSatSession> Session;
+  PortfolioSession *Portfolio = nullptr;
+  if (Opts.Threads > 1) {
+    auto P = makePortfolioSession(Inst, Opts.Weighted, Opts.Threads,
+                                  Opts.ConflictBudget);
+    Portfolio = P.get();
+    Session = std::move(P);
+  } else {
+    Session = makeMaxSatSession(Inst, Opts.Weighted, Opts.ConflictBudget,
+                                Solver::Options(), /*Canonical=*/true);
+  }
+  LocalizationReport Report = enumerateCoMSSesOn(*Session, F, Opts);
   if (Portfolio)
     Report.PortfolioWins = Portfolio->portfolioStats().WinsByWorker;
-  Report.AllLines.assign(AllLines.begin(), AllLines.end());
   return Report;
 }
 
@@ -122,6 +129,19 @@ LocalizationReport bugassist::localizeFault(const TraceFormula &TF,
   // selector of clause group i, so CoMSS indexes map straight to groups.
   return enumerateCoMSSes(TF.localizationInstance(FailingTest, S),
                           TF.encoded().Formula, Opts);
+}
+
+LocalizationReport bugassist::localizeFault(MaxSatSession &Session,
+                                            const TraceFormula &TF,
+                                            const InputVector &FailingTest,
+                                            const Spec &S,
+                                            const LocalizeOptions &Opts) {
+  // Complete a sharedInstance() session into the per-test instance: the
+  // bindings and spec units range over original variables only, so the
+  // session's guard numbering matches the fresh-session path exactly.
+  for (const Clause &C : TF.testClauses(FailingTest, S))
+    Session.addHardClause(C);
+  return enumerateCoMSSesOn(Session, TF.encoded().Formula, Opts);
 }
 
 bool bugassist::isValidCorrection(const TraceFormula &TF,
@@ -155,7 +175,8 @@ BugAssistDriver::BugAssistDriver(const Program &Prog, std::string Entry,
       TF((EOpts.BitWidth = UOpts.BitWidth, encodeProgram(UP, EOpts))) {}
 
 std::optional<InputVector>
-BugAssistDriver::findCounterexample(const Spec &S, uint64_t ConflictBudget) {
+BugAssistDriver::findCounterexample(const Spec &S,
+                                    uint64_t ConflictBudget) const {
   bool Decided = false;
   return TF.findCounterexample(S, Decided, ConflictBudget);
 }

@@ -118,12 +118,32 @@ struct LocalizeOptions {
 LocalizationReport enumerateCoMSSes(MaxSatInstance Inst, const CnfFormula &F,
                                     const LocalizeOptions &Opts = {});
 
+/// Algorithm 1's enumeration loop on an *existing* session whose soft
+/// clauses mirror \p F's clause groups. The serve-mode seam: the caller
+/// builds (or clones) the session once and this runs the blocking loop on
+/// it, installing Opts' query-wide budget first. Opts.Threads is ignored
+/// -- the session's own parallelism (if any) applies. Sessions
+/// canonicalize their optima, so the report depends only on the formula,
+/// never on which session produced it.
+LocalizationReport enumerateCoMSSesOn(MaxSatSession &Session,
+                                      const CnfFormula &F,
+                                      const LocalizeOptions &Opts = {});
+
 /// Algorithm 1 on a prebuilt trace formula: enumerates CoMSSes of
 /// (Phi_H, Phi_S), blocking each one with a hard clause (lambda_1 \/ ... \/
 /// lambda_k) and removing its selectors from the soft set.
 LocalizationReport localizeFault(const TraceFormula &TF,
                                  const InputVector &FailingTest,
                                  const Spec &S,
+                                 const LocalizeOptions &Opts = {});
+
+/// localizeFault on a prebuilt session over TF.sharedInstance() -- e.g. a
+/// clone() of a never-solved base session in serve mode. Completes the
+/// instance by adding TF.testClauses(FailingTest, S) as hard clauses, then
+/// enumerates. The session is consumed (blocking clauses accumulate); do
+/// not reuse it for another test.
+LocalizationReport localizeFault(MaxSatSession &Session, const TraceFormula &TF,
+                                 const InputVector &FailingTest, const Spec &S,
                                  const LocalizeOptions &Opts = {});
 
 /// Decision procedure behind the paper's definition of a fix location:
@@ -148,8 +168,10 @@ public:
 
   /// Bounded model checking for a failing input (Section 4.1). \returns
   /// std::nullopt when no violation exists within bounds (or on budget).
+  /// Const (the solve runs on a throwaway solver), so a shared driver can
+  /// serve concurrent queries.
   std::optional<InputVector> findCounterexample(const Spec &S,
-                                                uint64_t ConflictBudget = 0);
+                                                uint64_t ConflictBudget = 0) const;
 
   /// Algorithm 1 for one failing test.
   LocalizationReport localize(const InputVector &FailingTest, const Spec &S,

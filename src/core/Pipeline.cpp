@@ -69,15 +69,14 @@ lineHits(const LocalizationReport &R) {
   return Order;
 }
 
-} // namespace
-
-PipelineResult bugassist::runLocalizePipeline(const Program &Prog,
-                                              const PipelineRequest &R) {
+/// The query-answering back half shared by the one-shot and prepared
+/// paths: judge the input (or find one by BMC), then enumerate CoMSSes --
+/// on \p Session when given, else on a session built from scratch.
+PipelineResult runOnDriver(const Program &Prog, const BugAssistDriver &Driver,
+                           const PipelineRequest &R, MaxSatSession *Session) {
   PipelineResult Res;
   Res.SpecUsed.CheckObligations = R.CheckObligations;
   Res.SpecUsed.GoldenReturn = R.GoldenReturn;
-
-  BugAssistDriver Driver(Prog, R.Entry, R.Unroll, R.Encode);
 
   if (R.Input) {
     // Sanity-check the given input concretely before blaming anything:
@@ -131,9 +130,21 @@ PipelineResult bugassist::runLocalizePipeline(const Program &Prog,
     Res.FailingInput = *Cex;
   }
 
-  Res.Report = Driver.localize(Res.FailingInput, Res.SpecUsed, R.Localize);
+  if (Session)
+    Res.Report = localizeFault(*Session, Driver.formula(), Res.FailingInput,
+                               Res.SpecUsed, R.Localize);
+  else
+    Res.Report = Driver.localize(Res.FailingInput, Res.SpecUsed, R.Localize);
   Res.Status = PipelineStatus::Localized;
   return Res;
+}
+
+} // namespace
+
+PipelineResult bugassist::runLocalizePipeline(const Program &Prog,
+                                              const PipelineRequest &R) {
+  BugAssistDriver Driver(Prog, R.Entry, R.Unroll, R.Encode);
+  return runOnDriver(Prog, Driver, R, /*Session=*/nullptr);
 }
 
 PipelineResult bugassist::runLocalizePipeline(std::string_view Source,
@@ -147,6 +158,29 @@ PipelineResult bugassist::runLocalizePipeline(std::string_view Source,
     return Res;
   }
   return runLocalizePipeline(*Prog, R);
+}
+
+std::unique_ptr<PreparedProgram>
+bugassist::prepareProgram(std::string_view Source, const std::string &Entry,
+                          const UnrollOptions &Unroll,
+                          const EncodeOptions &Encode, std::string &Error) {
+  DiagEngine Diags;
+  std::unique_ptr<Program> Prog = parseAndAnalyze(Source, Diags);
+  if (!Prog) {
+    Error = Diags.render();
+    return nullptr;
+  }
+  auto P = std::make_unique<PreparedProgram>();
+  P->Driver =
+      std::make_unique<BugAssistDriver>(*Prog, Entry, Unroll, Encode);
+  P->Prog = std::move(Prog);
+  return P;
+}
+
+PipelineResult bugassist::runLocalizePipeline(const PreparedProgram &P,
+                                              const PipelineRequest &R,
+                                              MaxSatSession *Session) {
+  return runOnDriver(*P.Prog, *P.Driver, R, Session);
 }
 
 std::vector<int64_t> bugassist::goldenOutputs(
@@ -306,6 +340,45 @@ std::optional<InputVector> bugassist::parseInputVector(std::string_view Text,
   return Out;
 }
 
+bool bugassist::parseHardLinesSpec(std::string_view Spec,
+                                   std::set<uint32_t> &Out) {
+  constexpr int64_t MaxLine = 1000000;
+  auto parseLine = [](std::string_view T, int64_t &V) {
+    if (T.empty())
+      return false;
+    const char *B = T.data(), *E = T.data() + T.size();
+    auto [P, Ec] = std::from_chars(B, E, V);
+    return Ec == std::errc() && P == E;
+  };
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t End = Spec.find(',', Pos);
+    if (End == std::string_view::npos)
+      End = Spec.size();
+    std::string_view Item = Spec.substr(Pos, End - Pos);
+    if (Item.empty())
+      return false;
+    size_t Dash = Item.find('-');
+    int64_t Lo = 0, Hi = 0;
+    if (Dash == std::string_view::npos) {
+      if (!parseLine(Item, Lo) || Lo < 1 || Lo > MaxLine)
+        return false;
+      Hi = Lo;
+    } else {
+      if (!parseLine(Item.substr(0, Dash), Lo) ||
+          !parseLine(Item.substr(Dash + 1), Hi) || Lo < 1 || Hi < Lo ||
+          Hi > MaxLine)
+        return false;
+    }
+    for (int64_t L = Lo; L <= Hi; ++L)
+      Out.insert(static_cast<uint32_t>(L));
+    Pos = End + 1;
+    if (End == Spec.size())
+      break;
+  }
+  return true;
+}
+
 std::string bugassist::renderLocalizationReport(const LocalizationReport &R) {
   std::string Out;
   for (size_t I = 0; I < R.Diagnoses.size(); ++I) {
@@ -392,5 +465,33 @@ std::string bugassist::renderSearchStats(const LocalizationReport &R) {
       Out += ' ' + std::to_string(W);
     Out += '\n';
   }
+  return Out;
+}
+
+std::string bugassist::renderLocalizeOutput(const PipelineResult &Res,
+                                            bool Json) {
+  switch (Res.Status) {
+  case PipelineStatus::CompileError:
+  case PipelineStatus::InputNotFailing:
+    return ""; // reported out of band, never on stdout
+  case PipelineStatus::NoCounterexample:
+    return Res.Message + "\n";
+  case PipelineStatus::Localized:
+    break;
+  }
+  if (!Json)
+    return "failing input: " + renderInputVector(Res.FailingInput) + "\n" +
+           renderLocalizationReport(Res.Report);
+  std::string Out =
+      "{\n  \"input\": \"" + renderInputVector(Res.FailingInput) +
+      "\",\n  \"report\": ";
+  std::string Rep = renderLocalizationJson(Res.Report);
+  // Indent the nested object by two spaces to keep the output readable.
+  for (size_t I = 0; I < Rep.size(); ++I) {
+    Out += Rep[I];
+    if (Rep[I] == '\n' && I + 1 < Rep.size())
+      Out += "  ";
+  }
+  Out += "}\n";
   return Out;
 }

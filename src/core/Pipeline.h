@@ -30,6 +30,7 @@
 #include "core/BugAssist.h"
 #include "lang/Sema.h"
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -84,6 +85,40 @@ PipelineResult runLocalizePipeline(const Program &Prog,
 PipelineResult runLocalizePipeline(std::string_view Source,
                                    const PipelineRequest &R);
 
+/// The front half of the pipeline, done once: a parsed program with its
+/// unroll + encode driver. Serve mode caches these keyed by source text +
+/// entry + options (serve/FormulaCache.h) and answers every query on the
+/// cached copy. Safe to share across threads: every query-answering entry
+/// point below only reads it.
+struct PreparedProgram {
+  std::unique_ptr<Program> Prog;
+  std::unique_ptr<BugAssistDriver> Driver;
+};
+
+/// Runs parse -> sema -> unroll -> encode once. \returns nullptr and fills
+/// \p Error with the rendered diagnostics when the source does not
+/// compile. \p Unroll.BitWidth is propagated into the encoder exactly as
+/// the one-shot pipeline does.
+std::unique_ptr<PreparedProgram> prepareProgram(std::string_view Source,
+                                                const std::string &Entry,
+                                                const UnrollOptions &Unroll,
+                                                const EncodeOptions &Encode,
+                                                std::string &Error);
+
+/// The back half of the pipeline on a prepared program. \p R's Entry,
+/// Unroll, and Encode fields MUST equal the prepare-time values (serve
+/// guarantees this by keying its cache on them); only the per-query fields
+/// (Input, GoldenReturn, CheckObligations, Localize, BmcConflictBudget)
+/// vary. When \p Session is non-null it must be a fresh, never-solved
+/// session over Driver->formula().sharedInstance() -- e.g. a clone() of a
+/// cached base session -- and the enumeration runs on it (R.Localize's
+/// Threads/Weighted/ConflictBudget session knobs are then fixed by the
+/// session itself; its budget knobs still apply). Reports are canonical,
+/// so both paths produce byte-identical output.
+PipelineResult runLocalizePipeline(const PreparedProgram &P,
+                                   const PipelineRequest &R,
+                                   MaxSatSession *Session = nullptr);
+
 /// The failing subset of a test pool, judged against a golden program
 /// version (Section 6.1: run both, keep inputs where the outputs differ).
 struct FailingTests {
@@ -131,6 +166,13 @@ std::string renderInputVector(const InputVector &In);
 std::optional<InputVector> parseInputVector(std::string_view Text,
                                             std::string &Error);
 
+/// Parses a hard-lines spec -- comma-separated line numbers or A-B ranges
+/// (`3,10-12`) -- into \p Out, as the CLI's `--hard-lines` and the serve
+/// protocol's `hard_lines` field use it. Line numbers are capped at 1e6:
+/// far above any real source file, low enough that a typo'd range cannot
+/// hang the caller or wrap uint32_t. \returns false on malformed specs.
+bool parseHardLinesSpec(std::string_view Spec, std::set<uint32_t> &Out);
+
 /// Canonical text form of a report: one line per diagnosis, the suspect
 /// union, per-line hit counts, and the termination reason. Deterministic
 /// at every thread count (no solver statistics).
@@ -143,6 +185,15 @@ std::string renderLocalizationJson(const LocalizationReport &R);
 /// NOT deterministic across thread counts or machines; kept out of the
 /// canonical report so that byte-for-byte comparisons stay meaningful.
 std::string renderSearchStats(const LocalizationReport &R);
+
+/// The canonical stdout of a localize run: exactly what `bugassist
+/// localize` prints for \p Res (the CLI and serve mode both emit this
+/// verbatim, which is what makes their outputs byte-comparable).
+/// Localized renders the failing input plus the text or JSON report;
+/// NoCounterexample renders the explanatory message; the error statuses
+/// (CompileError, InputNotFailing) render empty -- their messages travel
+/// on stderr (CLI) or in the response header (serve).
+std::string renderLocalizeOutput(const PipelineResult &Res, bool Json);
 
 } // namespace bugassist
 

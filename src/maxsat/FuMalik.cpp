@@ -99,6 +99,13 @@ public:
 
   Solver &solver() override { return S; }
 
+  /// Member-wise deep copy: the Solver copy carries the arena and learnt
+  /// state, and every piece of relaxation bookkeeping (guards, working
+  /// soft clauses, rounds) is a plain value. Root level only.
+  std::unique_ptr<MaxSatSession> clone() const override {
+    return std::unique_ptr<MaxSatSession>(new FuMalikSessionImpl(*this));
+  }
+
   MaxSatResult solve() override {
     MaxSatResult Res;
     for (; !HardBroken;) {

@@ -91,6 +91,13 @@ public:
 
   Solver &solver() override { return S; }
 
+  /// Member-wise deep copy: the Solver copy carries the arena and PB
+  /// counter clauses, and the relaxation literals / weights / proven lower
+  /// bound are plain values. Root level only.
+  std::unique_ptr<MaxSatSession> clone() const override {
+    return std::unique_ptr<MaxSatSession>(new LinearSessionImpl(*this));
+  }
+
   MaxSatResult solve() override {
     MaxSatResult Res;
     if (HardBroken) {

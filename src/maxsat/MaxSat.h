@@ -198,6 +198,28 @@ public:
 
   /// Removes any budget and clears the exhausted state.
   virtual void clearBudget() { solver().clearBudget(); }
+
+  /// Deep-copies the whole session -- solver (arena, learnts, activities,
+  /// saved phases), relaxation structure, and proven bounds -- into an
+  /// independent session that continues from exactly the same state. Root
+  /// level only: cloning while a solve() is in flight is undefined.
+  ///
+  /// This is the serve-mode "one encoding, many queries" primitive
+  /// (src/serve/FormulaCache.h): a *base* session is built once per cached
+  /// trace formula from the shared hard clauses + soft selectors and never
+  /// solved; each query clones it and adds its per-test clauses through
+  /// addHardClause. Because the base is immutable after construction,
+  /// concurrent clone() calls from several pool workers are safe. The
+  /// canonicalization contract makes the shortcut sound: a cloned session's
+  /// search may diverge from a freshly built one's, but the reported
+  /// optimum cost and canonical falsified-soft set depend only on the
+  /// formula, so localization reports stay byte-identical (see
+  /// docs/SERVE.md, "Determinism contract").
+  ///
+  /// \returns nullptr when the engine does not support cloning (portfolio
+  /// and reference sessions); callers must fall back to building a fresh
+  /// session from the full instance.
+  virtual std::unique_ptr<MaxSatSession> clone() const { return nullptr; }
 };
 
 /// Creates a Fu-Malik core-guided session (unweighted; weights ignored).

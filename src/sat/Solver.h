@@ -215,6 +215,19 @@ public:
   Solver() : Solver(Options()) {}
   explicit Solver(const Options &O);
 
+  /// Solvers are copyable *between* solve() calls (root level): the copy
+  /// gets an independent arena, watch lists, learnt tiers, activities,
+  /// saved phases, budget, and share hooks, and continues exactly where
+  /// the original stood. This is the substrate of serve-mode session
+  /// cloning (maxsat/MaxSat.h `MaxSatSession::clone`): one base solver is
+  /// loaded with the shared hard clauses once and copied per query, which
+  /// is a flat memcpy of the arena instead of per-clause re-simplification.
+  /// Copying a solver whose solve() is in flight is undefined; a pending
+  /// interrupt() is snapshotted as a plain value (interrupting the original
+  /// never cancels the copy).
+  Solver(const Solver &) = default;
+  Solver &operator=(const Solver &) = default;
+
   const Options &options() const { return Opts; }
 
   /// Allocates a fresh variable and returns it.
@@ -603,7 +616,23 @@ private:
   uint64_t RandState = 0x1234567890abcdefull;
   uint32_t RandBranchThreshold = 20; // random decisions per 1024 (from Opts)
 
-  std::atomic<bool> InterruptRequested{false};
+  /// std::atomic is not copyable; this wrapper snapshots the flag value so
+  /// the defaulted Solver copy constructor (session cloning) stays
+  /// member-wise. Memory ordering is the caller's choice, as before.
+  struct CopyableAtomicBool {
+    std::atomic<bool> V{false};
+    CopyableAtomicBool() = default;
+    CopyableAtomicBool(const CopyableAtomicBool &O)
+        : V(O.V.load(std::memory_order_relaxed)) {}
+    CopyableAtomicBool &operator=(const CopyableAtomicBool &O) {
+      V.store(O.V.load(std::memory_order_relaxed), std::memory_order_relaxed);
+      return *this;
+    }
+    void store(bool B, std::memory_order M) { V.store(B, M); }
+    bool load(std::memory_order M) const { return V.load(M); }
+  };
+
+  CopyableAtomicBool InterruptRequested;
   ExportFn Export;
   ImportFn Import;
   Var ShareVarLimit = 0; // only clauses with all vars below this are exported

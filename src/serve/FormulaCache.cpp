@@ -1,0 +1,117 @@
+//===- FormulaCache.cpp - Encode-once program cache for serve -------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/FormulaCache.h"
+
+using namespace bugassist;
+
+namespace {
+
+/// Length-prefixed field framing: no concatenation of two distinct key
+/// tuples can produce the same string.
+void putStr(std::string &Out, std::string_view S) {
+  Out += std::to_string(S.size());
+  Out += ':';
+  Out += S;
+  Out += ';';
+}
+
+void putInt(std::string &Out, int64_t V) { putStr(Out, std::to_string(V)); }
+
+void putBool(std::string &Out, bool B) { Out += B ? "T;" : "F;"; }
+
+} // namespace
+
+std::string bugassist::serializeCacheKey(const std::string &Source,
+                                         const std::string &Entry,
+                                         const UnrollOptions &U,
+                                         const EncodeOptions &E) {
+  std::string Key;
+  putStr(Key, Entry);
+  putInt(Key, U.MaxLoopUnwind);
+  putInt(Key, static_cast<int64_t>(U.LoopUnwindByLine.size()));
+  for (const auto &[Line, Bound] : U.LoopUnwindByLine) {
+    putInt(Key, Line);
+    putInt(Key, Bound);
+  }
+  putInt(Key, U.MaxInlineDepth);
+  putInt(Key, U.BitWidth);
+  putBool(Key, U.CheckArrayBounds);
+  putInt(Key, static_cast<int64_t>(U.TrustedFunctions.size()));
+  for (const std::string &F : U.TrustedFunctions)
+    putStr(Key, F);
+  putInt(Key, static_cast<int64_t>(U.HardLines.size()));
+  for (uint32_t L : U.HardLines)
+    putInt(Key, L);
+  putBool(Key, U.ConcreteInputs.has_value());
+  if (U.ConcreteInputs) {
+    putInt(Key, static_cast<int64_t>(U.ConcreteInputs->size()));
+    for (const InputValue &V : *U.ConcreteInputs) {
+      putBool(Key, V.IsArray);
+      if (V.IsArray) {
+        putInt(Key, static_cast<int64_t>(V.Array.size()));
+        for (int64_t X : V.Array)
+          putInt(Key, X);
+      } else {
+        putInt(Key, V.Scalar);
+      }
+    }
+  }
+  putInt(Key, E.BitWidth);
+  putBool(Key, E.PerIterationGroups);
+  putInt(Key, static_cast<int64_t>(E.BaseWeight));
+  putBool(Key, E.ConcretizeTrusted);
+  putBool(Key, E.GroupPerDefinition);
+  putStr(Key, Source);
+  return Key;
+}
+
+std::unique_ptr<MaxSatSession>
+CachedProgram::cloneSession(bool Weighted) const {
+  const TraceFormula &TF = Prepared->Driver->formula();
+  std::lock_guard<std::mutex> Lock(BaseMu);
+  std::unique_ptr<MaxSatSession> &B = Base[Weighted ? 1 : 0];
+  if (!B)
+    B = makeMaxSatSession(TF.sharedInstance(), Weighted,
+                          /*ConflictBudget=*/0, Solver::Options(),
+                          /*Canonical=*/true);
+  return B->clone();
+}
+
+const CachedProgram &FormulaCache::lookup(const std::string &Source,
+                                          const std::string &Entry,
+                                          const UnrollOptions &Unroll,
+                                          const EncodeOptions &Encode,
+                                          bool *WasHit) {
+  std::string Key = serializeCacheKey(Source, Entry, Unroll, Encode);
+  CachedProgram *P;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    std::unique_ptr<CachedProgram> &Slot = Map[std::move(Key)];
+    bool Hit = static_cast<bool>(Slot);
+    if (Hit) {
+      ++Hits;
+    } else {
+      ++Misses;
+      Slot = std::make_unique<CachedProgram>();
+    }
+    if (WasHit)
+      *WasHit = Hit;
+    P = Slot.get();
+  }
+  // Build outside the map lock so a slow encode does not serialize
+  // lookups of *other* keys; same-key requesters block here until the
+  // one build completes.
+  std::call_once(P->Built, [&] {
+    P->Prepared = prepareProgram(Source, Entry, Unroll, Encode, P->Error);
+  });
+  return *P;
+}
+
+FormulaCacheStats FormulaCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return {Hits, Misses};
+}

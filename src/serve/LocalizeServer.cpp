@@ -1,0 +1,634 @@
+//===- LocalizeServer.cpp - Batch/daemon localization service -------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/LocalizeServer.h"
+
+#include "cnf/DimacsReader.h"
+#include "core/Pipeline.h"
+#include "maxsat/Portfolio.h"
+#include "programs/Tcas.h"
+#include "programs/TcasMutants.h"
+#include "serve/FormulaCache.h"
+#include "serve/Json.h"
+#include "serve/RequestQueue.h"
+#include "support/FileUtil.h"
+
+#include <atomic>
+#include <chrono>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+using namespace bugassist;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t elapsedMs(Clock::time_point Start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            Start)
+          .count());
+}
+
+// --- requests ----------------------------------------------------------------
+
+enum class Cmd { Localize, MaxSat, Sat };
+
+const char *cmdName(Cmd C) {
+  switch (C) {
+  case Cmd::Localize: return "localize";
+  case Cmd::MaxSat:   return "maxsat";
+  case Cmd::Sat:      return "sat";
+  }
+  return "unknown";
+}
+
+/// One request line, decoded. Invalid lines never become one of these --
+/// the reader answers them directly.
+struct Request {
+  std::string Id;
+  Cmd Command = Cmd::Localize;
+
+  // localize: resolved program text + the per-query pipeline request.
+  std::string Source;
+  PipelineRequest Pipeline;
+  bool Json = false;
+
+  // maxsat / sat: resolved DIMACS text + output options.
+  std::string Dimacs;
+  std::string Engine = "auto";
+  bool Model = true;
+
+  // Per-request resource budget (every command).
+  double TimeoutSeconds = 0;
+  uint64_t MaxConflicts = 0;
+  uint64_t MaxMemoryMb = 0;
+
+  bool hasBudget() const {
+    return TimeoutSeconds > 0 || MaxConflicts > 0 || MaxMemoryMb > 0;
+  }
+  Solver::Budget solverBudget() const {
+    Solver::Budget B;
+    B.MaxConflicts = MaxConflicts;
+    B.MaxArenaBytes = MaxMemoryMb << 20;
+    if (TimeoutSeconds > 0)
+      B.setDeadlineIn(TimeoutSeconds);
+    return B;
+  }
+};
+
+/// Field-level validators. Each returns false with \p Error set; the
+/// messages quote the field name so a typo is findable in the batch.
+bool wantString(const JsonValue &V, const char *Name, std::string &Out,
+                std::string &Error) {
+  if (!V.isString()) {
+    Error = std::string("field '") + Name + "' must be a string";
+    return false;
+  }
+  Out = V.Text;
+  return true;
+}
+
+bool wantBool(const JsonValue &V, const char *Name, bool &Out,
+              std::string &Error) {
+  if (!V.isBool()) {
+    Error = std::string("field '") + Name + "' must be a boolean";
+    return false;
+  }
+  Out = V.BoolVal;
+  return true;
+}
+
+bool wantInt(const JsonValue &V, const char *Name, int64_t Min, int64_t Max,
+             int64_t &Out, std::string &Error) {
+  auto I = V.asInt64();
+  if (!I || *I < Min || *I > Max) {
+    Error = std::string("field '") + Name + "' must be an integer in [" +
+            std::to_string(Min) + ", " + std::to_string(Max) + "]";
+    return false;
+  }
+  Out = *I;
+  return true;
+}
+
+/// Decodes one request object. \p Req.Id is always usable afterwards (the
+/// explicit id when one parsed, else the 1-based request number), so even
+/// rejected requests get an addressable error response.
+bool parseRequest(const JsonValue &Root, size_t Index, Request &Req,
+                  std::string &Error) {
+  Req.Id = std::to_string(Index + 1);
+  if (!Root.isObject()) {
+    Error = "request must be a JSON object";
+    return false;
+  }
+  if (const JsonValue *Id = Root.find("id")) {
+    if (!wantString(*Id, "id", Req.Id, Error))
+      return false;
+  }
+  const JsonValue *CmdV = Root.find("cmd");
+  std::string CmdStr;
+  if (!CmdV || !wantString(*CmdV, "cmd", CmdStr, Error)) {
+    if (Error.empty())
+      Error = "missing required field 'cmd'";
+    return false;
+  }
+  if (CmdStr == "localize")
+    Req.Command = Cmd::Localize;
+  else if (CmdStr == "maxsat")
+    Req.Command = Cmd::MaxSat;
+  else if (CmdStr == "sat")
+    Req.Command = Cmd::Sat;
+  else {
+    Error = "field 'cmd' must be \"localize\", \"maxsat\", or \"sat\"";
+    return false;
+  }
+
+  int ProgramSources = 0; // source/file/tcas (localize), wcnf/cnf/file
+  for (const auto &[Key, Val] : Root.Members) {
+    int64_t N = 0;
+    if (Key == "id" || Key == "cmd") {
+      // handled above
+    } else if (Key == "timeout") {
+      auto D = Val.asDouble();
+      // Same bounds as the CLI's --timeout: anything over 1e9 seconds is
+      // a typo, not a deadline.
+      if (!D || !(*D > 0) || *D > 1e9) {
+        Error = "field 'timeout' must be a positive number of seconds";
+        return false;
+      }
+      Req.TimeoutSeconds = *D;
+    } else if (Key == "max_conflicts") {
+      if (!wantInt(Val, "max_conflicts", 1, INT64_MAX, N, Error))
+        return false;
+      Req.MaxConflicts = static_cast<uint64_t>(N);
+    } else if (Key == "max_memory_mb") {
+      // Capped so MaxMemoryMb << 20 cannot overflow uint64_t.
+      if (!wantInt(Val, "max_memory_mb", 1, 1ll << 30, N, Error))
+        return false;
+      Req.MaxMemoryMb = static_cast<uint64_t>(N);
+    } else if (Req.Command == Cmd::Localize && Key == "source") {
+      if (!wantString(Val, "source", Req.Source, Error))
+        return false;
+      ++ProgramSources;
+    } else if (Req.Command == Cmd::Localize && Key == "tcas") {
+      if (!wantInt(Val, "tcas", 0, 41, N, Error))
+        return false;
+      Req.Source = N == 0 ? tcasSource()
+                          : tcasMutants()[static_cast<size_t>(N - 1)].Source;
+      ++ProgramSources;
+    } else if (Key == "file") {
+      std::string Path;
+      if (!wantString(Val, "file", Path, Error))
+        return false;
+      auto Text = readFileToString(Path);
+      if (!Text) {
+        Error = "cannot read file '" + Path + "'";
+        return false;
+      }
+      (Req.Command == Cmd::Localize ? Req.Source : Req.Dimacs) =
+          std::move(*Text);
+      ++ProgramSources;
+    } else if (Req.Command == Cmd::Localize && Key == "entry") {
+      if (!wantString(Val, "entry", Req.Pipeline.Entry, Error))
+        return false;
+    } else if (Req.Command == Cmd::Localize && Key == "input") {
+      std::string Text, ParseError;
+      if (!wantString(Val, "input", Text, Error))
+        return false;
+      auto In = parseInputVector(Text, ParseError);
+      if (!In) {
+        Error = "bad 'input': " + ParseError;
+        return false;
+      }
+      Req.Pipeline.Input = std::move(*In);
+    } else if (Req.Command == Cmd::Localize && Key == "golden") {
+      if (!wantInt(Val, "golden", INT64_MIN, INT64_MAX, N, Error))
+        return false;
+      Req.Pipeline.GoldenReturn = N;
+    } else if (Req.Command == Cmd::Localize && Key == "check_obligations") {
+      if (!wantBool(Val, "check_obligations", Req.Pipeline.CheckObligations,
+                    Error))
+        return false;
+    } else if (Req.Command == Cmd::Localize && Key == "bounds") {
+      if (!wantBool(Val, "bounds", Req.Pipeline.Unroll.CheckArrayBounds,
+                    Error))
+        return false;
+    } else if (Req.Command == Cmd::Localize && Key == "unwind") {
+      if (!wantInt(Val, "unwind", 1, 1000000, N, Error))
+        return false;
+      Req.Pipeline.Unroll.MaxLoopUnwind = static_cast<int>(N);
+    } else if (Req.Command == Cmd::Localize && Key == "bitwidth") {
+      if (!wantInt(Val, "bitwidth", 1, 64, N, Error))
+        return false;
+      Req.Pipeline.Unroll.BitWidth = static_cast<int>(N);
+    } else if (Req.Command == Cmd::Localize && Key == "hard_lines") {
+      std::string Spec;
+      if (!wantString(Val, "hard_lines", Spec, Error))
+        return false;
+      if (!parseHardLinesSpec(Spec, Req.Pipeline.Unroll.HardLines)) {
+        Error = "bad 'hard_lines' spec '" + Spec + "'";
+        return false;
+      }
+    } else if (Req.Command == Cmd::Localize && Key == "max_diagnoses") {
+      if (!wantInt(Val, "max_diagnoses", 1, INT64_MAX, N, Error))
+        return false;
+      Req.Pipeline.Localize.MaxDiagnoses = static_cast<size_t>(N);
+    } else if (Req.Command == Cmd::Localize && Key == "weighted") {
+      if (!wantBool(Val, "weighted", Req.Pipeline.Localize.Weighted, Error))
+        return false;
+    } else if (Req.Command == Cmd::Localize && Key == "json") {
+      if (!wantBool(Val, "json", Req.Json, Error))
+        return false;
+    } else if (Req.Command == Cmd::MaxSat && Key == "wcnf") {
+      if (!wantString(Val, "wcnf", Req.Dimacs, Error))
+        return false;
+      ++ProgramSources;
+    } else if (Req.Command == Cmd::Sat && Key == "cnf") {
+      if (!wantString(Val, "cnf", Req.Dimacs, Error))
+        return false;
+      ++ProgramSources;
+    } else if (Req.Command == Cmd::MaxSat && Key == "engine") {
+      if (!wantString(Val, "engine", Req.Engine, Error))
+        return false;
+      if (Req.Engine != "auto" && Req.Engine != "fumalik" &&
+          Req.Engine != "linear") {
+        Error = "field 'engine' must be \"auto\", \"fumalik\", or "
+                "\"linear\"";
+        return false;
+      }
+    } else if (Req.Command != Cmd::Localize && Key == "model") {
+      if (!wantBool(Val, "model", Req.Model, Error))
+        return false;
+    } else {
+      // Strict by design: an unknown (or wrong-command) field is a typo
+      // the user wants to hear about, not silently-ignored noise.
+      Error = "unknown field '" + Key + "' for cmd \"" + CmdStr + "\"";
+      return false;
+    }
+  }
+
+  const char *Wanted = Req.Command == Cmd::Localize
+                           ? "'source', 'file', or 'tcas'"
+                           : Req.Command == Cmd::MaxSat ? "'wcnf' or 'file'"
+                                                        : "'cnf' or 'file'";
+  if (ProgramSources == 0) {
+    Error = std::string("missing program: give exactly one of ") + Wanted;
+    return false;
+  }
+  if (ProgramSources > 1) {
+    Error = std::string("conflicting program fields: give exactly one of ") +
+            Wanted;
+    return false;
+  }
+  return true;
+}
+
+// --- responses ---------------------------------------------------------------
+
+/// Everything the stats trailer line carries.
+struct ResponseStats {
+  uint64_t ElapsedMs = 0;
+  uint64_t SatCalls = 0;
+  SolverStats Search;
+};
+
+/// One fully framed response: header line, body bytes, stats trailer line.
+std::string frameResponse(const std::string &Id, const char *CmdStr,
+                          const char *Status, int Exit, const char *Cache,
+                          const std::string &ErrorMsg,
+                          const std::string &Body,
+                          const ResponseStats &St) {
+  std::string Out = "{\"id\":\"" + jsonEscape(Id) + "\",\"cmd\":\"" + CmdStr +
+                    "\",\"status\":\"" + Status +
+                    "\",\"exit\":" + std::to_string(Exit);
+  if (Cache)
+    Out += std::string(",\"cache\":\"") + Cache + "\"";
+  if (!ErrorMsg.empty())
+    Out += ",\"error\":\"" + jsonEscape(ErrorMsg) + "\"";
+  Out += ",\"bytes\":" + std::to_string(Body.size()) + "}\n";
+  Out += Body;
+  Out += "{\"id\":\"" + jsonEscape(Id) +
+         "\",\"elapsed_ms\":" + std::to_string(St.ElapsedMs) +
+         ",\"sat_calls\":" + std::to_string(St.SatCalls) +
+         ",\"conflicts\":" + std::to_string(St.Search.Conflicts) +
+         ",\"decisions\":" + std::to_string(St.Search.Decisions) +
+         ",\"propagations\":" + std::to_string(St.Search.Propagations) +
+         ",\"restarts\":" + std::to_string(St.Search.Restarts) + "}\n";
+  return Out;
+}
+
+/// MaxSAT-Evaluation model line; mirrors the CLI's printModelLine.
+void appendModelLine(std::string &Out, const std::vector<LBool> &Model,
+                     int NumVars, bool TrailingZero) {
+  Out += "v";
+  for (int V = 0; V < NumVars; ++V) {
+    Out += ' ';
+    if (Model[V] != LBool::True)
+      Out += '-';
+    Out += std::to_string(V + 1);
+  }
+  if (TrailingZero)
+    Out += " 0";
+  Out += '\n';
+}
+
+/// Per-response outcome counters shared by the workers.
+struct Tally {
+  std::atomic<uint64_t> Ok{0};
+  std::atomic<uint64_t> Incomplete{0};
+  std::atomic<uint64_t> Errors{0};
+};
+
+std::string respondError(const Request &Req, const std::string &Message,
+                         Tally &T, const char *Cache = nullptr,
+                         uint64_t ElapsedMs = 0) {
+  ++T.Errors;
+  ResponseStats St;
+  St.ElapsedMs = ElapsedMs;
+  return frameResponse(Req.Id, cmdName(Req.Command), "error",
+                       /*Exit=*/1, Cache, Message, "", St);
+}
+
+// --- per-command processing --------------------------------------------------
+
+std::string processLocalize(const Request &Req, FormulaCache &Cache,
+                            Tally &T) {
+  auto Start = Clock::now();
+  bool Hit = false;
+  const CachedProgram &CP =
+      Cache.lookup(Req.Source, Req.Pipeline.Entry, Req.Pipeline.Unroll,
+                   Req.Pipeline.Encode, &Hit);
+  const char *CacheStr = Hit ? "hit" : "miss";
+  if (!CP.prepared())
+    return respondError(Req, "program does not compile: " + CP.error(), T,
+                        CacheStr, elapsedMs(Start));
+
+  PipelineRequest R = Req.Pipeline;
+  R.Localize.TimeoutSeconds = Req.TimeoutSeconds;
+  R.Localize.MaxConflicts = Req.MaxConflicts;
+  R.Localize.MaxMemoryMb = Req.MaxMemoryMb;
+
+  // The encode-once fast path: a clone of the cached base session, primed
+  // with TF1 + the soft selectors, completed per-test inside the pipeline.
+  // cloneSession can only return nullptr for engines without clone(), and
+  // the pipeline then transparently builds a session from scratch.
+  std::unique_ptr<MaxSatSession> Session =
+      CP.cloneSession(R.Localize.Weighted);
+  PipelineResult Res = runLocalizePipeline(*CP.prepared(), R, Session.get());
+
+  if (Res.Status == PipelineStatus::InputNotFailing)
+    return respondError(Req, "nothing to localize: " + Res.Message, T,
+                        CacheStr, elapsedMs(Start));
+
+  // Localized or NoCounterexample: the body is the one-shot CLI's stdout,
+  // byte for byte.
+  std::string Body = renderLocalizeOutput(Res, Req.Json);
+  bool Incomplete = Res.Report.Incomplete;
+  ++(Incomplete ? T.Incomplete : T.Ok);
+  ResponseStats St;
+  St.ElapsedMs = elapsedMs(Start);
+  St.SatCalls = Res.Report.SatCalls;
+  St.Search = Res.Report.Search;
+  return frameResponse(Req.Id, cmdName(Req.Command),
+                       Incomplete ? "incomplete" : "ok", Incomplete ? 2 : 0,
+                       CacheStr, "", Body, St);
+}
+
+std::string processMaxSat(const Request &Req, Tally &T) {
+  auto Start = Clock::now();
+  DimacsParseError Err;
+  auto Parsed = parseDimacs(Req.Dimacs, Err);
+  if (!Parsed)
+    return respondError(Req, "bad wcnf: " + Err.render(), T, nullptr,
+                        elapsedMs(Start));
+
+  bool AnyWeight = false;
+  MaxSatInstance Inst = toMaxSatInstance(std::move(*Parsed), &AnyWeight);
+  // Engine dispatch matches the CLI: Fu-Malik ignores weights, so weighted
+  // instances force linear search unless fumalik was explicitly requested.
+  bool Weighted =
+      Req.Engine == "linear" || (Req.Engine == "auto" && AnyWeight);
+  std::unique_ptr<MaxSatSession> Session =
+      makeMaxSatSession(Inst, Weighted, /*ConflictBudget=*/0,
+                        Solver::Options(), /*Canonical=*/true);
+  if (Req.hasBudget())
+    Session->setBudget(Req.solverBudget());
+  MaxSatResult R = Session->solve();
+
+  // The CLI's o/s/v lines with the `c` comment lines removed.
+  std::string Body;
+  switch (R.Status) {
+  case MaxSatStatus::Optimum:
+    Body = "o " + std::to_string(R.Cost) + "\ns OPTIMUM FOUND\n";
+    if (Req.Model)
+      appendModelLine(Body, R.Model, Inst.NumVars, /*TrailingZero=*/false);
+    break;
+  case MaxSatStatus::HardUnsat:
+    Body = "s UNSATISFIABLE\n";
+    break;
+  case MaxSatStatus::Unknown:
+    if (R.UpperBound != UINT64_MAX) {
+      Body = "o " + std::to_string(R.UpperBound) + "\ns UNKNOWN\n";
+      if (Req.Model && !R.BestModel.empty())
+        appendModelLine(Body, R.BestModel, Inst.NumVars,
+                        /*TrailingZero=*/false);
+    } else {
+      Body = "s UNKNOWN\n";
+    }
+    break;
+  }
+  bool Incomplete = R.Status == MaxSatStatus::Unknown;
+  ++(Incomplete ? T.Incomplete : T.Ok);
+  ResponseStats St;
+  St.ElapsedMs = elapsedMs(Start);
+  St.SatCalls = R.SatCalls;
+  St.Search = R.Search;
+  return frameResponse(Req.Id, cmdName(Req.Command),
+                       Incomplete ? "incomplete" : "ok", Incomplete ? 2 : 0,
+                       nullptr, "", Body, St);
+}
+
+std::string processSat(const Request &Req, Tally &T) {
+  auto Start = Clock::now();
+  DimacsParseError Err;
+  auto Parsed = parseDimacs(Req.Dimacs, Err);
+  if (!Parsed)
+    return respondError(Req, "bad cnf: " + Err.render(), T, nullptr,
+                        elapsedMs(Start));
+
+  // WCNF soft clauses are decided as hard, as the sat CLI does (which
+  // warns on a `c` line; serve bodies carry no comment lines).
+  std::vector<Clause> Clauses = std::move(Parsed->Hard);
+  for (DimacsSoftClause &C : Parsed->Soft)
+    Clauses.push_back(std::move(C.Lits));
+
+  SatRaceResult R =
+      racePortfolioSat(Clauses, Parsed->NumVars, /*Threads=*/1,
+                       Solver::Options(), Req.solverBudget());
+  std::string Body;
+  if (R.Result == LBool::True)
+    Body = "s SATISFIABLE\n";
+  else if (R.Result == LBool::False)
+    Body = "s UNSATISFIABLE\n";
+  else
+    Body = "s UNKNOWN\n";
+  if (Req.Model && R.Result == LBool::True)
+    appendModelLine(Body, R.Model, Parsed->NumVars, /*TrailingZero=*/true);
+
+  bool Incomplete = R.Result == LBool::Undef;
+  ++(Incomplete ? T.Incomplete : T.Ok);
+  ResponseStats St;
+  St.ElapsedMs = elapsedMs(Start);
+  St.SatCalls = 1;
+  St.Search = R.Aggregate;
+  return frameResponse(Req.Id, cmdName(Req.Command),
+                       Incomplete ? "incomplete" : "ok", Incomplete ? 2 : 0,
+                       nullptr, "", Body, St);
+}
+
+std::string processRequest(const Request &Req, FormulaCache &Cache,
+                           Tally &T) {
+  switch (Req.Command) {
+  case Cmd::Localize:
+    return processLocalize(Req, Cache, T);
+  case Cmd::MaxSat:
+    return processMaxSat(Req, T);
+  case Cmd::Sat:
+    return processSat(Req, T);
+  }
+  return respondError(Req, "unreachable", T);
+}
+
+// --- ordered emission --------------------------------------------------------
+
+/// Responses computed out of order, written in request order: a worker
+/// submits its finished response and whoever holds the next index flushes
+/// the contiguous run. No dedicated writer thread; a daemon client sees
+/// each response the moment its turn arrives.
+class OrderedEmitter {
+public:
+  explicit OrderedEmitter(std::ostream &Out) : Out(Out) {}
+
+  void emit(size_t Index, std::string Payload) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Pending.emplace(Index, std::move(Payload));
+    while (!Pending.empty() && Pending.begin()->first == Next) {
+      Out << Pending.begin()->second;
+      Pending.erase(Pending.begin());
+      ++Next;
+    }
+    Out.flush();
+  }
+
+private:
+  std::mutex Mu;
+  std::ostream &Out;
+  size_t Next = 0;
+  std::map<size_t, std::string> Pending;
+};
+
+} // namespace
+
+ServeSummary LocalizeServer::run(std::istream &In, std::ostream &Out,
+                                 std::ostream &Err) {
+  auto Start = Clock::now();
+  size_t Threads = Opts.Threads ? Opts.Threads : 1;
+
+  FormulaCache Cache;
+  RequestQueue Queue(Threads);
+  OrderedEmitter Emitter(Out);
+  Tally T;
+
+  // Request slots live here; the queue carries indexes. The mutex covers
+  // only the vector itself (push_back can reallocate under a reader) --
+  // each Request is immutable once enqueued.
+  std::mutex SlotsMu;
+  std::vector<std::unique_ptr<Request>> Slots;
+  auto slot = [&](size_t Index) -> const Request & {
+    std::lock_guard<std::mutex> Lock(SlotsMu);
+    return *Slots[Index];
+  };
+
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads);
+  for (size_t W = 0; W < Threads; ++W)
+    Pool.emplace_back([&, W] {
+      size_t Index;
+      while (Queue.pop(W, Index)) {
+        const Request &Req = slot(Index);
+        Emitter.emit(Index, processRequest(Req, Cache, T));
+      }
+    });
+
+  // Reader loop (this thread): one JSON object per line; blank lines are
+  // ignored. A line that fails to parse or validate is answered with an
+  // error response in its slot -- the daemon survives and later requests
+  // are unaffected.
+  size_t NumRequests = 0;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.find_first_not_of(" \t\r") == std::string::npos)
+      continue;
+    size_t Index = NumRequests++;
+    auto Req = std::make_unique<Request>();
+    std::string Error;
+    bool ParsedOk = false;
+    auto Root = parseJson(Line, Error);
+    if (!Root) {
+      Error = "bad JSON: " + Error;
+      Req->Id = std::to_string(Index + 1);
+    } else {
+      ParsedOk = parseRequest(*Root, Index, *Req, Error);
+    }
+    if (!ParsedOk) {
+      // Malformed request: answered inline (ordering still holds -- the
+      // emitter serializes), with cmd "unknown" unless a valid cmd parsed.
+      std::string CmdText = "unknown";
+      if (Root)
+        if (const JsonValue *C = Root->find("cmd"))
+          if (C->isString() && (C->Text == "localize" || C->Text == "maxsat" ||
+                                C->Text == "sat"))
+            CmdText = C->Text;
+      ++T.Errors;
+      ResponseStats St;
+      Emitter.emit(Index, frameResponse(Req->Id, CmdText.c_str(), "error",
+                                        /*Exit=*/1, nullptr, Error, "", St));
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(SlotsMu);
+      if (Slots.size() <= Index)
+        Slots.resize(Index + 1);
+      Slots[Index] = std::move(Req);
+    }
+    Queue.push(Index);
+  }
+  Queue.close();
+  for (std::thread &Worker : Pool)
+    Worker.join();
+
+  ServeSummary S;
+  S.Requests = NumRequests;
+  S.Ok = T.Ok;
+  S.Incomplete = T.Incomplete;
+  S.Errors = T.Errors;
+  FormulaCacheStats CS = Cache.stats();
+  S.CacheHits = CS.Hits;
+  S.CacheMisses = CS.Misses;
+  S.ExitCode = S.Errors ? 1 : S.Incomplete ? 2 : 0;
+
+  Err << "{\"requests\":" << S.Requests << ",\"ok\":" << S.Ok
+      << ",\"incomplete\":" << S.Incomplete << ",\"errors\":" << S.Errors
+      << ",\"cache_hits\":" << S.CacheHits
+      << ",\"cache_misses\":" << S.CacheMisses << ",\"threads\":" << Threads
+      << ",\"elapsed_ms\":" << elapsedMs(Start) << "}\n";
+  Err.flush();
+  return S;
+}

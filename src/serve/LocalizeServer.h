@@ -1,0 +1,77 @@
+//===- LocalizeServer.h - Batch/daemon localization service -----*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-lived batch driver behind `bugassist serve` (docs/SERVE.md is
+/// the wire-format reference, docs/ARCHITECTURE.md the design rationale).
+/// One LocalizeServer::run() call reads JSON-lines requests (localize /
+/// maxsat / sat, each with optional per-request budgets) from a stream
+/// until EOF, answers them on a work-stealing pool of Threads workers, and
+/// writes framed responses -- header line, verbatim body bytes, stats
+/// trailer line -- to the output stream *in request order*. The same call
+/// serves both front-ends: `--batch FILE` hands it an ifstream, the daemon
+/// loop hands it stdin.
+///
+/// Per the determinism contract, a localize body is byte-identical to the
+/// stdout of the equivalent one-shot `bugassist localize` run, at every
+/// pool width: programs resolve through the encode-once FormulaCache,
+/// queries run on clone()s of the cached base session, and the canonical
+/// reports depend only on the formula. A maxsat/sat body equals the
+/// one-shot stdout with the `c` comment lines removed.
+///
+/// Failure isolation: a malformed request line, an uncompilable program,
+/// or an exhausted per-request budget produces an `error` / `incomplete`
+/// response for that id and nothing else -- the pool, the cache, and the
+/// remaining requests are unaffected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_SERVE_LOCALIZESERVER_H
+#define BUGASSIST_SERVE_LOCALIZESERVER_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace bugassist {
+
+struct ServeOptions {
+  /// Pool width: workers answering requests concurrently. Output bytes do
+  /// not depend on it; wall-clock does.
+  size_t Threads = 1;
+};
+
+/// What one run() produced, mirrored by the JSON summary record written to
+/// the error stream.
+struct ServeSummary {
+  uint64_t Requests = 0;
+  uint64_t Ok = 0;         ///< status "ok"
+  uint64_t Incomplete = 0; ///< status "incomplete" (budget exhausted)
+  uint64_t Errors = 0;     ///< status "error"
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0; ///< == programs parsed + encoded
+  /// Process exit code: 1 when any request errored, else 2 when any was
+  /// budget-limited, else 0 (docs/SERVE.md, "Exit codes").
+  int ExitCode = 0;
+};
+
+class LocalizeServer {
+public:
+  explicit LocalizeServer(const ServeOptions &Opts) : Opts(Opts) {}
+
+  /// Serves \p In to EOF. Responses go to \p Out in request order (each
+  /// flushed as soon as it is next, so a daemon sees answers as they
+  /// complete); the one-line JSON summary goes to \p Err. Reentrant per
+  /// server: each call builds its own cache and pool.
+  ServeSummary run(std::istream &In, std::ostream &Out, std::ostream &Err);
+
+private:
+  ServeOptions Opts;
+};
+
+} // namespace bugassist
+
+#endif // BUGASSIST_SERVE_LOCALIZESERVER_H

@@ -1,0 +1,61 @@
+//===- RequestQueue.cpp - Work-stealing queue for the serve pool ----------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/RequestQueue.h"
+
+#include <cassert>
+
+using namespace bugassist;
+
+RequestQueue::RequestQueue(size_t Workers) : Deques(Workers ? Workers : 1) {}
+
+void RequestQueue::push(size_t Item) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    assert(!Closed && "push after close");
+    Deques[NextWorker].push_back(Item);
+    NextWorker = (NextWorker + 1) % Deques.size();
+  }
+  NonEmpty.notify_one();
+}
+
+bool RequestQueue::pop(size_t Worker, size_t &Item) {
+  assert(Worker < Deques.size() && "worker id out of range");
+  std::unique_lock<std::mutex> Lock(Mu);
+  for (;;) {
+    // Own deque, newest first.
+    if (!Deques[Worker].empty()) {
+      Item = Deques[Worker].back();
+      Deques[Worker].pop_back();
+      return true;
+    }
+    // Steal from the longest backlog, oldest first (FIFO keeps stolen
+    // work close to submission order).
+    size_t Victim = Deques.size();
+    size_t Longest = 0;
+    for (size_t W = 0; W < Deques.size(); ++W)
+      if (W != Worker && Deques[W].size() > Longest) {
+        Longest = Deques[W].size();
+        Victim = W;
+      }
+    if (Victim != Deques.size()) {
+      Item = Deques[Victim].front();
+      Deques[Victim].pop_front();
+      return true;
+    }
+    if (Closed)
+      return false;
+    NonEmpty.wait(Lock);
+  }
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Closed = true;
+  }
+  NonEmpty.notify_all();
+}

@@ -1,0 +1,63 @@
+//===- RequestQueue.h - Work-stealing queue for the serve pool --*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dispatch structure of the serve pool (docs/ARCHITECTURE.md, "Serve
+/// mode"): one deque per worker, requests distributed round-robin by the
+/// reader, each worker draining its own deque LIFO and stealing FIFO from
+/// the most loaded peer when empty. Stealing keeps the pool busy when a
+/// batch mixes second-long localizations with microsecond cache hits --
+/// round-robin alone would let a worker idle behind a long request.
+///
+/// Items are request indexes (the server keeps the request objects); the
+/// queue never owns payloads. A single mutex + condition variable guards
+/// all deques: requests are MaxSAT queries, milliseconds at minimum, so
+/// lock contention is noise and the simplicity buys obvious correctness
+/// under TSan.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_SERVE_REQUESTQUEUE_H
+#define BUGASSIST_SERVE_REQUESTQUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace bugassist {
+
+class RequestQueue {
+public:
+  explicit RequestQueue(size_t Workers);
+
+  /// Enqueues request \p Item, round-robin across workers. Called by the
+  /// reader thread only.
+  void push(size_t Item);
+
+  /// Dequeues the next item for \p Worker: own deque first (LIFO -- the
+  /// freshest, cache-warmest request), else a FIFO steal from the peer
+  /// with the longest backlog. Blocks while everything is empty and the
+  /// queue is open. \returns false when drained *and* closed -- the
+  /// worker's signal to exit.
+  bool pop(size_t Worker, size_t &Item);
+
+  /// Marks the end of input: blocked and future pop() calls return false
+  /// once the deques drain.
+  void close();
+
+private:
+  std::mutex Mu;
+  std::condition_variable NonEmpty;
+  std::vector<std::deque<size_t>> Deques;
+  size_t NextWorker = 0;
+  bool Closed = false;
+};
+
+} // namespace bugassist
+
+#endif // BUGASSIST_SERVE_REQUESTQUEUE_H

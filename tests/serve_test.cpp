@@ -1,0 +1,506 @@
+//===- serve_test.cpp - bugassist serve end-to-end tests ----------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+// Holds `bugassist serve` to its documented contract (docs/SERVE.md): a
+// batch of requests produces bodies byte-identical to the equivalent
+// one-shot CLI runs at every --threads width, each distinct program is
+// parsed and encoded exactly once (cache counters asserted), a budget
+// exhaustion returns INCOMPLETE without poisoning the pool, and a
+// malformed request line is rejected without killing the daemon loop.
+//
+// Frames are compared as parsed (id, status, exit, body) tuples, never as
+// raw streams: per the determinism contract, elapsed_ms and -- at widths
+// above one -- *which* of two same-program requests pays the cache miss
+// are scheduling-dependent, while everything else is not.
+//
+//===----------------------------------------------------------------------===//
+
+#include "CliTestUtils.h"
+#include "core/Pipeline.h"
+#include "programs/Tcas.h"
+#include "programs/TcasMutants.h"
+#include "serve/Json.h"
+#include "serve/LocalizeServer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+using namespace bugassist;
+
+using clitest::Cli;
+using clitest::exitStatus;
+using clitest::Instances;
+using clitest::runCommand;
+
+namespace {
+
+/// Writes \p Text to a fresh temp file and returns its path.
+std::string writeTempFile(const std::string &Text) {
+  char Path[] = "/tmp/bugassist_serve_XXXXXX";
+  int Fd = mkstemp(Path);
+  EXPECT_GE(Fd, 0);
+  EXPECT_EQ(write(Fd, Text.data(), Text.size()),
+            static_cast<ssize_t>(Text.size()));
+  close(Fd);
+  return Path;
+}
+
+/// One parsed response frame: the header fields the contract makes
+/// deterministic, the verbatim body, and the trailer keys (values of the
+/// timing/search counters are machine-dependent; their presence is not).
+struct Frame {
+  std::string Id;
+  std::string Cmd;
+  std::string Status;
+  int64_t Exit = -1;
+  std::string CacheField; ///< "hit", "miss", or "" when absent
+  std::string ErrorField; ///< "" when absent
+  std::string Body;
+  std::vector<std::string> TrailerKeys;
+};
+
+/// Splits a serve output stream into frames, failing the test on any
+/// framing violation (non-JSON header, body shorter than `bytes`, missing
+/// trailer).
+std::vector<Frame> parseFrames(const std::string &Raw) {
+  std::vector<Frame> Frames;
+  size_t Pos = 0;
+  while (Pos < Raw.size()) {
+    size_t Nl = Raw.find('\n', Pos);
+    EXPECT_NE(Nl, std::string::npos) << "unterminated header line";
+    if (Nl == std::string::npos)
+      break;
+    std::string Error;
+    auto Header = parseJson(Raw.substr(Pos, Nl - Pos), Error);
+    EXPECT_TRUE(Header.has_value()) << "bad header: " << Error;
+    if (!Header)
+      break;
+
+    Frame F;
+    const JsonValue *Id = Header->find("id");
+    const JsonValue *Cmd = Header->find("cmd");
+    const JsonValue *Status = Header->find("status");
+    const JsonValue *Exit = Header->find("exit");
+    const JsonValue *Bytes = Header->find("bytes");
+    EXPECT_TRUE(Id && Cmd && Status && Exit && Bytes)
+        << "header missing a required field: " << Raw.substr(Pos, Nl - Pos);
+    if (!(Id && Cmd && Status && Exit && Bytes))
+      break;
+    F.Id = Id->Text;
+    F.Cmd = Cmd->Text;
+    F.Status = Status->Text;
+    std::optional<int64_t> ExitVal = Exit->asInt64();
+    std::optional<int64_t> BodyLenVal = Bytes->asInt64();
+    EXPECT_TRUE(ExitVal && BodyLenVal);
+    if (!(ExitVal && BodyLenVal))
+      break;
+    F.Exit = *ExitVal;
+    int64_t BodyLen = *BodyLenVal;
+    if (const JsonValue *C = Header->find("cache"))
+      F.CacheField = C->Text;
+    if (const JsonValue *E = Header->find("error"))
+      F.ErrorField = E->Text;
+
+    Pos = Nl + 1;
+    EXPECT_LE(Pos + static_cast<size_t>(BodyLen), Raw.size())
+        << "body shorter than advertised for id " << F.Id;
+    F.Body = Raw.substr(Pos, static_cast<size_t>(BodyLen));
+    Pos += static_cast<size_t>(BodyLen);
+
+    Nl = Raw.find('\n', Pos);
+    EXPECT_NE(Nl, std::string::npos) << "missing trailer for id " << F.Id;
+    if (Nl == std::string::npos)
+      break;
+    auto Trailer = parseJson(Raw.substr(Pos, Nl - Pos), Error);
+    EXPECT_TRUE(Trailer.has_value()) << "bad trailer: " << Error;
+    if (Trailer)
+      for (const auto &KV : Trailer->Members)
+        F.TrailerKeys.push_back(KV.first);
+    Pos = Nl + 1;
+    Frames.push_back(std::move(F));
+  }
+  return Frames;
+}
+
+/// Runs a batch through the library entry point at \p Threads.
+struct LibRun {
+  ServeSummary Summary;
+  std::vector<Frame> Frames;
+  std::string ErrLine;
+};
+
+LibRun runServe(const std::string &Batch, size_t Threads) {
+  LibRun R;
+  ServeOptions SO;
+  SO.Threads = Threads;
+  LocalizeServer Server(SO);
+  std::istringstream In(Batch);
+  std::ostringstream Out, Err;
+  R.Summary = Server.run(In, Out, Err);
+  R.Frames = parseFrames(Out.str());
+  R.ErrLine = Err.str();
+  return R;
+}
+
+/// Drops DIMACS `c` comment lines: serve maxsat/sat bodies are the
+/// one-shot CLI stdout minus these.
+std::string stripCommentLines(const std::string &Text) {
+  std::string Out;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    size_t End = Nl == std::string::npos ? Text.size() : Nl + 1;
+    if (!(Text[Pos] == 'c' && (Pos + 1 == End || Text[Pos + 1] == ' ' ||
+                               Text[Pos + 1] == '\n')))
+      Out.append(Text, Pos, End - Pos);
+    Pos = End;
+  }
+  return Out;
+}
+
+/// The failing TCAS v2 test the cli_test parity test uses, found the
+/// library way once per process.
+struct TcasFailure {
+  std::string Input;
+  int64_t Golden = 0;
+};
+
+const TcasFailure &tcasV2Failure() {
+  static TcasFailure F = [] {
+    DiagEngine Diags;
+    auto Golden = parseAndAnalyze(tcasSource(), Diags);
+    auto Faulty = parseAndAnalyze(tcasMutants()[1].Source, Diags);
+    EXPECT_TRUE(Golden && Faulty) << Diags.render();
+    FailingTests Failing =
+        segregateFailingTests(*Golden, *Faulty, tcasTestPool(1600), "main",
+                              tcasExecOptions(), /*MaxTests=*/1);
+    EXPECT_EQ(Failing.Inputs.size(), 1u);
+    TcasFailure R;
+    R.Input = renderInputVector(Failing.Inputs[0]);
+    R.Golden = Failing.Goldens[0];
+    return R;
+  }();
+  return F;
+}
+
+/// The request mirroring cli_test's flag set for TCAS v2, minus the id.
+std::string tcasV2RequestFields() {
+  const TcasFailure &F = tcasV2Failure();
+  return "\"cmd\":\"localize\",\"tcas\":2,\"input\":\"" + F.Input +
+         "\",\"golden\":" + std::to_string(F.Golden) +
+         ",\"check_obligations\":false,\"bounds\":false,\"bitwidth\":16,"
+         "\"hard_lines\":\"69-84\",\"max_diagnoses\":24";
+}
+
+const char *ArrayProgram = "int Array[3];\n"
+                           "int main(int index) {\n"
+                           "  if (index != 1)\n"
+                           "    index = 2;\n"
+                           "  else\n"
+                           "    index = index + 2;\n"
+                           "  int i = index;\n"
+                           "  assert(i >= 0 && i < 3);\n"
+                           "  return Array[i];\n"
+                           "}\n";
+
+} // namespace
+
+// --- batch mode: byte parity with the one-shot CLI ----------------------------
+
+TEST(ServeBatch, MixedBatchMatchesOneShotCliAtEveryThreadWidth) {
+  const std::string CnfText = "p cnf 2 2\n1 2 0\n-1 0\n";
+
+  // One-shot CLI expectations, computed once.
+  int Exit = 0;
+  std::string TcasFile = writeTempFile(tcasMutants()[1].Source);
+  const TcasFailure &F = tcasV2Failure();
+  std::string LocalizeExpected = runCommand(
+      Cli + " localize " + TcasFile + " --input \"" + F.Input +
+          "\" --golden " + std::to_string(F.Golden) +
+          " --no-obligations --no-bounds --bitwidth 16 --hard-lines 69-84"
+          " --max-diagnoses 24",
+      Exit);
+  ASSERT_EQ(exitStatus(Exit), 0);
+  ASSERT_FALSE(LocalizeExpected.empty());
+
+  std::string ArrayFile = writeTempFile(ArrayProgram);
+  std::string JsonExpected =
+      runCommand(Cli + " localize " + ArrayFile + " --json", Exit);
+  ASSERT_EQ(exitStatus(Exit), 0);
+
+  std::string MaxSatExpected = stripCommentLines(
+      runCommand(Cli + " maxsat " + Instances + "/weighted.wcnf", Exit));
+  ASSERT_EQ(exitStatus(Exit), 0);
+
+  std::string CnfFile = writeTempFile(CnfText);
+  std::string SatExpected =
+      stripCommentLines(runCommand(Cli + " sat " + CnfFile, Exit));
+  ASSERT_EQ(exitStatus(Exit), 0);
+
+  // The batch: two identical TCAS queries (one must hit the cache), a
+  // JSON localize on inline source, a maxsat by file, a sat by inline CNF.
+  std::string Batch =
+      "{\"id\":\"t1\"," + tcasV2RequestFields() + "}\n" +
+      "{\"id\":\"t2\"," + tcasV2RequestFields() + "}\n" +
+      "{\"id\":\"arr\",\"cmd\":\"localize\",\"source\":\"" +
+      jsonEscape(ArrayProgram) + "\",\"json\":true}\n" +
+      "{\"id\":\"ms\",\"cmd\":\"maxsat\",\"file\":\"" + Instances +
+      "/weighted.wcnf\"}\n" +
+      "{\"id\":\"st\",\"cmd\":\"sat\",\"cnf\":\"" + jsonEscape(CnfText) +
+      "\"}\n";
+  std::string BatchFile = writeTempFile(Batch);
+
+  std::vector<Frame> First;
+  for (size_t Threads : {1u, 2u, 4u}) {
+    std::string ErrFile = writeTempFile("");
+    std::string Out = runCommand(Cli + " serve --batch " + BatchFile +
+                                     " --threads " +
+                                     std::to_string(Threads) + " 2>" +
+                                     ErrFile,
+                                 Exit);
+    EXPECT_EQ(exitStatus(Exit), 0) << "threads " << Threads;
+
+    std::vector<Frame> Frames = parseFrames(Out);
+    ASSERT_EQ(Frames.size(), 5u) << "threads " << Threads;
+
+    // Responses arrive in request order, all ok/exit 0.
+    const char *Ids[] = {"t1", "t2", "arr", "ms", "st"};
+    int Misses = 0, Hits = 0;
+    for (size_t I = 0; I < 5; ++I) {
+      EXPECT_EQ(Frames[I].Id, Ids[I]) << "threads " << Threads;
+      EXPECT_EQ(Frames[I].Status, "ok");
+      EXPECT_EQ(Frames[I].Exit, 0);
+      Misses += Frames[I].CacheField == "miss";
+      Hits += Frames[I].CacheField == "hit";
+    }
+    // Two distinct programs were encoded; the third localize of a known
+    // program hit. Which of t1/t2 pays the miss is scheduling-dependent
+    // at widths above one, so only the totals are asserted.
+    EXPECT_EQ(Misses, 2) << "threads " << Threads;
+    EXPECT_EQ(Hits, 1) << "threads " << Threads;
+
+    // Bodies are the one-shot CLI's stdout, byte for byte.
+    EXPECT_EQ(Frames[0].Body, LocalizeExpected) << "threads " << Threads;
+    EXPECT_EQ(Frames[1].Body, LocalizeExpected) << "cache-hit body diverged";
+    EXPECT_EQ(Frames[2].Body, JsonExpected) << "threads " << Threads;
+    EXPECT_EQ(Frames[3].Body, MaxSatExpected) << "threads " << Threads;
+    EXPECT_EQ(Frames[4].Body, SatExpected) << "threads " << Threads;
+
+    // The stderr summary mirrors the counters.
+    std::ifstream ErrIn(ErrFile);
+    std::string Summary((std::istreambuf_iterator<char>(ErrIn)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_NE(Summary.find("\"requests\":5"), std::string::npos) << Summary;
+    EXPECT_NE(Summary.find("\"ok\":5"), std::string::npos) << Summary;
+    EXPECT_NE(Summary.find("\"cache_hits\":1"), std::string::npos) << Summary;
+    EXPECT_NE(Summary.find("\"cache_misses\":2"), std::string::npos)
+        << Summary;
+    std::remove(ErrFile.c_str());
+
+    if (First.empty())
+      First = Frames;
+    else
+      for (size_t I = 0; I < 5; ++I)
+        EXPECT_EQ(Frames[I].Body, First[I].Body)
+            << "thread-count nondeterminism at width " << Threads
+            << " for id " << Frames[I].Id;
+  }
+
+  std::remove(TcasFile.c_str());
+  std::remove(ArrayFile.c_str());
+  std::remove(CnfFile.c_str());
+  std::remove(BatchFile.c_str());
+}
+
+// --- cache keying -------------------------------------------------------------
+
+TEST(ServeLib, CacheMissesCountDistinctProgramOptionKeys) {
+  // Same source at different encode-relevant options is a different key;
+  // repeating an exact key is a hit -- including spelling out a default
+  // explicitly (keys are by value, not by field presence). 5 requests,
+  // 3 keys: default, bitwidth 8, unwind 4.
+  std::string Req = "{\"cmd\":\"localize\",\"source\":\"" +
+                    jsonEscape(ArrayProgram) + "\"";
+  std::string Batch = Req + "}\n" + Req + "}\n" + Req + ",\"bitwidth\":8}\n" +
+                      Req + ",\"unwind\":4}\n" + Req + ",\"bitwidth\":16}\n";
+  LibRun R = runServe(Batch, /*Threads=*/2);
+  EXPECT_EQ(R.Summary.Requests, 5u);
+  EXPECT_EQ(R.Summary.Ok, 5u);
+  EXPECT_EQ(R.Summary.CacheMisses, 3u) << R.ErrLine;
+  EXPECT_EQ(R.Summary.CacheHits, 2u) << R.ErrLine;
+  EXPECT_EQ(R.Summary.ExitCode, 0);
+  // Same key => same cached formula => identical bodies. bitwidth:16 is
+  // the documented default, so the last request shares the first's key.
+  ASSERT_EQ(R.Frames.size(), 5u);
+  EXPECT_EQ(R.Frames[0].Body, R.Frames[1].Body);
+  EXPECT_EQ(R.Frames[0].Body, R.Frames[4].Body);
+}
+
+// --- failure isolation --------------------------------------------------------
+
+TEST(ServeLib, BudgetExhaustionIsIncompleteAndDoesNotPoisonThePool) {
+  // b pays a one-conflict budget and must come back INCOMPLETE (exit 2);
+  // a and c run the same query unbudgeted and must agree byte for byte,
+  // proving the exhausted session left no residue in cache or pool.
+  std::string Batch = "{\"id\":\"a\"," + tcasV2RequestFields() + "}\n" +
+                      "{\"id\":\"b\"," + tcasV2RequestFields() +
+                      ",\"max_conflicts\":1}\n" + "{\"id\":\"c\"," +
+                      tcasV2RequestFields() + "}\n";
+  LibRun R = runServe(Batch, /*Threads=*/2);
+  ASSERT_EQ(R.Frames.size(), 3u);
+  EXPECT_EQ(R.Frames[0].Status, "ok");
+  EXPECT_EQ(R.Frames[0].Exit, 0);
+  EXPECT_EQ(R.Frames[1].Status, "incomplete");
+  EXPECT_EQ(R.Frames[1].Exit, 2);
+  EXPECT_NE(R.Frames[1].Body.find("INCOMPLETE"), std::string::npos)
+      << R.Frames[1].Body;
+  EXPECT_EQ(R.Frames[2].Status, "ok");
+  EXPECT_EQ(R.Frames[2].Body, R.Frames[0].Body);
+  // One program, one encode: the budgeted query shares the cached formula.
+  EXPECT_EQ(R.Summary.CacheMisses, 1u);
+  EXPECT_EQ(R.Summary.CacheHits, 2u);
+  EXPECT_EQ(R.Summary.Incomplete, 1u);
+  EXPECT_EQ(R.Summary.ExitCode, 2);
+}
+
+TEST(ServeLib, MalformedRequestsAreRejectedWithoutKillingTheDaemon) {
+  std::string Valid = "{\"id\":\"good\",\"cmd\":\"sat\",\"cnf\":\"" +
+                      jsonEscape("p cnf 1 1\n1 0\n") + "\"}";
+  std::string Batch =
+      // Not JSON at all.
+      "this is not json\n"
+      // Valid JSON, unknown command.
+      "{\"id\":\"e1\",\"cmd\":\"bogus\"}\n"
+      // Unknown field for the command.
+      "{\"id\":\"e2\",\"cmd\":\"sat\",\"golden\":3}\n"
+      // Missing program source.
+      "{\"id\":\"e3\",\"cmd\":\"localize\"}\n"
+      // Conflicting program sources.
+      "{\"id\":\"e4\",\"cmd\":\"localize\",\"tcas\":1,\"source\":\"x\"}\n"
+      // Uncompilable program: reaches a worker, still isolated.
+      "{\"id\":\"e5\",\"cmd\":\"localize\",\"source\":\"int main( {\"}\n" +
+      Valid + "\n";
+  LibRun R = runServe(Batch, /*Threads=*/1);
+  ASSERT_EQ(R.Frames.size(), 7u);
+  for (size_t I = 0; I < 6; ++I) {
+    EXPECT_EQ(R.Frames[I].Status, "error") << "frame " << I;
+    EXPECT_EQ(R.Frames[I].Exit, 1) << "frame " << I;
+    EXPECT_FALSE(R.Frames[I].ErrorField.empty()) << "frame " << I;
+    EXPECT_TRUE(R.Frames[I].Body.empty()) << "frame " << I;
+  }
+  EXPECT_EQ(R.Frames[0].Cmd, "unknown");
+  EXPECT_NE(R.Frames[0].ErrorField.find("bad JSON"), std::string::npos);
+  EXPECT_EQ(R.Frames[2].Id, "e2");
+  EXPECT_NE(R.Frames[2].ErrorField.find("unknown field"), std::string::npos);
+  EXPECT_NE(R.Frames[5].ErrorField.find("does not compile"),
+            std::string::npos);
+  // The daemon survived all six and answered the valid request.
+  EXPECT_EQ(R.Frames[6].Id, "good");
+  EXPECT_EQ(R.Frames[6].Status, "ok");
+  EXPECT_EQ(R.Frames[6].Body, "s SATISFIABLE\nv 1 0\n");
+  EXPECT_EQ(R.Summary.Errors, 6u);
+  EXPECT_EQ(R.Summary.Ok, 1u);
+  EXPECT_EQ(R.Summary.ExitCode, 1);
+}
+
+// --- protocol details ---------------------------------------------------------
+
+TEST(ServeLib, FramesCarryTheDocumentedFieldsInRequestOrder) {
+  // Exercises the remaining documented request fields (entry, weighted,
+  // engine, model, timeout, max_memory_mb, wcnf inline) and checks every
+  // trailer key on every response, with responses in request order at a
+  // width above one.
+  std::string EntryProgram = "int check(int x) {\n"
+                             "  int y = x + 1;\n"
+                             "  assert(y != 4);\n"
+                             "  return y;\n"
+                             "}\n";
+  std::string NoBugProgram = "int main(int x) {\n"
+                             "  assert(x >= 0 || x < 0);\n"
+                             "  return x;\n"
+                             "}\n";
+  std::string Wcnf = "p wcnf 2 3 10\n10 1 0\n1 2 0\n2 -2 0\n";
+  std::string Batch =
+      "{\"id\":\"r0\",\"cmd\":\"localize\",\"source\":\"" +
+      jsonEscape(EntryProgram) +
+      "\",\"entry\":\"check\",\"input\":\"3\",\"weighted\":true,"
+      "\"timeout\":600,\"max_memory_mb\":2048}\n"
+      "{\"id\":\"r1\",\"cmd\":\"localize\",\"source\":\"" +
+      jsonEscape(NoBugProgram) + "\"}\n"
+      "{\"id\":\"r2\",\"cmd\":\"maxsat\",\"wcnf\":\"" + jsonEscape(Wcnf) +
+      "\",\"engine\":\"linear\",\"model\":false}\n"
+      "{\"id\":\"r3\",\"cmd\":\"maxsat\",\"wcnf\":\"" + jsonEscape(Wcnf) +
+      "\",\"engine\":\"fumalik\"}\n";
+  LibRun R = runServe(Batch, /*Threads=*/4);
+  ASSERT_EQ(R.Frames.size(), 4u);
+
+  EXPECT_EQ(R.Frames[0].Id, "r0");
+  EXPECT_EQ(R.Frames[0].Status, "ok");
+  EXPECT_NE(R.Frames[0].Body.find("failing input: 3"), std::string::npos)
+      << R.Frames[0].Body;
+
+  // No counterexample within bounds: still ok, explanatory body.
+  EXPECT_EQ(R.Frames[1].Id, "r1");
+  EXPECT_EQ(R.Frames[1].Status, "ok");
+  EXPECT_EQ(R.Frames[1].Exit, 0);
+  EXPECT_NE(R.Frames[1].Body.find("no spec violation"), std::string::npos)
+      << R.Frames[1].Body;
+
+  // model:false suppresses the v-line; both engines agree on the optimum
+  // (unit weight-2 soft clause -2 falsified keeps weight-1 soft 2 true,
+  // or vice versa: optimum cost 1 either way).
+  EXPECT_EQ(R.Frames[2].Id, "r2");
+  EXPECT_EQ(R.Frames[2].Body, "o 1\ns OPTIMUM FOUND\n");
+  EXPECT_EQ(R.Frames[3].Id, "r3");
+  EXPECT_NE(R.Frames[3].Body.find("s OPTIMUM FOUND\n"), std::string::npos);
+  EXPECT_NE(R.Frames[3].Body.find("v "), std::string::npos);
+
+  const std::vector<std::string> Keys = {
+      "id",        "elapsed_ms",   "sat_calls", "conflicts",
+      "decisions", "propagations", "restarts"};
+  for (const Frame &F : R.Frames)
+    EXPECT_EQ(F.TrailerKeys, Keys) << "trailer keys for id " << F.Id;
+}
+
+TEST(ServeCli, BatchFileMustExistAndThreadsMustBeSane) {
+  int Exit = 0;
+  runCommand(Cli + " serve --batch /nonexistent/batch.jsonl 2>/dev/null",
+             Exit);
+  EXPECT_EQ(exitStatus(Exit), 1);
+  runCommand(Cli + " serve --threads 0 --batch /dev/null 2>/dev/null", Exit);
+  EXPECT_EQ(exitStatus(Exit), 1);
+  runCommand(Cli + " serve --threads 65 --batch /dev/null 2>/dev/null", Exit);
+  EXPECT_EQ(exitStatus(Exit), 1);
+  // An empty batch is a clean, zero-request run.
+  std::string Out =
+      runCommand(Cli + " serve --batch /dev/null 2>/dev/null", Exit);
+  EXPECT_EQ(exitStatus(Exit), 0);
+  EXPECT_TRUE(Out.empty());
+}
+
+// --- the checked-in smoke batch -----------------------------------------------
+
+TEST(ServeCli, CheckedInSmokeBatchRunsClean) {
+  // bench/serve/tcas_smoke.jsonl is what CI's serve-smoke job replays;
+  // keep it green from the test suite too so a stale batch file cannot
+  // pass review. Location-independent: TCAS programs are baked in.
+  std::string Batch = Instances + "/../serve/tcas_smoke.jsonl";
+  int Exit = 0;
+  std::string Out = runCommand(
+      Cli + " serve --batch " + Batch + " --threads 2 2>/dev/null", Exit);
+  EXPECT_EQ(exitStatus(Exit), 0);
+  std::vector<Frame> Frames = parseFrames(Out);
+  ASSERT_FALSE(Frames.empty());
+  for (const Frame &F : Frames) {
+    EXPECT_EQ(F.Status, "ok") << "id " << F.Id << ": " << F.ErrorField;
+    EXPECT_EQ(F.Exit, 0);
+  }
+}

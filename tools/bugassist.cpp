@@ -35,12 +35,15 @@
 #include "maxsat/Portfolio.h"
 #include "programs/Tcas.h"
 #include "programs/TcasMutants.h"
+#include "serve/LocalizeServer.h"
 #include "support/FileUtil.h"
 
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <set>
 #include <string>
 #include <vector>
@@ -80,6 +83,11 @@ int usage(const char *Argv0) {
       "  maxsat <file.wcnf> [--threads N] [--engine fumalik|linear]\n"
       "                     [--no-model] [--stats]\n"
       "  sat <file.cnf> [--threads N] [--no-model]\n"
+      "  serve [--batch FILE] [--threads N]\n"
+      "                     batch localization service: JSON-lines\n"
+      "                     requests from FILE (or stdin as a daemon),\n"
+      "                     framed responses on stdout in request order,\n"
+      "                     each program parsed/encoded once (docs/SERVE.md)\n"
       "  dump-tcas [N]      print TCAS source (0: correct, 1..41: mutants)\n"
       "  dump-tcas --list   list the mutant catalog\n"
       "\n"
@@ -132,40 +140,6 @@ bool parseInt64(const std::string &S, int64_t &Out) {
   if (End != S.c_str() + S.size())
     return false;
   Out = V;
-  return true;
-}
-
-/// Parses a hard-lines spec: comma-separated line numbers or A-B ranges.
-/// Line numbers are capped at 1e6 -- far above any real source file, and
-/// low enough that a typo'd range cannot hang the CLI or wrap uint32_t.
-bool parseHardLines(const std::string &Spec, std::set<uint32_t> &Out) {
-  constexpr int64_t MaxLine = 1000000;
-  size_t Pos = 0;
-  while (Pos <= Spec.size()) {
-    size_t End = Spec.find(',', Pos);
-    if (End == std::string::npos)
-      End = Spec.size();
-    std::string Item = Spec.substr(Pos, End - Pos);
-    if (Item.empty())
-      return false;
-    size_t Dash = Item.find('-');
-    int64_t Lo = 0, Hi = 0;
-    if (Dash == std::string::npos) {
-      if (!parseInt64(Item, Lo) || Lo < 1 || Lo > MaxLine)
-        return false;
-      Hi = Lo;
-    } else {
-      if (!parseInt64(Item.substr(0, Dash), Lo) ||
-          !parseInt64(Item.substr(Dash + 1), Hi) || Lo < 1 || Hi < Lo ||
-          Hi > MaxLine)
-        return false;
-    }
-    for (int64_t L = Lo; L <= Hi; ++L)
-      Out.insert(static_cast<uint32_t>(L));
-    Pos = End + 1;
-    if (End == Spec.size())
-      break;
-  }
   return true;
 }
 
@@ -293,7 +267,7 @@ int cmdLocalize(int Argc, char **Argv, const char *Argv0) {
       }
       R.Unroll.BitWidth = static_cast<int>(W);
     } else if (matchValueFlag(Argc, Argv, I, "--hard-lines", V)) {
-      if (!parseHardLines(V, R.Unroll.HardLines)) {
+      if (!parseHardLinesSpec(V, R.Unroll.HardLines)) {
         std::fprintf(stderr, "bugassist: bad --hard-lines spec '%s'\n",
                      V.c_str());
         return 1;
@@ -346,29 +320,16 @@ int cmdLocalize(int Argc, char **Argv, const char *Argv0) {
                  Res.Message.c_str());
     return 1;
   case PipelineStatus::NoCounterexample:
-    std::printf("%s\n", Res.Message.c_str());
-    return 0;
   case PipelineStatus::Localized:
     break;
   }
 
-  if (Json) {
-    std::printf("{\n  \"input\": \"%s\",\n  \"report\": ",
-                renderInputVector(Res.FailingInput).c_str());
-    std::string Rep = renderLocalizationJson(Res.Report);
-    // Indent the nested object by two spaces to keep the output readable.
-    std::string Indented;
-    for (size_t I = 0; I < Rep.size(); ++I) {
-      Indented += Rep[I];
-      if (Rep[I] == '\n' && I + 1 < Rep.size())
-        Indented += "  ";
-    }
-    std::printf("%s}\n", Indented.c_str());
-  } else {
-    std::printf("failing input: %s\n%s",
-                renderInputVector(Res.FailingInput).c_str(),
-                renderLocalizationReport(Res.Report).c_str());
-  }
+  // The canonical output bytes, shared with serve mode so batch responses
+  // diff clean against one-shot runs.
+  std::string Body = renderLocalizeOutput(Res, Json);
+  std::fwrite(Body.data(), 1, Body.size(), stdout);
+  if (Res.Status == PipelineStatus::NoCounterexample)
+    return 0;
   if (Stats)
     std::printf("%s", renderSearchStats(Res.Report).c_str());
   // The partial report was still printed (INCOMPLETE-marked); the exit
@@ -554,6 +515,44 @@ int cmdSat(int Argc, char **Argv, const char *Argv0) {
   return R.Result == LBool::Undef ? ExitBudgetExhausted : ExitComplete;
 }
 
+// --- serve -------------------------------------------------------------------
+
+int cmdServe(int Argc, char **Argv, const char *Argv0) {
+  ServeOptions SO;
+  std::string BatchPath, V;
+  for (int I = 0; I < Argc; ++I) {
+    if (matchValueFlag(Argc, Argv, I, "--batch", V)) {
+      BatchPath = V;
+    } else if (matchValueFlag(Argc, Argv, I, "--threads", V)) {
+      size_t N;
+      if (!parseSizeT(V, N) || N < 1 || N > 64) {
+        std::fprintf(stderr, "bugassist: bad --threads value '%s'\n",
+                     V.c_str());
+        return ExitInputError;
+      }
+      SO.Threads = N;
+    } else {
+      std::fprintf(stderr, "bugassist: unknown serve option '%s'\n", Argv[I]);
+      return usage(Argv0);
+    }
+  }
+
+  LocalizeServer Server(SO);
+  if (BatchPath.empty()) {
+    // Daemon loop: requests on stdin until EOF, responses flushed as their
+    // turn in the request order arrives.
+    ServeSummary S = Server.run(std::cin, std::cout, std::cerr);
+    return S.ExitCode;
+  }
+  std::ifstream Batch(BatchPath);
+  if (!Batch) {
+    std::fprintf(stderr, "bugassist: cannot read '%s'\n", BatchPath.c_str());
+    return ExitInputError;
+  }
+  ServeSummary S = Server.run(Batch, std::cout, std::cerr);
+  return S.ExitCode;
+}
+
 // --- dump-tcas ---------------------------------------------------------------
 
 int cmdDumpTcas(int Argc, char **Argv) {
@@ -598,6 +597,8 @@ int main(int argc, char **argv) {
     return cmdMaxsat(argc - 2, argv + 2, argv[0]);
   if (std::strcmp(Cmd, "sat") == 0)
     return cmdSat(argc - 2, argv + 2, argv[0]);
+  if (std::strcmp(Cmd, "serve") == 0)
+    return cmdServe(argc - 2, argv + 2, argv[0]);
   if (std::strcmp(Cmd, "dump-tcas") == 0)
     return cmdDumpTcas(argc - 2, argv + 2);
   if (std::strcmp(Cmd, "--help") == 0 || std::strcmp(Cmd, "-h") == 0 ||
