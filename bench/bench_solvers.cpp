@@ -39,6 +39,7 @@
 #include <dirent.h>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace bugassist;
@@ -55,9 +56,12 @@ struct WorkloadResult {
   uint64_t RestartsBlocked = 0;
   uint64_t LbdSum = 0;
   uint64_t LbdCount = 0;
+  uint64_t VarsEliminated = 0;
+  uint64_t ClausesSubsumed = 0;
   uint64_t Extra = 0; ///< workload-specific (cost, diagnoses, ...)
   const char *ExtraKey = nullptr;
   // Portfolio workloads only.
+  size_t Workers = 0;    ///< portfolio width (0 = single solver)
   uint64_t Exported = 0; ///< clauses pushed into the exchange
   uint64_t Imported = 0; ///< foreign clauses injected at restarts
   int Winner = -1;       ///< winning worker of the (last) race
@@ -70,6 +74,8 @@ struct WorkloadResult {
     RestartsBlocked += S.RestartsBlocked;
     LbdSum += S.LbdSum;
     LbdCount += S.LbdCount;
+    VarsEliminated += S.VarsEliminated;
+    ClausesSubsumed += S.ClausesSubsumed;
     Exported += S.ClausesExported;
     Imported += S.ClausesImported;
   }
@@ -207,6 +213,7 @@ void benchPigeonholePortfolio(int Holes, size_t Threads) {
   WorkloadResult W;
   W.Name = "sat_pigeonhole_h" + std::to_string(Holes) + "_portfolio_t" +
            std::to_string(Threads);
+  W.Workers = Threads;
   auto Cs = pigeonholeClauses(Holes);
   Timer T;
   SatRaceResult R = racePortfolioSat(Cs, (Holes + 1) * Holes, Threads);
@@ -220,6 +227,7 @@ void benchPhaseTransitionPortfolio(int Vars, int Rounds, size_t Threads) {
   WorkloadResult W;
   W.Name = "sat_phase_transition_v" + std::to_string(Vars) + "_portfolio_t" +
            std::to_string(Threads);
+  W.Workers = Threads;
   Timer T;
   uint64_t Seed = 1;
   for (int I = 0; I < Rounds; ++I) {
@@ -305,57 +313,81 @@ void benchWcnfSweep(const std::string &Dir, size_t Threads) {
       std::printf("%-44s skipped: %s\n", Name.c_str(), Err.render().c_str());
       continue;
     }
-    WorkloadResult W;
-    W.Name = "dimacs_" + Name;
-    if (Threads > 1)
-      W.Name += "_t" + std::to_string(Threads);
+    // Each instance runs twice -- preprocessing on (the default path) and
+    // off (`_nopre`) -- so the JSON carries its own same-machine baseline
+    // for the conflicts/propagations/wall comparison.
+    for (bool Preprocess : {true, false}) {
+      Solver::Options Opts;
+      Opts.Preprocess = Preprocess;
+      WorkloadResult W;
+      W.Name = "dimacs_" + Name;
+      if (Threads > 1)
+        W.Name += "_t" + std::to_string(Threads);
+      if (!Preprocess)
+        W.Name += "_nopre";
 
-    if (Parsed->Soft.empty()) {
-      Timer T;
-      if (Threads > 1) {
-        SatRaceResult R =
-            racePortfolioSat(Parsed->Hard, Parsed->NumVars, Threads);
-        W.SatCalls = 1;
-        recordRace(W, R);
-        W.Extra = R.Result == LBool::True;
-      } else {
-        Solver S;
-        S.ensureVars(Parsed->NumVars);
-        bool Ok = true;
-        for (const Clause &C : Parsed->Hard)
-          Ok = Ok && S.addClause(C);
-        W.Extra = Ok && S.solve() == LBool::True;
-        W.SatCalls = 1;
-        W.addSearch(S.stats());
+      auto RunOnce = [&](WorkloadResult &Out) {
+        if (Parsed->Soft.empty()) {
+          Timer T;
+          if (Threads > 1) {
+            Out.Workers = Threads;
+            SatRaceResult R =
+                racePortfolioSat(Parsed->Hard, Parsed->NumVars, Threads, Opts);
+            Out.SatCalls = 1;
+            recordRace(Out, R);
+            Out.Extra = R.Result == LBool::True;
+          } else {
+            Solver S{Opts};
+            S.ensureVars(Parsed->NumVars);
+            bool Ok = true;
+            for (const Clause &C : Parsed->Hard)
+              Ok = Ok && S.addClause(C);
+            Out.Extra = Ok && S.solve() == LBool::True;
+            Out.SatCalls = 1;
+            Out.addSearch(S.stats());
+          }
+          Out.WallSeconds = T.seconds();
+          Out.ExtraKey = "sat";
+        } else {
+          bool AnyWeight = false;
+          MaxSatInstance Inst = toMaxSatInstance(*Parsed, &AnyWeight);
+          Timer T;
+          MaxSatResult R;
+          if (Threads > 1) {
+            Out.Workers = Threads;
+            auto Session = makePortfolioSession(Inst, AnyWeight, Threads,
+                                                /*ConflictBudget=*/0, Opts);
+            R = Session->solve();
+            const PortfolioStats &PS = Session->portfolioStats();
+            Out.Wins = PS.WinsByWorker;
+            Out.Winner = PS.LastWinner;
+          } else {
+            auto Session = makeMaxSatSession(Inst, AnyWeight,
+                                             /*ConflictBudget=*/0, Opts,
+                                             /*Canonical=*/true);
+            R = Session->solve();
+          }
+          Out.WallSeconds = T.seconds();
+          Out.SatCalls = R.SatCalls;
+          Out.addSearch(R.Search);
+          Out.Extra = R.Status == MaxSatStatus::Optimum ? R.Cost : 0;
+          Out.ExtraKey =
+              R.Status == MaxSatStatus::Optimum ? "cost" : "hard_unsat";
+        }
+      };
+      // Some checked-in instances solve in microseconds, where a single
+      // wall measurement is scheduler noise: keep the first run's search
+      // statistics (the deterministic part) and a best-of-N wall time,
+      // with more reps the shorter the workload so the minimum settles.
+      RunOnce(W);
+      int WallReps = W.WallSeconds < 0.001 ? 25 : 5;
+      for (int Rep = 1; Rep < WallReps; ++Rep) {
+        WorkloadResult Retime;
+        RunOnce(Retime);
+        W.WallSeconds = std::min(W.WallSeconds, Retime.WallSeconds);
       }
-      W.WallSeconds = T.seconds();
-      W.ExtraKey = "sat";
-    } else {
-      bool AnyWeight = false;
-      MaxSatInstance Inst = toMaxSatInstance(std::move(*Parsed), &AnyWeight);
-      Timer T;
-      MaxSatResult R;
-      if (Threads > 1) {
-        auto Session = makePortfolioSession(Inst, AnyWeight, Threads);
-        R = Session->solve();
-        const PortfolioStats &PS = Session->portfolioStats();
-        W.Wins = PS.WinsByWorker;
-        W.Winner = PS.LastWinner;
-      } else {
-        auto Session = makeMaxSatSession(Inst, AnyWeight,
-                                         /*ConflictBudget=*/0,
-                                         Solver::Options(),
-                                         /*Canonical=*/true);
-        R = Session->solve();
-      }
-      W.WallSeconds = T.seconds();
-      W.SatCalls = R.SatCalls;
-      W.addSearch(R.Search);
-      W.Extra = R.Status == MaxSatStatus::Optimum ? R.Cost : 0;
-      W.ExtraKey =
-          R.Status == MaxSatStatus::Optimum ? "cost" : "hard_unsat";
+      record(std::move(W));
     }
-    record(std::move(W));
   }
 }
 
@@ -427,6 +459,7 @@ void benchTcasLocalization(size_t NumMutants, size_t TestsPerMutant,
   Inc.ExtraKey = "diagnoses";
   Pf.Name = "tcas_fumalik_localize_portfolio_t" + std::to_string(Threads);
   Pf.ExtraKey = "diagnoses";
+  Pf.Workers = Threads;
   Lbd.Name = "tcas_fumalik_comss_lbd_tiers";
   Lbd.ExtraKey = "diagnoses";
   Seed.Name = "tcas_fumalik_comss_activity_halving";
@@ -532,24 +565,37 @@ void writeJson(const char *Path) {
     std::printf("cannot open %s\n", Path);
     return;
   }
-  std::fprintf(F, "{\n  \"bench\": \"bench_solvers\",\n  \"workloads\": [\n");
+  unsigned Cores = std::thread::hardware_concurrency();
+  std::fprintf(F,
+               "{\n  \"bench\": \"bench_solvers\",\n"
+               "  \"hardware_concurrency\": %u,\n  \"workloads\": [\n",
+               Cores);
   for (size_t I = 0; I < Results.size(); ++I) {
     const WorkloadResult &W = Results[I];
     std::fprintf(F,
                  "    {\"name\": \"%s\", \"wall_s\": %.6f, "
                  "\"conflicts\": %llu, \"propagations\": %llu, "
                  "\"sat_calls\": %llu, \"restarts\": %llu, "
-                 "\"restarts_blocked\": %llu, \"avg_lbd\": %.3f",
+                 "\"restarts_blocked\": %llu, \"avg_lbd\": %.3f, "
+                 "\"vars_eliminated\": %llu, \"clauses_subsumed\": %llu",
                  W.Name.c_str(), W.WallSeconds,
                  static_cast<unsigned long long>(W.Conflicts),
                  static_cast<unsigned long long>(W.Propagations),
                  static_cast<unsigned long long>(W.SatCalls),
                  static_cast<unsigned long long>(W.Restarts),
                  static_cast<unsigned long long>(W.RestartsBlocked),
-                 W.avgLbd());
+                 W.avgLbd(),
+                 static_cast<unsigned long long>(W.VarsEliminated),
+                 static_cast<unsigned long long>(W.ClausesSubsumed));
     if (W.ExtraKey)
       std::fprintf(F, ", \"%s\": %llu", W.ExtraKey,
                    static_cast<unsigned long long>(W.Extra));
+    if (W.Workers)
+      // Wall times of a race wider than the machine measure scheduler
+      // time-slicing, not parallel speedup; tag them so the perf tracker
+      // compares like with like.
+      std::fprintf(F, ", \"workers\": %zu, \"serialized\": %s", W.Workers,
+                   Cores && W.Workers > Cores ? "true" : "false");
     if (!W.Wins.empty()) {
       std::fprintf(F, ", \"shared_exported\": %llu, \"shared_imported\": %llu",
                    static_cast<unsigned long long>(W.Exported),
@@ -591,13 +637,6 @@ int main(int argc, char **argv) {
       matchThreadsFlag(argc, argv, I, Threads);
   }
 
-  // Sweep mode: external DIMACS/WCNF instances are the whole workload.
-  if (WcnfDir) {
-    benchWcnfSweep(WcnfDir, Threads);
-    writeJson(JsonPath);
-    return 0;
-  }
-
   int PhaseVars = Smoke ? 60 : 100;
   int PhaseRounds = Smoke ? 2 : Quick ? 4 : 16;
   int Holes = Smoke ? 5 : Quick ? 6 : 7;
@@ -633,6 +672,12 @@ int main(int argc, char **argv) {
   benchTcasLocalization(/*NumMutants=*/Quick ? 1 : 6,
                         /*TestsPerMutant=*/Quick ? 1 : 2,
                         /*MaxDiagnoses=*/Smoke ? 8 : 24, Threads);
+
+  // External DIMACS/WCNF instances ride along after the standard suite,
+  // each solved with inprocessing on and off (the *_nopre twin) so the
+  // recorded JSON carries its own preprocessing baseline.
+  if (WcnfDir)
+    benchWcnfSweep(WcnfDir, Threads);
 
   writeJson(JsonPath);
   return 0;

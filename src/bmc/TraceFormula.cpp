@@ -58,6 +58,16 @@ MaxSatInstance TraceFormula::sharedInstance() const {
     Inst.Soft.push_back({{mkLit(G.Selector)}, G.Weight});
     Inst.PreferTrue.push_back(G.Selector);
   }
+  // The test interface arrives later (testClauses on a clone adds unit
+  // clauses over these variables), so a base session preprocessed before
+  // the test is bound must not eliminate them.
+  for (const Word &W : EP.InputWords)
+    for (Lit L : W)
+      Inst.Frozen.push_back(L.var());
+  if (EP.SpecLit != NullLit)
+    Inst.Frozen.push_back(EP.SpecLit.var());
+  for (Lit L : EP.RetWord)
+    Inst.Frozen.push_back(L.var());
   return Inst;
 }
 

@@ -106,14 +106,16 @@ LocalizationReport bugassist::enumerateCoMSSes(MaxSatInstance Inst,
   // thread count.
   std::unique_ptr<MaxSatSession> Session;
   PortfolioSession *Portfolio = nullptr;
+  Solver::Options SOpts;
+  SOpts.Preprocess = Opts.Preprocess;
   if (Opts.Threads > 1) {
     auto P = makePortfolioSession(Inst, Opts.Weighted, Opts.Threads,
-                                  Opts.ConflictBudget);
+                                  Opts.ConflictBudget, SOpts);
     Portfolio = P.get();
     Session = std::move(P);
   } else {
     Session = makeMaxSatSession(Inst, Opts.Weighted, Opts.ConflictBudget,
-                                Solver::Options(), /*Canonical=*/true);
+                                SOpts, /*Canonical=*/true);
   }
   LocalizationReport Report = enumerateCoMSSesOn(*Session, F, Opts);
   if (Portfolio)

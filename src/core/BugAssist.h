@@ -85,6 +85,11 @@ struct LocalizeOptions {
   /// Sessions canonicalize their optima, so diagnoses of unbudgeted runs
   /// are identical at every thread count.
   size_t Threads = 1;
+  /// Run SatELite-style clause-database simplification (subsumption,
+  /// self-subsuming resolution, bounded variable elimination) at solver
+  /// load and restart boundaries. Canonicalized diagnoses are identical
+  /// with it on or off; turn off to debug or to bound preprocessing cost.
+  bool Preprocess = true;
   // --- query-wide resource budget (0 = unlimited for each knob) ------------
   // When any knob is set and the budget is exhausted mid-enumeration, the
   // report carries the diagnoses completed so far with Incomplete = true

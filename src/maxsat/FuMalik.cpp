@@ -65,6 +65,17 @@ public:
       : S(SolverOpts), NumOrigVars(Inst.NumVars), Soft(Inst.Soft),
         Canonical(Canonical) {
     S.ensureVars(Inst.NumVars);
+    // Frozen contract (sat/Simplifier.h): the session keeps talking about
+    // these variables after the first solve() -- guards are assumed,
+    // soft/relaxation literals get re-added by later relaxation rounds,
+    // canonicalization assumes unit soft literals, and blocking clauses
+    // arrive through addHardClause -- so inprocessing must not eliminate
+    // them. Inst.Frozen carries the caller's own late-bound variables.
+    for (Var V : Inst.Frozen)
+      S.setFrozen(V, true);
+    for (const SoftClause &SC : Inst.Soft)
+      for (Lit L : SC.Lits)
+        S.setFrozen(L.var(), true);
     for (const Clause &C : Inst.Hard)
       if (!S.addClause(C)) {
         HardBroken = true;
@@ -177,6 +188,7 @@ public:
         S.releaseVar(mkLit(OldGuard, /*Negated=*/true));
 
         Lit RL = mkLit(S.newVar());
+        S.setFrozen(RL.var(), true); // future relaxed copies re-mention it
         WorkingSoft[I].push_back(RL);
         Relax.push_back(RL);
 
@@ -280,6 +292,7 @@ private:
       SatisfySelector.assign(Soft.size(), NullVar);
     if (SatisfySelector[J] == NullVar) {
       Var T = S.newVar();
+      S.setFrozen(T, true); // assumed by later canonicalization probes
       Clause C = Soft[J].Lits;
       C.push_back(mkLit(T, /*Negated=*/true));
       S.addClause(std::move(C));
@@ -290,6 +303,8 @@ private:
 
   Var newGuard(size_t SoftIdx) {
     Var A = S.newVar();
+    // Guards are assumed every round; releaseVar unfreezes on retirement.
+    S.setFrozen(A, true);
     if (static_cast<Var>(SoftIdxOfVar.size()) <= A)
       SoftIdxOfVar.resize(A + 1, -1);
     SoftIdxOfVar[A] = static_cast<int32_t>(SoftIdx);

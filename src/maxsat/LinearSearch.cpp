@@ -54,6 +54,15 @@ public:
                     const Solver::Options &SolverOpts)
       : S(SolverOpts), NumOrigVars(Inst.NumVars), Soft(Inst.Soft) {
     S.ensureVars(Inst.NumVars);
+    // Frozen contract: canonicalization probes assume relaxation literals
+    // off, bounds assume counter outputs, and the caller keeps talking
+    // about soft-clause variables (blocking clauses, model readout) -- none
+    // of these may be eliminated by inprocessing.
+    for (Var V : Inst.Frozen)
+      S.setFrozen(V, true);
+    for (const SoftClause &SC : Inst.Soft)
+      for (Lit L : SC.Lits)
+        S.setFrozen(L.var(), true);
     for (const Clause &C : Inst.Hard)
       if (!S.addClause(C)) {
         HardBroken = true;
@@ -64,6 +73,7 @@ public:
     Weights.reserve(Soft.size());
     for (const SoftClause &SC : Soft) {
       Lit RL = mkLit(S.newVar());
+      S.setFrozen(RL.var(), true); // assumed off by K==0 bounds and probes
       Clause C = SC.Lits;
       C.push_back(RL);
       S.addClause(std::move(C));
@@ -276,6 +286,9 @@ private:
     ClauseSink Sink{[this](Clause C) { S.addClause(std::move(C)); },
                     [this]() { return S.newVar(); }};
     CounterOut = encodePbCounter(RelaxLits, Weights, MaxNeeded, Sink);
+    // Counter outputs are assumed by every bounded solve from here on.
+    for (Lit Out : CounterOut)
+      S.setFrozen(Out.var(), true);
   }
 
   Solver S;

@@ -77,6 +77,16 @@ struct MaxSatInstance {
   /// BugAssist passes the selector variables here, so the search departs
   /// from "the program as written" instead of "every statement disabled".
   std::vector<Var> PreferTrue;
+  /// Variables the *caller* will still talk about after the session is
+  /// built: sessions freeze them (Solver::setFrozen) so inprocessing never
+  /// eliminates them. Soft-clause variables and session auxiliaries
+  /// (guards, relaxation selectors, counter outputs) are frozen
+  /// automatically; list here only variables mentioned by clauses the
+  /// caller adds later through addHardClause -- serve mode passes the
+  /// trace formula's test-interface bits (TraceFormula::sharedInstance),
+  /// which per-query test clauses bind after the preprocessed base
+  /// session was cloned.
+  std::vector<Var> Frozen;
 };
 
 /// Converts a parsed DIMACS/WCNF instance (cnf/DimacsReader.h) into a

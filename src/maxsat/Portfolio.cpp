@@ -159,14 +159,34 @@ SatRaceResult bugassist::racePortfolioSat(const std::vector<Clause> &Clauses,
   size_t N = Threads ? Threads : 1;
 
   ClauseExchange Exchange(N); // declared first: the hooks reference it
+
+  // Load the clauses and run the simplification pass ONCE, on a prototype
+  // with the anchor's options, then copy-construct every worker from it.
+  // Two birds: the race does not pay N times for loading + preprocessing,
+  // and elimination runs before any exchange hooks exist -- with hooks
+  // installed, every variable below ShareVarLimit is structurally frozen
+  // and bounded variable elimination cannot fire at all. Soundness of
+  // sharing afterwards: all workers inherit the same eliminated set and a
+  // learnt clause can only mention variables occurring in its worker's
+  // clause database, so exchanged clauses never touch an eliminated
+  // variable.
+  Solver Proto{diversifiedOptions(Base, 0)};
+  Proto.ensureVars(NumVars);
+  for (const Clause &C : Clauses)
+    if (!Proto.addClause(C))
+      break; // root-level UNSAT: solve() will report False immediately
+  if (!Bud.unlimited())
+    Proto.setBudget(Bud); // the pass counts against the query's budget too
+  Proto.preprocess();     // self-gated on Options::Preprocess
+
   std::vector<std::unique_ptr<Solver>> Solvers;
   Solvers.reserve(N);
   for (size_t Id = 0; Id < N; ++Id) {
-    auto S = std::make_unique<Solver>(diversifiedOptions(Base, Id));
-    S->ensureVars(NumVars);
-    for (const Clause &C : Clauses)
-      if (!S->addClause(C))
-        break; // root-level UNSAT: solve() will report False immediately
+    auto S = std::make_unique<Solver>(Proto);
+    if (Id > 0) {
+      S->adoptOptions(diversifiedOptions(Base, Id));
+      S->clearStats(); // the shared pass is counted once, on worker 0
+    }
     if (N > 1)
       installShareHooks(*S, Exchange, Id, /*ShareVarLimit=*/NumVars);
     if (!Bud.unlimited())
@@ -236,12 +256,27 @@ PortfolioSession::PortfolioSession(const MaxSatInstance &Inst, bool Weighted,
   PStats.WinsByWorker.assign(N, 0);
   Retired.assign(N, 0);
   Workers.reserve(N);
+  // Worker 0 is built once and preprocessed before any exchange hooks
+  // exist (hooks structurally freeze every variable below ShareVarLimit,
+  // which would block elimination entirely); the other workers are clones
+  // that inherit the shrunken clause database and the reconstruction
+  // stack, then re-diversify via adoptOptions. Sharing stays sound: all
+  // workers descend from the same preprocessed base, so an exchanged
+  // clause can never mention a variable some worker eliminated.
   for (size_t Id = 0; Id < N; ++Id) {
-    // Every worker canonicalizes, so the race winner's diagnosis is the
-    // same set any other worker would have reported.
-    auto Sess = makeMaxSatSession(Inst, Weighted, ConflictBudget,
-                                  diversifiedOptions(Base, Id),
-                                  /*Canonical=*/true);
+    std::unique_ptr<MaxSatSession> Sess;
+    if (Id == 0) {
+      // Every worker canonicalizes, so the race winner's diagnosis is the
+      // same set any other worker would have reported.
+      Sess = makeMaxSatSession(Inst, Weighted, ConflictBudget,
+                               diversifiedOptions(Base, 0),
+                               /*Canonical=*/true);
+      Sess->solver().preprocess(); // self-gated on Options::Preprocess
+    } else {
+      Sess = Workers[0]->clone();
+      Sess->solver().adoptOptions(diversifiedOptions(Base, Id));
+      Sess->solver().clearStats(); // the shared pass is counted on worker 0
+    }
     if (N > 1) {
       // Only clauses over the original variables travel between workers:
       // every session's auxiliary encoding is a conservative extension of

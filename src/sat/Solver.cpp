@@ -25,6 +25,7 @@
 #include <cassert>
 #include <cmath>
 #include <cstring>
+#include <stdexcept>
 
 using namespace bugassist;
 
@@ -32,6 +33,30 @@ Solver::Solver(const Options &O) : Opts(O) {
   RandState = O.RandSeed | 1;
   double Freq = std::min(1.0, std::max(0.0, O.RandomBranchFreq));
   RandBranchThreshold = static_cast<uint32_t>(Freq * 1024.0);
+}
+
+void Solver::adoptOptions(const Options &O) {
+  assert(decisionLevel() == 0 && "adoptOptions only at the root level");
+  Opts = O;
+  RandState = O.RandSeed | 1;
+  double Freq = std::min(1.0, std::max(0.0, O.RandomBranchFreq));
+  RandBranchThreshold = static_cast<uint32_t>(Freq * 1024.0);
+  for (Var V = 0; V < static_cast<Var>(Assigns.size()); ++V) {
+    if (Assigns[V] != LBool::Undef)
+      continue;
+    bool Phase = false;
+    switch (Opts.InitPhase) {
+    case Options::PhaseInit::False:
+      break;
+    case Options::PhaseInit::True:
+      Phase = true;
+      break;
+    case Options::PhaseInit::Random:
+      Phase = nextRand() & 1;
+      break;
+    }
+    SavedPhase[V] = Phase;
+  }
 }
 
 float Solver::clauseActivity(ClauseRef CR) const {
@@ -67,6 +92,8 @@ Var Solver::newVar() {
   }
   SavedPhase.push_back(Phase);
   Released.push_back(false);
+  FrozenVars.push_back(0);
+  ElimVars.push_back(0);
   Seen.push_back(0);
   Watches.emplace_back(); // positive literal
   Watches.emplace_back(); // negative literal
@@ -88,6 +115,11 @@ bool Solver::addClause(Clause C) {
   for (Lit L : C) {
     assert(L.isValid() && "invalid literal");
     ensureVars(L.var() + 1);
+    if (ElimVars[L.var()])
+      throw std::logic_error(
+          "Solver::addClause: clause mentions an eliminated variable -- "
+          "variables used in clauses added after the first solve() must be "
+          "frozen (Solver::setFrozen) before preprocessing runs");
   }
 
   // Level-0 simplification: drop false literals, detect tautologies and
@@ -131,6 +163,10 @@ bool Solver::releaseVar(Lit L) {
   assert(decisionLevel() == 0 && "release only at the root level");
   ensureVars(L.var() + 1);
   Released[L.var()] = true;
+  // A released variable is root-fixed below, so later elimination of its
+  // remaining clause occurrences is sound again: unfreeze (the frozen
+  // contract covers variables the session will still *use*).
+  FrozenVars[L.var()] = 0;
   if (HeapIndex[L.var()] != -1) {
     // Evict from the decision heap by raising to the top and popping.
     Activity[L.var()] = 1e300;
@@ -141,6 +177,11 @@ bool Solver::releaseVar(Lit L) {
     Activity[L.var()] = 0.0;
   }
   return addClause({L});
+}
+
+void Solver::setFrozen(Var V, bool Frozen) {
+  ensureVars(V + 1);
+  FrozenVars[V] = Frozen ? 1 : 0;
 }
 
 void Solver::setBudget(const Budget &B) {
@@ -704,8 +745,14 @@ LBool Solver::solve(const std::vector<Lit> &Assumptions) {
   if (!Ok) {
     return LBool::False;
   }
-  for (Lit L : Assumptions)
+  for (Lit L : Assumptions) {
     ensureVars(L.var() + 1);
+    if (ElimVars[L.var()])
+      throw std::logic_error(
+          "Solver::solve: assumption over an eliminated variable -- "
+          "assumption variables must be frozen (Solver::setFrozen) before "
+          "preprocessing runs");
+  }
   CurAssumptions = Assumptions;
   ConflictsThisSolve = 0;
   MaxLearnts = std::max<double>(
@@ -713,6 +760,8 @@ LBool Solver::solve(const std::vector<Lit> &Assumptions) {
 
   simplifyLevel0();
   importSharedClauses(); // foreign clauses land at the root, like restarts
+  if (Ok && Opts.Preprocess && !PreprocessedOnce)
+    preprocess(); // load-time pass; restart boundaries re-run it below
   if (!Ok) {
     CurAssumptions.clear();
     return LBool::False;
@@ -738,6 +787,10 @@ LBool Solver::solve(const std::vector<Lit> &Assumptions) {
       // Restart boundary: the solver is at decision level 0, the one place
       // foreign clauses can be injected soundly and attached watchable.
       importSharedClauses();
+      if (Ok && Opts.Preprocess && Opts.InprocessIntervalConflicts != 0 &&
+          Stats.Conflicts - LastInprocConflicts >=
+              Opts.InprocessIntervalConflicts)
+        preprocess(); // inprocessing under the same budget accounting
       if (!Ok) {
         Result = LBool::False;
         break;
@@ -747,6 +800,9 @@ LBool Solver::solve(const std::vector<Lit> &Assumptions) {
 
   if (Result == LBool::True) {
     Model.assign(Assigns.begin(), Assigns.end());
+    // Eliminated variables never appear on the trail; restore them from the
+    // reconstruction stack before anything reads (or defaults) the model.
+    extendModel();
     // Unassigned variables (possible when every clause was satisfied before
     // full assignment never happens in this implementation, but be safe).
     for (LBool &B : Model)
@@ -963,8 +1019,13 @@ void Solver::addImportedClause(const std::vector<Lit> &Lits, uint32_t Lbd) {
   // learnt tiers under its advertised LBD instead of the problem set: an
   // imported clause is a lemma, and the retention policy may drop it again.
   std::vector<Lit> C(Lits);
-  for (Lit L : C)
+  for (Lit L : C) {
     ensureVars(L.var() + 1);
+    // The exchange prefix is structurally frozen, so foreign clauses never
+    // mention eliminated variables; drop defensively rather than corrupt.
+    if (ElimVars[L.var()])
+      return;
+  }
   std::sort(C.begin(), C.end());
   std::vector<Lit> Simplified;
   Lit Prev = NullLit;
@@ -1083,7 +1144,7 @@ void Solver::claBumpActivity(ClauseRef CR) {
 }
 
 void Solver::insertVarOrder(Var V) {
-  if (HeapIndex[V] == -1 && !Released[V])
+  if (HeapIndex[V] == -1 && !Released[V] && !ElimVars[V])
     heapInsert(V);
 }
 

@@ -91,6 +91,13 @@ struct SolverStats {
   uint64_t CoreLearnts = 0;
   uint64_t MidLearnts = 0;
   uint64_t LocalLearnts = 0;
+  // Inprocessing (sat/Simplifier.h; all 0 when preprocessing is off).
+  uint64_t VarsEliminated = 0;   ///< variables removed by bounded elimination
+  uint64_t ClausesSubsumed = 0;  ///< clauses removed by backward subsumption
+  uint64_t LitsSelfSubsumed = 0; ///< literals removed by self-subsumption
+  /// Size of the model-reconstruction stack in bytes (a gauge, like the
+  /// tier counts: it only grows while variables stay eliminated).
+  uint64_t ReconstructBytes = 0;
 
   /// Average learn-time LBD per conflict (unit learnts count with LBD 1),
   /// glucose's "average LBD" signal.
@@ -121,6 +128,10 @@ struct SolverStats {
     CoreLearnts += O.CoreLearnts;
     MidLearnts += O.MidLearnts;
     LocalLearnts += O.LocalLearnts;
+    VarsEliminated += O.VarsEliminated;
+    ClausesSubsumed += O.ClausesSubsumed;
+    LitsSelfSubsumed += O.LitsSelfSubsumed;
+    ReconstructBytes += O.ReconstructBytes;
     return *this;
   }
 };
@@ -203,11 +214,29 @@ public:
     // -- shared ----
     double MaxLearntsBase = 1000.0; ///< floor of the first reduceDB trigger
 
-    /// The seed solver's policies: Luby restarts, activity-halving deletion.
+    // -- inprocessing (sat/Simplifier.h) ----
+    /// Run SatELite-style simplification (bounded variable elimination +
+    /// subsumption + self-subsuming resolution) once at the first solve()
+    /// and again at restart boundaries. Variables that outside code will
+    /// assume, release, or share must be frozen first (setFrozen); the
+    /// MaxSAT sessions register their control variables automatically.
+    bool Preprocess = true;
+    /// Conflicts between inprocessing passes at restart boundaries
+    /// (0 = preprocess at load only).
+    uint64_t InprocessIntervalConflicts = 20000;
+    /// Skip the pass while the problem has fewer clauses than this: on a
+    /// handful-of-clauses formula even building the occurrence lists
+    /// costs more than simplification can ever recover. Tests that probe
+    /// the pass on tiny hand-built formulas set it to 0.
+    size_t PreprocessMinClauses = 16;
+
+    /// The seed solver's policies: Luby restarts, activity-halving deletion,
+    /// no preprocessing (the reference engines model the original solver).
     static Options seed() {
       Options O;
       O.Restart = RestartPolicy::Luby;
       O.Retention = RetentionPolicy::ActivityHalving;
+      O.Preprocess = false;
       return O;
     }
   };
@@ -377,6 +406,12 @@ public:
 
   const SolverStats &stats() const { return Stats; }
 
+  /// Zeroes the statistics counters (the formula and search state stay).
+  /// Portfolio construction copies workers from one preprocessed
+  /// prototype and resets the copies, so aggregated stats count the
+  /// shared simplification pass once, not once per worker.
+  void clearStats() { Stats = SolverStats(); }
+
   /// LBDs of the live learnt clauses across all tiers, in no particular
   /// order. Introspection surface for tests and benches; under the seed
   /// retention policy LBDs are still computed and reported.
@@ -405,7 +440,53 @@ public:
   /// Pseudo-random tie breaking seed for restarts/decisions.
   void setRandomSeed(uint64_t Seed) { RandState = Seed | 1; }
 
+  /// Swaps in a new option block at the root level: re-seeds the RNG and
+  /// re-draws the saved phase of every unassigned variable under the new
+  /// InitPhase policy (exactly what newVar would have done). This is how
+  /// portfolio workers are re-diversified after being copy-constructed
+  /// from one shared, already-preprocessed prototype (maxsat/Portfolio.cpp)
+  /// instead of each paying for clause loading and the simplification pass.
+  void adoptOptions(const Options &O);
+
+  // --- inprocessing (sat/Simplifier.{h,cpp}) -------------------------------
+
+  /// Marks \p V as off-limits for variable elimination. The frozen-variable
+  /// contract: any variable that outside code will later pass to solve() as
+  /// an assumption, retire through releaseVar, or mention in a clause added
+  /// after the first solve() MUST be frozen before that solve. Violations
+  /// are hard errors (std::logic_error), not silent unsoundness.
+  /// releaseVar unfreezes (the variable is root-fixed afterwards, so
+  /// elimination of its remaining occurrences is sound and desirable).
+  void setFrozen(Var V, bool Frozen);
+
+  /// True if \p V is frozen -- explicitly, or structurally because it lies
+  /// in the clause-exchange original-variable prefix of an installed share
+  /// hook (imported clauses may mention any prefix variable at any time).
+  bool isFrozen(Var V) const {
+    if (V < static_cast<Var>(FrozenVars.size()) && FrozenVars[V])
+      return true;
+    return (Export || Import) && V < ShareVarLimit;
+  }
+
+  /// True once \p V has been eliminated by the simplifier. Eliminated
+  /// variables have no clause occurrences; their model values are restored
+  /// from the reconstruction stack before solve() returns True.
+  bool isEliminated(Var V) const {
+    return V < static_cast<Var>(ElimVars.size()) && ElimVars[V] != 0;
+  }
+
+  /// Runs one full simplification pass now (root level, between solve()
+  /// calls). No-op unless Options::Preprocess is set. \returns okay().
+  bool preprocess();
+
+  /// Test hook: force-eliminates \p V regardless of the resolvent growth
+  /// bounds. Throws std::logic_error if \p V is frozen; returns false
+  /// (without eliminating) if \p V is assigned at the root. \returns true
+  /// if \p V is eliminated on exit.
+  bool eliminateVar(Var V);
+
 private:
+  friend class Simplifier;
   // --- clause storage -----------------------------------------------------
   //
   // Clauses live in one flat arena of 32-bit words (stored as Lit for
@@ -515,6 +596,16 @@ private:
   void checkGarbage();
   void garbageCollect();
 
+  // --- inprocessing helpers (implemented in Simplifier.cpp) ---------------
+  /// Removes \p L from the clause (root level; clause must not be locked).
+  /// Detaches, shrinks, re-attaches with two non-false watches; a clause
+  /// collapsing to a unit is freed and its literal enqueued+propagated.
+  /// \returns false if the solver became UNSAT.
+  bool strengthenClause(ClauseRef CR, Lit L);
+  /// Restores eliminated variables in Model by walking the reconstruction
+  /// stack backwards (called on a True result before Model is defaulted).
+  void extendModel();
+
   // --- LBD / restart machinery -------------------------------------------
   uint32_t computeLbd(const Lit *Lits, uint32_t Size);
   void onConflictLearnt(uint32_t Lbd);
@@ -576,6 +667,17 @@ private:
 
   std::vector<bool> SavedPhase;
   std::vector<bool> Released; // released vars never re-enter the heap
+  // Inprocessing state (plain values: session cloning copies them).
+  std::vector<char> FrozenVars; // explicit frozen marks (see setFrozen)
+  std::vector<char> ElimVars;   // 1 once eliminated by the simplifier
+  /// Model-reconstruction stack. Per eliminated variable one segment:
+  /// for each clause of the stored occurrence side [lits...] with the
+  /// eliminated variable's literal FIRST followed by a size word
+  /// Lit::fromCode(n), then a single default unit [lit][size word 1].
+  /// extendModel walks it backwards (MiniSAT's elimclauses layout).
+  std::vector<Lit> ElimStack;
+  bool PreprocessedOnce = false;     // load-time pass already ran
+  uint64_t LastInprocConflicts = 0;  // Stats.Conflicts at the last pass
   std::vector<char> Seen;
   std::vector<Lit> AnalyzeStack;
   std::vector<uint64_t> LbdStampOfLevel; // level -> last stamp that saw it

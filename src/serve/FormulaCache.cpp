@@ -74,10 +74,17 @@ CachedProgram::cloneSession(bool Weighted) const {
   const TraceFormula &TF = Prepared->Driver->formula();
   std::lock_guard<std::mutex> Lock(BaseMu);
   std::unique_ptr<MaxSatSession> &B = Base[Weighted ? 1 : 0];
-  if (!B)
+  if (!B) {
     B = makeMaxSatSession(TF.sharedInstance(), Weighted,
                           /*ConflictBudget=*/0, Solver::Options(),
                           /*Canonical=*/true);
+    // Preprocess the shared base once; clones inherit the shrunken clause
+    // database (and the eliminated-variable reconstruction stack) via the
+    // member-wise Solver copy, so per-request solves skip the pass. The
+    // test-interface variables are frozen by sharedInstance, so the
+    // per-test unit clauses added to clones stay legal.
+    B->solver().preprocess();
+  }
   return B->clone();
 }
 

@@ -320,7 +320,13 @@ std::string frameResponse(const std::string &Id, const char *CmdStr,
          ",\"conflicts\":" + std::to_string(St.Search.Conflicts) +
          ",\"decisions\":" + std::to_string(St.Search.Decisions) +
          ",\"propagations\":" + std::to_string(St.Search.Propagations) +
-         ",\"restarts\":" + std::to_string(St.Search.Restarts) + "}\n";
+         ",\"restarts\":" + std::to_string(St.Search.Restarts) +
+         ",\"vars_eliminated\":" + std::to_string(St.Search.VarsEliminated) +
+         ",\"clauses_subsumed\":" + std::to_string(St.Search.ClausesSubsumed) +
+         ",\"lits_self_subsumed\":" +
+         std::to_string(St.Search.LitsSelfSubsumed) +
+         ",\"reconstruction_bytes\":" +
+         std::to_string(St.Search.ReconstructBytes) + "}\n";
   return Out;
 }
 

@@ -88,7 +88,12 @@ void addPigeonhole(Solver &S, int Holes) {
 // and {~x,~y,z} / {~x,~y,~z} clash at level 2. First-UIP learns (~y \/ ~x)
 // whose literals sit at levels {2, 1}: LBD must be exactly 2.
 TEST(Lbd, HandCheckedTwoLevelSignature) {
-  Solver S;
+  // Preprocessing off: variable elimination would resolve away x/z and
+  // decide the formula without any conflict, and this test is about the
+  // exact learnt clause of an unsimplified search.
+  Solver::Options O;
+  O.Preprocess = false;
+  Solver S{O};
   Var A = S.newVar(), B = S.newVar(), X = S.newVar(), Y = S.newVar(),
       Z = S.newVar();
   ASSERT_TRUE(S.addClause({~mkLit(A), mkLit(X)}));
@@ -110,7 +115,9 @@ TEST(Lbd, HandCheckedTwoLevelSignature) {
 // {~x,~y,~w,z} / {~x,~y,~w,~z} clash at level 3. The first-UIP clause is
 // (~w \/ ~x \/ ~y) with level signature {3, 1, 2}: LBD exactly 3.
 TEST(Lbd, HandCheckedThreeLevelSignature) {
-  Solver S;
+  Solver::Options O;
+  O.Preprocess = false; // as above: keep the hand-checked search intact
+  Solver S{O};
   Var A = S.newVar(), B = S.newVar(), C = S.newVar(), X = S.newVar(),
       Y = S.newVar(), W = S.newVar(), Z = S.newVar();
   ASSERT_TRUE(S.addClause({~mkLit(A), mkLit(X)}));
@@ -250,7 +257,12 @@ TEST(Lbd, SeedAndGlucosePoliciesAgree) {
     int NumVars = 12;
     auto Cs = randomInstance(R, NumVars, 51, 3);
     Solver Seeded{Solver::Options::seed()};
-    Solver Glucose;
+    // The assumption probes below assume vars 0..4 after an unassumed
+    // solve whose preprocessing pass may eliminate them; keep the pass off
+    // so the comparison isolates the retention/restart policies.
+    Solver::Options GlucoseOpts;
+    GlucoseOpts.Preprocess = false;
+    Solver Glucose{GlucoseOpts};
     Seeded.ensureVars(NumVars);
     Glucose.ensureVars(NumVars);
     bool OkS = true, OkG = true;

@@ -456,10 +456,16 @@ TEST(PortfolioFaults, RacedSatSurvivesWorkerCrash) {
   // worker threads -- racePortfolioSat builds its solvers on the caller's
   // thread, which must NOT be the one to die.)
   auto Cs = pigeonholeClauses(6);
+  // Variable elimination shrinks this refutation enough that a worker can
+  // finish before anyone restarts (scheduling-dependent); keep the pass
+  // off so the armed restart event reliably fires. Fault isolation is this
+  // test's subject, preprocessing is simplify_test's.
+  Solver::Options NoPre;
+  NoPre.Preprocess = false;
   FaultGuard Guard;
   faultinject::arm(faultinject::Event::Restart, faultinject::Fault::BadAlloc,
                    /*Nth=*/1);
-  SatRaceResult Race = racePortfolioSat(Cs, 7 * 6, 4);
+  SatRaceResult Race = racePortfolioSat(Cs, 7 * 6, 4, NoPre);
   faultinject::disarm();
   EXPECT_EQ(Race.Result, LBool::False);
   EXPECT_EQ(Race.Faults, 1u);

@@ -464,8 +464,10 @@ TEST(ServeLib, FramesCarryTheDocumentedFieldsInRequestOrder) {
   EXPECT_NE(R.Frames[3].Body.find("v "), std::string::npos);
 
   const std::vector<std::string> Keys = {
-      "id",        "elapsed_ms",   "sat_calls", "conflicts",
-      "decisions", "propagations", "restarts"};
+      "id",           "elapsed_ms",      "sat_calls",
+      "conflicts",    "decisions",       "propagations",
+      "restarts",     "vars_eliminated", "clauses_subsumed",
+      "lits_self_subsumed", "reconstruction_bytes"};
   for (const Frame &F : R.Frames)
     EXPECT_EQ(F.TrailerKeys, Keys) << "trailer keys for id " << F.Id;
 }

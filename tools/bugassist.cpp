@@ -78,11 +78,12 @@ int usage(const char *Argv0) {
       "    --max-diagnoses N     CoMSS cap (default: 16)\n"
       "    --weighted            weighted linear-search MaxSAT engine\n"
       "    --threads N           portfolio width (default: 1)\n"
+      "    --no-preprocess       disable clause-database simplification\n"
       "    --json                JSON report instead of text\n"
       "    --stats               append solver statistics (nondeterministic)\n"
       "  maxsat <file.wcnf> [--threads N] [--engine fumalik|linear]\n"
-      "                     [--no-model] [--stats]\n"
-      "  sat <file.cnf> [--threads N] [--no-model]\n"
+      "                     [--no-model] [--no-preprocess] [--stats]\n"
+      "  sat <file.cnf> [--threads N] [--no-model] [--no-preprocess]\n"
       "  serve [--batch FILE] [--threads N]\n"
       "                     batch localization service: JSON-lines\n"
       "                     requests from FILE (or stdin as a daemon),\n"
@@ -290,6 +291,8 @@ int cmdLocalize(int Argc, char **Argv, const char *Argv0) {
         return 1;
       }
       R.Localize.Threads = N;
+    } else if (std::strcmp(Argv[I], "--no-preprocess") == 0) {
+      R.Localize.Preprocess = false;
     } else if (std::strcmp(Argv[I], "--json") == 0) {
       Json = true;
     } else if (std::strcmp(Argv[I], "--stats") == 0) {
@@ -354,7 +357,7 @@ int cmdMaxsat(int Argc, char **Argv, const char *Argv0) {
     return usage(Argv0);
   std::string Path = Argv[0], Engine = "auto", V;
   size_t Threads = 1;
-  bool Model = true, Stats = false;
+  bool Model = true, Stats = false, Preprocess = true;
   BudgetFlags Budget;
   for (int I = 1; I < Argc; ++I) {
     if (int M = matchBudgetFlag(Argc, Argv, I, Budget)) {
@@ -376,6 +379,8 @@ int cmdMaxsat(int Argc, char **Argv, const char *Argv0) {
       }
     } else if (std::strcmp(Argv[I], "--no-model") == 0) {
       Model = false;
+    } else if (std::strcmp(Argv[I], "--no-preprocess") == 0) {
+      Preprocess = false;
     } else if (std::strcmp(Argv[I], "--stats") == 0) {
       Stats = true;
     } else {
@@ -405,12 +410,15 @@ int cmdMaxsat(int Argc, char **Argv, const char *Argv0) {
               FromWcnf ? "" : " (cnf)",
               Weighted ? "linear" : "fumalik", Threads);
 
+  Solver::Options SOpts;
+  SOpts.Preprocess = Preprocess;
   std::unique_ptr<MaxSatSession> Session;
   if (Threads > 1)
-    Session = makePortfolioSession(Inst, Weighted, Threads);
+    Session = makePortfolioSession(Inst, Weighted, Threads,
+                                   /*ConflictBudget=*/0, SOpts);
   else
     Session = makeMaxSatSession(Inst, Weighted, /*ConflictBudget=*/0,
-                                Solver::Options(), /*Canonical=*/true);
+                                SOpts, /*Canonical=*/true);
   if (Budget.any())
     Session->setBudget(Budget.solverBudget());
   MaxSatResult R = Session->solve();
@@ -449,6 +457,12 @@ int cmdMaxsat(int Argc, char **Argv, const char *Argv0) {
                 static_cast<unsigned long long>(S.Conflicts),
                 static_cast<unsigned long long>(S.Propagations),
                 static_cast<unsigned long long>(S.Restarts));
+    std::printf("c vars_eliminated=%llu clauses_subsumed=%llu "
+                "lits_self_subsumed=%llu reconstruction_bytes=%llu\n",
+                static_cast<unsigned long long>(S.VarsEliminated),
+                static_cast<unsigned long long>(S.ClausesSubsumed),
+                static_cast<unsigned long long>(S.LitsSelfSubsumed),
+                static_cast<unsigned long long>(S.ReconstructBytes));
   }
   return R.Status == MaxSatStatus::Unknown ? ExitBudgetExhausted
                                            : ExitComplete;
@@ -459,7 +473,7 @@ int cmdSat(int Argc, char **Argv, const char *Argv0) {
     return usage(Argv0);
   std::string Path = Argv[0], V;
   size_t Threads = 1;
-  bool Model = true;
+  bool Model = true, Preprocess = true;
   BudgetFlags Budget;
   for (int I = 1; I < Argc; ++I) {
     if (int M = matchBudgetFlag(Argc, Argv, I, Budget)) {
@@ -473,6 +487,8 @@ int cmdSat(int Argc, char **Argv, const char *Argv0) {
       }
     } else if (std::strcmp(Argv[I], "--no-model") == 0) {
       Model = false;
+    } else if (std::strcmp(Argv[I], "--no-preprocess") == 0) {
+      Preprocess = false;
     } else {
       std::fprintf(stderr, "bugassist: unknown sat option '%s'\n", Argv[I]);
       return 1;
@@ -500,8 +516,10 @@ int cmdSat(int Argc, char **Argv, const char *Argv0) {
               Parsed->NumVars, Clauses.size(), Threads);
 
   // Threads <= 1 degenerates to a plain single solver on this thread.
+  Solver::Options SOpts;
+  SOpts.Preprocess = Preprocess;
   SatRaceResult R = racePortfolioSat(Clauses, Parsed->NumVars, Threads,
-                                     Solver::Options(), Budget.solverBudget());
+                                     SOpts, Budget.solverBudget());
   if (R.Result == LBool::True)
     std::printf("s SATISFIABLE\n");
   else if (R.Result == LBool::False)
