@@ -1,0 +1,60 @@
+//===- ErrorCode.h - Structured error taxonomy ------------------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one error vocabulary shared by the pipeline, the serve protocol,
+/// and the CLI. Front-ends used to classify failures by matching ad-hoc
+/// message strings; every failure now carries one of these codes alongside
+/// its human-readable message, and the serve response header reports the
+/// code verbatim (`"code":"worker-crashed"`), so clients can branch on a
+/// stable token while the prose stays free to improve. docs/SERVE.md
+/// ("Failure semantics") tabulates the codes against statuses and exit
+/// codes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_CORE_ERRORCODE_H
+#define BUGASSIST_CORE_ERRORCODE_H
+
+#include <cstdint>
+
+namespace bugassist {
+
+enum class ErrorCode : uint8_t {
+  Ok = 0,          ///< request answered in full
+  BadRequest,      ///< malformed JSON line or invalid request field
+  FileUnreadable,  ///< a `file` reference could not be read
+  CompileError,    ///< program failed parse/sema
+  InputNotFailing, ///< given input satisfies the spec; nothing to blame
+  BadDimacs,       ///< malformed DIMACS/WCNF text
+  BudgetExhausted, ///< per-request budget (or an interrupt) truncated the
+                   ///< answer; partial result returned
+  WorkerCrashed,   ///< request crashed its worker on every retry attempt
+  Cancelled,       ///< accepted but drained before any work started
+  Internal         ///< unexpected exception outside a worker's request
+};
+
+/// The stable wire token for \p C ("ok", "bad-request", ...). Never
+/// changes meaning once published; clients branch on it.
+inline const char *errorCodeName(ErrorCode C) {
+  switch (C) {
+  case ErrorCode::Ok:              return "ok";
+  case ErrorCode::BadRequest:      return "bad-request";
+  case ErrorCode::FileUnreadable:  return "file-unreadable";
+  case ErrorCode::CompileError:    return "compile-error";
+  case ErrorCode::InputNotFailing: return "input-not-failing";
+  case ErrorCode::BadDimacs:       return "bad-dimacs";
+  case ErrorCode::BudgetExhausted: return "budget-exhausted";
+  case ErrorCode::WorkerCrashed:   return "worker-crashed";
+  case ErrorCode::Cancelled:       return "cancelled";
+  case ErrorCode::Internal:        return "internal";
+  }
+  return "internal";
+}
+
+} // namespace bugassist
+
+#endif // BUGASSIST_CORE_ERRORCODE_H

@@ -86,16 +86,19 @@ PipelineResult runOnDriver(const Program &Prog, const BugAssistDriver &Driver,
     ExecResult Run = I.run(R.Entry, *R.Input);
     if (Run.Status == ExecStatus::SetupError) {
       Res.Status = PipelineStatus::InputNotFailing;
+      Res.Code = ErrorCode::InputNotFailing;
       Res.Message = "input does not match the entry function's parameters";
       return Res;
     }
     if (Run.Status == ExecStatus::AssumeFail) {
       Res.Status = PipelineStatus::InputNotFailing;
+      Res.Code = ErrorCode::InputNotFailing;
       Res.Message = "input rejected by an assume(): execution infeasible";
       return Res;
     }
     if (!violatesSpec(Run, R)) {
       Res.Status = PipelineStatus::InputNotFailing;
+      Res.Code = ErrorCode::InputNotFailing;
       if (Run.Status != ExecStatus::Ok) {
         // Reachable only when the run aborted but obligations are not
         // part of the spec (or the step limit hit): there is no return
@@ -124,6 +127,7 @@ PipelineResult runOnDriver(const Program &Prog, const BugAssistDriver &Driver,
     auto Cex = Driver.findCounterexample(Res.SpecUsed, R.BmcConflictBudget);
     if (!Cex) {
       Res.Status = PipelineStatus::NoCounterexample;
+      Res.Code = ErrorCode::Ok;
       Res.Message = "no spec violation found within the unwinding bounds";
       return Res;
     }
@@ -136,6 +140,7 @@ PipelineResult runOnDriver(const Program &Prog, const BugAssistDriver &Driver,
   else
     Res.Report = Driver.localize(Res.FailingInput, Res.SpecUsed, R.Localize);
   Res.Status = PipelineStatus::Localized;
+  Res.Code = Res.Report.Incomplete ? ErrorCode::BudgetExhausted : ErrorCode::Ok;
   return Res;
 }
 
@@ -154,6 +159,7 @@ PipelineResult bugassist::runLocalizePipeline(std::string_view Source,
   if (!Prog) {
     PipelineResult Res;
     Res.Status = PipelineStatus::CompileError;
+    Res.Code = ErrorCode::CompileError;
     Res.Message = Diags.render();
     return Res;
   }

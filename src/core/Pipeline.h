@@ -28,6 +28,7 @@
 #define BUGASSIST_CORE_PIPELINE_H
 
 #include "core/BugAssist.h"
+#include "core/ErrorCode.h"
 #include "lang/Sema.h"
 
 #include <memory>
@@ -66,6 +67,11 @@ enum class PipelineStatus {
 
 struct PipelineResult {
   PipelineStatus Status = PipelineStatus::CompileError;
+  /// Structured classification of the outcome (core/ErrorCode.h): Ok for
+  /// Localized / NoCounterexample runs that completed, BudgetExhausted
+  /// when the report is budget-truncated, else the specific failure code.
+  /// Front-ends branch on this instead of matching Message strings.
+  ErrorCode Code = ErrorCode::CompileError;
   /// Diagnostics (CompileError) or a human-readable explanation for the
   /// other non-Localized statuses.
   std::string Message;

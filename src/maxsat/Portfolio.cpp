@@ -16,10 +16,13 @@
 // every surviving worker exhausts its budget the survivors' anytime
 // bounds are merged deterministically (see PortfolioSession::solve).
 //
-// Fault isolation: an exception escaping a worker's solve() is caught at
-// the thread boundary. The crashed worker is retired for the session's
-// lifetime -- its engine state is indeterminate -- and the race continues
-// (this round and every later round) on the survivors.
+// Fault isolation and self-healing: an exception escaping a worker's
+// solve() is caught at the thread boundary. The crashed worker is retired
+// -- its engine state is indeterminate mid-solve -- and the round
+// continues on the survivors. The *next* solve() rebuilds every retired
+// worker from the stored construction inputs plus the addHardClause
+// broadcasts so far (respawnRetired), so a transient fault costs one
+// round of parallelism, not the session's lifetime.
 //
 //===----------------------------------------------------------------------===//
 
@@ -250,7 +253,9 @@ SatRaceResult bugassist::racePortfolioSat(const std::vector<Clause> &Clauses,
 
 PortfolioSession::PortfolioSession(const MaxSatInstance &Inst, bool Weighted,
                                    size_t Threads, uint64_t ConflictBudget,
-                                   const Solver::Options &Base) {
+                                   const Solver::Options &Base)
+    : Inst(Inst), Weighted(Weighted), ConflictBudget(ConflictBudget),
+      Base(Base) {
   size_t N = Threads ? Threads : 1;
   Exchange = std::make_unique<ClauseExchange>(N);
   PStats.WinsByWorker.assign(N, 0);
@@ -291,15 +296,46 @@ PortfolioSession::PortfolioSession(const MaxSatInstance &Inst, bool Weighted,
 
 PortfolioSession::~PortfolioSession() = default;
 
-MaxSatResult PortfolioSession::solve() {
-  MaxSatResult Winning;
-  if (aliveWorkers() == 0) {
-    // Every worker has crashed; there is nothing left to race. Report an
-    // honest Unknown (LowerBound 0, no witness).
-    PStats.LastWinner = -1;
-    Winning.Search = stats();
-    return Winning;
+void PortfolioSession::respawnRetired() {
+  for (size_t Id = 0; Id < Workers.size(); ++Id) {
+    if (!Retired[Id])
+      continue;
+    // A retired worker cannot be rebuilt as a clone: clone() is only
+    // valid on never-solved sessions, and worker 0 (or its replacement)
+    // has solved. Rebuild from the stored instance instead, then replay
+    // every addHardClause broadcast so the replacement optimizes exactly
+    // the formula the survivors hold.
+    std::unique_ptr<MaxSatSession> Sess =
+        makeMaxSatSession(Inst, Weighted, ConflictBudget,
+                          diversifiedOptions(Base, Id), /*Canonical=*/true);
+    if (Workers.size() > 1) {
+      // Hooks go in *before* any solving and the replacement never runs
+      // its own preprocess: with hooks installed every variable below
+      // ShareVarLimit is structurally frozen, and an independent
+      // elimination pass would give this worker a different eliminated
+      // set than the clone family descended from worker 0. Sharing stays
+      // sound without one: exchanged clauses are implied by the hard
+      // clauses alone, and a survivor importing a replacement's clause
+      // over a variable *it* eliminated drops it defensively
+      // (Solver::addImportedClause).
+      installShareHooks(Sess->solver(), *Exchange, Id,
+                        /*ShareVarLimit=*/Inst.NumVars);
+    } else {
+      Sess->solver().preprocess(); // single worker: no sharing to respect
+    }
+    for (const Clause &C : AddedHard)
+      Sess->addHardClause(C);
+    if (CurBudget)
+      Sess->setBudget(*CurBudget);
+    Workers[Id] = std::move(Sess);
+    Retired[Id] = 0;
+    ++PStats.WorkerRespawns;
   }
+}
+
+MaxSatResult PortfolioSession::solve() {
+  respawnRetired();
+  MaxSatResult Winning;
   if (Workers.size() == 1) {
     Winning = Workers[0]->solve();
     PStats.LastWinner = Winning.Status == MaxSatStatus::Unknown ? -1 : 0;
@@ -399,6 +435,9 @@ MaxSatResult PortfolioSession::solve() {
 }
 
 bool PortfolioSession::addHardClause(const Clause &C) {
+  // Recorded before broadcasting: a worker respawned later must replay
+  // every clause the survivors received, including this one.
+  AddedHard.push_back(C);
   bool Ok = true;
   for (size_t Id = 0; Id < Workers.size(); ++Id)
     if (!Retired[Id])
@@ -418,12 +457,14 @@ const SolverStats &PortfolioSession::stats() const {
 Solver &PortfolioSession::solver() { return Workers[0]->solver(); }
 
 void PortfolioSession::setBudget(const Solver::Budget &B) {
+  CurBudget = B; // respawns inherit the budget in force
   for (size_t Id = 0; Id < Workers.size(); ++Id)
     if (!Retired[Id])
       Workers[Id]->setBudget(B);
 }
 
 void PortfolioSession::clearBudget() {
+  CurBudget.reset();
   for (size_t Id = 0; Id < Workers.size(); ++Id)
     if (!Retired[Id])
       Workers[Id]->clearBudget();

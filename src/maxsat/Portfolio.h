@@ -46,6 +46,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 namespace bugassist {
@@ -144,9 +145,13 @@ struct PortfolioStats {
   int LastWinner = -1;
   uint64_t ClausesPublished = 0; ///< entries accepted by the exchange
   uint64_t ClausesDropped = 0;   ///< entries evicted before full delivery
-  /// Workers permanently retired after an exception escaped their solve()
-  /// (fault isolation; later rounds run on the survivors only).
+  /// Workers retired after an exception escaped their solve() (fault
+  /// isolation; the round continues on the survivors).
   uint64_t WorkerFaults = 0;
+  /// Retired workers rebuilt at a later solve(): the pool self-heals
+  /// between rounds, so a transient fault costs one round of parallelism,
+  /// not the session's lifetime.
+  uint64_t WorkerRespawns = 0;
 };
 
 /// N racing persistent MaxSAT sessions behind the MaxSatSession interface.
@@ -174,6 +179,14 @@ public:
   /// Races all workers; the first Optimum/HardUnsat answer wins and the
   /// losers are interrupted (their sessions stay consistent and resume on
   /// the next round). Result::Search carries the aggregated stats.
+  ///
+  /// Self-healing: workers retired by a crash in an earlier round are
+  /// rebuilt first -- a fresh session over the stored instance plus every
+  /// addHardClause broadcast so far, under the same diversified options
+  /// and the current budget -- so the race always starts at full width
+  /// (portfolioStats().WorkerRespawns counts the rebuilds). A worker that
+  /// crashes *this* round is raced without only for the remainder of the
+  /// round.
   MaxSatResult solve() override;
 
   /// Broadcasts the clause (Algorithm 1's beta) to every worker.
@@ -186,24 +199,39 @@ public:
   /// The anchor worker's solver (worker 0 runs the base configuration).
   Solver &solver() override;
 
-  /// Installs the budget on every surviving worker (retired workers are
-  /// left alone -- they never run again).
+  /// Installs the budget on every surviving worker, and records it so a
+  /// later respawn starts under the same budget (retired workers are left
+  /// alone until they are rebuilt).
   void setBudget(const Solver::Budget &B) override;
   void clearBudget() override;
 
   size_t workers() const { return Workers.size(); }
-  /// Workers still in the race (never crashed). A worker whose solve()
-  /// let an exception escape is retired for the session's lifetime.
+  /// Workers currently in the race. A worker whose solve() let an
+  /// exception escape sits out until the next solve() rebuilds it.
   size_t aliveWorkers() const;
   bool workerRetired(size_t Id) const { return Retired[Id] != 0; }
   const PortfolioStats &portfolioStats() const { return PStats; }
 
 private:
+  /// Rebuilds every retired worker from the stored instance (hooks before
+  /// any solving, no independent preprocess -- see the .cpp comment).
+  void respawnRetired();
+
   std::unique_ptr<ClauseExchange> Exchange; // outlives the workers below
   std::vector<std::unique_ptr<MaxSatSession>> Workers;
-  std::vector<char> Retired; ///< 1 = crashed, permanently out of the race
+  std::vector<char> Retired; ///< 1 = crashed, sitting out until respawned
   PortfolioStats PStats;
   mutable SolverStats Agg;
+
+  // Everything a respawn needs to rebuild a worker equivalent to the
+  // survivors' formula: the construction inputs, the addHardClause
+  // broadcasts so far, and the budget currently installed.
+  MaxSatInstance Inst;
+  bool Weighted;
+  uint64_t ConflictBudget;
+  Solver::Options Base;
+  std::vector<Clause> AddedHard;
+  std::optional<Solver::Budget> CurBudget;
 };
 
 /// Factory mirroring makeMaxSatSession; Threads <= 1 still builds a

@@ -24,6 +24,7 @@
 #include "sat/Simplifier.h"
 
 #include "sat/Solver.h"
+#include "support/FaultInject.h"
 
 #include <algorithm>
 #include <cassert>
@@ -613,6 +614,13 @@ bool Simplifier::run(const Limits &L) {
     return S.Ok;
   uint64_t TotalElims = 0;
   for (int Round = 0; Round < Lim.MaxRounds; ++Round) {
+    // Test-only fault hook (one relaxed load when disarmed): BadAlloc
+    // escapes to the caller -- the serve cache-poison tests crash a base
+    // session build mid-preprocess here -- Interrupt abandons the pass
+    // (always safe: the clause database is consistent between rounds).
+    if (faultinject::active() &&
+        faultinject::onEvent(faultinject::Event::SimplifyStep))
+      break;
     uint64_t Subs = subsumptionFixpoint();
     if (!S.Ok || aborted())
       break;

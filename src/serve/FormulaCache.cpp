@@ -6,6 +6,10 @@
 
 #include "serve/FormulaCache.h"
 
+#include "support/FaultInject.h"
+
+#include <stdexcept>
+
 using namespace bugassist;
 
 namespace {
@@ -83,7 +87,17 @@ CachedProgram::cloneSession(bool Weighted) const {
     // member-wise Solver copy, so per-request solves skip the pass. The
     // test-interface variables are frozen by sharedInstance, so the
     // per-test unit clauses added to clones stay legal.
-    B->solver().preprocess();
+    //
+    // If the pass throws (an injected OOM, a real one), the half-built
+    // session must not stay behind: a later same-key request would clone
+    // a base whose clause database is mid-preprocess. Drop it so the next
+    // request rebuilds from scratch.
+    try {
+      B->solver().preprocess();
+    } catch (...) {
+      B.reset();
+      throw;
+    }
   }
   return B->clone();
 }
@@ -111,8 +125,15 @@ const CachedProgram &FormulaCache::lookup(const std::string &Source,
   }
   // Build outside the map lock so a slow encode does not serialize
   // lookups of *other* keys; same-key requesters block here until the
-  // one build completes.
+  // one build completes. A build that *throws* (the CacheFill fault
+  // below, a real OOM in the encoder) leaves the once_flag unset, so the
+  // next same-key request re-runs the build cleanly -- entries are never
+  // poisoned by a half-finished fill.
   std::call_once(P->Built, [&] {
+    // Test-only fault hook (one relaxed load when disarmed).
+    if (faultinject::active() &&
+        faultinject::onEvent(faultinject::Event::CacheFill))
+      throw std::runtime_error("injected cache-fill fault");
     P->Prepared = prepareProgram(Source, Entry, Unroll, Encode, P->Error);
   });
   return *P;

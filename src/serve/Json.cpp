@@ -6,6 +6,8 @@
 
 #include "serve/Json.h"
 
+#include "support/FaultInject.h"
+
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -333,6 +335,14 @@ private:
 std::optional<JsonValue> bugassist::parseJson(std::string_view Text,
                                               std::string &Error) {
   Error.clear();
+  // Test-only fault hook (one relaxed load when disarmed): Interrupt
+  // simulates a transient parse failure (the serve reader answers it as a
+  // malformed line and lives on), BadAlloc escapes to the caller.
+  if (faultinject::active() &&
+      faultinject::onEvent(faultinject::Event::JsonParse)) {
+    Error = "injected parse fault";
+    return std::nullopt;
+  }
   return Parser(Text, Error).run();
 }
 

@@ -2,6 +2,19 @@
 //
 // Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
 //
+// Self-healing pool protocol (docs/SERVE.md, "Failure semantics"): each
+// worker thread runs workerBody; an exception escaping it -- a crashed
+// request, an injected queue-pop fault -- is caught at the thread
+// boundary, a death note naming the in-flight request (if any) goes to
+// the monitor thread, and the thread exits. The monitor joins the corpse,
+// respawns the slot, and hands the replacement the in-flight request with
+// an incremented attempt count: bounded retries under exponential
+// backoff, the last attempt under a degraded budget, and an error
+// response with code `worker-crashed` when every attempt dies. Response
+// emission is idempotent per request index (OrderedEmitter), and outcome
+// tallying is once per request (Request::Tallied), so no crash/retry
+// interleaving can lose, duplicate, or double-count a response.
+//
 //===----------------------------------------------------------------------===//
 
 #include "serve/LocalizeServer.h"
@@ -13,13 +26,18 @@
 #include "programs/TcasMutants.h"
 #include "serve/FormulaCache.h"
 #include "serve/Json.h"
+#include "serve/OrderedEmitter.h"
 #include "serve/RequestQueue.h"
 #include "support/FileUtil.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <deque>
 #include <istream>
-#include <map>
+#include <mutex>
+#include <optional>
 #include <ostream>
 #include <thread>
 #include <vector>
@@ -29,6 +47,16 @@ using namespace bugassist;
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// The process-global drain request: SIGINT/SIGTERM handlers (installed
+/// by the CLI) set it via LocalizeServer::requestDrain, run() clears it
+/// on entry and polls it at every stage boundary.
+std::atomic<bool> DrainFlag{false};
+
+/// Degraded budget for the final retry of a crash-looping request: enough
+/// conflicts to finish any well-behaved query, small enough that a
+/// pathological one comes back `incomplete` instead of crashing forever.
+constexpr uint64_t DegradedMaxConflicts = 200000;
 
 uint64_t elapsedMs(Clock::time_point Start) {
   return static_cast<uint64_t>(
@@ -70,6 +98,11 @@ struct Request {
   double TimeoutSeconds = 0;
   uint64_t MaxConflicts = 0;
   uint64_t MaxMemoryMb = 0;
+
+  /// Set by the first attempt to record this request's outcome in the
+  /// summary counters; retries of a crashed worker re-compute the
+  /// response (emission is idempotent) but must not re-count it.
+  mutable std::atomic<bool> Tallied{false};
 
   bool hasBudget() const {
     return TimeoutSeconds > 0 || MaxConflicts > 0 || MaxMemoryMb > 0;
@@ -120,9 +153,11 @@ bool wantInt(const JsonValue &V, const char *Name, int64_t Min, int64_t Max,
 
 /// Decodes one request object. \p Req.Id is always usable afterwards (the
 /// explicit id when one parsed, else the 1-based request number), so even
-/// rejected requests get an addressable error response.
+/// rejected requests get an addressable error response. \p Code
+/// classifies the rejection (BadRequest unless a finer code applies).
 bool parseRequest(const JsonValue &Root, size_t Index, Request &Req,
-                  std::string &Error) {
+                  std::string &Error, ErrorCode &Code) {
+  Code = ErrorCode::BadRequest;
   Req.Id = std::to_string(Index + 1);
   if (!Root.isObject()) {
     Error = "request must be a JSON object";
@@ -190,6 +225,7 @@ bool parseRequest(const JsonValue &Root, size_t Index, Request &Req,
       auto Text = readFileToString(Path);
       if (!Text) {
         Error = "cannot read file '" + Path + "'";
+        Code = ErrorCode::FileUnreadable;
         return false;
       }
       (Req.Command == Cmd::Localize ? Req.Source : Req.Dimacs) =
@@ -301,13 +337,14 @@ struct ResponseStats {
 
 /// One fully framed response: header line, body bytes, stats trailer line.
 std::string frameResponse(const std::string &Id, const char *CmdStr,
-                          const char *Status, int Exit, const char *Cache,
-                          const std::string &ErrorMsg,
+                          const char *Status, int Exit, ErrorCode Code,
+                          const char *Cache, const std::string &ErrorMsg,
                           const std::string &Body,
                           const ResponseStats &St) {
   std::string Out = "{\"id\":\"" + jsonEscape(Id) + "\",\"cmd\":\"" + CmdStr +
                     "\",\"status\":\"" + Status +
-                    "\",\"exit\":" + std::to_string(Exit);
+                    "\",\"exit\":" + std::to_string(Exit) +
+                    ",\"code\":\"" + errorCodeName(Code) + "\"";
   if (Cache)
     Out += std::string(",\"cache\":\"") + Cache + "\"";
   if (!ErrorMsg.empty())
@@ -345,27 +382,115 @@ void appendModelLine(std::string &Out, const std::vector<LBool> &Model,
   Out += '\n';
 }
 
-/// Per-response outcome counters shared by the workers.
-struct Tally {
-  std::atomic<uint64_t> Ok{0};
-  std::atomic<uint64_t> Incomplete{0};
-  std::atomic<uint64_t> Errors{0};
+/// A computed response plus its summary classification. The class is
+/// applied to the counters exactly once per request (Request::Tallied),
+/// no matter how many crash retries re-compute the response.
+struct Outcome {
+  std::string Frame;
+  enum Class : char { Ok = 'o', Incomplete = 'i', Error = 'e',
+                      Cancelled = 'c' } Kind = Error;
 };
 
-std::string respondError(const Request &Req, const std::string &Message,
-                         Tally &T, const char *Cache = nullptr,
-                         uint64_t ElapsedMs = 0) {
-  ++T.Errors;
+Outcome respondError(const Request &Req, ErrorCode Code,
+                     const std::string &Message, const char *Cache = nullptr,
+                     uint64_t ElapsedMs = 0) {
   ResponseStats St;
   St.ElapsedMs = ElapsedMs;
-  return frameResponse(Req.Id, cmdName(Req.Command), "error",
-                       /*Exit=*/1, Cache, Message, "", St);
+  return {frameResponse(Req.Id, cmdName(Req.Command), "error",
+                        /*Exit=*/1, Code, Cache, Message, "", St),
+          Outcome::Error};
 }
+
+// --- in-flight registry ------------------------------------------------------
+
+/// Per-worker registry of the solver answering the in-flight request,
+/// with its watchdog deadline. The watchdog thread and the drain sweep
+/// call interrupt() under the same mutex the worker uses to register /
+/// clear, so an interrupt can never land on a destroyed solver.
+class FlightTable {
+public:
+  explicit FlightTable(size_t Workers)
+      : Solvers(Workers, nullptr), Deadline(Workers), HasDeadline(Workers, 0) {
+  }
+
+  void set(size_t W, Solver *S, double WatchdogSeconds) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Solvers[W] = S;
+    HasDeadline[W] = WatchdogSeconds > 0;
+    if (WatchdogSeconds > 0)
+      Deadline[W] = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                       std::chrono::duration<double>(
+                                           WatchdogSeconds));
+  }
+
+  void clear(size_t W) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Solvers[W] = nullptr;
+  }
+
+  /// Drain: interrupt every in-flight solve.
+  void interruptAll() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (Solver *S : Solvers)
+      if (S)
+        S->interrupt();
+  }
+
+  /// Watchdog tick: interrupt solves past their deadline. \returns how
+  /// many were escalated (the summary does not report it; tests can).
+  size_t interruptOverdue() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Clock::time_point Now = Clock::now();
+    size_t N = 0;
+    for (size_t W = 0; W < Solvers.size(); ++W)
+      if (Solvers[W] && HasDeadline[W] && Now >= Deadline[W]) {
+        Solvers[W]->interrupt();
+        ++N;
+      }
+    return N;
+  }
+
+private:
+  std::mutex Mu;
+  std::vector<Solver *> Solvers;
+  std::vector<Clock::time_point> Deadline;
+  std::vector<char> HasDeadline;
+};
+
+/// RAII registration of one request's solver in the flight table.
+struct FlightGuard {
+  FlightGuard(FlightTable &Table, size_t W, Solver *S, double WatchdogSeconds)
+      : Table(Table), W(W) {
+    Table.set(W, S, WatchdogSeconds);
+  }
+  ~FlightGuard() { Table.clear(W); }
+  FlightTable &Table;
+  size_t W;
+};
+
+/// What a worker needs besides the request itself.
+struct WorkerCtx {
+  size_t Worker = 0;
+  FlightTable *Flights = nullptr;
+  double WatchdogSeconds = 0;
+  /// Final retry of a crash-looping request: clamp the conflict budget so
+  /// the attempt ends in `incomplete` rather than another crash-and-burn
+  /// cycle. Budgets never change *what* is computed, only how far, so a
+  /// degraded attempt that completes is still byte-identical.
+  bool Degraded = false;
+
+  uint64_t degradedConflicts(uint64_t Requested) const {
+    if (!Degraded)
+      return Requested;
+    return Requested ? std::min(Requested, DegradedMaxConflicts)
+                     : DegradedMaxConflicts;
+  }
+};
 
 // --- per-command processing --------------------------------------------------
 
-std::string processLocalize(const Request &Req, FormulaCache &Cache,
-                            Tally &T) {
+Outcome processLocalize(const Request &Req, FormulaCache &Cache,
+                        const WorkerCtx &Ctx) {
   auto Start = Clock::now();
   bool Hit = false;
   const CachedProgram &CP =
@@ -373,12 +498,13 @@ std::string processLocalize(const Request &Req, FormulaCache &Cache,
                    Req.Pipeline.Encode, &Hit);
   const char *CacheStr = Hit ? "hit" : "miss";
   if (!CP.prepared())
-    return respondError(Req, "program does not compile: " + CP.error(), T,
-                        CacheStr, elapsedMs(Start));
+    return respondError(Req, ErrorCode::CompileError,
+                        "program does not compile: " + CP.error(), CacheStr,
+                        elapsedMs(Start));
 
   PipelineRequest R = Req.Pipeline;
   R.Localize.TimeoutSeconds = Req.TimeoutSeconds;
-  R.Localize.MaxConflicts = Req.MaxConflicts;
+  R.Localize.MaxConflicts = Ctx.degradedConflicts(Req.MaxConflicts);
   R.Localize.MaxMemoryMb = Req.MaxMemoryMb;
 
   // The encode-once fast path: a clone of the cached base session, primed
@@ -387,33 +513,38 @@ std::string processLocalize(const Request &Req, FormulaCache &Cache,
   // the pipeline then transparently builds a session from scratch.
   std::unique_ptr<MaxSatSession> Session =
       CP.cloneSession(R.Localize.Weighted);
+  std::optional<FlightGuard> Flight;
+  if (Session && Ctx.Flights)
+    Flight.emplace(*Ctx.Flights, Ctx.Worker, &Session->solver(),
+                   Ctx.WatchdogSeconds);
   PipelineResult Res = runLocalizePipeline(*CP.prepared(), R, Session.get());
+  Flight.reset();
 
   if (Res.Status == PipelineStatus::InputNotFailing)
-    return respondError(Req, "nothing to localize: " + Res.Message, T,
+    return respondError(Req, Res.Code, "nothing to localize: " + Res.Message,
                         CacheStr, elapsedMs(Start));
 
   // Localized or NoCounterexample: the body is the one-shot CLI's stdout,
   // byte for byte.
   std::string Body = renderLocalizeOutput(Res, Req.Json);
   bool Incomplete = Res.Report.Incomplete;
-  ++(Incomplete ? T.Incomplete : T.Ok);
   ResponseStats St;
   St.ElapsedMs = elapsedMs(Start);
   St.SatCalls = Res.Report.SatCalls;
   St.Search = Res.Report.Search;
-  return frameResponse(Req.Id, cmdName(Req.Command),
-                       Incomplete ? "incomplete" : "ok", Incomplete ? 2 : 0,
-                       CacheStr, "", Body, St);
+  return {frameResponse(Req.Id, cmdName(Req.Command),
+                        Incomplete ? "incomplete" : "ok", Incomplete ? 2 : 0,
+                        Res.Code, CacheStr, "", Body, St),
+          Incomplete ? Outcome::Incomplete : Outcome::Ok};
 }
 
-std::string processMaxSat(const Request &Req, Tally &T) {
+Outcome processMaxSat(const Request &Req, const WorkerCtx &Ctx) {
   auto Start = Clock::now();
   DimacsParseError Err;
   auto Parsed = parseDimacs(Req.Dimacs, Err);
   if (!Parsed)
-    return respondError(Req, "bad wcnf: " + Err.render(), T, nullptr,
-                        elapsedMs(Start));
+    return respondError(Req, ErrorCode::BadDimacs, "bad wcnf: " + Err.render(),
+                        nullptr, elapsedMs(Start));
 
   bool AnyWeight = false;
   MaxSatInstance Inst = toMaxSatInstance(std::move(*Parsed), &AnyWeight);
@@ -424,9 +555,16 @@ std::string processMaxSat(const Request &Req, Tally &T) {
   std::unique_ptr<MaxSatSession> Session =
       makeMaxSatSession(Inst, Weighted, /*ConflictBudget=*/0,
                         Solver::Options(), /*Canonical=*/true);
-  if (Req.hasBudget())
-    Session->setBudget(Req.solverBudget());
+  Solver::Budget B = Req.solverBudget();
+  B.MaxConflicts = Ctx.degradedConflicts(B.MaxConflicts);
+  if (Req.hasBudget() || Ctx.Degraded)
+    Session->setBudget(B);
+  std::optional<FlightGuard> Flight;
+  if (Ctx.Flights)
+    Flight.emplace(*Ctx.Flights, Ctx.Worker, &Session->solver(),
+                   Ctx.WatchdogSeconds);
   MaxSatResult R = Session->solve();
+  Flight.reset();
 
   // The CLI's o/s/v lines with the `c` comment lines removed.
   std::string Body;
@@ -451,23 +589,25 @@ std::string processMaxSat(const Request &Req, Tally &T) {
     break;
   }
   bool Incomplete = R.Status == MaxSatStatus::Unknown;
-  ++(Incomplete ? T.Incomplete : T.Ok);
   ResponseStats St;
   St.ElapsedMs = elapsedMs(Start);
   St.SatCalls = R.SatCalls;
   St.Search = R.Search;
-  return frameResponse(Req.Id, cmdName(Req.Command),
-                       Incomplete ? "incomplete" : "ok", Incomplete ? 2 : 0,
-                       nullptr, "", Body, St);
+  return {frameResponse(Req.Id, cmdName(Req.Command),
+                        Incomplete ? "incomplete" : "ok", Incomplete ? 2 : 0,
+                        Incomplete ? ErrorCode::BudgetExhausted
+                                   : ErrorCode::Ok,
+                        nullptr, "", Body, St),
+          Incomplete ? Outcome::Incomplete : Outcome::Ok};
 }
 
-std::string processSat(const Request &Req, Tally &T) {
+Outcome processSat(const Request &Req, const WorkerCtx &Ctx) {
   auto Start = Clock::now();
   DimacsParseError Err;
   auto Parsed = parseDimacs(Req.Dimacs, Err);
   if (!Parsed)
-    return respondError(Req, "bad cnf: " + Err.render(), T, nullptr,
-                        elapsedMs(Start));
+    return respondError(Req, ErrorCode::BadDimacs, "bad cnf: " + Err.render(),
+                        nullptr, elapsedMs(Start));
 
   // WCNF soft clauses are decided as hard, as the sat CLI does (which
   // warns on a `c` line; serve bodies carry no comment lines).
@@ -475,9 +615,17 @@ std::string processSat(const Request &Req, Tally &T) {
   for (DimacsSoftClause &C : Parsed->Soft)
     Clauses.push_back(std::move(C.Lits));
 
+  // The raced solvers are internal to racePortfolioSat, so the watchdog
+  // cannot reach them via the flight table; its deadline rides in as a
+  // budget deadline instead, which the solver polls at the same cadence
+  // as the interrupt flag.
+  Solver::Budget B = Req.solverBudget();
+  B.MaxConflicts = Ctx.degradedConflicts(B.MaxConflicts);
+  if (Ctx.WatchdogSeconds > 0 && Req.TimeoutSeconds <= 0)
+    B.setDeadlineIn(Ctx.WatchdogSeconds);
   SatRaceResult R =
       racePortfolioSat(Clauses, Parsed->NumVars, /*Threads=*/1,
-                       Solver::Options(), Req.solverBudget());
+                       Solver::Options(), B);
   std::string Body;
   if (R.Result == LBool::True)
     Body = "s SATISFIABLE\n";
@@ -489,72 +637,86 @@ std::string processSat(const Request &Req, Tally &T) {
     appendModelLine(Body, R.Model, Parsed->NumVars, /*TrailingZero=*/true);
 
   bool Incomplete = R.Result == LBool::Undef;
-  ++(Incomplete ? T.Incomplete : T.Ok);
   ResponseStats St;
   St.ElapsedMs = elapsedMs(Start);
   St.SatCalls = 1;
   St.Search = R.Aggregate;
-  return frameResponse(Req.Id, cmdName(Req.Command),
-                       Incomplete ? "incomplete" : "ok", Incomplete ? 2 : 0,
-                       nullptr, "", Body, St);
+  return {frameResponse(Req.Id, cmdName(Req.Command),
+                        Incomplete ? "incomplete" : "ok", Incomplete ? 2 : 0,
+                        Incomplete ? ErrorCode::BudgetExhausted
+                                   : ErrorCode::Ok,
+                        nullptr, "", Body, St),
+          Incomplete ? Outcome::Incomplete : Outcome::Ok};
 }
 
-std::string processRequest(const Request &Req, FormulaCache &Cache,
-                           Tally &T) {
+Outcome processRequest(const Request &Req, FormulaCache &Cache,
+                       const WorkerCtx &Ctx) {
   switch (Req.Command) {
   case Cmd::Localize:
-    return processLocalize(Req, Cache, T);
+    return processLocalize(Req, Cache, Ctx);
   case Cmd::MaxSat:
-    return processMaxSat(Req, T);
+    return processMaxSat(Req, Ctx);
   case Cmd::Sat:
-    return processSat(Req, T);
+    return processSat(Req, Ctx);
   }
-  return respondError(Req, "unreachable", T);
+  return respondError(Req, ErrorCode::Internal, "unreachable");
 }
 
-// --- ordered emission --------------------------------------------------------
+/// Per-response outcome counters shared by the workers.
+struct Tally {
+  std::atomic<uint64_t> Ok{0};
+  std::atomic<uint64_t> Incomplete{0};
+  std::atomic<uint64_t> Errors{0};
+  std::atomic<uint64_t> Cancelled{0};
 
-/// Responses computed out of order, written in request order: a worker
-/// submits its finished response and whoever holds the next index flushes
-/// the contiguous run. No dedicated writer thread; a daemon client sees
-/// each response the moment its turn arrives.
-class OrderedEmitter {
-public:
-  explicit OrderedEmitter(std::ostream &Out) : Out(Out) {}
-
-  void emit(size_t Index, std::string Payload) {
-    std::lock_guard<std::mutex> Lock(Mu);
-    Pending.emplace(Index, std::move(Payload));
-    while (!Pending.empty() && Pending.begin()->first == Next) {
-      Out << Pending.begin()->second;
-      Pending.erase(Pending.begin());
-      ++Next;
+  void count(Outcome::Class K) {
+    switch (K) {
+    case Outcome::Ok:         ++Ok; break;
+    case Outcome::Incomplete: ++Incomplete; break;
+    case Outcome::Error:      ++Errors; break;
+    case Outcome::Cancelled:  ++Cancelled; break;
     }
-    Out.flush();
   }
+};
 
-private:
-  std::mutex Mu;
-  std::ostream &Out;
-  size_t Next = 0;
-  std::map<size_t, std::string> Pending;
+/// A worker's death note to the monitor: which pool slot died, and which
+/// request (if any) was in flight at what attempt number.
+struct DeathNote {
+  size_t Slot = 0;
+  bool Clean = false; ///< normal exit (queue drained), not a crash
+  bool HasIndex = false;
+  size_t Index = 0;
+  int Attempt = 0;
+  std::string What; ///< exception text, for the final error response
 };
 
 } // namespace
 
+void LocalizeServer::requestDrain() {
+  DrainFlag.store(true, std::memory_order_relaxed);
+}
+
+bool LocalizeServer::drainRequested() {
+  return DrainFlag.load(std::memory_order_relaxed);
+}
+
 ServeSummary LocalizeServer::run(std::istream &In, std::ostream &Out,
                                  std::ostream &Err) {
   auto Start = Clock::now();
+  DrainFlag.store(false, std::memory_order_relaxed);
   size_t Threads = Opts.Threads ? Opts.Threads : 1;
 
   FormulaCache Cache;
   RequestQueue Queue(Threads);
   OrderedEmitter Emitter(Out);
   Tally T;
+  FlightTable Flights(Threads);
+  std::atomic<uint64_t> Respawns{0}, Retries{0};
 
   // Request slots live here; the queue carries indexes. The mutex covers
   // only the vector itself (push_back can reallocate under a reader) --
-  // each Request is immutable once enqueued.
+  // each Request is immutable once enqueued (Tallied aside, which is
+  // atomic).
   std::mutex SlotsMu;
   std::vector<std::unique_ptr<Request>> Slots;
   auto slot = [&](size_t Index) -> const Request & {
@@ -562,36 +724,210 @@ ServeSummary LocalizeServer::run(std::istream &In, std::ostream &Out,
     return *Slots[Index];
   };
 
-  std::vector<std::thread> Pool;
-  Pool.reserve(Threads);
+  // Tally exactly once per request, then emit (emission is idempotent, so
+  // the order does not matter for the stream, only for the counters).
+  auto tally = [&](const Request &Req, Outcome::Class K) {
+    if (!Req.Tallied.exchange(true, std::memory_order_relaxed))
+      T.count(K);
+  };
+  auto tallyAndEmit = [&](size_t Index, const Request &Req, Outcome O) {
+    tally(Req, O.Kind);
+    Emitter.emit(Index, std::move(O.Frame));
+  };
+  // Emission from the reader and monitor threads must never throw: emit()
+  // records the payload before writing a byte, so after a failure -- a
+  // real OOM, an injected flush fault -- the response is already recorded
+  // and the next emit or the final flushReady() writes it. Workers
+  // deliberately do NOT go through this: an emit-time crash there is a
+  // worker death, contained and retried by the pool protocol.
+  auto emitNoThrow = [&](size_t Index, std::string Frame) {
+    try {
+      Emitter.emit(Index, std::move(Frame));
+    } catch (...) {
+    }
+  };
+
+  // One request attempt on worker W. Throws = this worker dies.
+  auto handle = [&](size_t W, size_t Index, int Attempt) {
+    const Request &Req = slot(Index);
+    if (DrainFlag.load(std::memory_order_relaxed)) {
+      // Accepted but drained before any work started: answer `cancelled`
+      // so the client still gets exactly one response for the id.
+      ResponseStats St;
+      tallyAndEmit(Index, Req,
+                   {frameResponse(Req.Id, cmdName(Req.Command), "cancelled",
+                                  /*Exit=*/2, ErrorCode::Cancelled, nullptr,
+                                  "request drained before execution", "", St),
+                    Outcome::Cancelled});
+      return;
+    }
+    WorkerCtx Ctx;
+    Ctx.Worker = W;
+    Ctx.Flights = &Flights;
+    Ctx.WatchdogSeconds = Opts.WatchdogSeconds;
+    Ctx.Degraded = Attempt > 0 && Attempt >= Opts.MaxRetries;
+    Outcome O = processRequest(Req, Cache, Ctx);
+    tallyAndEmit(Index, Req, std::move(O));
+  };
+
+  // Death notes flow from dying workers to the monitor thread.
+  std::mutex NotesMu;
+  std::condition_variable NotesCv;
+  std::deque<DeathNote> Notes;
+  auto postNote = [&](DeathNote N) {
+    {
+      std::lock_guard<std::mutex> Lock(NotesMu);
+      Notes.push_back(std::move(N));
+    }
+    NotesCv.notify_one();
+  };
+
+  // The worker thread body. Resume carries a dead predecessor's in-flight
+  // request into the respawned thread: it is re-run first (at its bumped
+  // attempt count), then the worker joins the ordinary pop loop.
+  auto workerBody = [&](size_t W, bool Resume, size_t ResumeIndex,
+                        int ResumeAttempt) {
+    bool InFlight = false;
+    size_t Cur = 0;
+    int Attempt = 0;
+    try {
+      if (Resume) {
+        InFlight = true;
+        Cur = ResumeIndex;
+        Attempt = ResumeAttempt;
+        handle(W, Cur, Attempt);
+        InFlight = false;
+      }
+      for (;;) {
+        InFlight = false;
+        size_t Index;
+        // pop() itself can be a crash site (injected queue-pop faults);
+        // it throws *before* dequeuing, so no request is lost with the
+        // worker -- whoever pops next (usually the respawn) gets it.
+        if (!Queue.pop(W, Index))
+          break;
+        InFlight = true;
+        Cur = Index;
+        Attempt = 0;
+        handle(W, Cur, 0);
+      }
+      postNote({W, /*Clean=*/true, false, 0, 0, ""});
+    } catch (const std::exception &E) {
+      Flights.clear(W); // belt and braces; FlightGuard normally did this
+      postNote({W, false, InFlight, Cur, Attempt, E.what()});
+    } catch (...) {
+      Flights.clear(W);
+      postNote({W, false, InFlight, Cur, Attempt, "unknown exception"});
+    }
+  };
+
+  std::vector<std::thread> Pool(Threads);
   for (size_t W = 0; W < Threads; ++W)
-    Pool.emplace_back([&, W] {
-      size_t Index;
-      while (Queue.pop(W, Index)) {
-        const Request &Req = slot(Index);
-        Emitter.emit(Index, processRequest(Req, Cache, T));
+    Pool[W] = std::thread(workerBody, W, false, size_t{0}, 0);
+
+  // The monitor: joins dead workers, emits the final error when a request
+  // exhausted its retries, and respawns the slot. Exits once every slot
+  // has posted a clean (queue-drained) exit.
+  std::atomic<bool> PoolDone{false};
+  std::thread Monitor([&] {
+    size_t Remaining = Threads;
+    while (Remaining > 0) {
+      DeathNote N;
+      {
+        std::unique_lock<std::mutex> Lock(NotesMu);
+        NotesCv.wait(Lock, [&] { return !Notes.empty(); });
+        N = std::move(Notes.front());
+        Notes.pop_front();
+      }
+      if (N.Clean) {
+        --Remaining;
+        continue;
+      }
+      // The dead thread posted its note as its final act; join reclaims
+      // it, then the slot is respawned -- the pool never shrinks.
+      Pool[N.Slot].join();
+      ++Respawns;
+      bool Resume = N.HasIndex;
+      int NextAttempt = N.Attempt + 1;
+      if (Resume && NextAttempt > Opts.MaxRetries) {
+        // Every attempt crashed: answer the request with a structured
+        // error so it is not lost, and respawn the worker fresh.
+        const Request &Req = slot(N.Index);
+        Outcome O = respondError(Req, ErrorCode::WorkerCrashed,
+                                 "worker crashed on every attempt: " + N.What);
+        tally(Req, O.Kind);
+        emitNoThrow(N.Index, std::move(O.Frame));
+        Resume = false;
+      } else if (Resume) {
+        ++Retries;
+        // Exponential backoff before the retry: transient conditions
+        // (memory pressure, a fault campaign burst) get time to pass.
+        double Ms = Opts.RetryBackoffMs;
+        for (int K = 1; K < NextAttempt; ++K)
+          Ms *= 2;
+        Ms = std::min(Ms, 1000.0);
+        if (Ms > 0)
+          std::this_thread::sleep_for(std::chrono::duration<double,
+                                                            std::milli>(Ms));
+      }
+      Pool[N.Slot] = std::thread(workerBody, N.Slot, Resume, N.Index,
+                                 Resume ? NextAttempt : 0);
+    }
+    PoolDone.store(true, std::memory_order_relaxed);
+  });
+
+  // The watchdog: escalates past-deadline queries via Solver::interrupt()
+  // so a stuck solve frees its worker as an `incomplete` response instead
+  // of holding its response slot forever.
+  std::mutex WdMu;
+  std::condition_variable WdCv;
+  bool WdStop = false;
+  std::thread Watchdog;
+  if (Opts.WatchdogSeconds > 0)
+    Watchdog = std::thread([&] {
+      std::unique_lock<std::mutex> Lock(WdMu);
+      while (!WdCv.wait_for(Lock, std::chrono::milliseconds(20),
+                            [&] { return WdStop; })) {
+        Flights.interruptOverdue();
+        if (DrainFlag.load(std::memory_order_relaxed))
+          Flights.interruptAll();
       }
     });
 
   // Reader loop (this thread): one JSON object per line; blank lines are
   // ignored. A line that fails to parse or validate is answered with an
   // error response in its slot -- the daemon survives and later requests
-  // are unaffected.
+  // are unaffected. A drain request stops intake between lines (and the
+  // CLI installs its signal handlers without SA_RESTART, so a daemon
+  // blocked in getline on stdin is kicked out by the signal itself).
   size_t NumRequests = 0;
   std::string Line;
-  while (std::getline(In, Line)) {
+  while (!DrainFlag.load(std::memory_order_relaxed) &&
+         std::getline(In, Line)) {
     if (Line.find_first_not_of(" \t\r") == std::string::npos)
       continue;
     size_t Index = NumRequests++;
     auto Req = std::make_unique<Request>();
     std::string Error;
+    ErrorCode Code = ErrorCode::BadRequest;
     bool ParsedOk = false;
-    auto Root = parseJson(Line, Error);
-    if (!Root) {
-      Error = "bad JSON: " + Error;
-      Req->Id = std::to_string(Index + 1);
-    } else {
-      ParsedOk = parseRequest(*Root, Index, *Req, Error);
+    std::optional<JsonValue> Root;
+    try {
+      Root = parseJson(Line, Error);
+      if (!Root) {
+        Error = "bad JSON: " + Error;
+        Req->Id = std::to_string(Index + 1);
+      } else {
+        ParsedOk = parseRequest(*Root, Index, *Req, Error, Code);
+      }
+    } catch (const std::exception &E) {
+      // An exception out of parsing (an injected fault, a real OOM on a
+      // huge line) must not kill intake: answer the line and move on.
+      Error = std::string("internal error parsing request: ") + E.what();
+      Code = ErrorCode::Internal;
+      if (Req->Id.empty())
+        Req->Id = std::to_string(Index + 1);
+      ParsedOk = false;
     }
     if (!ParsedOk) {
       // Malformed request: answered inline (ordering still holds -- the
@@ -604,8 +940,9 @@ ServeSummary LocalizeServer::run(std::istream &In, std::ostream &Out,
             CmdText = C->Text;
       ++T.Errors;
       ResponseStats St;
-      Emitter.emit(Index, frameResponse(Req->Id, CmdText.c_str(), "error",
-                                        /*Exit=*/1, nullptr, Error, "", St));
+      emitNoThrow(Index, frameResponse(Req->Id, CmdText.c_str(), "error",
+                                       /*Exit=*/1, Code, nullptr, Error, "",
+                                       St));
       continue;
     }
     {
@@ -616,25 +953,55 @@ ServeSummary LocalizeServer::run(std::istream &In, std::ostream &Out,
     }
     Queue.push(Index);
   }
+  bool Drained = DrainFlag.load(std::memory_order_relaxed);
   Queue.close();
+  // Drain: keep interrupting in-flight solves until the pool is done, so
+  // a request that registered its solver between sweeps is still caught.
+  // Queued-not-started requests answer themselves `cancelled` in handle().
+  while (Drained && !PoolDone.load(std::memory_order_relaxed)) {
+    Flights.interruptAll();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  Monitor.join();
   for (std::thread &Worker : Pool)
-    Worker.join();
+    if (Worker.joinable())
+      Worker.join();
+  if (Watchdog.joinable()) {
+    {
+      std::lock_guard<std::mutex> Lock(WdMu);
+      WdStop = true;
+    }
+    WdCv.notify_one();
+    Watchdog.join();
+  }
+  // A worker that died between recording its response and flushing it
+  // leaves the payload stranded in the emitter; write whatever became
+  // contiguous so every accepted request's response reaches the stream.
+  Emitter.flushReady();
 
   ServeSummary S;
   S.Requests = NumRequests;
   S.Ok = T.Ok;
   S.Incomplete = T.Incomplete;
   S.Errors = T.Errors;
+  S.Cancelled = T.Cancelled;
   FormulaCacheStats CS = Cache.stats();
   S.CacheHits = CS.Hits;
   S.CacheMisses = CS.Misses;
-  S.ExitCode = S.Errors ? 1 : S.Incomplete ? 2 : 0;
+  S.Respawns = Respawns;
+  S.Retries = Retries;
+  S.Drained = Drained;
+  S.ExitCode = S.Errors ? 1 : (S.Incomplete || S.Cancelled) ? 2 : 0;
 
   Err << "{\"requests\":" << S.Requests << ",\"ok\":" << S.Ok
       << ",\"incomplete\":" << S.Incomplete << ",\"errors\":" << S.Errors
+      << ",\"cancelled\":" << S.Cancelled
       << ",\"cache_hits\":" << S.CacheHits
-      << ",\"cache_misses\":" << S.CacheMisses << ",\"threads\":" << Threads
-      << ",\"elapsed_ms\":" << elapsedMs(Start) << "}\n";
+      << ",\"cache_misses\":" << S.CacheMisses
+      << ",\"respawns\":" << S.Respawns << ",\"retries\":" << S.Retries
+      << ",\"drained\":" << (S.Drained ? "true" : "false")
+      << ",\"threads\":" << Threads << ",\"elapsed_ms\":" << elapsedMs(Start)
+      << "}\n";
   Err.flush();
   return S;
 }

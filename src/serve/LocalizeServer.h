@@ -22,10 +22,21 @@
 /// reports depend only on the formula. A maxsat/sat body equals the
 /// one-shot stdout with the `c` comment lines removed.
 ///
-/// Failure isolation: a malformed request line, an uncompilable program,
-/// or an exhausted per-request budget produces an `error` / `incomplete`
-/// response for that id and nothing else -- the pool, the cache, and the
-/// remaining requests are unaffected.
+/// Failure semantics (docs/SERVE.md has the full contract): a malformed
+/// request line, an uncompilable program, or an exhausted per-request
+/// budget produces an `error` / `incomplete` response for that id and
+/// nothing else. A worker thread lost to an escaped exception (a real
+/// OOM, an injected fault) is detected at the thread boundary and
+/// respawned; its in-flight request is re-run with bounded retries under
+/// exponential backoff, the last attempt under a degraded budget, and a
+/// request that crashes every attempt gets a `worker-crashed` error
+/// response -- the pool never shrinks and no accepted request goes
+/// unanswered. A watchdog (WatchdogSeconds) escalates past-deadline
+/// queries via Solver::interrupt(). requestDrain() -- wired to
+/// SIGINT/SIGTERM by the CLI -- stops intake, interrupts in-flight work,
+/// answers still-queued requests with `cancelled`, and flushes the
+/// emitter so every accepted request still gets exactly one well-formed
+/// response.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,6 +53,20 @@ struct ServeOptions {
   /// Pool width: workers answering requests concurrently. Output bytes do
   /// not depend on it; wall-clock does.
   size_t Threads = 1;
+  /// Crash retries per request: a request whose worker dies is re-run up
+  /// to this many times (the final retry under a degraded budget) before
+  /// it is answered with a `worker-crashed` error. Retried queries stay
+  /// byte-identical -- they clone the same cached base session. 0 turns
+  /// retry off (a crashed request errors immediately; the worker still
+  /// respawns).
+  int MaxRetries = 2;
+  /// Base of the exponential backoff between retries, in milliseconds
+  /// (attempt k sleeps Base * 2^(k-1) ms).
+  double RetryBackoffMs = 5.0;
+  /// Per-request wall deadline enforced by the watchdog thread: a query
+  /// running longer is interrupted via Solver::interrupt() and comes back
+  /// `incomplete`, freeing its worker. 0 disables the watchdog.
+  double WatchdogSeconds = 0;
 };
 
 /// What one run() produced, mirrored by the JSON summary record written to
@@ -51,10 +76,14 @@ struct ServeSummary {
   uint64_t Ok = 0;         ///< status "ok"
   uint64_t Incomplete = 0; ///< status "incomplete" (budget exhausted)
   uint64_t Errors = 0;     ///< status "error"
+  uint64_t Cancelled = 0;  ///< status "cancelled" (accepted, then drained)
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0; ///< == programs parsed + encoded
+  uint64_t Respawns = 0;    ///< worker threads respawned after a crash
+  uint64_t Retries = 0;     ///< request re-runs after a worker crash
+  bool Drained = false;     ///< a drain request stopped intake early
   /// Process exit code: 1 when any request errored, else 2 when any was
-  /// budget-limited, else 0 (docs/SERVE.md, "Exit codes").
+  /// budget-limited or cancelled, else 0 (docs/SERVE.md, "Exit codes").
   int ExitCode = 0;
 };
 
@@ -62,11 +91,23 @@ class LocalizeServer {
 public:
   explicit LocalizeServer(const ServeOptions &Opts) : Opts(Opts) {}
 
-  /// Serves \p In to EOF. Responses go to \p Out in request order (each
-  /// flushed as soon as it is next, so a daemon sees answers as they
-  /// complete); the one-line JSON summary goes to \p Err. Reentrant per
-  /// server: each call builds its own cache and pool.
+  /// Serves \p In to EOF (or drain). Responses go to \p Out in request
+  /// order (each flushed as soon as it is next, so a daemon sees answers
+  /// as they complete); the one-line JSON summary goes to \p Err.
+  /// Reentrant per server: each call builds its own cache and pool, and
+  /// clears any stale drain request on entry.
   ServeSummary run(std::istream &In, std::ostream &Out, std::ostream &Err);
+
+  /// Initiates a graceful drain of the (process-global) running serve
+  /// loop: intake stops, in-flight solvers are interrupted, queued
+  /// requests are answered `cancelled`, the emitter is flushed, and run()
+  /// returns with Drained set. Async-signal-safe (one atomic store) --
+  /// the CLI's SIGINT/SIGTERM handlers call exactly this.
+  static void requestDrain();
+
+  /// True once requestDrain() was called (and not yet cleared by a fresh
+  /// run()).
+  static bool drainRequested();
 
 private:
   ServeOptions Opts;

@@ -1,0 +1,71 @@
+//===- OrderedEmitter.h - Request-order response emission -------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The emission half of the serve pool (docs/ARCHITECTURE.md, "Serve
+/// mode"): responses are computed out of order by the workers but written
+/// in request order. A worker submits its finished response under the
+/// emitter's lock and whoever holds the next index flushes the contiguous
+/// run -- no dedicated writer thread, and a daemon client sees each
+/// response the moment its turn arrives.
+///
+/// Crash safety (docs/SERVE.md, "Failure semantics"): emit() is
+/// *idempotent per index*. A worker that dies between computing a
+/// response and completing the flush is respawned and re-runs its
+/// request; the retry's emit() finds the index already recorded (or
+/// already written) and the first payload wins, so a response is written
+/// exactly once no matter how many times its worker crashed around it.
+/// Writes happen under the same lock as recording, each payload in one
+/// write() call, so a dying writer can never leave a partial frame
+/// interleaved with another response.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_SERVE_ORDEREDEMITTER_H
+#define BUGASSIST_SERVE_ORDEREDEMITTER_H
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace bugassist {
+
+class OrderedEmitter {
+public:
+  explicit OrderedEmitter(std::ostream &Out) : Out(Out) {}
+
+  /// Records \p Payload for request \p Index and flushes the contiguous
+  /// run starting at the next unwritten index, if this submission
+  /// completed one. Idempotent per index: re-submissions (a crashed
+  /// worker's retry) are dropped, the first payload wins.
+  void emit(size_t Index, std::string Payload);
+
+  /// Flushes whatever contiguous run is ready without submitting
+  /// anything. run() calls this after the pool drains so a payload
+  /// stranded by a worker that died mid-flush (recorded but not yet
+  /// written) still reaches the stream.
+  void flushReady();
+
+  /// Responses fully written so far (== the next index awaited).
+  size_t written() const;
+
+  /// Responses recorded but stalled behind a missing earlier index.
+  size_t pending() const;
+
+private:
+  void flushLocked();
+
+  mutable std::mutex Mu;
+  std::ostream &Out;
+  size_t Next = 0;
+  std::map<size_t, std::string> Pending;
+};
+
+} // namespace bugassist
+
+#endif // BUGASSIST_SERVE_ORDEREDEMITTER_H

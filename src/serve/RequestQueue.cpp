@@ -6,7 +6,10 @@
 
 #include "serve/RequestQueue.h"
 
+#include "support/FaultInject.h"
+
 #include <cassert>
+#include <stdexcept>
 
 using namespace bugassist;
 
@@ -24,6 +27,12 @@ void RequestQueue::push(size_t Item) {
 
 bool RequestQueue::pop(size_t Worker, size_t &Item) {
   assert(Worker < Deques.size() && "worker id out of range");
+  // Test-only fault hook (one relaxed load when disarmed), fired before
+  // anything is dequeued so a killed worker loses no item: the request
+  // stays queued for whoever pops next -- typically the respawned worker.
+  if (faultinject::active() &&
+      faultinject::onEvent(faultinject::Event::QueuePop))
+    throw std::runtime_error("injected queue-pop fault");
   std::unique_lock<std::mutex> Lock(Mu);
   for (;;) {
     // Own deque, newest first.

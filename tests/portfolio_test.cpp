@@ -399,12 +399,6 @@ MaxSatInstance softPigeonhole(int Holes) {
   return Inst;
 }
 
-/// RAII disarm so a failing assertion cannot leak an armed fault into
-/// later tests.
-struct FaultGuard {
-  ~FaultGuard() { faultinject::disarm(); }
-};
-
 } // namespace
 
 TEST(PortfolioFaults, WorkerBadAllocIsIsolatedAndDiagnosisUnchanged) {
@@ -420,20 +414,22 @@ TEST(PortfolioFaults, WorkerBadAllocIsIsolatedAndDiagnosisUnchanged) {
   // allocation. The race must finish on the survivors with the same
   // canonical diagnosis.
   auto Portfolio = makePortfolioSession(Inst, /*Weighted=*/false, 4);
-  FaultGuard Guard;
-  faultinject::arm(faultinject::Event::Allocation, faultinject::Fault::BadAlloc,
-                   /*Nth=*/1);
-  MaxSatResult Got = Portfolio->solve();
-  faultinject::disarm();
+  MaxSatResult Got;
+  {
+    faultinject::ScopedFault Fault(faultinject::Event::Allocation,
+                                   faultinject::Fault::BadAlloc, /*Nth=*/1);
+    Got = Portfolio->solve();
+  }
 
   ASSERT_EQ(Got.Status, MaxSatStatus::Optimum);
   EXPECT_EQ(Got.Cost, Want.Cost);
   EXPECT_EQ(Got.FalsifiedSoft, Want.FalsifiedSoft);
   EXPECT_EQ(Portfolio->portfolioStats().WorkerFaults, 1u);
-  EXPECT_EQ(Portfolio->aliveWorkers(), 3u);
+  EXPECT_EQ(Portfolio->aliveWorkers(), 3u); // the casualty sits this round out
 
-  // The crippled portfolio is still a working session: enumeration
-  // continues on the survivors, in lockstep with the reference.
+  // Enumeration continues in lockstep with the reference -- and the next
+  // solve() respawns the casualty first, so the pool self-heals back to
+  // full width instead of shrinking for the session's lifetime.
   Clause Beta;
   for (size_t I : Got.FalsifiedSoft)
     Beta.push_back(Inst.Soft[I].Lits[0]);
@@ -446,7 +442,8 @@ TEST(PortfolioFaults, WorkerBadAllocIsIsolatedAndDiagnosisUnchanged) {
     EXPECT_EQ(Got2.Cost, Want2.Cost);
     EXPECT_EQ(Got2.FalsifiedSoft, Want2.FalsifiedSoft);
   }
-  EXPECT_EQ(Portfolio->aliveWorkers(), 3u); // no further casualties
+  EXPECT_EQ(Portfolio->portfolioStats().WorkerRespawns, 1u);
+  EXPECT_EQ(Portfolio->aliveWorkers(), 4u); // back to full strength
 }
 
 TEST(PortfolioFaults, RacedSatSurvivesWorkerCrash) {
@@ -462,11 +459,9 @@ TEST(PortfolioFaults, RacedSatSurvivesWorkerCrash) {
   // test's subject, preprocessing is simplify_test's.
   Solver::Options NoPre;
   NoPre.Preprocess = false;
-  FaultGuard Guard;
-  faultinject::arm(faultinject::Event::Restart, faultinject::Fault::BadAlloc,
-                   /*Nth=*/1);
+  faultinject::ScopedFault Fault(faultinject::Event::Restart,
+                                 faultinject::Fault::BadAlloc, /*Nth=*/1);
   SatRaceResult Race = racePortfolioSat(Cs, 7 * 6, 4, NoPre);
-  faultinject::disarm();
   EXPECT_EQ(Race.Result, LBool::False);
   EXPECT_EQ(Race.Faults, 1u);
   ASSERT_GE(Race.Winner, 0);

@@ -611,10 +611,12 @@ TEST(SolverFaultInject, SpuriousInterruptAtNthAllocationStopsSolve) {
   loadPigeonhole(S, 7);
   // The refutation must learn clauses, so allocation events are
   // guaranteed; the injected fault converts the 3rd one into an interrupt.
-  faultinject::arm(faultinject::Event::Allocation,
-                   faultinject::Fault::Interrupt, 3);
-  LBool R = S.solve();
-  faultinject::disarm();
+  LBool R;
+  {
+    faultinject::ScopedFault Fault(faultinject::Event::Allocation,
+                                   faultinject::Fault::Interrupt, 3);
+    R = S.solve();
+  }
   EXPECT_EQ(R, LBool::Undef);
   EXPECT_TRUE(S.interrupted());
   S.clearInterrupt();
@@ -626,8 +628,7 @@ TEST(SolverFaultInject, InjectedBadAllocPropagatesOutOfSolve) {
   // thread-boundary isolation lives in the portfolio, not here).
   Solver S;
   loadPigeonhole(S, 7);
-  faultinject::arm(faultinject::Event::Allocation, faultinject::Fault::BadAlloc,
-                   1);
+  faultinject::ScopedFault Fault(faultinject::Event::Allocation,
+                                 faultinject::Fault::BadAlloc, 1);
   EXPECT_THROW(S.solve(), std::bad_alloc);
-  faultinject::disarm();
 }

@@ -22,14 +22,19 @@
 #include "programs/TcasMutants.h"
 #include "serve/Json.h"
 #include "serve/LocalizeServer.h"
+#include "serve/OrderedEmitter.h"
+#include "support/FaultInject.h"
 
 #include <gtest/gtest.h>
 
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <unistd.h>
 #include <vector>
 
@@ -61,6 +66,7 @@ struct Frame {
   std::string Cmd;
   std::string Status;
   int64_t Exit = -1;
+  std::string Code;       ///< structured error code ("ok", "cancelled", ...)
   std::string CacheField; ///< "hit", "miss", or "" when absent
   std::string ErrorField; ///< "" when absent
   std::string Body;
@@ -104,6 +110,8 @@ std::vector<Frame> parseFrames(const std::string &Raw) {
       break;
     F.Exit = *ExitVal;
     int64_t BodyLen = *BodyLenVal;
+    if (const JsonValue *C = Header->find("code"))
+      F.Code = C->Text;
     if (const JsonValue *C = Header->find("cache"))
       F.CacheField = C->Text;
     if (const JsonValue *E = Header->find("error"))
@@ -137,10 +145,8 @@ struct LibRun {
   std::string ErrLine;
 };
 
-LibRun runServe(const std::string &Batch, size_t Threads) {
+LibRun runServeOpts(const std::string &Batch, const ServeOptions &SO) {
   LibRun R;
-  ServeOptions SO;
-  SO.Threads = Threads;
   LocalizeServer Server(SO);
   std::istringstream In(Batch);
   std::ostringstream Out, Err;
@@ -148,6 +154,12 @@ LibRun runServe(const std::string &Batch, size_t Threads) {
   R.Frames = parseFrames(Out.str());
   R.ErrLine = Err.str();
   return R;
+}
+
+LibRun runServe(const std::string &Batch, size_t Threads) {
+  ServeOptions SO;
+  SO.Threads = Threads;
+  return runServeOpts(Batch, SO);
 }
 
 /// Drops DIMACS `c` comment lines: serve maxsat/sat bodies are the
@@ -486,6 +498,323 @@ TEST(ServeCli, BatchFileMustExistAndThreadsMustBeSane) {
       runCommand(Cli + " serve --batch /dev/null 2>/dev/null", Exit);
   EXPECT_EQ(exitStatus(Exit), 0);
   EXPECT_TRUE(Out.empty());
+}
+
+// --- the ordered emitter ------------------------------------------------------
+
+TEST(OrderedEmitterUnit, FlushesContiguousRunAsSoonAsNextArrives) {
+  std::ostringstream Out;
+  OrderedEmitter E(Out);
+  E.emit(1, "B");
+  EXPECT_EQ(E.written(), 0u); // stalled behind the missing index 0
+  EXPECT_EQ(E.pending(), 1u);
+  EXPECT_TRUE(Out.str().empty());
+  E.emit(0, "A"); // completes the run: both flush in one go, in order
+  EXPECT_EQ(Out.str(), "AB");
+  EXPECT_EQ(E.written(), 2u);
+  EXPECT_EQ(E.pending(), 0u);
+}
+
+TEST(OrderedEmitterUnit, OutOfOrderCompletionWithErrorsInterleaved) {
+  // The serve reality: successes, errors, and incompletes complete in
+  // scheduler order, not request order; the stream must still read
+  // 0,1,2,3,4 with every payload whole.
+  std::ostringstream Out;
+  OrderedEmitter E(Out);
+  E.emit(3, "[3:error]");
+  E.emit(1, "[1:incomplete]");
+  E.emit(4, "[4:ok]");
+  EXPECT_TRUE(Out.str().empty());
+  E.emit(0, "[0:ok]"); // flushes 0 and 1
+  EXPECT_EQ(Out.str(), "[0:ok][1:incomplete]");
+  E.emit(2, "[2:ok]"); // flushes the rest
+  EXPECT_EQ(Out.str(), "[0:ok][1:incomplete][2:ok][3:error][4:ok]");
+  EXPECT_EQ(E.written(), 5u);
+}
+
+TEST(OrderedEmitterUnit, EmitIsIdempotentPerIndexAndFirstPayloadWins) {
+  std::ostringstream Out;
+  OrderedEmitter E(Out);
+  E.emit(1, "original");
+  E.emit(1, "retry"); // a crashed worker's retry: dropped while pending
+  E.emit(0, "head");
+  EXPECT_EQ(Out.str(), "headoriginal");
+  E.emit(0, "late"); // and dropped after writing, too
+  E.emit(1, "later");
+  EXPECT_EQ(Out.str(), "headoriginal");
+  EXPECT_EQ(E.written(), 2u);
+}
+
+TEST(OrderedEmitterUnit, WriterDeathLeavesNoPartialFrameAndPayloadSurvives) {
+  // A worker dying inside emit() -- after recording, before writing --
+  // must leave zero bytes on the stream (no partial frame), and the
+  // recorded payload must still come out whole, written exactly once by
+  // whoever flushes next.
+  std::ostringstream Out;
+  OrderedEmitter E(Out);
+  {
+    faultinject::ScopedFault Fault("emitterflush:badalloc@1");
+    EXPECT_THROW(E.emit(0, "whole frame\n"), std::bad_alloc);
+  }
+  EXPECT_TRUE(Out.str().empty()); // nothing partial escaped
+  EXPECT_EQ(E.pending(), 1u);     // but the payload is safely recorded
+  E.emit(0, "the retry's recomputation"); // first payload wins
+  EXPECT_EQ(Out.str(), "whole frame\n");
+  EXPECT_EQ(E.written(), 1u);
+}
+
+// --- self-healing under injected faults ---------------------------------------
+
+namespace {
+
+/// Soft pigeonhole WCNF text: every clause soft at weight 1, empty hard
+/// part. The first Fu-Malik core needs the full PHP refutation -- far
+/// beyond any test budget for Holes >= 9 -- but the anytime upper bound
+/// and witness are instant, so budget/watchdog/drain interruptions all
+/// come back `incomplete` fast.
+std::string softPigeonWcnf(int Holes) {
+  int Pigeons = Holes + 1;
+  auto V = [&](int P, int H) { return P * Holes + H + 1; };
+  std::vector<std::string> Lines;
+  for (int P = 0; P < Pigeons; ++P) {
+    std::string L = "1";
+    for (int H = 0; H < Holes; ++H)
+      L += " " + std::to_string(V(P, H));
+    Lines.push_back(L + " 0");
+  }
+  for (int H = 0; H < Holes; ++H)
+    for (int P = 0; P < Pigeons; ++P)
+      for (int Q = P + 1; Q < Pigeons; ++Q)
+        Lines.push_back("1 -" + std::to_string(V(P, H)) + " -" +
+                        std::to_string(V(Q, H)) + " 0");
+  std::string Out = "p wcnf " + std::to_string(Pigeons * Holes) + " " +
+                    std::to_string(Lines.size()) + " 1000\n";
+  for (const std::string &L : Lines)
+    Out += L + "\n";
+  return Out;
+}
+
+/// Compares the deterministic frame fields (id, status, exit, code, body)
+/// of two runs; cache hit/miss attribution is scheduling-dependent at
+/// widths above one and deliberately excluded.
+void expectSameFrames(const std::vector<Frame> &Got,
+                      const std::vector<Frame> &Want) {
+  ASSERT_EQ(Got.size(), Want.size());
+  for (size_t I = 0; I < Want.size(); ++I) {
+    EXPECT_EQ(Got[I].Id, Want[I].Id) << "frame " << I;
+    EXPECT_EQ(Got[I].Status, Want[I].Status) << "frame " << I;
+    EXPECT_EQ(Got[I].Exit, Want[I].Exit) << "frame " << I;
+    EXPECT_EQ(Got[I].Code, Want[I].Code) << "frame " << I;
+    EXPECT_EQ(Got[I].Body, Want[I].Body) << "frame " << I;
+  }
+}
+
+} // namespace
+
+TEST(ServeSelfHealing, CacheFillCrashIsRetriedAndTheEntryIsNotPoisoned) {
+  // The first fill of the cache entry throws, killing the worker inside
+  // lookup(). The entry must not be poisoned: the respawned worker's
+  // retry re-runs the build under the same key and both requests succeed,
+  // byte-identical to the fault-free run.
+  std::string Req = "{\"cmd\":\"localize\",\"source\":\"" +
+                    jsonEscape(ArrayProgram) + "\"}";
+  std::string Batch = Req + "\n" + Req + "\n";
+  LibRun Clean = runServe(Batch, /*Threads=*/1);
+  ASSERT_EQ(Clean.Summary.Ok, 2u);
+
+  LibRun Faulty;
+  {
+    faultinject::ScopedFault Fault("cachefill:badalloc@1");
+    Faulty = runServe(Batch, /*Threads=*/1);
+  }
+  EXPECT_EQ(Faulty.Summary.Ok, 2u);
+  EXPECT_EQ(Faulty.Summary.Errors, 0u);
+  EXPECT_EQ(Faulty.Summary.Respawns, 1u) << Faulty.ErrLine;
+  EXPECT_EQ(Faulty.Summary.Retries, 1u) << Faulty.ErrLine;
+  EXPECT_EQ(Faulty.Summary.ExitCode, 0);
+  expectSameFrames(Faulty.Frames, Clean.Frames);
+}
+
+TEST(ServeSelfHealing, PreprocessCrashHealsAndTheBaseSessionIsNotPoisoned) {
+  // The injected OOM escapes from the cached base session's preprocess
+  // inside cloneSession(); the half-built base must be dropped (not left
+  // mid-pass for the next clone), the worker respawned, and the retry
+  // must rebuild and answer identically to the fault-free run.
+  std::string Req = "{\"cmd\":\"localize\",\"source\":\"" +
+                    jsonEscape(ArrayProgram) + "\"}";
+  std::string Batch = Req + "\n" + Req + "\n";
+  LibRun Clean = runServe(Batch, /*Threads=*/1);
+  ASSERT_EQ(Clean.Summary.Ok, 2u);
+
+  LibRun Faulty;
+  {
+    faultinject::ScopedFault Fault("simplify:badalloc@1");
+    Faulty = runServe(Batch, /*Threads=*/1);
+  }
+  EXPECT_EQ(Faulty.Summary.Ok, 2u);
+  EXPECT_EQ(Faulty.Summary.Respawns, 1u) << Faulty.ErrLine;
+  EXPECT_EQ(Faulty.Summary.Retries, 1u) << Faulty.ErrLine;
+  EXPECT_EQ(Faulty.Summary.ExitCode, 0);
+  expectSameFrames(Faulty.Frames, Clean.Frames);
+}
+
+TEST(ServeSelfHealing, RetriesExhaustedYieldsWorkerCrashedErrorResponse) {
+  // Every cache fill crashes (period 1): the initial attempt and the
+  // single allowed retry both die, so the request must come back as a
+  // structured worker-crashed error -- not vanish, not hang -- and the
+  // pool must end the run at full strength.
+  std::string Batch = "{\"id\":\"doomed\",\"cmd\":\"localize\",\"source\":\"" +
+                      jsonEscape(ArrayProgram) + "\"}\n";
+  ServeOptions SO;
+  SO.Threads = 1;
+  SO.MaxRetries = 1;
+  SO.RetryBackoffMs = 0.1;
+  LibRun R;
+  {
+    faultinject::ScopedFault Fault("cachefill:badalloc@1/1");
+    R = runServeOpts(Batch, SO);
+  }
+  ASSERT_EQ(R.Frames.size(), 1u);
+  EXPECT_EQ(R.Frames[0].Id, "doomed");
+  EXPECT_EQ(R.Frames[0].Status, "error");
+  EXPECT_EQ(R.Frames[0].Code, "worker-crashed");
+  EXPECT_NE(R.Frames[0].ErrorField.find("worker crashed on every attempt"),
+            std::string::npos)
+      << R.Frames[0].ErrorField;
+  EXPECT_EQ(R.Summary.Errors, 1u);
+  EXPECT_EQ(R.Summary.Retries, 1u);
+  EXPECT_EQ(R.Summary.Respawns, 2u); // both attempts died
+  EXPECT_EQ(R.Summary.ExitCode, 1);
+}
+
+TEST(ServeSelfHealing, ErrorCodesClassifyOutcomesInTheHeader) {
+  std::string Batch =
+      "{\"id\":\"bad\",\"cmd\":\"sat\"}\n"
+      "{\"id\":\"nofile\",\"cmd\":\"sat\",\"file\":\"/nonexistent.cnf\"}\n"
+      "{\"id\":\"ok\",\"cmd\":\"sat\",\"cnf\":\"p cnf 1 1\\n1 0\\n\"}\n"
+      "{\"id\":\"slow\",\"cmd\":\"maxsat\",\"wcnf\":\"" +
+      jsonEscape(softPigeonWcnf(9)) + "\",\"max_conflicts\":1}\n";
+  LibRun R = runServe(Batch, /*Threads=*/1);
+  ASSERT_EQ(R.Frames.size(), 4u);
+  EXPECT_EQ(R.Frames[0].Code, "bad-request");
+  EXPECT_EQ(R.Frames[1].Code, "file-unreadable");
+  EXPECT_EQ(R.Frames[2].Code, "ok");
+  EXPECT_EQ(R.Frames[3].Status, "incomplete");
+  EXPECT_EQ(R.Frames[3].Code, "budget-exhausted");
+}
+
+TEST(ServeSelfHealing, WatchdogEscalatesOverdueQueries) {
+  // The soft-PHP(9) Fu-Malik core is far beyond any test-scale search, so
+  // without the watchdog this request would run (nearly) forever. The
+  // watchdog must interrupt it, the response must be an honest
+  // `incomplete` with the anytime bound, and the next request must be
+  // unaffected.
+  std::string Batch = "{\"id\":\"stuck\",\"cmd\":\"maxsat\",\"wcnf\":\"" +
+                      jsonEscape(softPigeonWcnf(9)) +
+                      "\"}\n"
+                      "{\"id\":\"after\",\"cmd\":\"sat\",\"cnf\":\"p cnf 1 1"
+                      "\\n1 0\\n\"}\n";
+  ServeOptions SO;
+  SO.Threads = 1;
+  SO.WatchdogSeconds = 0.25;
+  LibRun R = runServeOpts(Batch, SO);
+  ASSERT_EQ(R.Frames.size(), 2u);
+  EXPECT_EQ(R.Frames[0].Id, "stuck");
+  EXPECT_EQ(R.Frames[0].Status, "incomplete");
+  EXPECT_EQ(R.Frames[0].Exit, 2);
+  EXPECT_NE(R.Frames[0].Body.find("s UNKNOWN"), std::string::npos)
+      << R.Frames[0].Body;
+  EXPECT_EQ(R.Frames[1].Id, "after");
+  EXPECT_EQ(R.Frames[1].Status, "ok");
+  EXPECT_EQ(R.Summary.Incomplete, 1u);
+  EXPECT_EQ(R.Summary.ExitCode, 2);
+}
+
+namespace {
+
+/// An istream buffer that serves a fixed prefix, then *blocks* on
+/// underflow until release() -- a stand-in for a daemon's idle stdin, so
+/// drain tests can interrupt a server that is mid-batch rather than one
+/// that already saw EOF.
+class BlockingStringBuf : public std::streambuf {
+public:
+  explicit BlockingStringBuf(std::string T) : Text(std::move(T)) {
+    setg(Text.data(), Text.data(), Text.data() + Text.size());
+  }
+  void release() {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Released = true;
+    }
+    Cv.notify_all();
+  }
+
+protected:
+  int_type underflow() override {
+    std::unique_lock<std::mutex> Lock(Mu);
+    Cv.wait(Lock, [&] { return Released; });
+    return traits_type::eof();
+  }
+
+private:
+  std::string Text;
+  std::mutex Mu;
+  std::condition_variable Cv;
+  bool Released = false;
+};
+
+} // namespace
+
+TEST(ServeSelfHealing, DrainAnswersEveryAcceptedRequestExactlyOnce) {
+  // Three unboundedly slow requests, width 1: one is in flight when the
+  // drain arrives, the others are still queued (the pool's own-deque pop
+  // order is newest-first, so which one is in flight is a scheduling
+  // accident -- the assertions below are order-agnostic). The drain must
+  // interrupt the in-flight solve (-> incomplete), answer the queued ones
+  // with `cancelled`, and produce exactly one well-formed frame per id.
+  std::string Slow = jsonEscape(softPigeonWcnf(9));
+  std::string Batch =
+      "{\"id\":\"r0\",\"cmd\":\"maxsat\",\"wcnf\":\"" + Slow + "\"}\n" +
+      "{\"id\":\"r1\",\"cmd\":\"maxsat\",\"wcnf\":\"" + Slow + "\"}\n" +
+      "{\"id\":\"r2\",\"cmd\":\"maxsat\",\"wcnf\":\"" + Slow + "\"}\n";
+  BlockingStringBuf Buf(Batch);
+  std::istream In(&Buf);
+  std::ostringstream Out, Err;
+  ServeOptions SO;
+  SO.Threads = 1;
+  LocalizeServer Server(SO);
+  ServeSummary Summary;
+  std::thread Runner([&] { Summary = Server.run(In, Out, Err); });
+  // Let the slow solve get going, then drain -- exactly what the CLI's
+  // SIGTERM handler does -- and unblock the (daemon-idle) input stream.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  LocalizeServer::requestDrain();
+  Buf.release();
+  Runner.join();
+
+  std::vector<Frame> Frames = parseFrames(Out.str());
+  ASSERT_EQ(Frames.size(), 3u);
+  size_t Incomplete = 0, Cancelled = 0;
+  for (size_t I = 0; I < 3; ++I) {
+    const Frame &F = Frames[I];
+    EXPECT_EQ(F.Id, "r" + std::to_string(I)); // response order == intake order
+    EXPECT_EQ(F.Exit, 2) << "id " << F.Id;
+    if (F.Status == "incomplete") {
+      ++Incomplete; // the interrupted in-flight solve: honest anytime answer
+      EXPECT_NE(F.Body.find("s UNKNOWN"), std::string::npos) << F.Body;
+    } else {
+      ++Cancelled;
+      EXPECT_EQ(F.Status, "cancelled") << "id " << F.Id;
+      EXPECT_EQ(F.Code, "cancelled") << "id " << F.Id;
+      EXPECT_TRUE(F.Body.empty()) << "id " << F.Id;
+    }
+  }
+  EXPECT_EQ(Incomplete, 1u);
+  EXPECT_EQ(Cancelled, 2u);
+  EXPECT_TRUE(Summary.Drained);
+  EXPECT_EQ(Summary.Cancelled, 2u);
+  EXPECT_EQ(Summary.Incomplete, 1u);
+  EXPECT_EQ(Summary.ExitCode, 2);
 }
 
 // --- the checked-in smoke batch -----------------------------------------------

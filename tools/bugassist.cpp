@@ -36,9 +36,11 @@
 #include "programs/Tcas.h"
 #include "programs/TcasMutants.h"
 #include "serve/LocalizeServer.h"
+#include "support/FaultInject.h"
 #include "support/FileUtil.h"
 
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -84,11 +86,17 @@ int usage(const char *Argv0) {
       "  maxsat <file.wcnf> [--threads N] [--engine fumalik|linear]\n"
       "                     [--no-model] [--no-preprocess] [--stats]\n"
       "  sat <file.cnf> [--threads N] [--no-model] [--no-preprocess]\n"
-      "  serve [--batch FILE] [--threads N]\n"
+      "  serve [--batch FILE] [--threads N] [--max-retries N]\n"
+      "        [--watchdog SECONDS] [--faults SPEC]\n"
       "                     batch localization service: JSON-lines\n"
       "                     requests from FILE (or stdin as a daemon),\n"
       "                     framed responses on stdout in request order,\n"
-      "                     each program parsed/encoded once (docs/SERVE.md)\n"
+      "                     each program parsed/encoded once (docs/SERVE.md).\n"
+      "                     Crashed workers respawn and retry the in-flight\n"
+      "                     request --max-retries times; --watchdog bounds\n"
+      "                     each request's wall time; SIGINT/SIGTERM drain\n"
+      "                     gracefully. --faults (or BUGASSIST_FAULTS) arms\n"
+      "                     a test-only fault-injection campaign\n"
       "  dump-tcas [N]      print TCAS source (0: correct, 1..41: mutants)\n"
       "  dump-tcas --list   list the mutant catalog\n"
       "\n"
@@ -535,9 +543,30 @@ int cmdSat(int Argc, char **Argv, const char *Argv0) {
 
 // --- serve -------------------------------------------------------------------
 
+/// SIGINT/SIGTERM -> graceful drain. requestDrain is one atomic store
+/// (async-signal-safe); the handlers are installed *without* SA_RESTART so
+/// a daemon blocked reading stdin is kicked out of the read by the signal
+/// and notices the flag immediately.
+extern "C" void serveDrainHandler(int) { LocalizeServer::requestDrain(); }
+
+void installDrainHandlers() {
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = serveDrainHandler;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = 0; // no SA_RESTART: interrupt blocking reads
+  sigaction(SIGINT, &SA, nullptr);
+  sigaction(SIGTERM, &SA, nullptr);
+}
+
 int cmdServe(int Argc, char **Argv, const char *Argv0) {
   ServeOptions SO;
   std::string BatchPath, V;
+  // Test-only fault campaign: the env var arms one for a whole harness
+  // run; an explicit --faults flag overrides it.
+  std::string FaultSpec;
+  if (const char *Env = std::getenv("BUGASSIST_FAULTS"))
+    FaultSpec = Env;
   for (int I = 0; I < Argc; ++I) {
     if (matchValueFlag(Argc, Argv, I, "--batch", V)) {
       BatchPath = V;
@@ -549,11 +578,36 @@ int cmdServe(int Argc, char **Argv, const char *Argv0) {
         return ExitInputError;
       }
       SO.Threads = N;
+    } else if (matchValueFlag(Argc, Argv, I, "--max-retries", V)) {
+      size_t N;
+      if (!parseSizeT(V, N) || N > 16) {
+        std::fprintf(stderr, "bugassist: bad --max-retries value '%s'\n",
+                     V.c_str());
+        return ExitInputError;
+      }
+      SO.MaxRetries = static_cast<int>(N);
+    } else if (matchValueFlag(Argc, Argv, I, "--watchdog", V)) {
+      if (!parsePositiveDouble(V, SO.WatchdogSeconds)) {
+        std::fprintf(stderr, "bugassist: bad --watchdog value '%s'\n",
+                     V.c_str());
+        return ExitInputError;
+      }
+    } else if (matchValueFlag(Argc, Argv, I, "--faults", V)) {
+      FaultSpec = V;
     } else {
       std::fprintf(stderr, "bugassist: unknown serve option '%s'\n", Argv[I]);
       return usage(Argv0);
     }
   }
+
+  if (!FaultSpec.empty()) {
+    std::string Error;
+    if (!faultinject::armSpec(FaultSpec, Error)) {
+      std::fprintf(stderr, "bugassist: bad fault spec: %s\n", Error.c_str());
+      return ExitInputError;
+    }
+  }
+  installDrainHandlers();
 
   LocalizeServer Server(SO);
   if (BatchPath.empty()) {
