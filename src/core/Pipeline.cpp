@@ -7,6 +7,7 @@
 #include "core/Pipeline.h"
 
 #include "interp/Interpreter.h"
+#include "lang/AstPrinter.h"
 
 #include <algorithm>
 #include <charconv>
@@ -203,18 +204,24 @@ std::vector<int64_t> bugassist::goldenOutputs(
 FailingTests bugassist::segregateFailingTests(
     const Program &Golden, const Program &Faulty,
     const std::vector<InputVector> &Pool, const std::string &Entry,
-    const ExecOptions &EO, size_t MaxTests) {
+    const ExecOptions &EO, size_t MaxTests, size_t MaxPassing) {
   FailingTests Out;
   Out.PoolSize = Pool.size();
   Interpreter GI(Golden, EO);
   Interpreter FI(Faulty, EO);
   for (const InputVector &In : Pool) {
-    if (Out.Inputs.size() >= MaxTests)
+    if (Out.Inputs.size() >= MaxTests &&
+        Out.PassingInputs.size() >= MaxPassing)
       break;
     int64_t Want = GI.run(Entry, In).ReturnValue;
     if (FI.run(Entry, In).ReturnValue != Want) {
-      Out.Inputs.push_back(In);
-      Out.Goldens.push_back(Want);
+      if (Out.Inputs.size() < MaxTests) {
+        Out.Inputs.push_back(In);
+        Out.Goldens.push_back(Want);
+      }
+    } else if (Out.PassingInputs.size() < MaxPassing) {
+      Out.PassingInputs.push_back(In);
+      Out.PassingGoldens.push_back(Want);
     }
   }
   return Out;
@@ -223,16 +230,22 @@ FailingTests bugassist::segregateFailingTests(
 FailingTests bugassist::segregateFailingTests(
     const std::vector<int64_t> &GoldenOut, const Program &Faulty,
     const std::vector<InputVector> &Pool, const std::string &Entry,
-    const ExecOptions &EO, size_t MaxTests) {
+    const ExecOptions &EO, size_t MaxTests, size_t MaxPassing) {
   FailingTests Out;
   Out.PoolSize = Pool.size();
   Interpreter FI(Faulty, EO);
   for (size_t I = 0; I < Pool.size(); ++I) {
-    if (Out.Inputs.size() >= MaxTests)
+    if (Out.Inputs.size() >= MaxTests &&
+        Out.PassingInputs.size() >= MaxPassing)
       break;
     if (FI.run(Entry, Pool[I]).ReturnValue != GoldenOut[I]) {
-      Out.Inputs.push_back(Pool[I]);
-      Out.Goldens.push_back(GoldenOut[I]);
+      if (Out.Inputs.size() < MaxTests) {
+        Out.Inputs.push_back(Pool[I]);
+        Out.Goldens.push_back(GoldenOut[I]);
+      }
+    } else if (Out.PassingInputs.size() < MaxPassing) {
+      Out.PassingInputs.push_back(Pool[I]);
+      Out.PassingGoldens.push_back(GoldenOut[I]);
     }
   }
   return Out;
@@ -505,5 +518,172 @@ std::string bugassist::renderLocalizeOutput(const PipelineResult &Res,
       Out += "  ";
   }
   Out += "}\n";
+  return Out;
+}
+
+RepairPipelineResult bugassist::runRepairPipeline(const PreparedProgram &P,
+                                                  const RepairRequest &R,
+                                                  MaxSatSession *Session) {
+  RepairPipelineResult Out;
+  if (R.Inputs.empty()) {
+    Out.Status = PipelineStatus::InputNotFailing;
+    Out.Code = ErrorCode::BadRequest;
+    Out.Message = "repair requires at least one failing input";
+    return Out;
+  }
+  if (!R.Goldens.empty() && R.Goldens.size() != R.Inputs.size()) {
+    Out.Status = PipelineStatus::InputNotFailing;
+    Out.Code = ErrorCode::BadRequest;
+    Out.Message = "golden count does not match input count";
+    return Out;
+  }
+
+  // Localize Inputs[0] through the standard seam: this judges the input
+  // concretely (InputNotFailing when it meets the spec) and yields the
+  // canonical report the candidate lines come from.
+  PipelineRequest L;
+  L.Entry = R.Entry;
+  L.Unroll = R.Unroll;
+  L.Encode = R.Encode;
+  L.Input = R.Inputs[0];
+  if (!R.Goldens.empty())
+    L.GoldenReturn = R.Goldens[0];
+  L.CheckObligations = R.CheckObligations;
+  L.Localize = R.Localize;
+  PipelineResult LR = runLocalizePipeline(P, L, Session);
+  Out.Status = LR.Status;
+  Out.Code = LR.Code;
+  Out.Message = LR.Message;
+  Out.FailingInput = LR.FailingInput;
+  Out.Report = std::move(LR.Report);
+  if (LR.Status != PipelineStatus::Localized)
+    return Out;
+
+  // Candidate lines in first-seen diagnosis order: the first CoMSS is the
+  // most likely fix location and gets mutated first.
+  std::vector<uint32_t> Lines;
+  std::set<uint32_t> Seen;
+  for (const Diagnosis &D : Out.Report.Diagnoses)
+    for (uint32_t Line : D.Lines)
+      if (Seen.insert(Line).second)
+        Lines.push_back(Line);
+
+  RepairOptions RO = R.Repair;
+  RO.CandidateLines = std::move(Lines);
+  RO.Unroll = R.Unroll;
+  RO.Localize = R.Localize;
+  const std::vector<int64_t> *Goldens =
+      R.Goldens.empty() ? nullptr : &R.Goldens;
+  Out.Repair = repairProgram(*P.Prog, *P.Driver, R.Entry, R.Inputs,
+                             LR.SpecUsed, Goldens, RO);
+
+  if (Out.Report.Incomplete || (Out.Repair.Truncated && !Out.Repair.Found))
+    Out.Code = ErrorCode::BudgetExhausted;
+  else
+    Out.Code = ErrorCode::Ok;
+  return Out;
+}
+
+namespace {
+
+/// Minimal JSON string escaping for the repair renderer (descriptions and
+/// pretty-printed programs: quotes, backslashes, newlines, tabs).
+void appendJsonString(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      Out += C;
+      break;
+    }
+  }
+  Out += '"';
+}
+
+} // namespace
+
+std::string bugassist::renderRepairOutput(const RepairPipelineResult &Res,
+                                          bool Json) {
+  switch (Res.Status) {
+  case PipelineStatus::CompileError:
+  case PipelineStatus::InputNotFailing:
+  case PipelineStatus::NoCounterexample:
+    return ""; // reported out of band, never on stdout
+  case PipelineStatus::Localized:
+    break;
+  }
+  const RepairResult &R = Res.Repair;
+  const RepairStats &St = R.Stats;
+  if (!Json) {
+    std::string Out =
+        "failing input: " + renderInputVector(Res.FailingInput) + "\n";
+    Out += "suspect lines:";
+    for (uint32_t L : R.SuspectLines)
+      Out += ' ' + std::to_string(L);
+    Out += '\n';
+    Out += "prescreen: " + std::to_string(St.LinesScreenedOut) + " of " +
+           std::to_string(St.LinesConsidered) + " lines ruled out (" +
+           std::to_string(St.PrescreenSatCalls) + " sat calls)\n";
+    Out += "candidates: " + std::to_string(R.CandidatesTried) + " tried of " +
+           std::to_string(St.CandidatesPlanned) + " planned (" +
+           std::to_string(St.TestScreenRejected) + " failed tests, " +
+           std::to_string(St.BmcRejected) + " failed verification)\n";
+    if (R.Found) {
+      Out += "repair: line " + std::to_string(R.Suggestion.Line) + ": " +
+             R.Suggestion.Description + "\n";
+      Out += "fixed program:\n" + printProgram(*R.Suggestion.FixedProgram);
+    } else if (R.Truncated) {
+      Out += "repair: NONE within candidate budget (more candidates exist)\n";
+    } else {
+      Out += "repair: none validated (template space exhausted)\n";
+    }
+    return Out;
+  }
+  std::string Out = "{\n  \"input\": \"" +
+                    renderInputVector(Res.FailingInput) + "\",\n";
+  Out += "  \"found\": ";
+  Out += R.Found ? "true" : "false";
+  Out += ",\n";
+  if (R.Found) {
+    Out += "  \"line\": " + std::to_string(R.Suggestion.Line) + ",\n";
+    Out += "  \"fix\": ";
+    appendJsonString(Out, R.Suggestion.Description);
+    Out += ",\n";
+  }
+  Out += "  \"suspect_lines\": [";
+  for (size_t I = 0; I < R.SuspectLines.size(); ++I)
+    Out += (I ? ", " : "") + std::to_string(R.SuspectLines[I]);
+  Out += "],\n";
+  Out += "  \"truncated\": ";
+  Out += R.Truncated ? "true" : "false";
+  Out += ",\n  \"stats\": {\"lines_considered\": " +
+         std::to_string(St.LinesConsidered) +
+         ", \"lines_screened_out\": " + std::to_string(St.LinesScreenedOut) +
+         ", \"prescreen_sat_calls\": " +
+         std::to_string(St.PrescreenSatCalls) +
+         ", \"candidates_planned\": " + std::to_string(St.CandidatesPlanned) +
+         ", \"candidates_tried\": " + std::to_string(St.CandidatesTried) +
+         ", \"sema_rejected\": " + std::to_string(St.SemaRejected) +
+         ", \"test_screen_rejected\": " +
+         std::to_string(St.TestScreenRejected) +
+         ", \"bmc_rejected\": " + std::to_string(St.BmcRejected) +
+         ", \"formula_builds\": " + std::to_string(St.FormulaBuilds) + "}";
+  if (R.Found) {
+    Out += ",\n  \"fixed_program\": ";
+    appendJsonString(Out, printProgram(*R.Suggestion.FixedProgram));
+  }
+  Out += "\n}\n";
   return Out;
 }

@@ -29,6 +29,7 @@
 
 #include "core/BugAssist.h"
 #include "core/ErrorCode.h"
+#include "core/Repair.h"
 #include "lang/Sema.h"
 
 #include <memory>
@@ -125,12 +126,67 @@ PipelineResult runLocalizePipeline(const PreparedProgram &P,
                                    const PipelineRequest &R,
                                    MaxSatSession *Session = nullptr);
 
+/// Everything runRepairPipeline needs besides the prepared program: the
+/// localize knobs plus the repair knobs and the failing test set.
+struct RepairRequest {
+  std::string Entry = "main";
+  UnrollOptions Unroll;
+  EncodeOptions Encode;
+  /// Failing tests (at least one). Inputs[0] drives localization; all of
+  /// them screen repair candidates.
+  std::vector<InputVector> Inputs;
+  /// Expected (golden) return per input, parallel to Inputs. Empty =
+  /// obligation spec only.
+  std::vector<int64_t> Goldens;
+  bool CheckObligations = true;
+  LocalizeOptions Localize;
+  /// CandidateLines/Unroll/Localize inside are overwritten by the driver
+  /// (lines come from the localization report, the rest from above).
+  RepairOptions Repair;
+};
+
+struct RepairPipelineResult {
+  PipelineStatus Status = PipelineStatus::CompileError;
+  /// Ok when the repair search decided (found a fix or exhausted the
+  /// template space); BudgetExhausted when either the localization report
+  /// or the candidate search was truncated by a budget; else the failure.
+  ErrorCode Code = ErrorCode::CompileError;
+  std::string Message;
+  InputVector FailingInput;
+  /// The localization the candidate lines came from (canonical).
+  LocalizationReport Report;
+  RepairResult Repair;
+};
+
+/// Algorithm 2 through the pipeline seam: judges Inputs[0] concretely,
+/// localizes it (on \p Session when given -- serve's cloned session pool),
+/// derives candidate lines from the report in first-seen diagnosis order,
+/// and runs the pooled repairProgram overload against P.Driver's formula
+/// (prescreen + no localization rebuild). Requirements on \p R's
+/// Entry/Unroll/Encode and on \p Session match runLocalizePipeline.
+RepairPipelineResult runRepairPipeline(const PreparedProgram &P,
+                                       const RepairRequest &R,
+                                       MaxSatSession *Session = nullptr);
+
+/// The canonical stdout of a repair run, shared verbatim by `bugassist
+/// repair` and serve's `repair` command (deterministic: work counters
+/// only, no wall-clock or solver search statistics). Error statuses
+/// render empty, as with renderLocalizeOutput.
+std::string renderRepairOutput(const RepairPipelineResult &Res, bool Json);
+
 /// The failing subset of a test pool, judged against a golden program
 /// version (Section 6.1: run both, keep inputs where the outputs differ).
 struct FailingTests {
   std::vector<InputVector> Inputs;
   /// Expected (golden) return value per failing input, parallel to Inputs.
   std::vector<int64_t> Goldens;
+  /// Regression witnesses: pool inputs where the faulty version already
+  /// agrees with the golden one, with their (identical) return values.
+  /// Algorithm 2's candidate screen replays these alongside the failing
+  /// tests -- a "fix" that repairs the failures by breaking previously
+  /// passing behavior is an imposter and must be rejected.
+  std::vector<InputVector> PassingInputs;
+  std::vector<int64_t> PassingGoldens;
   /// Size of the pool that was screened.
   size_t PoolSize = 0;
 };
@@ -146,13 +202,15 @@ std::vector<int64_t> goldenOutputs(const Program &Golden,
 
 /// Screens \p Pool: runs \p Entry of both programs on every input and
 /// collects up to \p MaxTests inputs where the faulty return differs from
-/// the golden one.
+/// the golden one, plus up to \p MaxPassing agreeing inputs as regression
+/// witnesses for the repair candidate screen.
 FailingTests segregateFailingTests(const Program &Golden,
                                    const Program &Faulty,
                                    const std::vector<InputVector> &Pool,
                                    const std::string &Entry,
                                    const ExecOptions &EO,
-                                   size_t MaxTests = SIZE_MAX);
+                                   size_t MaxTests = SIZE_MAX,
+                                   size_t MaxPassing = 0);
 
 /// Same screening against precomputed golden outputs (parallel to
 /// \p Pool), saving the golden re-interpretation per faulty version.
@@ -161,7 +219,8 @@ FailingTests segregateFailingTests(const std::vector<int64_t> &GoldenOut,
                                    const std::vector<InputVector> &Pool,
                                    const std::string &Entry,
                                    const ExecOptions &EO,
-                                   size_t MaxTests = SIZE_MAX);
+                                   size_t MaxTests = SIZE_MAX,
+                                   size_t MaxPassing = 0);
 
 /// Renders an input vector as the CLI's `--input` syntax: scalars
 /// comma-separated, arrays bracketed (`3,[1,2,4],0`).

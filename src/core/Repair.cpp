@@ -7,7 +7,9 @@
 #include "core/Repair.h"
 
 #include "lang/AstPrinter.h"
+#include "lang/AstWalk.h"
 #include "lang/Sema.h"
+#include "sat/Solver.h"
 
 #include <functional>
 #include <set>
@@ -15,83 +17,6 @@
 using namespace bugassist;
 
 namespace {
-
-/// Preorder walk over every expression in the program, with a running
-/// ordinal that is stable across clones (the mutator's addressing scheme).
-void forEachExpr(Program &P, const std::function<void(Expr *, size_t)> &Fn) {
-  size_t Ordinal = 0;
-  std::function<void(Expr *)> VisitExpr = [&](Expr *E) {
-    if (!E)
-      return;
-    Fn(E, Ordinal++);
-    switch (E->kind()) {
-    case Expr::ArrayIndexKind:
-      VisitExpr(cast<ArrayIndex>(E)->base());
-      VisitExpr(cast<ArrayIndex>(E)->index());
-      break;
-    case Expr::UnaryKind:
-      VisitExpr(cast<UnaryExpr>(E)->operand());
-      break;
-    case Expr::BinaryKind:
-      VisitExpr(cast<BinaryExpr>(E)->lhs());
-      VisitExpr(cast<BinaryExpr>(E)->rhs());
-      break;
-    case Expr::ConditionalKind:
-      VisitExpr(cast<ConditionalExpr>(E)->cond());
-      VisitExpr(cast<ConditionalExpr>(E)->thenExpr());
-      VisitExpr(cast<ConditionalExpr>(E)->elseExpr());
-      break;
-    case Expr::CallKind:
-      for (const auto &A : cast<CallExpr>(E)->args())
-        VisitExpr(A.get());
-      break;
-    default:
-      break;
-    }
-  };
-  std::function<void(Stmt *)> VisitStmt = [&](Stmt *S) {
-    if (!S)
-      return;
-    switch (S->kind()) {
-    case Stmt::BlockStmtKind:
-      for (const auto &Sub : cast<BlockStmt>(S)->stmts())
-        VisitStmt(Sub.get());
-      break;
-    case Stmt::DeclStmtKind:
-      VisitExpr(cast<DeclStmt>(S)->decl()->init());
-      break;
-    case Stmt::AssignStmtKind:
-      VisitExpr(cast<AssignStmt>(S)->index());
-      VisitExpr(cast<AssignStmt>(S)->value());
-      break;
-    case Stmt::IfStmtKind:
-      VisitExpr(cast<IfStmt>(S)->cond());
-      VisitStmt(cast<IfStmt>(S)->thenStmt());
-      VisitStmt(cast<IfStmt>(S)->elseStmt());
-      break;
-    case Stmt::WhileStmtKind:
-      VisitExpr(cast<WhileStmt>(S)->cond());
-      VisitStmt(cast<WhileStmt>(S)->body());
-      break;
-    case Stmt::ReturnStmtKind:
-      VisitExpr(cast<ReturnStmt>(S)->value());
-      break;
-    case Stmt::AssertStmtKind:
-      VisitExpr(cast<AssertStmt>(S)->cond());
-      break;
-    case Stmt::AssumeStmtKind:
-      VisitExpr(cast<AssumeStmt>(S)->cond());
-      break;
-    case Stmt::ExprStmtKind:
-      VisitExpr(cast<ExprStmt>(S)->expr());
-      break;
-    }
-  };
-  for (const auto &G : P.globals())
-    VisitExpr(G->init());
-  for (const auto &F : P.functions())
-    VisitStmt(F->body());
-}
 
 /// One candidate mutation, addressed by expression ordinal.
 struct Mutation {
@@ -102,37 +27,6 @@ struct Mutation {
   BinaryOp NewOp = BinaryOp::Add;
   std::string Description;
 };
-
-std::vector<BinaryOp> nearMissOps(BinaryOp Op) {
-  switch (Op) {
-  case BinaryOp::Lt:
-    return {BinaryOp::Le, BinaryOp::Gt, BinaryOp::Ge};
-  case BinaryOp::Le:
-    return {BinaryOp::Lt, BinaryOp::Ge, BinaryOp::Gt};
-  case BinaryOp::Gt:
-    return {BinaryOp::Ge, BinaryOp::Lt, BinaryOp::Le};
-  case BinaryOp::Ge:
-    return {BinaryOp::Gt, BinaryOp::Le, BinaryOp::Lt};
-  case BinaryOp::Eq:
-    return {BinaryOp::Ne};
-  case BinaryOp::Ne:
-    return {BinaryOp::Eq};
-  case BinaryOp::Add:
-    return {BinaryOp::Sub};
-  case BinaryOp::Sub:
-    return {BinaryOp::Add};
-  case BinaryOp::Mul:
-    return {BinaryOp::Div};
-  case BinaryOp::Div:
-    return {BinaryOp::Mul};
-  case BinaryOp::LogAnd:
-    return {BinaryOp::LogOr};
-  case BinaryOp::LogOr:
-    return {BinaryOp::LogAnd};
-  default:
-    return {};
-  }
-}
 
 void planMutationsOnLine(Program &P, uint32_t Line, const RepairOptions &Opts,
                          std::vector<Mutation> &Plan) {
@@ -207,27 +101,72 @@ std::unique_ptr<Program> applyMutation(const Program &P, const Mutation &M) {
   return Clone;
 }
 
-} // namespace
+/// Sound per-line pre-filter on the prepared trace formula: freeing every
+/// clause group of line L over-approximates any single-line mutation of L
+/// within the encoding bounds, so if the failing test still cannot pass
+/// (UNSAT), every candidate on L is doomed and is dropped before any
+/// mutant formula gets built. One incremental solver carries the hard
+/// clauses once; each line costs one solve under assumptions. Undef
+/// (budget exhausted) keeps the line -- the filter only removes certainties.
+void prescreenLines(const BugAssistDriver &Driver,
+                    const InputVector &FailingTest, const Spec &S,
+                    std::vector<uint32_t> &Lines, uint64_t ConflictBudget,
+                    RepairStats &Stats) {
+  const TraceFormula &TF = Driver.formula();
+  MaxSatInstance Inst = TF.localizationInstance(FailingTest, S);
+  const CnfFormula &F = TF.encoded().Formula;
+  Solver Solve;
+  Solve.ensureVars(Inst.NumVars);
+  for (const Clause &C : Inst.Hard)
+    if (!Solve.addClause(C))
+      return; // hard core is contradictory; leave the funnel untouched
+  if (ConflictBudget)
+    Solve.setConflictBudget(ConflictBudget);
+  std::vector<uint32_t> Kept;
+  std::vector<Lit> Assumptions;
+  for (uint32_t L : Lines) {
+    Assumptions.clear();
+    for (const ClauseGroup &G : F.groups())
+      Assumptions.push_back(mkLit(G.Selector, /*Negated=*/G.Line == L));
+    ++Stats.PrescreenSatCalls;
+    if (Solve.solve(Assumptions) == LBool::False) {
+      ++Stats.LinesScreenedOut;
+      continue;
+    }
+    Kept.push_back(L);
+  }
+  Lines = std::move(Kept);
+}
 
-RepairResult bugassist::repairProgram(const Program &Prog,
-                                      const std::string &Entry,
-                                      const std::vector<InputVector> &FailingTests,
-                                      const Spec &S,
-                                      const std::vector<int64_t> *GoldenPerTest,
-                                      const RepairOptions &Opts) {
+/// Shared Algorithm 2 body. \p PreparedDriver selects the pooled path:
+/// localization and the line prescreen run on its ready-made formula
+/// instead of rebuilding.
+RepairResult repairCore(const Program &Prog,
+                        const BugAssistDriver *PreparedDriver,
+                        const std::string &Entry,
+                        const std::vector<InputVector> &FailingTests,
+                        const Spec &S,
+                        const std::vector<int64_t> *GoldenPerTest,
+                        const RepairOptions &Opts) {
   RepairResult Result;
+
+  Spec S0 = S;
+  if (GoldenPerTest && !GoldenPerTest->empty())
+    S0.GoldenReturn = (*GoldenPerTest)[0];
 
   // Step 1 (Algorithm 2, line 1): localize unless lines were given. Keep
   // the lines in diagnosis order -- the first CoMSS is the most likely fix
   // location and is mutated first.
   std::vector<uint32_t> Lines = Opts.CandidateLines;
   if (Lines.empty() && !FailingTests.empty()) {
-    BugAssistDriver Driver(Prog, Entry, Opts.Unroll);
-    Spec S0 = S;
-    if (GoldenPerTest)
-      S0.GoldenReturn = (*GoldenPerTest)[0];
-    LocalizationReport R =
-        Driver.localize(FailingTests[0], S0, Opts.Localize);
+    LocalizationReport R;
+    if (PreparedDriver) {
+      R = PreparedDriver->localize(FailingTests[0], S0, Opts.Localize);
+    } else {
+      BugAssistDriver Driver(Prog, Entry, Opts.Unroll);
+      ++Result.Stats.FormulaBuilds;
+      R = Driver.localize(FailingTests[0], S0, Opts.Localize);
+    }
     std::set<uint32_t> Seen;
     for (const Diagnosis &D : R.Diagnoses)
       for (uint32_t L : D.Lines)
@@ -235,23 +174,35 @@ RepairResult bugassist::repairProgram(const Program &Prog,
           Lines.push_back(L);
   }
   Result.SuspectLines = Lines;
+  Result.Stats.LinesConsidered = Lines.size();
+
+  if (PreparedDriver && Opts.PrescreenLines && !FailingTests.empty())
+    prescreenLines(*PreparedDriver, FailingTests[0], S0, Lines,
+                   Opts.VerifyBudget, Result.Stats);
 
   // Step 2: plan and screen mutations.
   std::vector<Mutation> Plan =
       planMutations(const_cast<Program &>(Prog), Lines, Opts);
+  Result.Stats.CandidatesPlanned = Plan.size();
 
   ExecOptions IOpts;
   IOpts.BitWidth = Opts.Unroll.BitWidth;
   IOpts.CheckArrayBounds = Opts.Unroll.CheckArrayBounds;
   IOpts.CheckDivByZero = false; // encoder-aligned
+  if (Opts.MaxInterpSteps)
+    IOpts.MaxSteps = Opts.MaxInterpSteps;
 
   for (const Mutation &M : Plan) {
-    if (Result.CandidatesTried >= Opts.MaxCandidates)
+    if (Result.CandidatesTried >= Opts.MaxCandidates) {
+      Result.Truncated = true;
       break;
+    }
     ++Result.CandidatesTried;
     std::unique_ptr<Program> Mutant = applyMutation(Prog, M);
-    if (!Mutant)
+    if (!Mutant) {
+      ++Result.Stats.SemaRejected;
       continue;
+    }
 
     // Screen: every failing test must now satisfy the spec concretely.
     Interpreter Interp(*Mutant, IOpts);
@@ -268,8 +219,10 @@ RepairResult bugassist::repairProgram(const Program &Prog,
                R.ReturnValue != *S.GoldenReturn)
         AllPass = false;
     }
-    if (!AllPass)
+    if (!AllPass) {
+      ++Result.Stats.TestScreenRejected;
       continue;
+    }
 
     // Verify: bounded model checking must find no violation (Algorithm 2,
     // lines 6-9). With per-test goldens the global spec is obligations
@@ -282,17 +235,45 @@ RepairResult bugassist::repairProgram(const Program &Prog,
       EncodeOptions EO;
       EO.BitWidth = Opts.Unroll.BitWidth;
       TraceFormula TF(encodeProgram(UP, EO));
+      ++Result.Stats.FormulaBuilds;
       bool Decided = false;
       auto Cex = TF.findCounterexample(VerifySpec, Decided, Opts.VerifyBudget);
-      if (Cex.has_value() || !Decided)
+      if (Cex.has_value() || !Decided) {
+        ++Result.Stats.BmcRejected;
         continue;
+      }
     }
 
     Result.Found = true;
     Result.Suggestion.Line = M.Line;
     Result.Suggestion.Description = M.Description;
     Result.Suggestion.FixedProgram = std::move(Mutant);
+    Result.Stats.CandidatesTried = Result.CandidatesTried;
     return Result;
   }
+  Result.Stats.CandidatesTried = Result.CandidatesTried;
   return Result;
+}
+
+} // namespace
+
+RepairResult bugassist::repairProgram(const Program &Prog,
+                                      const std::string &Entry,
+                                      const std::vector<InputVector> &FailingTests,
+                                      const Spec &S,
+                                      const std::vector<int64_t> *GoldenPerTest,
+                                      const RepairOptions &Opts) {
+  return repairCore(Prog, nullptr, Entry, FailingTests, S, GoldenPerTest,
+                    Opts);
+}
+
+RepairResult bugassist::repairProgram(const Program &Prog,
+                                      const BugAssistDriver &Driver,
+                                      const std::string &Entry,
+                                      const std::vector<InputVector> &FailingTests,
+                                      const Spec &S,
+                                      const std::vector<int64_t> *GoldenPerTest,
+                                      const RepairOptions &Opts) {
+  return repairCore(Prog, &Driver, Entry, FailingTests, S, GoldenPerTest,
+                    Opts);
 }

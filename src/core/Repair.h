@@ -43,6 +43,32 @@ struct RepairOptions {
   uint64_t VerifyBudget = 200000;
   /// Max candidate mutants to try.
   size_t MaxCandidates = 256;
+  /// Interpreter fuel per screening run (0 = the interpreter default).
+  /// Mutant sweeps lower this: a candidate that reintroduces a runaway
+  /// loop should fail the screen quickly, not burn the default budget.
+  uint64_t MaxInterpSteps = 0;
+  /// Pooled-driver path only: before planning any mutant, check each
+  /// candidate line against the prepared trace formula with
+  /// isValidCorrection semantics -- if freeing every clause of a line
+  /// cannot make the failing test pass within the encoding bounds, no
+  /// single-line mutation there can either, and all its candidates are
+  /// skipped without building a single mutant formula. One incremental
+  /// solver serves all lines via assumptions.
+  bool PrescreenLines = true;
+};
+
+/// Deterministic work counters for one repairProgram run (no wall-clock,
+/// no solver search statistics -- safe to compare byte-for-byte).
+struct RepairStats {
+  size_t LinesConsidered = 0;   ///< candidate lines entering the funnel
+  size_t LinesScreenedOut = 0;  ///< rejected by the pooled prescreen
+  size_t PrescreenSatCalls = 0; ///< incremental solves in the prescreen
+  size_t CandidatesPlanned = 0; ///< mutations planned on surviving lines
+  size_t CandidatesTried = 0;   ///< mutants actually built and screened
+  size_t SemaRejected = 0;      ///< mutants that no longer analyze
+  size_t TestScreenRejected = 0; ///< mutants failing the interpreter screen
+  size_t BmcRejected = 0;       ///< mutants failing BMC re-verification
+  size_t FormulaBuilds = 0;     ///< unroll+encode runs (the expensive step)
 };
 
 /// One accepted repair.
@@ -58,12 +84,34 @@ struct RepairResult {
   size_t CandidatesTried = 0;
   /// Lines localization proposed (useful when no repair validated).
   std::vector<uint32_t> SuspectLines;
+  /// MaxCandidates stopped the search before the plan was exhausted; the
+  /// "no repair" answer is budget-truncated, not a decided negative.
+  bool Truncated = false;
+  RepairStats Stats;
 };
 
 /// Algorithm 2 generalized to off-by-one and operator mutations.
 /// \p FailingTests drive both localization and candidate screening; the
 /// spec's GoldenReturn (if any) applies per test via \p GoldenPerTest.
+/// This overload rebuilds the trace formula from scratch for localization
+/// and for every candidate verification (the reference path; see the
+/// pooled overload below for the serve/CLI production path).
 RepairResult repairProgram(const Program &Prog, const std::string &Entry,
+                           const std::vector<InputVector> &FailingTests,
+                           const Spec &S,
+                           const std::vector<int64_t> *GoldenPerTest = nullptr,
+                           const RepairOptions &Opts = {});
+
+/// Pooled path: \p Driver must be the prepared unroll+encode of \p Prog
+/// with Opts.Unroll (core/Pipeline.h's PreparedProgram supplies both, and
+/// serve's FormulaCache shares one across requests). Localization reuses
+/// Driver's formula instead of rebuilding, and candidate lines are
+/// prescreened on one incremental solver over that formula (see
+/// RepairOptions::PrescreenLines) before any per-candidate rebuild.
+/// Results are identical to the rebuild overload whenever both decide --
+/// the prescreen only removes candidates that could never validate.
+RepairResult repairProgram(const Program &Prog, const BugAssistDriver &Driver,
+                           const std::string &Entry,
                            const std::vector<InputVector> &FailingTests,
                            const Spec &S,
                            const std::vector<int64_t> *GoldenPerTest = nullptr,

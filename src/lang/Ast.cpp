@@ -94,6 +94,37 @@ bool bugassist::isLogicalOp(BinaryOp Op) {
   return Op == BinaryOp::LogAnd || Op == BinaryOp::LogOr;
 }
 
+std::vector<BinaryOp> bugassist::nearMissOps(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Lt:
+    return {BinaryOp::Le, BinaryOp::Gt, BinaryOp::Ge};
+  case BinaryOp::Le:
+    return {BinaryOp::Lt, BinaryOp::Ge, BinaryOp::Gt};
+  case BinaryOp::Gt:
+    return {BinaryOp::Ge, BinaryOp::Lt, BinaryOp::Le};
+  case BinaryOp::Ge:
+    return {BinaryOp::Gt, BinaryOp::Le, BinaryOp::Lt};
+  case BinaryOp::Eq:
+    return {BinaryOp::Ne};
+  case BinaryOp::Ne:
+    return {BinaryOp::Eq};
+  case BinaryOp::Add:
+    return {BinaryOp::Sub};
+  case BinaryOp::Sub:
+    return {BinaryOp::Add};
+  case BinaryOp::Mul:
+    return {BinaryOp::Div};
+  case BinaryOp::Div:
+    return {BinaryOp::Mul};
+  case BinaryOp::LogAnd:
+    return {BinaryOp::LogOr};
+  case BinaryOp::LogOr:
+    return {BinaryOp::LogAnd};
+  default:
+    return {};
+  }
+}
+
 // --- deep copies -------------------------------------------------------------
 //
 // Clones drop Sema results (resolved decls, types); callers re-run Sema on

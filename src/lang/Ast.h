@@ -83,6 +83,12 @@ const char *unaryOpSpelling(UnaryOp Op);
 bool isComparisonOp(BinaryOp Op);
 bool isLogicalOp(BinaryOp Op);
 
+/// \returns the "near-miss" substitutions for \p Op: the operators a
+/// programmer plausibly confuses with it (< vs <=, + vs -, && vs ||).
+/// Shared by the repair candidate planner and the mutation engine; the
+/// enumeration order is part of the repair engine's determinism contract.
+std::vector<BinaryOp> nearMissOps(BinaryOp Op);
+
 class VarDecl;
 class FunctionDecl;
 
@@ -147,6 +153,12 @@ public:
   VarRef(std::string Name, SourceLoc Loc)
       : Expr(VarRefKind, Loc), Name(std::move(Name)) {}
   const std::string &name() const { return Name; }
+  /// Retargets the reference; the stale Decl is cleared and Sema must be
+  /// re-run to resolve the new name (used by the mutation engine).
+  void setName(std::string N) {
+    Name = std::move(N);
+    Decl = nullptr;
+  }
   VarDecl *decl() const { return Decl; }
   void setDecl(VarDecl *D) { Decl = D; }
   static bool classof(const Expr *E) { return E->kind() == VarRefKind; }
@@ -163,6 +175,7 @@ public:
         Index(std::move(Index)) {}
   Expr *base() const { return Base.get(); }
   Expr *index() const { return Index.get(); }
+  void setIndex(ExprPtr E) { Index = std::move(E); } // used by the mutation engine
   static bool classof(const Expr *E) { return E->kind() == ArrayIndexKind; }
 
 private:
@@ -331,6 +344,7 @@ public:
   VarDecl *targetDecl() const { return Decl; }
   void setTargetDecl(VarDecl *D) { Decl = D; }
   Expr *index() const { return Index.get(); }
+  void setIndex(ExprPtr E) { Index = std::move(E); } // used by the mutation engine
   Expr *value() const { return Value.get(); }
   static bool classof(const Stmt *S) { return S->kind() == AssignStmtKind; }
 
@@ -347,6 +361,7 @@ public:
       : Stmt(IfStmtKind, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
         Else(std::move(Else)) {}
   Expr *cond() const { return Cond.get(); }
+  void setCond(ExprPtr E) { Cond = std::move(E); } // used by the mutation engine
   Stmt *thenStmt() const { return Then.get(); }
   Stmt *elseStmt() const { return Else.get(); }
   static bool classof(const Stmt *S) { return S->kind() == IfStmtKind; }
@@ -363,6 +378,7 @@ public:
       : Stmt(WhileStmtKind, Loc), Cond(std::move(Cond)), Body(std::move(Body)) {
   }
   Expr *cond() const { return Cond.get(); }
+  void setCond(ExprPtr E) { Cond = std::move(E); } // used by the mutation engine
   Stmt *body() const { return Body.get(); }
   static bool classof(const Stmt *S) { return S->kind() == WhileStmtKind; }
 
@@ -409,6 +425,9 @@ public:
   BlockStmt(std::vector<StmtPtr> Stmts, SourceLoc Loc)
       : Stmt(BlockStmtKind, Loc), Stmts(std::move(Stmts)) {}
   const std::vector<StmtPtr> &stmts() const { return Stmts; }
+  /// Mutable access for the mutation engine's dropped/duplicated-statement
+  /// fault classes.
+  std::vector<StmtPtr> &stmts() { return Stmts; }
   static bool classof(const Stmt *S) { return S->kind() == BlockStmtKind; }
 
 private:

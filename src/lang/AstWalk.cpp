@@ -1,0 +1,122 @@
+//===- AstWalk.cpp - Ordinal-stable AST traversals ----------------------------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstWalk.h"
+
+using namespace bugassist;
+
+namespace {
+
+void visitExpr(Expr *E, size_t &Ordinal,
+               const std::function<void(Expr *, size_t)> &Fn) {
+  if (!E)
+    return;
+  Fn(E, Ordinal++);
+  switch (E->kind()) {
+  case Expr::ArrayIndexKind:
+    visitExpr(cast<ArrayIndex>(E)->base(), Ordinal, Fn);
+    visitExpr(cast<ArrayIndex>(E)->index(), Ordinal, Fn);
+    break;
+  case Expr::UnaryKind:
+    visitExpr(cast<UnaryExpr>(E)->operand(), Ordinal, Fn);
+    break;
+  case Expr::BinaryKind:
+    visitExpr(cast<BinaryExpr>(E)->lhs(), Ordinal, Fn);
+    visitExpr(cast<BinaryExpr>(E)->rhs(), Ordinal, Fn);
+    break;
+  case Expr::ConditionalKind:
+    visitExpr(cast<ConditionalExpr>(E)->cond(), Ordinal, Fn);
+    visitExpr(cast<ConditionalExpr>(E)->thenExpr(), Ordinal, Fn);
+    visitExpr(cast<ConditionalExpr>(E)->elseExpr(), Ordinal, Fn);
+    break;
+  case Expr::CallKind:
+    for (const auto &A : cast<CallExpr>(E)->args())
+      visitExpr(A.get(), Ordinal, Fn);
+    break;
+  default:
+    break;
+  }
+}
+
+void visitStmtExprs(Stmt *S, size_t &Ordinal,
+                    const std::function<void(Expr *, size_t)> &Fn) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case Stmt::BlockStmtKind:
+    for (const auto &Sub : cast<BlockStmt>(S)->stmts())
+      visitStmtExprs(Sub.get(), Ordinal, Fn);
+    break;
+  case Stmt::DeclStmtKind:
+    visitExpr(cast<DeclStmt>(S)->decl()->init(), Ordinal, Fn);
+    break;
+  case Stmt::AssignStmtKind:
+    visitExpr(cast<AssignStmt>(S)->index(), Ordinal, Fn);
+    visitExpr(cast<AssignStmt>(S)->value(), Ordinal, Fn);
+    break;
+  case Stmt::IfStmtKind:
+    visitExpr(cast<IfStmt>(S)->cond(), Ordinal, Fn);
+    visitStmtExprs(cast<IfStmt>(S)->thenStmt(), Ordinal, Fn);
+    visitStmtExprs(cast<IfStmt>(S)->elseStmt(), Ordinal, Fn);
+    break;
+  case Stmt::WhileStmtKind:
+    visitExpr(cast<WhileStmt>(S)->cond(), Ordinal, Fn);
+    visitStmtExprs(cast<WhileStmt>(S)->body(), Ordinal, Fn);
+    break;
+  case Stmt::ReturnStmtKind:
+    visitExpr(cast<ReturnStmt>(S)->value(), Ordinal, Fn);
+    break;
+  case Stmt::AssertStmtKind:
+    visitExpr(cast<AssertStmt>(S)->cond(), Ordinal, Fn);
+    break;
+  case Stmt::AssumeStmtKind:
+    visitExpr(cast<AssumeStmt>(S)->cond(), Ordinal, Fn);
+    break;
+  case Stmt::ExprStmtKind:
+    visitExpr(cast<ExprStmt>(S)->expr(), Ordinal, Fn);
+    break;
+  }
+}
+
+void visitStmt(Stmt *S, size_t &Ordinal,
+               const std::function<void(Stmt *, size_t)> &Fn) {
+  if (!S)
+    return;
+  Fn(S, Ordinal++);
+  switch (S->kind()) {
+  case Stmt::BlockStmtKind:
+    for (const auto &Sub : cast<BlockStmt>(S)->stmts())
+      visitStmt(Sub.get(), Ordinal, Fn);
+    break;
+  case Stmt::IfStmtKind:
+    visitStmt(cast<IfStmt>(S)->thenStmt(), Ordinal, Fn);
+    visitStmt(cast<IfStmt>(S)->elseStmt(), Ordinal, Fn);
+    break;
+  case Stmt::WhileStmtKind:
+    visitStmt(cast<WhileStmt>(S)->body(), Ordinal, Fn);
+    break;
+  default:
+    break;
+  }
+}
+
+} // namespace
+
+void bugassist::forEachExpr(Program &P,
+                            const std::function<void(Expr *, size_t)> &Fn) {
+  size_t Ordinal = 0;
+  for (const auto &G : P.globals())
+    visitExpr(G->init(), Ordinal, Fn);
+  for (const auto &F : P.functions())
+    visitStmtExprs(F->body(), Ordinal, Fn);
+}
+
+void bugassist::forEachStmt(Program &P,
+                            const std::function<void(Stmt *, size_t)> &Fn) {
+  size_t Ordinal = 0;
+  for (const auto &F : P.functions())
+    visitStmt(F->body(), Ordinal, Fn);
+}

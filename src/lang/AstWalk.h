@@ -1,0 +1,36 @@
+//===- AstWalk.h - Ordinal-stable AST traversals ----------------*- C++ -*-===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Preorder walks over a whole program with a running ordinal that is
+/// stable across cloneProgram copies -- the addressing scheme shared by
+/// the repair engine (core/Repair.cpp) and the mutation engine
+/// (mutate/MutantGenerator.cpp): a mutation planned against the base
+/// program's ordinal N applies to the clone's ordinal N.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BUGASSIST_LANG_ASTWALK_H
+#define BUGASSIST_LANG_ASTWALK_H
+
+#include "lang/Ast.h"
+
+#include <functional>
+
+namespace bugassist {
+
+/// Visits every expression in \p P in preorder (globals' initializers
+/// first, then each function body in order), calling \p Fn with the node
+/// and its running ordinal.
+void forEachExpr(Program &P, const std::function<void(Expr *, size_t)> &Fn);
+
+/// Visits every statement in \p P in preorder (blocks included, before
+/// their children), calling \p Fn with the node and its running ordinal.
+void forEachStmt(Program &P, const std::function<void(Stmt *, size_t)> &Fn);
+
+} // namespace bugassist
+
+#endif // BUGASSIST_LANG_ASTWALK_H

@@ -1,0 +1,676 @@
+//===- MutantGenerator.cpp - Seeded fault-catalog mutation engine ---------===//
+//
+// Part of BugAssist-Repro (Jose & Majumdar, PLDI 2011 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mutate/MutantGenerator.h"
+
+#include "lang/AstWalk.h"
+#include "lang/Sema.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace bugassist;
+
+namespace {
+
+/// A fully planned edit, addressed so it can be replayed on any clone of
+/// the base program. Exactly one of the Action cases below applies.
+struct Plan {
+  ErrorType Type = ErrorType::Op;
+  enum ActionTy {
+    SwapOp,        ///< expr ordinal: BinaryExpr op -> NewOp
+    PerturbInt,    ///< expr ordinal: IntLiteral value += Delta
+    RenameRef,     ///< expr ordinal: VarRef -> NewName (re-sema resolves)
+    WrapExprIndex, ///< expr ordinal: ArrayIndex index -> index +/- 1
+    WrapStmtIndex, ///< stmt ordinal: AssignStmt index -> index +/- 1
+    DropStmt,      ///< stmt ordinal: erase from owner block
+    DuplicateStmt, ///< stmt ordinal: re-insert a clone at InsertPos
+    WrapInit,      ///< stmt ordinal (DeclStmt) or global: init -> init + 1
+    NegateCond,    ///< stmt ordinal (If/While): comparison flip or !(cond)
+  } Action = SwapOp;
+  bool IsStmt = false;
+  size_t Ordinal = 0;
+  int GlobalIndex = -1; ///< WrapInit on a global instead of a DeclStmt
+  int64_t Delta = 0;
+  BinaryOp NewOp = BinaryOp::Add;
+  std::string NewName;
+  size_t InsertPos = 0;
+  uint32_t Line = 0;
+  std::string Description;
+};
+
+/// A discovered opportunity for one fault class; the seeded draw picks a
+/// site uniformly and then fills in the class-specific payload.
+struct Site {
+  size_t Ordinal = 0;
+  bool IsStmt = false;
+  int GlobalIndex = -1;
+  uint32_t Line = 0;
+  int64_t Value = 0;                     ///< current literal value
+  BinaryOp Op = BinaryOp::Add;           ///< current operator (Op/Branch)
+  bool CondIsComparison = false;         ///< Branch: flip vs. !(...) wrap
+  bool HasLiteral = false;               ///< Index: literal vs. wrap flavor
+  std::vector<std::string> Alternatives; ///< Assign: candidate RHS names
+  size_t BlockIndex = 0;                 ///< AddCode: position in owner
+  size_t BlockSize = 0;                  ///< AddCode: owner child count
+};
+
+void collectExprTree(const Expr *E, std::vector<const Expr *> &Out) {
+  if (!E)
+    return;
+  Out.push_back(E);
+  switch (E->kind()) {
+  case Expr::ArrayIndexKind:
+    collectExprTree(cast<ArrayIndex>(E)->base(), Out);
+    collectExprTree(cast<ArrayIndex>(E)->index(), Out);
+    break;
+  case Expr::UnaryKind:
+    collectExprTree(cast<UnaryExpr>(E)->operand(), Out);
+    break;
+  case Expr::BinaryKind:
+    collectExprTree(cast<BinaryExpr>(E)->lhs(), Out);
+    collectExprTree(cast<BinaryExpr>(E)->rhs(), Out);
+    break;
+  case Expr::ConditionalKind:
+    collectExprTree(cast<ConditionalExpr>(E)->cond(), Out);
+    collectExprTree(cast<ConditionalExpr>(E)->thenExpr(), Out);
+    collectExprTree(cast<ConditionalExpr>(E)->elseExpr(), Out);
+    break;
+  case Expr::CallKind:
+    for (const auto &A : cast<CallExpr>(E)->args())
+      collectExprTree(A.get(), Out);
+    break;
+  default:
+    break;
+  }
+}
+
+bool stmtContainsSpec(const Stmt *S) {
+  if (!S)
+    return false;
+  switch (S->kind()) {
+  case Stmt::AssertStmtKind:
+  case Stmt::AssumeStmtKind:
+    return true;
+  case Stmt::BlockStmtKind:
+    for (const auto &Sub : cast<BlockStmt>(S)->stmts())
+      if (stmtContainsSpec(Sub.get()))
+        return true;
+    return false;
+  case Stmt::IfStmtKind:
+    return stmtContainsSpec(cast<IfStmt>(S)->thenStmt()) ||
+           stmtContainsSpec(cast<IfStmt>(S)->elseStmt());
+  case Stmt::WhileStmtKind:
+    return stmtContainsSpec(cast<WhileStmt>(S)->body());
+  default:
+    return false;
+  }
+}
+
+/// Finds the BlockStmt that directly owns \p Target, searching \p S.
+BlockStmt *findOwnerBlock(Stmt *S, const Stmt *Target) {
+  if (!S)
+    return nullptr;
+  switch (S->kind()) {
+  case Stmt::BlockStmtKind: {
+    auto *B = cast<BlockStmt>(S);
+    for (const auto &Sub : B->stmts())
+      if (Sub.get() == Target)
+        return B;
+    for (const auto &Sub : B->stmts())
+      if (BlockStmt *Found = findOwnerBlock(Sub.get(), Target))
+        return Found;
+    return nullptr;
+  }
+  case Stmt::IfStmtKind:
+    if (BlockStmt *Found = findOwnerBlock(cast<IfStmt>(S)->thenStmt(), Target))
+      return Found;
+    return findOwnerBlock(cast<IfStmt>(S)->elseStmt(), Target);
+  case Stmt::WhileStmtKind:
+    return findOwnerBlock(cast<WhileStmt>(S)->body(), Target);
+  default:
+    return nullptr;
+  }
+}
+
+BlockStmt *findOwnerBlock(Program &P, const Stmt *Target) {
+  for (const auto &F : P.functions())
+    if (BlockStmt *Found = findOwnerBlock(F->body(), Target))
+      return Found;
+  return nullptr;
+}
+
+Expr *findExprByOrdinal(Program &P, size_t Wanted) {
+  Expr *Found = nullptr;
+  forEachExpr(P, [&](Expr *E, size_t Ordinal) {
+    if (Ordinal == Wanted)
+      Found = E;
+  });
+  return Found;
+}
+
+Stmt *findStmtByOrdinal(Program &P, size_t Wanted) {
+  Stmt *Found = nullptr;
+  forEachStmt(P, [&](Stmt *S, size_t Ordinal) {
+    if (Ordinal == Wanted)
+      Found = S;
+  });
+  return Found;
+}
+
+/// `old` +/- |Delta| as a new expression, reusing the wrapped node's loc so
+/// the mutation stays on its line.
+ExprPtr wrapPlusMinus(const Expr *Old, int64_t Delta) {
+  BinaryOp Op = Delta >= 0 ? BinaryOp::Add : BinaryOp::Sub;
+  int64_t Mag = Delta >= 0 ? Delta : -Delta;
+  return std::make_unique<BinaryExpr>(
+      Op, cloneExpr(Old), std::make_unique<IntLiteral>(Mag, Old->loc()),
+      Old->loc());
+}
+
+/// The negation of a comparison operator (Lt <-> Ge etc.); non-comparison
+/// conditions are negated by wrapping in LogNot instead.
+BinaryOp negatedComparison(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Lt:
+    return BinaryOp::Ge;
+  case BinaryOp::Le:
+    return BinaryOp::Gt;
+  case BinaryOp::Gt:
+    return BinaryOp::Le;
+  case BinaryOp::Ge:
+    return BinaryOp::Lt;
+  case BinaryOp::Eq:
+    return BinaryOp::Ne;
+  default:
+    return BinaryOp::Eq; // Ne
+  }
+}
+
+std::string lineTag(uint32_t Line) {
+  return "line " + std::to_string(Line) + ": ";
+}
+
+} // namespace
+
+struct MutantGenerator::Impl {
+  MutantGeneratorOptions Opts;
+  std::unique_ptr<Program> Base;
+  Rng Stream;
+  std::array<std::vector<Site>, NumErrorTypes> Sites;
+  /// Classes actually drawn from: requested (or all), sites present.
+  std::vector<ErrorType> Enabled;
+  size_t NextClass = 0;
+
+  Impl(const Program &BaseProg, MutantGeneratorOptions O)
+      : Opts(std::move(O)), Base(cloneProgram(BaseProg)), Stream(Opts.Seed) {
+    DiagEngine Diags;
+    bool Ok = analyzeProgram(*Base, Diags);
+    assert(Ok && "MutantGenerator requires an analyzable base program");
+    (void)Ok;
+    discover();
+    std::vector<ErrorType> Wanted =
+        Opts.Classes.empty()
+            ? std::vector<ErrorType>(std::begin(AllErrorTypes),
+                                     std::end(AllErrorTypes))
+            : Opts.Classes;
+    for (ErrorType T : Wanted)
+      if (!sitesFor(T).empty())
+        Enabled.push_back(T);
+  }
+
+  std::vector<Site> &sitesFor(ErrorType T) {
+    return Sites[static_cast<size_t>(T)];
+  }
+
+  bool lineProtected(uint32_t Line) const {
+    return Line == 0 || Opts.ProtectedLines.count(Line) != 0;
+  }
+
+  void discover();
+  bool plan(ErrorType T, Plan &P);
+  bool apply(Program &Clone, const Plan &P) const;
+  std::vector<GeneratedMutant> generate(size_t N);
+};
+
+void MutantGenerator::Impl::discover() {
+  // Pass 1: pointer-keyed context, no ordinals involved. SpecExprs marks
+  // assert/assume interiors (never mutated); InitExprs marks initializer
+  // interiors (Init class, not Const); IndexExprs marks subscript
+  // interiors (Index class, not Const); AssignRhs maps each VarRef inside
+  // an assignment RHS to its enclosing function (for visible-name
+  // alternatives).
+  std::set<const Expr *> SpecExprs, InitExprs, IndexExprs, IndexRoots;
+  std::map<const Expr *, const FunctionDecl *> AssignRhs;
+  std::map<const Stmt *, std::pair<const BlockStmt *, size_t>> Owner;
+
+  auto MarkTree = [](const Expr *Root, std::set<const Expr *> &Into) {
+    std::vector<const Expr *> All;
+    collectExprTree(Root, All);
+    Into.insert(All.begin(), All.end());
+  };
+
+  for (const auto &G : Base->globals())
+    if (G->init())
+      MarkTree(G->init(), InitExprs);
+
+  for (const auto &F : Base->functions()) {
+    std::function<void(const Stmt *)> Walk = [&](const Stmt *S) {
+      if (!S)
+        return;
+      switch (S->kind()) {
+      case Stmt::BlockStmtKind: {
+        const auto *B = cast<BlockStmt>(S);
+        for (size_t I = 0; I < B->stmts().size(); ++I) {
+          Owner[B->stmts()[I].get()] = {B, I};
+          Walk(B->stmts()[I].get());
+        }
+        break;
+      }
+      case Stmt::DeclStmtKind:
+        if (const Expr *Init = cast<DeclStmt>(S)->decl()->init())
+          MarkTree(Init, InitExprs);
+        break;
+      case Stmt::AssignStmtKind: {
+        const auto *A = cast<AssignStmt>(S);
+        if (A->index()) {
+          IndexRoots.insert(A->index());
+          MarkTree(A->index(), IndexExprs);
+        }
+        std::vector<const Expr *> Rhs;
+        collectExprTree(A->value(), Rhs);
+        for (const Expr *E : Rhs)
+          if (E->kind() == Expr::VarRefKind)
+            AssignRhs[E] = F.get();
+        break;
+      }
+      case Stmt::IfStmtKind:
+        Walk(cast<IfStmt>(S)->thenStmt());
+        Walk(cast<IfStmt>(S)->elseStmt());
+        break;
+      case Stmt::WhileStmtKind:
+        Walk(cast<WhileStmt>(S)->body());
+        break;
+      case Stmt::AssertStmtKind:
+        MarkTree(cast<AssertStmt>(S)->cond(), SpecExprs);
+        break;
+      case Stmt::AssumeStmtKind:
+        MarkTree(cast<AssumeStmt>(S)->cond(), SpecExprs);
+        break;
+      default:
+        break;
+      }
+    };
+    Walk(F->body());
+  }
+  // Subscript interiors of array *reads* (a[i] on the RHS).
+  forEachExpr(*Base, [&](Expr *E, size_t) {
+    if (auto *AI = dyn_cast<ArrayIndex>(E)) {
+      IndexRoots.insert(AI->index());
+      MarkTree(AI->index(), IndexExprs);
+    }
+  });
+
+  // Pass 2: expression-addressed sites, classified via the pass-1 context.
+  forEachExpr(*Base, [&](Expr *E, size_t Ordinal) {
+    uint32_t Line = E->loc().Line;
+    if (lineProtected(Line) || SpecExprs.count(E))
+      return;
+    Site S;
+    S.Ordinal = Ordinal;
+    S.Line = Line;
+    switch (E->kind()) {
+    case Expr::BinaryKind: {
+      auto *BE = cast<BinaryExpr>(E);
+      if (!nearMissOps(BE->op()).empty()) {
+        S.Op = BE->op();
+        sitesFor(ErrorType::Op).push_back(S);
+      }
+      break;
+    }
+    case Expr::IntLiteralKind: {
+      S.Value = cast<IntLiteral>(E)->value();
+      S.HasLiteral = true;
+      if (IndexExprs.count(E))
+        sitesFor(ErrorType::Index).push_back(S);
+      else if (InitExprs.count(E))
+        sitesFor(ErrorType::Init).push_back(S);
+      else
+        sitesFor(ErrorType::Const).push_back(S);
+      break;
+    }
+    case Expr::VarRefKind: {
+      auto It = AssignRhs.find(E);
+      if (It == AssignRhs.end() || IndexExprs.count(E))
+        break;
+      const auto *VR = cast<VarRef>(E);
+      if (!VR->decl() || !VR->decl()->type().isScalar())
+        break;
+      // Visible same-type scalars: globals plus the enclosing function's
+      // parameters. Locals are skipped (their scope here is unknown);
+      // shadowing-induced type clashes are caught by the re-sema retry.
+      Type Ty = VR->decl()->type();
+      for (const auto &G : Base->globals())
+        if (G->type() == Ty && G->name() != VR->name())
+          S.Alternatives.push_back(G->name());
+      for (const auto &Param : It->second->params())
+        if (Param->type() == Ty && Param->name() != VR->name())
+          S.Alternatives.push_back(Param->name());
+      if (!S.Alternatives.empty())
+        sitesFor(ErrorType::Assign).push_back(S);
+      break;
+    }
+    case Expr::ArrayIndexKind:
+      // Wrap flavor (index -> index +/- 1) for non-literal subscripts; a
+      // literal subscript is already a literal-flavor site above.
+      if (cast<ArrayIndex>(E)->index()->kind() != Expr::IntLiteralKind)
+        sitesFor(ErrorType::Index).push_back(S);
+      break;
+    default:
+      break;
+    }
+  });
+
+  // Pass 3: statement-addressed sites.
+  forEachStmt(*Base, [&](Stmt *St, size_t Ordinal) {
+    uint32_t Line = St->loc().Line;
+    if (lineProtected(Line))
+      return;
+    Site S;
+    S.Ordinal = Ordinal;
+    S.IsStmt = true;
+    S.Line = Line;
+    auto It = Owner.find(St);
+    bool Owned = It != Owner.end();
+    switch (St->kind()) {
+    case Stmt::AssignStmtKind: {
+      const auto *A = cast<AssignStmt>(St);
+      if (Owned) {
+        S.BlockIndex = It->second.second;
+        S.BlockSize = It->second.first->stmts().size();
+        sitesFor(ErrorType::AddCode).push_back(S);
+        sitesFor(ErrorType::Code).push_back(S);
+      }
+      if (A->index() && A->index()->kind() != Expr::IntLiteralKind)
+        sitesFor(ErrorType::Index).push_back(S);
+      break;
+    }
+    case Stmt::ExprStmtKind:
+      if (Owned)
+        sitesFor(ErrorType::Code).push_back(S);
+      break;
+    case Stmt::IfStmtKind:
+    case Stmt::WhileStmtKind: {
+      // Dropping a statement that contains the spec would mutate the
+      // property, not the program -- exclude those from the Code class.
+      if (Owned && !stmtContainsSpec(St))
+        sitesFor(ErrorType::Code).push_back(S);
+      const Expr *Cond = St->kind() == Stmt::IfStmtKind
+                             ? cast<IfStmt>(St)->cond()
+                             : cast<WhileStmt>(St)->cond();
+      if (!lineProtected(Cond->loc().Line)) {
+        Site B = S;
+        B.Line = Cond->loc().Line;
+        if (const auto *BE = dyn_cast<BinaryExpr>(Cond))
+          if (isComparisonOp(BE->op())) {
+            B.CondIsComparison = true;
+            B.Op = BE->op();
+          }
+        sitesFor(ErrorType::Branch).push_back(B);
+      }
+      break;
+    }
+    case Stmt::DeclStmtKind:
+      if (cast<DeclStmt>(St)->decl()->init())
+        sitesFor(ErrorType::Init).push_back(S);
+      break;
+    default:
+      break;
+    }
+  });
+
+  // Globals with initializers: the wrap flavor of Init.
+  for (size_t I = 0; I < Base->globals().size(); ++I) {
+    const VarDecl *G = Base->globals()[I].get();
+    if (!G->init() || lineProtected(G->loc().Line))
+      continue;
+    Site S;
+    S.GlobalIndex = static_cast<int>(I);
+    S.Line = G->loc().Line;
+    sitesFor(ErrorType::Init).push_back(S);
+  }
+}
+
+bool MutantGenerator::Impl::plan(ErrorType T, Plan &P) {
+  std::vector<Site> &Pool = sitesFor(T);
+  if (Pool.empty())
+    return false;
+  const Site &S = Pool[Stream.below(Pool.size())];
+  P.Type = T;
+  P.IsStmt = S.IsStmt;
+  P.Ordinal = S.Ordinal;
+  P.GlobalIndex = S.GlobalIndex;
+  P.Line = S.Line;
+  static const int64_t Deltas[] = {1, -1, 2, -2};
+  switch (T) {
+  case ErrorType::Op: {
+    std::vector<BinaryOp> Alts = nearMissOps(S.Op);
+    P.Action = Plan::SwapOp;
+    P.NewOp = Alts[Stream.below(Alts.size())];
+    P.Description = lineTag(P.Line) + "'" + binaryOpSpelling(S.Op) +
+                    "' -> '" + binaryOpSpelling(P.NewOp) + "'";
+    return true;
+  }
+  case ErrorType::Const: {
+    P.Action = Plan::PerturbInt;
+    P.Delta = Deltas[Stream.below(4)];
+    P.Description = lineTag(P.Line) + "constant " + std::to_string(S.Value) +
+                    " -> " + std::to_string(S.Value + P.Delta);
+    return true;
+  }
+  case ErrorType::Assign: {
+    P.Action = Plan::RenameRef;
+    P.NewName = S.Alternatives[Stream.below(S.Alternatives.size())];
+    P.Description = lineTag(P.Line) + "rhs variable -> '" + P.NewName + "'";
+    return true;
+  }
+  case ErrorType::Code: {
+    P.Action = Plan::DropStmt;
+    P.Description = lineTag(P.Line) + "dropped statement";
+    return true;
+  }
+  case ErrorType::AddCode: {
+    P.Action = Plan::DuplicateStmt;
+    // Re-insert anywhere after the original within the same block.
+    P.InsertPos =
+        S.BlockIndex + 1 + Stream.below(S.BlockSize - S.BlockIndex);
+    P.Description = lineTag(P.Line) + "duplicated statement";
+    return true;
+  }
+  case ErrorType::Init: {
+    if (S.HasLiteral) {
+      P.Action = Plan::PerturbInt;
+      P.IsStmt = false;
+      P.Delta = Deltas[Stream.below(4)];
+      P.Description = lineTag(P.Line) + "init constant " +
+                      std::to_string(S.Value) + " -> " +
+                      std::to_string(S.Value + P.Delta);
+    } else {
+      P.Action = Plan::WrapInit;
+      P.Delta = Stream.chance(1, 2) ? 1 : -1;
+      P.Description = lineTag(P.Line) + "init skewed by " +
+                      (P.Delta > 0 ? std::string("+1") : std::string("-1"));
+    }
+    return true;
+  }
+  case ErrorType::Index: {
+    P.Delta = Stream.chance(1, 2) ? 1 : -1;
+    if (S.HasLiteral) {
+      P.Action = Plan::PerturbInt;
+      P.Description = lineTag(P.Line) + "index " + std::to_string(S.Value) +
+                      " -> " + std::to_string(S.Value + P.Delta);
+    } else {
+      P.Action = S.IsStmt ? Plan::WrapStmtIndex : Plan::WrapExprIndex;
+      P.Description = lineTag(P.Line) + "index skewed by " +
+                      (P.Delta > 0 ? std::string("+1") : std::string("-1"));
+    }
+    return true;
+  }
+  case ErrorType::Branch: {
+    P.Action = Plan::NegateCond;
+    if (S.CondIsComparison) {
+      P.NewOp = negatedComparison(S.Op);
+      P.Description = lineTag(P.Line) + "'" + binaryOpSpelling(S.Op) +
+                      "' -> '" + binaryOpSpelling(P.NewOp) + "'";
+    } else {
+      P.NewOp = BinaryOp::Add; // sentinel: wrap in !(...)
+      P.Description = lineTag(P.Line) + "negated condition";
+    }
+    return true;
+  }
+  }
+  return false;
+}
+
+bool MutantGenerator::Impl::apply(Program &Clone, const Plan &P) const {
+  if (P.GlobalIndex >= 0) {
+    // WrapInit on a global.
+    VarDecl *G = Clone.globals()[static_cast<size_t>(P.GlobalIndex)].get();
+    if (!G->init())
+      return false;
+    G->setInit(wrapPlusMinus(G->init(), P.Delta));
+    return true;
+  }
+  if (!P.IsStmt) {
+    Expr *E = findExprByOrdinal(Clone, P.Ordinal);
+    if (!E)
+      return false;
+    switch (P.Action) {
+    case Plan::SwapOp:
+      cast<BinaryExpr>(E)->setOp(P.NewOp);
+      return true;
+    case Plan::PerturbInt: {
+      auto *L = cast<IntLiteral>(E);
+      L->setValue(L->value() + P.Delta);
+      return true;
+    }
+    case Plan::RenameRef:
+      cast<VarRef>(E)->setName(P.NewName);
+      return true;
+    case Plan::WrapExprIndex: {
+      auto *AI = cast<ArrayIndex>(E);
+      AI->setIndex(wrapPlusMinus(AI->index(), P.Delta));
+      return true;
+    }
+    default:
+      return false;
+    }
+  }
+  Stmt *St = findStmtByOrdinal(Clone, P.Ordinal);
+  if (!St)
+    return false;
+  switch (P.Action) {
+  case Plan::WrapStmtIndex: {
+    auto *A = cast<AssignStmt>(St);
+    if (!A->index())
+      return false;
+    A->setIndex(wrapPlusMinus(A->index(), P.Delta));
+    return true;
+  }
+  case Plan::DropStmt: {
+    BlockStmt *B = findOwnerBlock(Clone, St);
+    if (!B)
+      return false;
+    auto &Stmts = B->stmts();
+    for (auto It = Stmts.begin(); It != Stmts.end(); ++It)
+      if (It->get() == St) {
+        Stmts.erase(It);
+        return true;
+      }
+    return false;
+  }
+  case Plan::DuplicateStmt: {
+    BlockStmt *B = findOwnerBlock(Clone, St);
+    if (!B || P.InsertPos > B->stmts().size())
+      return false;
+    // cloneStmt keeps the original SourceLoc, so the duplicate lands on
+    // the ground-truth line.
+    B->stmts().insert(B->stmts().begin() + static_cast<long>(P.InsertPos),
+                      cloneStmt(St));
+    return true;
+  }
+  case Plan::WrapInit: {
+    VarDecl *D = cast<DeclStmt>(St)->decl();
+    if (!D->init())
+      return false;
+    D->setInit(wrapPlusMinus(D->init(), P.Delta));
+    return true;
+  }
+  case Plan::NegateCond: {
+    Expr *Cond = St->kind() == Stmt::IfStmtKind ? cast<IfStmt>(St)->cond()
+                                                : cast<WhileStmt>(St)->cond();
+    auto *BE = dyn_cast<BinaryExpr>(Cond);
+    ExprPtr NewCond;
+    if (BE && isComparisonOp(BE->op())) {
+      BE->setOp(P.NewOp);
+      return true;
+    }
+    NewCond = std::make_unique<UnaryExpr>(UnaryOp::LogNot, cloneExpr(Cond),
+                                          Cond->loc());
+    if (St->kind() == Stmt::IfStmtKind)
+      cast<IfStmt>(St)->setCond(std::move(NewCond));
+    else
+      cast<WhileStmt>(St)->setCond(std::move(NewCond));
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+std::vector<GeneratedMutant> MutantGenerator::Impl::generate(size_t N) {
+  std::vector<GeneratedMutant> Out;
+  if (Enabled.empty())
+    return Out;
+  for (size_t Slot = 0; Slot < N; ++Slot) {
+    ErrorType T = Enabled[NextClass % Enabled.size()];
+    ++NextClass;
+    for (unsigned Attempt = 0; Attempt < Opts.MaxAttemptsPerMutant;
+         ++Attempt) {
+      Plan P;
+      if (!plan(T, P))
+        break;
+      auto Clone = cloneProgram(*Base);
+      if (!apply(*Clone, P))
+        continue;
+      DiagEngine Diags;
+      if (!analyzeProgram(*Clone, Diags))
+        continue; // e.g. an RHS rename that no longer type-checks
+      GeneratedMutant M;
+      M.Spec.Type = P.Type;
+      M.Spec.Line = P.Line;
+      M.Spec.Description = std::move(P.Description);
+      M.Prog = std::move(Clone);
+      Out.push_back(std::move(M));
+      break;
+    }
+  }
+  return Out;
+}
+
+MutantGenerator::MutantGenerator(const Program &Base,
+                                 MutantGeneratorOptions Opts)
+    : M(std::make_unique<Impl>(Base, std::move(Opts))) {}
+
+MutantGenerator::~MutantGenerator() = default;
+
+size_t MutantGenerator::siteCount(ErrorType T) const {
+  return M->Sites[static_cast<size_t>(T)].size();
+}
+
+std::vector<GeneratedMutant> MutantGenerator::generate(size_t N) {
+  return M->generate(N);
+}

@@ -6,6 +6,8 @@
 
 #include "programs/FaultCatalog.h"
 
+#include <cstring>
+
 using namespace bugassist;
 
 const char *bugassist::errorTypeName(ErrorType T) {
@@ -28,6 +30,16 @@ const char *bugassist::errorTypeName(ErrorType T) {
     return "branch";
   }
   return "?";
+}
+
+bool bugassist::errorTypeFromName(const char *Name, ErrorType &T) {
+  for (ErrorType Candidate : AllErrorTypes) {
+    if (std::strcmp(Name, errorTypeName(Candidate)) == 0) {
+      T = Candidate;
+      return true;
+    }
+  }
+  return false;
 }
 
 const char *bugassist::errorTypeDescription(ErrorType T) {

@@ -13,6 +13,8 @@
 #ifndef BUGASSIST_PROGRAMS_FAULTCATALOG_H
 #define BUGASSIST_PROGRAMS_FAULTCATALOG_H
 
+#include <cstddef>
+
 namespace bugassist {
 
 /// Fault categories, exactly as in Table 2 of the paper.
@@ -27,8 +29,19 @@ enum class ErrorType {
   Branch   ///< negated / wrong branching condition
 };
 
+/// Every fault class, in Table 2 order. Handy for sweeps that iterate or
+/// index per-class tallies by `static_cast<size_t>(ErrorType)`.
+inline constexpr ErrorType AllErrorTypes[] = {
+    ErrorType::Op,   ErrorType::Const,   ErrorType::Assign, ErrorType::Code,
+    ErrorType::AddCode, ErrorType::Init, ErrorType::Index,  ErrorType::Branch};
+inline constexpr size_t NumErrorTypes = 8;
+
 /// Short tag as printed in Table 1 ("op", "const", ...).
 const char *errorTypeName(ErrorType T);
+
+/// Parses a Table 1 tag back into its ErrorType. \returns false if \p Name
+/// is not one of the eight tags.
+bool errorTypeFromName(const char *Name, ErrorType &T);
 
 /// The Table 2 explanation string.
 const char *errorTypeDescription(ErrorType T);

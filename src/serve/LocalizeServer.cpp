@@ -67,11 +67,12 @@ uint64_t elapsedMs(Clock::time_point Start) {
 
 // --- requests ----------------------------------------------------------------
 
-enum class Cmd { Localize, MaxSat, Sat };
+enum class Cmd { Localize, Repair, MaxSat, Sat };
 
 const char *cmdName(Cmd C) {
   switch (C) {
   case Cmd::Localize: return "localize";
+  case Cmd::Repair:   return "repair";
   case Cmd::MaxSat:   return "maxsat";
   case Cmd::Sat:      return "sat";
   }
@@ -84,10 +85,19 @@ struct Request {
   std::string Id;
   Cmd Command = Cmd::Localize;
 
-  // localize: resolved program text + the per-query pipeline request.
+  // localize / repair: resolved program text + the per-query pipeline
+  // request (repair reads the shared Entry/Unroll/Encode/Localize/
+  // CheckObligations fields out of Pipeline).
   std::string Source;
   PipelineRequest Pipeline;
   bool Json = false;
+
+  // repair: failing inputs with per-test goldens + Algorithm 2 knobs
+  // (only the mutation/budget members of RepairOpts are request-settable;
+  // CandidateLines/Unroll/Localize are overwritten by the pipeline).
+  std::vector<InputVector> RepairInputs;
+  std::vector<int64_t> RepairGoldens;
+  RepairOptions RepairOpts;
 
   // maxsat / sat: resolved DIMACS text + output options.
   std::string Dimacs;
@@ -176,14 +186,20 @@ bool parseRequest(const JsonValue &Root, size_t Index, Request &Req,
   }
   if (CmdStr == "localize")
     Req.Command = Cmd::Localize;
+  else if (CmdStr == "repair")
+    Req.Command = Cmd::Repair;
   else if (CmdStr == "maxsat")
     Req.Command = Cmd::MaxSat;
   else if (CmdStr == "sat")
     Req.Command = Cmd::Sat;
   else {
-    Error = "field 'cmd' must be \"localize\", \"maxsat\", or \"sat\"";
+    Error = "field 'cmd' must be \"localize\", \"repair\", \"maxsat\", or "
+            "\"sat\"";
     return false;
   }
+  // Program-shaped commands share the source/encoding/localize fields.
+  const bool Prog =
+      Req.Command == Cmd::Localize || Req.Command == Cmd::Repair;
 
   int ProgramSources = 0; // source/file/tcas (localize), wcnf/cnf/file
   for (const auto &[Key, Val] : Root.Members) {
@@ -208,11 +224,11 @@ bool parseRequest(const JsonValue &Root, size_t Index, Request &Req,
       if (!wantInt(Val, "max_memory_mb", 1, 1ll << 30, N, Error))
         return false;
       Req.MaxMemoryMb = static_cast<uint64_t>(N);
-    } else if (Req.Command == Cmd::Localize && Key == "source") {
+    } else if (Prog && Key == "source") {
       if (!wantString(Val, "source", Req.Source, Error))
         return false;
       ++ProgramSources;
-    } else if (Req.Command == Cmd::Localize && Key == "tcas") {
+    } else if (Prog && Key == "tcas") {
       if (!wantInt(Val, "tcas", 0, 41, N, Error))
         return false;
       Req.Source = N == 0 ? tcasSource()
@@ -228,10 +244,10 @@ bool parseRequest(const JsonValue &Root, size_t Index, Request &Req,
         Code = ErrorCode::FileUnreadable;
         return false;
       }
-      (Req.Command == Cmd::Localize ? Req.Source : Req.Dimacs) =
+      (Prog ? Req.Source : Req.Dimacs) =
           std::move(*Text);
       ++ProgramSources;
-    } else if (Req.Command == Cmd::Localize && Key == "entry") {
+    } else if (Prog && Key == "entry") {
       if (!wantString(Val, "entry", Req.Pipeline.Entry, Error))
         return false;
     } else if (Req.Command == Cmd::Localize && Key == "input") {
@@ -248,23 +264,23 @@ bool parseRequest(const JsonValue &Root, size_t Index, Request &Req,
       if (!wantInt(Val, "golden", INT64_MIN, INT64_MAX, N, Error))
         return false;
       Req.Pipeline.GoldenReturn = N;
-    } else if (Req.Command == Cmd::Localize && Key == "check_obligations") {
+    } else if (Prog && Key == "check_obligations") {
       if (!wantBool(Val, "check_obligations", Req.Pipeline.CheckObligations,
                     Error))
         return false;
-    } else if (Req.Command == Cmd::Localize && Key == "bounds") {
+    } else if (Prog && Key == "bounds") {
       if (!wantBool(Val, "bounds", Req.Pipeline.Unroll.CheckArrayBounds,
                     Error))
         return false;
-    } else if (Req.Command == Cmd::Localize && Key == "unwind") {
+    } else if (Prog && Key == "unwind") {
       if (!wantInt(Val, "unwind", 1, 1000000, N, Error))
         return false;
       Req.Pipeline.Unroll.MaxLoopUnwind = static_cast<int>(N);
-    } else if (Req.Command == Cmd::Localize && Key == "bitwidth") {
+    } else if (Prog && Key == "bitwidth") {
       if (!wantInt(Val, "bitwidth", 1, 64, N, Error))
         return false;
       Req.Pipeline.Unroll.BitWidth = static_cast<int>(N);
-    } else if (Req.Command == Cmd::Localize && Key == "hard_lines") {
+    } else if (Prog && Key == "hard_lines") {
       std::string Spec;
       if (!wantString(Val, "hard_lines", Spec, Error))
         return false;
@@ -272,16 +288,59 @@ bool parseRequest(const JsonValue &Root, size_t Index, Request &Req,
         Error = "bad 'hard_lines' spec '" + Spec + "'";
         return false;
       }
-    } else if (Req.Command == Cmd::Localize && Key == "max_diagnoses") {
+    } else if (Prog && Key == "max_diagnoses") {
       if (!wantInt(Val, "max_diagnoses", 1, INT64_MAX, N, Error))
         return false;
       Req.Pipeline.Localize.MaxDiagnoses = static_cast<size_t>(N);
-    } else if (Req.Command == Cmd::Localize && Key == "weighted") {
+    } else if (Prog && Key == "weighted") {
       if (!wantBool(Val, "weighted", Req.Pipeline.Localize.Weighted, Error))
         return false;
-    } else if (Req.Command == Cmd::Localize && Key == "json") {
+    } else if (Prog && Key == "json") {
       if (!wantBool(Val, "json", Req.Json, Error))
         return false;
+    } else if (Req.Command == Cmd::Repair && Key == "inputs") {
+      if (Val.K != JsonValue::Kind::Array) {
+        Error = "field 'inputs' must be an array of input strings";
+        return false;
+      }
+      for (const JsonValue &E : Val.Elements) {
+        std::string Text, ParseError;
+        if (!wantString(E, "inputs", Text, Error))
+          return false;
+        auto In = parseInputVector(Text, ParseError);
+        if (!In) {
+          Error = "bad 'inputs' entry: " + ParseError;
+          return false;
+        }
+        Req.RepairInputs.push_back(std::move(*In));
+      }
+    } else if (Req.Command == Cmd::Repair && Key == "goldens") {
+      if (Val.K != JsonValue::Kind::Array) {
+        Error = "field 'goldens' must be an array of integers";
+        return false;
+      }
+      for (const JsonValue &E : Val.Elements) {
+        if (!wantInt(E, "goldens", INT64_MIN, INT64_MAX, N, Error))
+          return false;
+        Req.RepairGoldens.push_back(N);
+      }
+    } else if (Req.Command == Cmd::Repair && Key == "off_by_one") {
+      if (!wantBool(Val, "off_by_one", Req.RepairOpts.OffByOne, Error))
+        return false;
+    } else if (Req.Command == Cmd::Repair && Key == "op_swap") {
+      if (!wantBool(Val, "op_swap", Req.RepairOpts.OperatorSwap, Error))
+        return false;
+    } else if (Req.Command == Cmd::Repair && Key == "prescreen") {
+      if (!wantBool(Val, "prescreen", Req.RepairOpts.PrescreenLines, Error))
+        return false;
+    } else if (Req.Command == Cmd::Repair && Key == "max_candidates") {
+      if (!wantInt(Val, "max_candidates", 1, INT64_MAX, N, Error))
+        return false;
+      Req.RepairOpts.MaxCandidates = static_cast<size_t>(N);
+    } else if (Req.Command == Cmd::Repair && Key == "verify_budget") {
+      if (!wantInt(Val, "verify_budget", 0, INT64_MAX, N, Error))
+        return false;
+      Req.RepairOpts.VerifyBudget = static_cast<uint64_t>(N);
     } else if (Req.Command == Cmd::MaxSat && Key == "wcnf") {
       if (!wantString(Val, "wcnf", Req.Dimacs, Error))
         return false;
@@ -299,7 +358,7 @@ bool parseRequest(const JsonValue &Root, size_t Index, Request &Req,
                 "\"linear\"";
         return false;
       }
-    } else if (Req.Command != Cmd::Localize && Key == "model") {
+    } else if (!Prog && Key == "model") {
       if (!wantBool(Val, "model", Req.Model, Error))
         return false;
     } else {
@@ -310,10 +369,9 @@ bool parseRequest(const JsonValue &Root, size_t Index, Request &Req,
     }
   }
 
-  const char *Wanted = Req.Command == Cmd::Localize
-                           ? "'source', 'file', or 'tcas'"
-                           : Req.Command == Cmd::MaxSat ? "'wcnf' or 'file'"
-                                                        : "'cnf' or 'file'";
+  const char *Wanted = Prog ? "'source', 'file', or 'tcas'"
+                            : Req.Command == Cmd::MaxSat ? "'wcnf' or 'file'"
+                                                         : "'cnf' or 'file'";
   if (ProgramSources == 0) {
     Error = std::string("missing program: give exactly one of ") + Wanted;
     return false;
@@ -322,6 +380,17 @@ bool parseRequest(const JsonValue &Root, size_t Index, Request &Req,
     Error = std::string("conflicting program fields: give exactly one of ") +
             Wanted;
     return false;
+  }
+  if (Req.Command == Cmd::Repair) {
+    if (Req.RepairInputs.empty()) {
+      Error = "repair requires a non-empty 'inputs' array";
+      return false;
+    }
+    if (!Req.RepairGoldens.empty() &&
+        Req.RepairGoldens.size() != Req.RepairInputs.size()) {
+      Error = "'goldens' must match 'inputs' in length";
+      return false;
+    }
   }
   return true;
 }
@@ -538,6 +607,63 @@ Outcome processLocalize(const Request &Req, FormulaCache &Cache,
           Incomplete ? Outcome::Incomplete : Outcome::Ok};
 }
 
+Outcome processRepair(const Request &Req, FormulaCache &Cache,
+                      const WorkerCtx &Ctx) {
+  auto Start = Clock::now();
+  bool Hit = false;
+  const CachedProgram &CP =
+      Cache.lookup(Req.Source, Req.Pipeline.Entry, Req.Pipeline.Unroll,
+                   Req.Pipeline.Encode, &Hit);
+  const char *CacheStr = Hit ? "hit" : "miss";
+  if (!CP.prepared())
+    return respondError(Req, ErrorCode::CompileError,
+                        "program does not compile: " + CP.error(), CacheStr,
+                        elapsedMs(Start));
+
+  RepairRequest R;
+  R.Entry = Req.Pipeline.Entry;
+  R.Unroll = Req.Pipeline.Unroll;
+  R.Encode = Req.Pipeline.Encode;
+  R.CheckObligations = Req.Pipeline.CheckObligations;
+  R.Localize = Req.Pipeline.Localize;
+  R.Localize.TimeoutSeconds = Req.TimeoutSeconds;
+  R.Localize.MaxConflicts = Ctx.degradedConflicts(Req.MaxConflicts);
+  R.Localize.MaxMemoryMb = Req.MaxMemoryMb;
+  R.Inputs = Req.RepairInputs;
+  R.Goldens = Req.RepairGoldens;
+  R.Repair = Req.RepairOpts;
+
+  // Same encode-once fast path as localize: the cached base session
+  // serves the localization stage; candidate verification solvers are
+  // internal to repairProgram and bounded by verify_budget, so the
+  // watchdog rides the localization solve only.
+  std::unique_ptr<MaxSatSession> Session =
+      CP.cloneSession(R.Localize.Weighted);
+  std::optional<FlightGuard> Flight;
+  if (Session && Ctx.Flights)
+    Flight.emplace(*Ctx.Flights, Ctx.Worker, &Session->solver(),
+                   Ctx.WatchdogSeconds);
+  RepairPipelineResult Res =
+      runRepairPipeline(*CP.prepared(), R, Session.get());
+  Flight.reset();
+
+  if (Res.Status != PipelineStatus::Localized)
+    return respondError(Req, Res.Code, "nothing to repair: " + Res.Message,
+                        CacheStr, elapsedMs(Start));
+
+  // The body is the one-shot CLI's stdout, byte for byte.
+  std::string Body = renderRepairOutput(Res, Req.Json);
+  bool Incomplete = Res.Code == ErrorCode::BudgetExhausted;
+  ResponseStats St;
+  St.ElapsedMs = elapsedMs(Start);
+  St.SatCalls = Res.Report.SatCalls + Res.Repair.Stats.PrescreenSatCalls;
+  St.Search = Res.Report.Search;
+  return {frameResponse(Req.Id, cmdName(Req.Command),
+                        Incomplete ? "incomplete" : "ok", Incomplete ? 2 : 0,
+                        Res.Code, CacheStr, "", Body, St),
+          Incomplete ? Outcome::Incomplete : Outcome::Ok};
+}
+
 Outcome processMaxSat(const Request &Req, const WorkerCtx &Ctx) {
   auto Start = Clock::now();
   DimacsParseError Err;
@@ -654,6 +780,8 @@ Outcome processRequest(const Request &Req, FormulaCache &Cache,
   switch (Req.Command) {
   case Cmd::Localize:
     return processLocalize(Req, Cache, Ctx);
+  case Cmd::Repair:
+    return processRepair(Req, Cache, Ctx);
   case Cmd::MaxSat:
     return processMaxSat(Req, Ctx);
   case Cmd::Sat:
@@ -935,8 +1063,9 @@ ServeSummary LocalizeServer::run(std::istream &In, std::ostream &Out,
       std::string CmdText = "unknown";
       if (Root)
         if (const JsonValue *C = Root->find("cmd"))
-          if (C->isString() && (C->Text == "localize" || C->Text == "maxsat" ||
-                                C->Text == "sat"))
+          if (C->isString() && (C->Text == "localize" ||
+                                C->Text == "repair" ||
+                                C->Text == "maxsat" || C->Text == "sat"))
             CmdText = C->Text;
       ++T.Errors;
       ResponseStats St;

@@ -327,3 +327,152 @@ TEST(BugassistCli, DumpTcasRoundTripsThroughTheParser) {
   EXPECT_EQ(Exit, 0);
   EXPECT_EQ(Out, tcasSource());
 }
+
+// --- repair -------------------------------------------------------------------
+
+namespace {
+
+/// `--input "..." --golden N` pairs for up to \p MaxTests failing tests of
+/// a checked-in TCAS mutant, segregated from the session pool, followed
+/// by up to \p MaxPassing passing pairs as regression witnesses (the
+/// first input drives localization; the rest only screen candidates).
+std::string tcasRepairArgs(size_t MutantIdx, size_t MaxTests,
+                           size_t MaxPassing = 0) {
+  DiagEngine Diags;
+  auto Golden = parseAndAnalyze(tcasSource(), Diags);
+  auto Faulty = parseAndAnalyze(tcasMutants()[MutantIdx].Source, Diags);
+  EXPECT_TRUE(Golden && Faulty) << Diags.render();
+  FailingTests Failing =
+      segregateFailingTests(*Golden, *Faulty, tcasTestPool(300), "main",
+                            tcasExecOptions(), MaxTests, MaxPassing);
+  EXPECT_FALSE(Failing.Inputs.empty());
+  std::string Args;
+  for (size_t I = 0; I < Failing.Inputs.size(); ++I)
+    Args += " --input \"" + renderInputVector(Failing.Inputs[I]) +
+            "\" --golden " + std::to_string(Failing.Goldens[I]);
+  for (size_t I = 0; I < Failing.PassingInputs.size(); ++I)
+    Args += " --input \"" + renderInputVector(Failing.PassingInputs[I]) +
+            "\" --golden " + std::to_string(Failing.PassingGoldens[I]);
+  return Args;
+}
+
+} // namespace
+
+TEST(BugassistCli, RepairTcasV1OperatorSwap) {
+  // v1 weakens a `<=` boundary to `<`; `bugassist repair` must propose
+  // the swap back on the recorded fault line.
+  std::string Source = writeTempFile(tcasMutants()[0].Source);
+  int Exit = 0;
+  // v1 fails on almost nothing (one pool test), so passing regression
+  // witnesses carry the screen against imposter fixes on correlated
+  // branch conditions.
+  std::string Out = runCommand(
+      Cli + " repair " + Source + tcasRepairArgs(0, 24, /*MaxPassing=*/64) +
+          " --no-obligations --no-bounds --bitwidth 16 --hard-lines 69-84",
+      Exit);
+  EXPECT_EQ(exitStatus(Exit), 0);
+  std::string Expected = "repair: line " +
+                         std::to_string(tcasMutants()[0].BugLines[0]) +
+                         ": '<' -> '<='";
+  EXPECT_NE(Out.find(Expected), std::string::npos) << Out;
+  EXPECT_NE(Out.find("fixed program:\n"), std::string::npos) << Out;
+  std::remove(Source.c_str());
+}
+
+TEST(BugassistCli, RepairTcasV5OffByOneJson) {
+  // v5 assigns advisory code 2 where 1 belongs: the paper's kappa-1 fix,
+  // through the --json schema.
+  std::string Source = writeTempFile(tcasMutants()[4].Source);
+  int Exit = 0;
+  std::string Out = runCommand(
+      Cli + " repair " + Source + tcasRepairArgs(4, 6) +
+          " --no-obligations --no-bounds --bitwidth 16 --hard-lines 69-84"
+          " --json",
+      Exit);
+  EXPECT_EQ(exitStatus(Exit), 0);
+  EXPECT_NE(Out.find("\"found\": true"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"line\": " +
+                     std::to_string(tcasMutants()[4].BugLines[0])),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("\"fix\": \"constant 2 -> 1\""), std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("\"suspect_lines\""), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"truncated\": false"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"stats\""), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"candidates_tried\""), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"fixed_program\""), std::string::npos) << Out;
+  std::remove(Source.c_str());
+}
+
+TEST(BugassistCli, RepairExitCodeContract) {
+  // 1: usage error (no failing input given).
+  std::string Prog = writeTempFile("int main(int x) {\n"
+                                   "  assert(x == 0);\n"
+                                   "  return x;\n"
+                                   "}\n");
+  int Exit = 0;
+  runCommand(Cli + " repair " + Prog + " 2>/dev/null", Exit);
+  EXPECT_EQ(exitStatus(Exit), 1);
+
+  // 1: the input does not fail, so there is nothing to repair.
+  runCommand(Cli + " repair " + Prog + " --input \"0\" 2>/dev/null", Exit);
+  EXPECT_EQ(exitStatus(Exit), 1);
+  std::remove(Prog.c_str());
+
+  // 2: candidate budget truncated the search without a decided answer.
+  std::string Hard = writeTempFile("int main(int x) {\n"
+                                   "  assume(x >= 0 && x <= 7);\n"
+                                   "  int y = 0;\n"
+                                   "  assert(y == x * x);\n"
+                                   "  return y;\n"
+                                   "}\n");
+  std::string Out = runCommand(
+      Cli + " repair " + Hard + " --input \"2\" --max-candidates 1", Exit);
+  EXPECT_EQ(exitStatus(Exit), 2);
+  EXPECT_NE(Out.find("repair: NONE within candidate budget"),
+            std::string::npos)
+      << Out;
+  std::remove(Hard.c_str());
+}
+
+// --- fuzz ---------------------------------------------------------------------
+
+TEST(BugassistCli, FuzzTcasScorecardIsDeterministicAndMismatchFree) {
+  int Exit = 0;
+  std::string Cmd = Cli + " fuzz tcas --seed 1 --count 12 --pool 200";
+  std::string Out = runCommand(Cmd, Exit);
+  EXPECT_EQ(exitStatus(Exit), 0) << Out;
+  EXPECT_NE(Out.find("\"subject\": \"tcas\""), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"generated\": 12"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"total\""), std::string::npos) << Out;
+  // Zero thread-width / preprocess mismatches, by contract.
+  EXPECT_EQ(Out.find("\"mismatches\": 1"), std::string::npos) << Out;
+
+  std::string Again = runCommand(Cmd, Exit);
+  EXPECT_EQ(Out, Again) << "scorecard must be byte-identical across runs";
+}
+
+TEST(BugassistCli, FuzzRejectsUnknownClass) {
+  int Exit = 0;
+  runCommand(Cli + " fuzz tcas --classes bogus 2>/dev/null", Exit);
+  EXPECT_EQ(exitStatus(Exit), 1);
+}
+
+TEST(BugassistCli, FuzzRunsOnAFileSubject) {
+  std::string Prog = writeTempFile("int main(int x) {\n"
+                                   "  int y;\n"
+                                   "  y = 0;\n"
+                                   "  if (x < 5) {\n"
+                                   "    y = 1;\n"
+                                   "  }\n"
+                                   "  return y;\n"
+                                   "}\n");
+  int Exit = 0;
+  std::string Out = runCommand(
+      Cli + " fuzz " + Prog + " --seed 3 --count 8 --pool 32", Exit);
+  EXPECT_EQ(exitStatus(Exit), 0) << Out;
+  EXPECT_NE(Out.find("\"generated\": 8"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("\"mismatches\": 1"), std::string::npos) << Out;
+  std::remove(Prog.c_str());
+}

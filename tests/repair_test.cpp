@@ -6,8 +6,11 @@
 
 #include "core/Repair.h"
 
+#include "core/Pipeline.h"
 #include "interp/Interpreter.h"
 #include "lang/Sema.h"
+#include "programs/Tcas.h"
+#include "programs/TcasMutants.h"
 
 #include <gtest/gtest.h>
 
@@ -172,4 +175,141 @@ TEST(Repair, MaxCandidatesBudget) {
                                  Spec{}, nullptr, Opts);
   EXPECT_FALSE(R.Found);
   EXPECT_EQ(R.CandidatesTried, 0u);
+  EXPECT_TRUE(R.Truncated) << "budget-cut must be flagged, not a decided no";
+}
+
+// --- pooled path --------------------------------------------------------------
+
+TEST(RepairPooled, MatchesRebuildOverload) {
+  // Same program, same failing tests: the pooled overload must land on
+  // the same suggestion as the rebuild-everything reference path.
+  const char *Src = "int main(int a, int b) {\n"
+                    "  if (a < b) return a;\n"
+                    "  return b;\n"
+                    "}\n";
+  auto P = compile(Src);
+  std::vector<InputVector> Fails = {
+      {InputValue::scalar(1), InputValue::scalar(5)},
+      {InputValue::scalar(7), InputValue::scalar(2)},
+  };
+  std::vector<int64_t> Goldens = {5, 7};
+  Spec S;
+  S.CheckObligations = false;
+
+  RepairResult Ref = repairProgram(*P, "main", Fails, S, &Goldens);
+  BugAssistDriver Driver(*P, "main");
+  RepairResult Pooled =
+      repairProgram(*P, Driver, "main", Fails, S, &Goldens);
+  ASSERT_TRUE(Ref.Found);
+  ASSERT_TRUE(Pooled.Found);
+  EXPECT_EQ(Pooled.Suggestion.Line, Ref.Suggestion.Line);
+  EXPECT_EQ(Pooled.Suggestion.Description, Ref.Suggestion.Description);
+  // The pooled path never unrolls+encodes for localization, and with a
+  // goldens-only spec the BMC verification is skipped too: zero formula
+  // builds, versus one for the rebuild path's localization.
+  EXPECT_EQ(Pooled.Stats.FormulaBuilds, 0u);
+  EXPECT_EQ(Ref.Stats.FormulaBuilds, 1u);
+  EXPECT_GT(Pooled.Stats.PrescreenSatCalls, 0u);
+}
+
+TEST(RepairPooled, PrescreenIsHarmlessWhenDisabled) {
+  const char *Src = "int main(int x) {\n"
+                    "  assume(x >= 0 && x <= 20);\n"
+                    "  bool ok = x <= 10;\n"
+                    "  int y = ok ? x : 0;\n"
+                    "  assert(y < 10);\n"
+                    "  return y;\n"
+                    "}\n";
+  auto P = compile(Src);
+  BugAssistDriver Driver(*P, "main");
+  std::vector<InputVector> Fails = {{InputValue::scalar(10)}};
+
+  RepairOptions On;
+  RepairResult WithScreen =
+      repairProgram(*P, Driver, "main", Fails, Spec{}, nullptr, On);
+  RepairOptions Off;
+  Off.PrescreenLines = false;
+  RepairResult WithoutScreen =
+      repairProgram(*P, Driver, "main", Fails, Spec{}, nullptr, Off);
+
+  ASSERT_TRUE(WithScreen.Found);
+  ASSERT_TRUE(WithoutScreen.Found);
+  EXPECT_EQ(WithScreen.Suggestion.Line, WithoutScreen.Suggestion.Line);
+  EXPECT_EQ(WithScreen.Suggestion.Description,
+            WithoutScreen.Suggestion.Description);
+  EXPECT_EQ(WithoutScreen.Stats.PrescreenSatCalls, 0u);
+  // The prescreen only ever narrows the candidate plan.
+  EXPECT_LE(WithScreen.Stats.CandidatesPlanned,
+            WithoutScreen.Stats.CandidatesPlanned);
+}
+
+namespace {
+
+/// Failing tests for a checked-in TCAS mutant, segregated from the
+/// session pool exactly as the bench/serve stack does, with regression
+/// witnesses for the candidate screen flattened in behind them.
+FailingTests tcasFailingTests(const Program &Faulty, size_t MaxTests,
+                              size_t MaxPassing = 0) {
+  DiagEngine Diags;
+  auto Golden = parseAndAnalyze(tcasSource(), Diags);
+  EXPECT_TRUE(Golden != nullptr);
+  FailingTests FT =
+      segregateFailingTests(*Golden, Faulty, tcasTestPool(300), "main",
+                            tcasExecOptions(), MaxTests, MaxPassing);
+  for (size_t T = 0; T < FT.PassingInputs.size(); ++T) {
+    FT.Inputs.push_back(FT.PassingInputs[T]);
+    FT.Goldens.push_back(FT.PassingGoldens[T]);
+  }
+  return FT;
+}
+
+} // namespace
+
+TEST(RepairPooled, TcasV1OperatorSwapKnownAnswer) {
+  // v1 weakens `Own_Tracked_Alt_Rate <= 600` to `<`; the near-miss swap
+  // restores the boundary on the recorded fault line.
+  const TcasMutant &V = tcasMutants()[0];
+  ASSERT_EQ(V.Version, 1);
+  auto P = compile(V.Source);
+  // A boundary bug fails on almost nothing (one pool test), so failing
+  // witnesses alone cannot screen out imposter fixes on correlated branch
+  // conditions: regression witnesses do.
+  FailingTests FT = tcasFailingTests(*P, 24, /*MaxPassing=*/64);
+  ASSERT_FALSE(FT.Inputs.empty()) << "v1 must fail on the session pool";
+
+  BugAssistDriver Driver(*P, "main", tcasUnrollOptions());
+  Spec S;
+  S.CheckObligations = false;
+  RepairOptions RO;
+  RO.Unroll = tcasUnrollOptions();
+  RO.MaxCandidates = 128;
+  RepairResult R =
+      repairProgram(*P, Driver, "main", FT.Inputs, S, &FT.Goldens, RO);
+  ASSERT_TRUE(R.Found) << "tried " << R.CandidatesTried;
+  EXPECT_EQ(R.Suggestion.Line, V.BugLines[0]);
+  EXPECT_NE(R.Suggestion.Description.find("'<' -> '<='"), std::string::npos)
+      << R.Suggestion.Description;
+}
+
+TEST(RepairPooled, TcasV5OffByOneKnownAnswer) {
+  // v5 assigns the downward advisory code (2) where the upward one (1)
+  // belongs; kappa-1 is the paper's off-by-one fix.
+  const TcasMutant &V = tcasMutants()[4];
+  ASSERT_EQ(V.Version, 5);
+  auto P = compile(V.Source);
+  FailingTests FT = tcasFailingTests(*P, 6);
+  ASSERT_FALSE(FT.Inputs.empty()) << "v5 must fail on the session pool";
+
+  BugAssistDriver Driver(*P, "main", tcasUnrollOptions());
+  Spec S;
+  S.CheckObligations = false;
+  RepairOptions RO;
+  RO.Unroll = tcasUnrollOptions();
+  RO.MaxCandidates = 128;
+  RepairResult R =
+      repairProgram(*P, Driver, "main", FT.Inputs, S, &FT.Goldens, RO);
+  ASSERT_TRUE(R.Found) << "tried " << R.CandidatesTried;
+  EXPECT_EQ(R.Suggestion.Line, V.BugLines[0]);
+  EXPECT_NE(R.Suggestion.Description.find("2 -> 1"), std::string::npos)
+      << R.Suggestion.Description;
 }

@@ -835,3 +835,91 @@ TEST(ServeCli, CheckedInSmokeBatchRunsClean) {
     EXPECT_EQ(F.Exit, 0);
   }
 }
+
+// --- repair requests ----------------------------------------------------------
+
+namespace {
+
+const char *OffByOneProgram = "int main(int x) {\n"
+                              "  int y;\n"
+                              "  y = 0;\n"
+                              "  if (x < 10) {\n"
+                              "    y = 1;\n"
+                              "  }\n"
+                              "  return y;\n"
+                              "}\n";
+
+} // namespace
+
+TEST(ServeRepair, BodyMatchesOneShotCliAndCachesTheProgram) {
+  // A repair response body is the `bugassist repair` stdout byte for
+  // byte, and the compiled program is shared with the localize cache: a
+  // repeated request must hit.
+  std::string SrcFile = writeTempFile(OffByOneProgram);
+  int Exit = 0;
+  std::string TextExpected = runCommand(
+      Cli + " repair " + SrcFile + " --input \"10\" --golden 1", Exit);
+  ASSERT_EQ(exitStatus(Exit), 0);
+  ASSERT_NE(TextExpected.find("repair: line 4: '<' -> '<='"),
+            std::string::npos)
+      << TextExpected;
+  std::string JsonExpected = runCommand(
+      Cli + " repair " + SrcFile + " --input \"10\" --golden 1 --json",
+      Exit);
+  ASSERT_EQ(exitStatus(Exit), 0);
+
+  std::string Fields = "\"cmd\":\"repair\",\"source\":\"" +
+                       jsonEscape(OffByOneProgram) +
+                       "\",\"inputs\":[\"10\"],\"goldens\":[1]";
+  std::string Batch = "{\"id\":\"r1\"," + Fields + "}\n" +
+                      "{\"id\":\"r2\"," + Fields + "}\n" +
+                      "{\"id\":\"rj\"," + Fields + ",\"json\":true}\n";
+  LibRun R = runServe(Batch, /*Threads=*/1);
+  ASSERT_EQ(R.Frames.size(), 3u);
+  for (const Frame &F : R.Frames) {
+    EXPECT_EQ(F.Cmd, "repair");
+    EXPECT_EQ(F.Status, "ok");
+    EXPECT_EQ(F.Exit, 0);
+    EXPECT_EQ(F.Code, "ok");
+  }
+  // One program, three requests: exactly one build. Which request pays
+  // the miss is scheduling-dependent (the pool pops newest-first), so
+  // only the totals are asserted.
+  int Misses = 0, Hits = 0;
+  for (const Frame &F : R.Frames) {
+    Misses += F.CacheField == "miss";
+    Hits += F.CacheField == "hit";
+  }
+  EXPECT_EQ(Misses, 1);
+  EXPECT_EQ(Hits, 2);
+  EXPECT_EQ(R.Frames[0].Body, TextExpected);
+  EXPECT_EQ(R.Frames[1].Body, TextExpected) << "cache-hit body diverged";
+  EXPECT_EQ(R.Frames[2].Body, JsonExpected);
+  std::remove(SrcFile.c_str());
+}
+
+TEST(ServeRepair, RequestValidationRejectsBadTestVectors) {
+  // No inputs at all, and a goldens array of the wrong length: both are
+  // request errors that must not kill the daemon or touch the cache.
+  std::string Batch =
+      "{\"id\":\"noin\",\"cmd\":\"repair\",\"source\":\"" +
+      jsonEscape(OffByOneProgram) + "\"}\n" +
+      "{\"id\":\"skew\",\"cmd\":\"repair\",\"source\":\"" +
+      jsonEscape(OffByOneProgram) +
+      "\",\"inputs\":[\"10\"],\"goldens\":[1,2]}\n" +
+      "{\"id\":\"ok\",\"cmd\":\"repair\",\"source\":\"" +
+      jsonEscape(OffByOneProgram) +
+      "\",\"inputs\":[\"10\"],\"goldens\":[1]}\n";
+  LibRun R = runServe(Batch, /*Threads=*/1);
+  ASSERT_EQ(R.Frames.size(), 3u);
+  EXPECT_EQ(R.Frames[0].Status, "error");
+  EXPECT_NE(R.Frames[0].ErrorField.find("inputs"), std::string::npos)
+      << R.Frames[0].ErrorField;
+  EXPECT_EQ(R.Frames[1].Status, "error");
+  EXPECT_NE(R.Frames[1].ErrorField.find("goldens"), std::string::npos)
+      << R.Frames[1].ErrorField;
+  EXPECT_EQ(R.Frames[2].Status, "ok");
+  EXPECT_NE(R.Frames[2].Body.find("repair: line 4: '<' -> '<='"),
+            std::string::npos)
+      << R.Frames[2].Body;
+}

@@ -10,6 +10,18 @@
 //       mini-C source file; prints the ranked per-line report (text or
 //       --json). Without --input, a failing input is found by BMC.
 //
+//   bugassist repair <prog.ba> --input "..." [--golden N] ...
+//       localize, then run Algorithm 2 over the suspect lines: off-by-one
+//       and near-miss-operator mutants, screened on the failing tests and
+//       re-verified by BMC, all through the encode-once Pipeline seam.
+//
+//   bugassist fuzz <tcas|prog.ba> [--seed N] [--count N] ...
+//       deterministic differential sweep: seeded mutants of a golden
+//       subject, each localized at --threads 1 and K and with
+//       preprocessing off (reports must be byte-identical), scored
+//       against the known fault line, repaired on hits; Table-1-style
+//       JSON scorecard per fault class.
+//
 //   bugassist maxsat <file.wcnf> [--threads N]
 //       partial (weighted) MaxSAT on a DIMACS/WCNF instance, MaxSAT-
 //       Evaluation-style output (o/s/v lines).
@@ -31,13 +43,17 @@
 
 #include "cnf/DimacsReader.h"
 #include "core/Pipeline.h"
+#include "lang/Sema.h"
 #include "maxsat/MaxSat.h"
 #include "maxsat/Portfolio.h"
+#include "mutate/FuzzSweep.h"
+#include "programs/FaultCatalog.h"
 #include "programs/Tcas.h"
 #include "programs/TcasMutants.h"
 #include "serve/LocalizeServer.h"
 #include "support/FaultInject.h"
 #include "support/FileUtil.h"
+#include "support/Rng.h"
 
 #include <cerrno>
 #include <csignal>
@@ -83,6 +99,36 @@ int usage(const char *Argv0) {
       "    --no-preprocess       disable clause-database simplification\n"
       "    --json                JSON report instead of text\n"
       "    --stats               append solver statistics (nondeterministic)\n"
+      "  repair <prog.ba> [options]     localize, then suggest a validated fix\n"
+      "    --input \"V,[A,B],..\"  failing input (repeatable; first drives\n"
+      "                          localization, all screen candidates)\n"
+      "    --golden N            expected return for the matching --input\n"
+      "                          (repeatable; count must match --input)\n"
+      "    --no-off-by-one       skip constant +/-1 mutations\n"
+      "    --no-op-swap          skip near-miss operator swaps\n"
+      "    --max-candidates N    candidate mutants to try (default: 256)\n"
+      "    --verify-budget N     conflict cap per BMC re-verification\n"
+      "    --no-prescreen        skip the pooled per-line SAT prescreen\n"
+      "    plus localize's --entry/--unwind/--bitwidth/--hard-lines/\n"
+      "    --max-diagnoses/--weighted/--threads/--no-preprocess/\n"
+      "    --no-obligations/--no-bounds/--json\n"
+      "  fuzz <tcas|prog.ba> [options]  differential mutant sweep (scorecard\n"
+      "                                 JSON on stdout; exit 1 on any report\n"
+      "                                 mismatch between configurations)\n"
+      "    --seed N              mutation stream seed (default: 1)\n"
+      "    --count N             mutants to generate (default: 100)\n"
+      "    --pool N              test-pool size (default: 400 tcas, 256 file)\n"
+      "    --threads N           the K in the 1-vs-K differential (default: 4)\n"
+      "    --classes a,b,..      restrict fault classes (op,const,assign,\n"
+      "                          code,addcode,init,index,branch)\n"
+      "    --max-diagnoses N     CoMSS cap per localization (default: 8)\n"
+      "    --max-tests N         failing tests kept per mutant (default: 4)\n"
+      "    --no-repair           skip Algorithm 2 repair on hits\n"
+      "    --max-candidates N    repair candidate cap (default: 64)\n"
+      "    --verify-budget N     repair BMC conflict cap (default: 200000)\n"
+      "    --progress            progress counter on stderr\n"
+      "    plus --entry/--unwind/--bitwidth/--no-bounds/--hard-lines\n"
+      "    (file subjects only; tcas fixes its own harness options)\n"
       "  maxsat <file.wcnf> [--threads N] [--engine fumalik|linear]\n"
       "                     [--no-model] [--no-preprocess] [--stats]\n"
       "  sat <file.cnf> [--threads N] [--no-model] [--no-preprocess]\n"
@@ -100,7 +146,7 @@ int usage(const char *Argv0) {
       "  dump-tcas [N]      print TCAS source (0: correct, 1..41: mutants)\n"
       "  dump-tcas --list   list the mutant catalog\n"
       "\n"
-      "resource budgets (localize, maxsat, sat):\n"
+      "resource budgets (localize, repair, maxsat, sat):\n"
       "  --timeout SECONDS     wall-clock deadline (fractional ok)\n"
       "  --max-conflicts N     total conflict cap\n"
       "  --max-memory-mb N     clause-arena cap per solver, in MiB\n"
@@ -346,6 +392,377 @@ int cmdLocalize(int Argc, char **Argv, const char *Argv0) {
   // The partial report was still printed (INCOMPLETE-marked); the exit
   // code tells scripts the enumeration did not finish.
   return Res.Report.Incomplete ? ExitBudgetExhausted : ExitComplete;
+}
+
+// --- repair ------------------------------------------------------------------
+
+int cmdRepair(int Argc, char **Argv, const char *Argv0) {
+  if (Argc < 1)
+    return usage(Argv0);
+  std::string Path = Argv[0];
+  RepairRequest R;
+  R.CheckObligations = true;
+  bool Json = false;
+  BudgetFlags Budget;
+  std::string V;
+  for (int I = 1; I < Argc; ++I) {
+    if (int M = matchBudgetFlag(Argc, Argv, I, Budget)) {
+      if (M < 0)
+        return ExitInputError;
+    } else if (matchValueFlag(Argc, Argv, I, "--entry", V)) {
+      R.Entry = V;
+    } else if (matchValueFlag(Argc, Argv, I, "--input", V)) {
+      std::string Error;
+      auto In = parseInputVector(V, Error);
+      if (!In) {
+        std::fprintf(stderr, "bugassist: bad --input: %s\n", Error.c_str());
+        return 1;
+      }
+      R.Inputs.push_back(std::move(*In));
+    } else if (matchValueFlag(Argc, Argv, I, "--golden", V)) {
+      int64_t G;
+      if (!parseInt64(V, G)) {
+        std::fprintf(stderr, "bugassist: bad --golden value '%s'\n",
+                     V.c_str());
+        return 1;
+      }
+      R.Goldens.push_back(G);
+    } else if (std::strcmp(Argv[I], "--no-obligations") == 0) {
+      R.CheckObligations = false;
+    } else if (std::strcmp(Argv[I], "--no-bounds") == 0) {
+      R.Unroll.CheckArrayBounds = false;
+    } else if (matchValueFlag(Argc, Argv, I, "--unwind", V)) {
+      size_t N;
+      if (!parseSizeT(V, N) || N < 1 || N > 1000000) {
+        std::fprintf(stderr, "bugassist: bad --unwind value '%s'\n",
+                     V.c_str());
+        return 1;
+      }
+      R.Unroll.MaxLoopUnwind = static_cast<int>(N);
+    } else if (matchValueFlag(Argc, Argv, I, "--bitwidth", V)) {
+      size_t W;
+      if (!parseSizeT(V, W) || W < 1 || W > 64) {
+        std::fprintf(stderr, "bugassist: bad --bitwidth value '%s'\n",
+                     V.c_str());
+        return 1;
+      }
+      R.Unroll.BitWidth = static_cast<int>(W);
+    } else if (matchValueFlag(Argc, Argv, I, "--hard-lines", V)) {
+      if (!parseHardLinesSpec(V, R.Unroll.HardLines)) {
+        std::fprintf(stderr, "bugassist: bad --hard-lines spec '%s'\n",
+                     V.c_str());
+        return 1;
+      }
+    } else if (matchValueFlag(Argc, Argv, I, "--max-diagnoses", V)) {
+      size_t N;
+      if (!parseSizeT(V, N) || N < 1) {
+        std::fprintf(stderr, "bugassist: bad --max-diagnoses value '%s'\n",
+                     V.c_str());
+        return 1;
+      }
+      R.Localize.MaxDiagnoses = N;
+    } else if (std::strcmp(Argv[I], "--weighted") == 0) {
+      R.Localize.Weighted = true;
+    } else if (matchValueFlag(Argc, Argv, I, "--threads", V)) {
+      size_t N;
+      if (!parseSizeT(V, N) || N < 1 || N > 64) {
+        std::fprintf(stderr, "bugassist: bad --threads value '%s'\n",
+                     V.c_str());
+        return 1;
+      }
+      R.Localize.Threads = N;
+    } else if (std::strcmp(Argv[I], "--no-preprocess") == 0) {
+      R.Localize.Preprocess = false;
+    } else if (std::strcmp(Argv[I], "--no-off-by-one") == 0) {
+      R.Repair.OffByOne = false;
+    } else if (std::strcmp(Argv[I], "--no-op-swap") == 0) {
+      R.Repair.OperatorSwap = false;
+    } else if (std::strcmp(Argv[I], "--no-prescreen") == 0) {
+      R.Repair.PrescreenLines = false;
+    } else if (matchValueFlag(Argc, Argv, I, "--max-candidates", V)) {
+      size_t N;
+      if (!parseSizeT(V, N) || N < 1) {
+        std::fprintf(stderr, "bugassist: bad --max-candidates value '%s'\n",
+                     V.c_str());
+        return 1;
+      }
+      R.Repair.MaxCandidates = N;
+    } else if (matchValueFlag(Argc, Argv, I, "--verify-budget", V)) {
+      size_t N;
+      if (!parseSizeT(V, N)) {
+        std::fprintf(stderr, "bugassist: bad --verify-budget value '%s'\n",
+                     V.c_str());
+        return 1;
+      }
+      R.Repair.VerifyBudget = N;
+    } else if (std::strcmp(Argv[I], "--json") == 0) {
+      Json = true;
+    } else {
+      std::fprintf(stderr, "bugassist: unknown repair option '%s'\n",
+                   Argv[I]);
+      return 1;
+    }
+  }
+  if (R.Inputs.empty()) {
+    std::fprintf(stderr, "bugassist: repair requires at least one --input\n");
+    return 1;
+  }
+  if (!R.Goldens.empty() && R.Goldens.size() != R.Inputs.size()) {
+    std::fprintf(stderr,
+                 "bugassist: %zu --golden values for %zu --input values\n",
+                 R.Goldens.size(), R.Inputs.size());
+    return 1;
+  }
+  auto Source = readFileToString(Path);
+  if (!Source) {
+    std::fprintf(stderr, "bugassist: cannot read '%s'\n", Path.c_str());
+    return 1;
+  }
+
+  R.Localize.TimeoutSeconds = Budget.TimeoutSeconds;
+  R.Localize.MaxConflicts = Budget.MaxConflicts;
+  R.Localize.MaxMemoryMb = Budget.MaxMemoryMb;
+
+  std::string Error;
+  auto Prepared = prepareProgram(*Source, R.Entry, R.Unroll, R.Encode, Error);
+  if (!Prepared) {
+    std::fprintf(stderr, "bugassist: %s does not compile:\n%s", Path.c_str(),
+                 Error.c_str());
+    return 1;
+  }
+  RepairPipelineResult Res = runRepairPipeline(*Prepared, R);
+  switch (Res.Status) {
+  case PipelineStatus::CompileError:
+  case PipelineStatus::NoCounterexample:
+  case PipelineStatus::InputNotFailing:
+    std::fprintf(stderr, "bugassist: nothing to repair: %s\n",
+                 Res.Message.c_str());
+    return 1;
+  case PipelineStatus::Localized:
+    break;
+  }
+  // Canonical output bytes, shared with serve's `repair` command.
+  std::string Body = renderRepairOutput(Res, Json);
+  std::fwrite(Body.data(), 1, Body.size(), stdout);
+  return Res.Code == ErrorCode::BudgetExhausted ? ExitBudgetExhausted
+                                                : ExitComplete;
+}
+
+// --- fuzz --------------------------------------------------------------------
+
+/// Seeded pool for a file subject: uniform scalars in a small signed range
+/// (and per-element for arrays), matching the spirit of tcasTestPool.
+std::vector<InputVector> genericTestPool(const FunctionDecl &Entry,
+                                         size_t Count, uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<InputVector> Pool;
+  Pool.reserve(Count);
+  for (size_t I = 0; I < Count; ++I) {
+    InputVector In;
+    for (const auto &P : Entry.params()) {
+      if (P->type().isArray()) {
+        std::vector<int64_t> Vs;
+        for (int J = 0; J < P->type().ArraySize; ++J)
+          Vs.push_back(R.range(-100, 100));
+        In.push_back(InputValue::array(std::move(Vs)));
+      } else if (P->type().isBool()) {
+        In.push_back(InputValue::scalar(static_cast<int64_t>(R.below(2))));
+      } else {
+        In.push_back(InputValue::scalar(R.range(-100, 100)));
+      }
+    }
+    Pool.push_back(std::move(In));
+  }
+  return Pool;
+}
+
+int cmdFuzz(int Argc, char **Argv, const char *Argv0) {
+  if (Argc < 1)
+    return usage(Argv0);
+  std::string Target = Argv[0];
+  FuzzOptions Opts;
+  Opts.Threads = 4;
+  size_t PoolSize = 0; // 0 = subject default
+  std::string Entry = "main";
+  UnrollOptions Unroll;
+  bool UnrollFlagSeen = false, ShowProgress = false;
+  std::set<uint32_t> HardLines;
+  std::string V;
+  for (int I = 1; I < Argc; ++I) {
+    if (matchValueFlag(Argc, Argv, I, "--seed", V)) {
+      size_t N;
+      if (!parseSizeT(V, N)) {
+        std::fprintf(stderr, "bugassist: bad --seed value '%s'\n", V.c_str());
+        return 1;
+      }
+      Opts.Seed = N;
+    } else if (matchValueFlag(Argc, Argv, I, "--count", V)) {
+      size_t N;
+      if (!parseSizeT(V, N) || N < 1 || N > 100000) {
+        std::fprintf(stderr, "bugassist: bad --count value '%s'\n", V.c_str());
+        return 1;
+      }
+      Opts.Count = N;
+    } else if (matchValueFlag(Argc, Argv, I, "--pool", V)) {
+      if (!parseSizeT(V, PoolSize) || PoolSize < 1 || PoolSize > 1000000) {
+        std::fprintf(stderr, "bugassist: bad --pool value '%s'\n", V.c_str());
+        return 1;
+      }
+    } else if (matchValueFlag(Argc, Argv, I, "--threads", V)) {
+      size_t N;
+      if (!parseSizeT(V, N) || N < 1 || N > 64) {
+        std::fprintf(stderr, "bugassist: bad --threads value '%s'\n",
+                     V.c_str());
+        return 1;
+      }
+      Opts.Threads = static_cast<int>(N);
+    } else if (matchValueFlag(Argc, Argv, I, "--classes", V)) {
+      for (size_t Pos = 0; Pos < V.size();) {
+        size_t Comma = V.find(',', Pos);
+        if (Comma == std::string::npos)
+          Comma = V.size();
+        std::string Name = V.substr(Pos, Comma - Pos);
+        ErrorType T;
+        if (!errorTypeFromName(Name.c_str(), T)) {
+          std::fprintf(stderr, "bugassist: unknown fault class '%s'\n",
+                       Name.c_str());
+          return 1;
+        }
+        Opts.Classes.push_back(T);
+        Pos = Comma + 1;
+      }
+    } else if (matchValueFlag(Argc, Argv, I, "--max-diagnoses", V)) {
+      size_t N;
+      if (!parseSizeT(V, N) || N < 1) {
+        std::fprintf(stderr, "bugassist: bad --max-diagnoses value '%s'\n",
+                     V.c_str());
+        return 1;
+      }
+      Opts.MaxDiagnoses = N;
+    } else if (matchValueFlag(Argc, Argv, I, "--max-tests", V)) {
+      size_t N;
+      if (!parseSizeT(V, N) || N < 1) {
+        std::fprintf(stderr, "bugassist: bad --max-tests value '%s'\n",
+                     V.c_str());
+        return 1;
+      }
+      Opts.MaxFailingTests = N;
+    } else if (std::strcmp(Argv[I], "--no-repair") == 0) {
+      Opts.TryRepair = false;
+    } else if (matchValueFlag(Argc, Argv, I, "--max-candidates", V)) {
+      size_t N;
+      if (!parseSizeT(V, N) || N < 1) {
+        std::fprintf(stderr, "bugassist: bad --max-candidates value '%s'\n",
+                     V.c_str());
+        return 1;
+      }
+      Opts.RepairMaxCandidates = N;
+    } else if (matchValueFlag(Argc, Argv, I, "--verify-budget", V)) {
+      size_t N;
+      if (!parseSizeT(V, N)) {
+        std::fprintf(stderr, "bugassist: bad --verify-budget value '%s'\n",
+                     V.c_str());
+        return 1;
+      }
+      Opts.RepairVerifyBudget = N;
+    } else if (matchValueFlag(Argc, Argv, I, "--entry", V)) {
+      Entry = V;
+    } else if (matchValueFlag(Argc, Argv, I, "--unwind", V)) {
+      size_t N;
+      if (!parseSizeT(V, N) || N < 1 || N > 1000000) {
+        std::fprintf(stderr, "bugassist: bad --unwind value '%s'\n",
+                     V.c_str());
+        return 1;
+      }
+      Unroll.MaxLoopUnwind = static_cast<int>(N);
+      UnrollFlagSeen = true;
+    } else if (matchValueFlag(Argc, Argv, I, "--bitwidth", V)) {
+      size_t W;
+      if (!parseSizeT(V, W) || W < 1 || W > 64) {
+        std::fprintf(stderr, "bugassist: bad --bitwidth value '%s'\n",
+                     V.c_str());
+        return 1;
+      }
+      Unroll.BitWidth = static_cast<int>(W);
+      UnrollFlagSeen = true;
+    } else if (std::strcmp(Argv[I], "--no-bounds") == 0) {
+      Unroll.CheckArrayBounds = false;
+      UnrollFlagSeen = true;
+    } else if (matchValueFlag(Argc, Argv, I, "--hard-lines", V)) {
+      if (!parseHardLinesSpec(V, HardLines)) {
+        std::fprintf(stderr, "bugassist: bad --hard-lines spec '%s'\n",
+                     V.c_str());
+        return 1;
+      }
+    } else if (std::strcmp(Argv[I], "--progress") == 0) {
+      ShowProgress = true;
+    } else {
+      std::fprintf(stderr, "bugassist: unknown fuzz option '%s'\n", Argv[I]);
+      return 1;
+    }
+  }
+
+  FuzzSubject Subject;
+  std::unique_ptr<Program> Owned;
+  DiagEngine Diags;
+  if (Target == "tcas") {
+    if (UnrollFlagSeen)
+      std::fprintf(stderr,
+                   "bugassist: note: tcas subject fixes unroll options; "
+                   "--unwind/--bitwidth/--no-bounds ignored\n");
+    Owned = parseAndAnalyze(tcasSource(), Diags);
+    if (!Owned) {
+      std::fprintf(stderr, "bugassist: internal: tcas does not compile\n");
+      return 1;
+    }
+    Subject.Name = "tcas";
+    Subject.Unroll = tcasUnrollOptions();
+    Subject.CheckObligations = false; // golden-return methodology
+    Subject.Pool = tcasTestPool(PoolSize ? PoolSize : 400);
+  } else {
+    auto Source = readFileToString(Target);
+    if (!Source) {
+      std::fprintf(stderr, "bugassist: cannot read '%s'\n", Target.c_str());
+      return 1;
+    }
+    Owned = parseAndAnalyze(*Source, Diags);
+    if (!Owned) {
+      std::fprintf(stderr, "bugassist: %s does not compile:\n%s",
+                   Target.c_str(), Diags.render().c_str());
+      return 1;
+    }
+    const FunctionDecl *EntryFn = Owned->findFunction(Entry);
+    if (!EntryFn) {
+      std::fprintf(stderr, "bugassist: no function '%s' in %s\n",
+                   Entry.c_str(), Target.c_str());
+      return 1;
+    }
+    size_t Dot = Target.find_last_of("/\\");
+    Subject.Name = Dot == std::string::npos ? Target : Target.substr(Dot + 1);
+    Subject.Entry = Entry;
+    Subject.Unroll = Unroll;
+    Subject.CheckObligations = true;
+    Subject.Pool =
+        genericTestPool(*EntryFn, PoolSize ? PoolSize : 256, 20110601);
+  }
+  Subject.Base = Owned.get();
+  Subject.ProtectedLines = Subject.Unroll.HardLines;
+  Subject.ProtectedLines.insert(HardLines.begin(), HardLines.end());
+  Subject.Unroll.HardLines.insert(HardLines.begin(), HardLines.end());
+
+  FuzzProgress Progress;
+  if (ShowProgress)
+    Progress = [](size_t Done, size_t Total) {
+      if (Done % 10 == 0 || Done == Total)
+        std::fprintf(stderr, "fuzz: %zu/%zu\n", Done, Total);
+    };
+  FuzzResult Res = runFuzzSweep(Subject, Opts, Progress);
+  std::string Card = renderFuzzScorecard(Subject, Opts, Res);
+  std::fwrite(Card.data(), 1, Card.size(), stdout);
+  for (const std::string &Note : Res.MismatchNotes)
+    std::fprintf(stderr, "MISMATCH: %s\n", Note.c_str());
+  // Any differential mismatch is a failure, not a warning.
+  return Res.TotalMismatches == 0 ? ExitComplete : ExitInputError;
 }
 
 // --- maxsat / sat ------------------------------------------------------------
@@ -665,6 +1082,10 @@ int main(int argc, char **argv) {
   const char *Cmd = argv[1];
   if (std::strcmp(Cmd, "localize") == 0)
     return cmdLocalize(argc - 2, argv + 2, argv[0]);
+  if (std::strcmp(Cmd, "repair") == 0)
+    return cmdRepair(argc - 2, argv + 2, argv[0]);
+  if (std::strcmp(Cmd, "fuzz") == 0)
+    return cmdFuzz(argc - 2, argv + 2, argv[0]);
   if (std::strcmp(Cmd, "maxsat") == 0)
     return cmdMaxsat(argc - 2, argv + 2, argv[0]);
   if (std::strcmp(Cmd, "sat") == 0)
